@@ -1,0 +1,65 @@
+"""Ablation — folding granularity vs achievable pruning rates.
+
+Not in the paper's figures, but implied by its Sec. IV-A2 constraints:
+the user's PE/SIMD configuration quantizes the pruning rates each layer
+can realize. Coarser folding (more parallelism) = fewer design points.
+This bench sweeps folding aggressiveness on the full-width CNV and
+reports how much of the requested 0-85 % sweep survives the constraints.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.finn import auto_fold, cnv_reference_fold, fold_constraints
+from repro.models import CNVConfig, ExitsConfiguration, build_cnv
+from repro.pruning import paper_rate_sweep, prune_model
+
+
+def achieved_rates_for(model, constraints):
+    achieved = []
+    for rate in paper_rate_sweep():
+        _, report = prune_model(model, rate, constraints=constraints)
+        achieved.append(report.achieved_rate)
+    return achieved
+
+
+def test_folding_granularity_vs_pruning(benchmark):
+    model = build_cnv(CNVConfig(width_scale=1.0, seed=0),
+                      ExitsConfiguration.paper_default())
+
+    configs = {
+        "unconstrained": {},
+        "reference (FINN CNV)": fold_constraints(
+            model, cnv_reference_fold(model)),
+        "balanced auto-fold": fold_constraints(model, auto_fold(model)),
+    }
+
+    def run_all():
+        return {name: achieved_rates_for(model, cons)
+                for name, cons in configs.items()}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    requested = paper_rate_sweep()
+    rows = []
+    for i, rate in enumerate(requested):
+        row = {"requested": rate}
+        for name in configs:
+            row[name] = results[name][i]
+        rows.append(row)
+    print()
+    print(format_table(rows, title="Achieved vs requested pruning rate"))
+
+    distinct = {name: len(set(np.round(vals, 3)))
+                for name, vals in results.items()}
+    print(f"\ndistinct achieved rates: {distinct}")
+
+    # Unconstrained pruning tracks the request almost exactly.
+    err = np.abs(np.array(results["unconstrained"]) - np.array(requested))
+    assert err.max() < 0.05
+    # Constraints can only reduce the achieved rate.
+    for name in ("reference (FINN CNV)", "balanced auto-fold"):
+        assert all(a <= u + 1e-9 for a, u in
+                   zip(results[name], results["unconstrained"]))
+    # And they quantize the design space (fewer distinct points).
+    assert distinct["reference (FINN CNV)"] <= distinct["unconstrained"]

@@ -1,0 +1,53 @@
+"""Ablation — workload shapes beyond the paper's ±30 % fluctuation.
+
+Stresses the runtime policies on ramp, burst, and diurnal traces
+(`repro.edge.traces`). AdaPEx's advantage over static FINN should
+*grow* on shapes with large excursions: a static design must either
+over-provision or drop frames, while the manager rides the curve.
+"""
+
+from repro.analysis import format_table
+from repro.edge import BurstWorkload, DiurnalWorkload, RampWorkload, simulate_policy
+
+
+TRACES = {
+    "ramp 200->800": RampWorkload(start_ips=200.0, end_ips=800.0),
+    "burst 300/1000": BurstWorkload(base_ips=300.0, burst_ips=1000.0),
+    "diurnal 500±300": DiurnalWorkload(mean_ips=500.0, amplitude_ips=300.0),
+}
+
+
+def run_traces(framework, runs=5):
+    rows = []
+    for trace_name, workload in TRACES.items():
+        for policy_name in ("adapex", "finn"):
+            policy = framework.policy(policy_name)
+            agg, _ = simulate_policy(policy, runs=runs, workload=workload)
+            rows.append({
+                "trace": trace_name,
+                "policy": agg.policy,
+                "infer_loss_pct": 100 * agg.inference_loss,
+                "accuracy_pct": 100 * agg.accuracy,
+                "qoe": agg.qoe,
+                "reconfigs": agg.reconfigurations,
+            })
+    return rows
+
+
+def test_workload_shape_ablation(benchmark, framework_cifar10):
+    rows = benchmark.pedantic(run_traces, args=(framework_cifar10,),
+                              rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Policy behaviour across workload shapes"))
+
+    by = {(r["trace"], r["policy"]): r for r in rows}
+    for trace_name in TRACES:
+        ada = by[(trace_name, "AdaPEx")]
+        finn = by[(trace_name, "FINN")]
+        # AdaPEx never loses more frames than static FINN...
+        assert ada["infer_loss_pct"] <= finn["infer_loss_pct"] + 1.0
+        # ...and wins on QoE wherever FINN saturates.
+        if finn["infer_loss_pct"] > 10.0:
+            assert ada["qoe"] > finn["qoe"]
+    # The manager actually reconfigures on the ramp (rates keep rising).
+    assert by[("ramp 200->800", "AdaPEx")]["reconfigs"] >= 1

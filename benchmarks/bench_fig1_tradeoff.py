@@ -1,0 +1,51 @@
+"""Figure 1 — accuracy (a) and energy per inference (b) vs pruning rate.
+
+Paper series: CNV-W2A2 on CIFAR-10, no-early-exit vs early-exit at
+confidence thresholds 5 / 50 / 95 %, pruning rates 0-85 %.
+
+Expected shape (paper): CT=5 % gives the *worst* accuracy at light
+pruning but the *best* at heavy pruning (the curves cross); the
+early-exit model saves energy vs no-EE only up to moderate pruning
+rates, beyond which the always-on exit circuitry dominates.
+"""
+
+from repro.analysis import fig1_tradeoff, format_table
+
+
+def test_fig1_accuracy_energy_vs_pruning(benchmark, framework_cifar10):
+    library = framework_cifar10.library
+    rows = benchmark(fig1_tradeoff, library, (0.05, 0.50, 0.95))
+
+    print()
+    print(format_table(
+        rows,
+        columns=["pruning_rate", "no_ee_accuracy", "ct05_accuracy",
+                 "ct50_accuracy", "ct95_accuracy"],
+        title="Fig 1(a) — accuracy vs pruning rate (CIFAR-10-like)",
+    ))
+    print()
+    print(format_table(
+        rows,
+        columns=["pruning_rate", "no_ee_energy_mj", "ct05_energy_mj",
+                 "ct50_energy_mj", "ct95_energy_mj"],
+        title="Fig 1(b) — energy/inference [mJ] vs pruning rate",
+    ))
+
+    # Shape assertions (not absolute numbers).
+    first, last = rows[0], rows[-1]
+    # Accuracy decreases with pruning for the no-EE model.
+    assert last["no_ee_accuracy"] < first["no_ee_accuracy"]
+    # CT=5% is the worst threshold when unpruned (paper Fig 1a, left
+    # side)...
+    assert first["ct05_accuracy"] <= first["ct50_accuracy"] + 1e-9
+    assert first["ct05_accuracy"] <= first["ct95_accuracy"] + 1e-9
+    # ...but the CROSSOVER: at heavy pruning the low threshold wins
+    # (paper Fig 1a, right side) and beats the pruned backbone.
+    assert last["ct05_accuracy"] > last["ct95_accuracy"]
+    assert last["ct05_accuracy"] > last["no_ee_accuracy"]
+    # Energy decreases with pruning overall.
+    assert last["no_ee_energy_mj"] < first["no_ee_energy_mj"]
+    # Low thresholds save energy vs the no-EE model when unpruned; high
+    # thresholds pay for the extra exit circuitry (paper Fig 1b).
+    assert first["ct05_energy_mj"] < first["no_ee_energy_mj"]
+    assert first["ct95_energy_mj"] > first["no_ee_energy_mj"]

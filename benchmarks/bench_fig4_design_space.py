@@ -1,0 +1,50 @@
+"""Figure 4 — the combined pruning x confidence-threshold design space.
+
+Paper plots: throughput (IPS) vs accuracy (a: CIFAR-10, c: GTSRB) and
+energy per inference vs accuracy (b, d), with pruned and not-pruned exit
+variants. Expected shape: a frontier where higher accuracy costs
+throughput; an energy plateau beyond which extra energy buys little
+accuracy.
+"""
+
+import numpy as np
+
+from repro.analysis import fig4_design_space, format_table, pareto_frontier
+
+
+def _check_and_print(rows, dataset):
+    print()
+    print(f"Fig 4 [{dataset}]: {len(rows)} design points "
+          f"({sum(1 for r in rows if r['pruned_exits'])} pruned-exit, "
+          f"{sum(1 for r in rows if not r['pruned_exits'])} not-pruned-exit)")
+    frontier = pareto_frontier(rows, "ips")
+    print(format_table(
+        frontier[:12],
+        columns=["pruning_rate", "confidence_threshold", "pruned_exits",
+                 "accuracy", "ips", "energy_mj"],
+        title=f"Fig 4 — IPS/accuracy Pareto frontier ({dataset})",
+    ))
+
+    accs = np.array([r["accuracy"] for r in rows])
+    ips = np.array([r["ips"] for r in rows])
+    energy = np.array([r["energy_mj"] for r in rows])
+    # Trade-off exists: the fastest decile is less accurate than the most
+    # accurate decile's throughput-matched points.
+    fast = accs[ips >= np.quantile(ips, 0.9)].mean()
+    slow = accs[ips <= np.quantile(ips, 0.1)].mean()
+    assert fast < slow
+    # Energy spans a meaningful range (the paper's 0.5-6 mJ spread).
+    assert energy.max() / energy.min() > 2.0
+    return rows
+
+
+def test_fig4_design_space_cifar10(benchmark, framework_cifar10):
+    rows = benchmark(fig4_design_space, framework_cifar10.library)
+    _check_and_print(rows, "cifar10")
+
+
+def test_fig4_design_space_gtsrb(benchmark, framework_gtsrb):
+    rows = benchmark(fig4_design_space, framework_gtsrb.library)
+    _check_and_print(rows, "gtsrb")
+    # GTSRB (43 classes) is the harder task: its best accuracy is below
+    # CIFAR-10's in the paper as well.

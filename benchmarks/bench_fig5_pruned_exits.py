@@ -1,0 +1,65 @@
+"""Figure 5 — pruned vs not-pruned exits.
+
+(a-d) accuracy (left axis) and latency (right axis) vs pruning rate at
+confidence thresholds 5/25/50/75 %; (e) BRAM/LUT/FF vs pruning rate.
+
+Expected shape: not pruning the exits recovers accuracy at heavy pruning
+and low thresholds; latency falls with pruning; resources fall with
+pruning, with not-pruned exits costing extra BRAM whose *share* grows as
+the backbone shrinks (paper: exits are ~15 % of BRAM unpruned, ~45 % at
+85 % pruning).
+"""
+
+import numpy as np
+
+from repro.analysis import fig5_accuracy_latency, fig5_resources, format_table
+
+
+def test_fig5_accuracy_latency(benchmark, framework_cifar10):
+    library = framework_cifar10.library
+    rows = benchmark(fig5_accuracy_latency, library, (0.05, 0.25, 0.50, 0.75))
+
+    for ct in (0.05, 0.25, 0.50, 0.75):
+        subset = [r for r in rows if r["confidence_threshold"] == ct]
+        print()
+        print(format_table(
+            subset,
+            columns=["pruning_rate", "pruned_accuracy", "not_pruned_accuracy",
+                     "pruned_latency_ms", "not_pruned_latency_ms"],
+            title=f"Fig 5 — C.T. = {ct:.0%}",
+        ))
+
+    # Latency falls with pruning at every threshold.
+    for ct in (0.05, 0.75):
+        subset = [r for r in rows if r["confidence_threshold"] == ct]
+        assert subset[-1]["pruned_latency_ms"] < subset[0]["pruned_latency_ms"]
+
+    # At heavy pruning and low threshold, not-pruned exits must not be
+    # worse than pruned exits (the paper's accuracy-recovery effect).
+    low_ct_heavy = [r for r in rows
+                    if r["confidence_threshold"] == 0.05][-3:]
+    recovered = np.mean([r["not_pruned_accuracy"] - r["pruned_accuracy"]
+                         for r in low_ct_heavy])
+    assert recovered > -0.05
+
+
+def test_fig5_resources(benchmark, framework_cifar10):
+    library = framework_cifar10.library
+    rows = benchmark(fig5_resources, library)
+
+    print()
+    print(format_table(
+        rows,
+        columns=["pruning_rate", "pruned_bram", "not_pruned_bram",
+                 "pruned_lut", "not_pruned_lut"],
+        title="Fig 5(e) — resources vs pruning rate",
+    ))
+
+    first, last = rows[0], rows[-1]
+    # Resources shrink with pruning; unpruned exits cost extra BRAM.
+    assert last["pruned_bram"] < first["pruned_bram"]
+    assert last["not_pruned_bram"] >= last["pruned_bram"]
+    # The not-pruned-exit premium grows (relatively) with pruning rate.
+    premium_first = first["not_pruned_bram"] / max(first["pruned_bram"], 1)
+    premium_last = last["not_pruned_bram"] / max(last["pruned_bram"], 1)
+    assert premium_last >= premium_first - 1e-6

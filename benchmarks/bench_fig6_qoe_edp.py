@@ -1,0 +1,40 @@
+"""Figure 6 — QoE (curves) and EDP normalized to FINN (bars).
+
+Paper: AdaPEx reaches the highest QoE (+11.72 % over FINN on CIFAR-10,
++15.27 % on GTSRB) and cuts EDP by 2x / 2.55x vs the original FINN
+accelerator.
+"""
+
+from repro.analysis import fig6_qoe_edp, format_table
+
+from conftest import bench_runs
+
+
+def test_fig6_qoe_and_edp(benchmark, frameworks):
+    rows = benchmark.pedantic(
+        fig6_qoe_edp,
+        args=(frameworks,),
+        kwargs={"runs": bench_runs()},
+        rounds=1, iterations=1,
+    )
+
+    print()
+    print(format_table(
+        rows,
+        columns=["policy", "dataset", "qoe", "edp_norm_finn",
+                 "edp_improvement_x"],
+        title=f"Fig 6 — QoE and normalized EDP ({bench_runs()} runs)",
+    ))
+
+    by = {(r["policy"], r["dataset"]): r for r in rows}
+    for dataset in ("cifar10", "gtsrb"):
+        adapex = by[("AdaPEx", dataset)]
+        finn = by[("FINN", dataset)]
+        # AdaPEx has the best QoE of all policies.
+        others = [r["qoe"] for r in rows
+                  if r["dataset"] == dataset and r["policy"] != "AdaPEx"]
+        assert adapex["qoe"] >= max(others) - 1e-9
+        # QoE gain over FINN is substantial (paper: 12-15 %).
+        assert adapex["qoe"] / finn["qoe"] > 1.05
+        # EDP improves by a large factor (paper: 2-2.55x).
+        assert adapex["edp_improvement_x"] > 1.5

@@ -1,0 +1,70 @@
+"""Shared benchmark fixtures.
+
+The heavy artifact — the design-time Library per dataset — is generated
+once per profile and cached on disk under ``benchmarks/.cache``;
+re-running the benchmark suite reuses it. Two profiles:
+
+* ``standard`` (default): width-scale 0.25 CNV, the paper's full 18-rate
+  x 21-threshold sweep, ~10-15 minutes per dataset on first run.
+* ``quick`` (``REPRO_BENCH_PROFILE=quick``): the seconds-scale smoke
+  profile.
+
+Edge-serving runs default to 20 repetitions (the paper uses 100; set
+``REPRO_BENCH_RUNS=100`` to match) — means are stable well before that.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core import AdaPExConfig, AdaPExFramework
+from repro.nn import TrainConfig
+
+CACHE_DIR = str(Path(__file__).parent / ".cache")
+
+
+def bench_profile() -> str:
+    return os.environ.get("REPRO_BENCH_PROFILE", "standard")
+
+
+def bench_runs() -> int:
+    return int(os.environ.get("REPRO_BENCH_RUNS", "20"))
+
+
+def bench_config(dataset: str) -> AdaPExConfig:
+    if bench_profile() == "quick":
+        return AdaPExConfig.quick(dataset=dataset, seed=7)
+    return AdaPExConfig(
+        dataset=dataset,
+        train_samples=1000,
+        test_samples=300,
+        width_scale=0.25,
+        initial_training=TrainConfig(epochs=5, batch_size=64, lr=0.002),
+        retraining=TrainConfig(epochs=1, batch_size=64, lr=0.001),
+        seed=7,
+    )
+
+
+def _framework(dataset: str) -> AdaPExFramework:
+    fw = AdaPExFramework(bench_config(dataset))
+    fw.build_library(progress=lambda m: print(f"  {m}", flush=True),
+                     cache_dir=CACHE_DIR)
+    return fw
+
+
+@pytest.fixture(scope="session")
+def framework_cifar10():
+    return _framework("cifar10")
+
+
+@pytest.fixture(scope="session")
+def framework_gtsrb():
+    return _framework("gtsrb")
+
+
+@pytest.fixture(scope="session")
+def frameworks(framework_cifar10, framework_gtsrb):
+    return {"cifar10": framework_cifar10, "gtsrb": framework_gtsrb}

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Design-space exploration: the paper's Figures 1, 4, and 5 in miniature.
+
+Generates a library over a reduced pruning/threshold grid and prints the
+accuracy-throughput-energy design space that combining pruning and
+early-exit opens up — including the pruned-exits vs not-pruned-exits
+comparison and the FPGA resource trends.
+
+Usage: python examples/design_space_exploration.py [--full]
+
+``--full`` runs the paper's complete 18-rate x 21-threshold sweep
+(takes ~10-15 minutes of NumPy training).
+"""
+
+import sys
+
+from repro import AdaPExConfig, AdaPExFramework
+from repro.analysis import (
+    fig1_tradeoff,
+    fig4_design_space,
+    fig5_resources,
+    format_table,
+)
+from repro.nn import TrainConfig
+
+
+def make_config(full: bool) -> AdaPExConfig:
+    if full:
+        return AdaPExConfig(dataset="cifar10", seed=1)
+    return AdaPExConfig(
+        dataset="cifar10",
+        train_samples=700,
+        test_samples=250,
+        width_scale=0.1875,
+        pruning_rates=[0.0, 0.2, 0.4, 0.6, 0.8],
+        confidence_thresholds=[0.05, 0.25, 0.5, 0.75, 0.95],
+        initial_training=TrainConfig(epochs=4, batch_size=64, lr=0.002),
+        retraining=TrainConfig(epochs=1, batch_size=64, lr=0.001),
+        seed=1,
+    )
+
+
+def main():
+    full = "--full" in sys.argv
+    framework = AdaPExFramework(make_config(full))
+    print("Generating the library "
+          f"({'paper-scale' if full else 'reduced'} sweep)...")
+    library = framework.build_library(progress=lambda m: print("  ", m))
+
+    # -- Figure 1 style: the pruning/threshold trade-off ----------------
+    rows = fig1_tradeoff(library, thresholds=(0.05, 0.5, 0.95))
+    print()
+    print(format_table(
+        rows,
+        columns=["pruning_rate", "no_ee_accuracy", "ct05_accuracy",
+                 "ct50_accuracy", "ct95_accuracy"],
+        title="Accuracy vs pruning (no-EE vs early-exit at 3 thresholds)",
+    ))
+    print()
+    print(format_table(
+        rows,
+        columns=["pruning_rate", "no_ee_energy_mj", "ct05_energy_mj",
+                 "ct50_energy_mj", "ct95_energy_mj"],
+        title="Energy/inference [mJ] vs pruning",
+    ))
+
+    # -- Figure 4 style: the full design space --------------------------
+    points = fig4_design_space(library)
+    points.sort(key=lambda r: -r["accuracy"])
+    print()
+    print(format_table(
+        points[:10],
+        columns=["pruning_rate", "confidence_threshold", "pruned_exits",
+                 "accuracy", "ips", "energy_mj"],
+        title="Top-accuracy corner of the design space",
+    ))
+    fastest = max(points, key=lambda r: r["ips"])
+    frugalest = min(points, key=lambda r: r["energy_mj"])
+    print(f"\nfastest point:  {fastest['ips']:.0f} IPS at "
+          f"{fastest['accuracy']:.1%} accuracy "
+          f"(P.R. {fastest['pruning_rate']:.0%}, "
+          f"C.T. {fastest['confidence_threshold']:.0%})")
+    print(f"frugalest point: {frugalest['energy_mj']:.2f} mJ at "
+          f"{frugalest['accuracy']:.1%} accuracy")
+
+    # -- Figure 5(e) style: resource trends ------------------------------
+    res = fig5_resources(library)
+    print()
+    print(format_table(
+        res,
+        columns=["pruning_rate", "pruned_bram", "not_pruned_bram",
+                 "pruned_lut", "not_pruned_lut"],
+        title="FPGA resources vs pruning (pruned vs not-pruned exits)",
+    ))
+    first, last = res[0], res[-1]
+    print(f"\nBRAM saved by pruning at max rate: "
+          f"{first['pruned_bram'] - last['pruned_bram']:.0f} BRAM18 "
+          f"({1 - last['pruned_bram'] / first['pruned_bram']:.0%})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The execution environment ships setuptools without the ``wheel`` package,
+so PEP 660 editable installs fail; this file enables the legacy
+``pip install -e . --no-build-isolation`` path. All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""AdaPEx reproduction: pruning and early-exit co-optimization for CNN
+acceleration on FPGAs (Korol et al., DATE 2023).
+
+Public API highlights
+---------------------
+* :class:`AdaPExFramework` / :class:`AdaPExConfig` — end-to-end driver.
+* :mod:`repro.nn` — NumPy quantization-aware training substrate.
+* :mod:`repro.models` — CNV and early-exit construction.
+* :mod:`repro.pruning` — dataflow-aware structured filter pruning.
+* :mod:`repro.ir` / :mod:`repro.finn` — ONNX-like IR and the FINN-like
+  dataflow compiler with resource/performance/power models.
+* :mod:`repro.runtime` — the Library, Runtime Manager, and baselines.
+* :mod:`repro.edge` — the smart-surveillance edge-server simulation.
+"""
+
+from .core import AdaPExConfig, AdaPExFramework, LibraryGenerator
+
+__version__ = "0.1.0"
+
+__all__ = ["AdaPExConfig", "AdaPExFramework", "LibraryGenerator",
+           "__version__"]

@@ -1,0 +1,237 @@
+"""Per-figure/table experiment drivers.
+
+Each function regenerates the data behind one artifact of the paper's
+evaluation from a built Library (and, for the edge experiments, from
+edge-serving simulations). The benchmark harness in ``benchmarks/`` calls
+these and prints the resulting rows/series; EXPERIMENTS.md records the
+paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.adapex import AdaPExFramework
+from ..edge.cameras import WorkloadSpec
+from ..edge.server import ServerConfig, simulate_policy
+from ..runtime.library import Library
+
+__all__ = [
+    "fig1_tradeoff",
+    "fig4_design_space",
+    "fig5_accuracy_latency",
+    "fig5_resources",
+    "table1_rows",
+    "fig6_qoe_edp",
+    "reconfiguration_ablation",
+    "pareto_frontier",
+]
+
+
+def pareto_frontier(rows: list, x_key: str, y_key: str = "accuracy",
+                    maximize_x: bool = True) -> list:
+    """Rows on the (x, y)-maximal frontier, sorted by ``x``.
+
+    A row is on the frontier when no other row is at least as good in
+    both coordinates and strictly better in one. Used to summarize the
+    Fig. 4 design space ("who wins at each throughput/energy level").
+    """
+    if not rows:
+        return []
+
+    def x_of(r):
+        return r[x_key] if maximize_x else -r[x_key]
+
+    ordered = sorted(rows, key=lambda r: (x_of(r), r[y_key]))
+    frontier = []
+    best_y = -np.inf
+    for row in reversed(ordered):
+        if row[y_key] > best_y:
+            frontier.append(row)
+            best_y = row[y_key]
+    return list(reversed(frontier))
+
+
+def _ee_entries(library: Library, pruned_exits: bool = True):
+    return [e for e in library
+            if e.accelerator.variant == "ee"
+            and e.accelerator.pruned_exits == pruned_exits]
+
+
+def _backbone_entries(library: Library):
+    return [e for e in library if e.accelerator.variant == "backbone"]
+
+
+def _closest(entries, ct: float):
+    return min(entries, key=lambda e: abs(e.confidence_threshold - ct))
+
+
+def fig1_tradeoff(library: Library, thresholds=(0.05, 0.50, 0.95),
+                  pruned_exits: bool = False) -> list:
+    """Figure 1: accuracy (a) and energy per inference (b) vs pruning rate
+    for the no-early-exit CNN and the early-exit CNN at several
+    confidence thresholds.
+
+    Defaults to the *not-pruned-exits* variant: the accuracy crossover
+    the paper highlights (low thresholds going from worst to best as
+    pruning deepens) lives in the regime where exit heads keep their
+    capacity while the backbone shrinks.
+    """
+    rows = []
+    rates = sorted({e.accelerator.pruning_rate for e in library})
+    ee = _ee_entries(library, pruned_exits=pruned_exits)
+    backbone = _backbone_entries(library)
+    for rate in rates:
+        row = {"pruning_rate": rate}
+        bb = [e for e in backbone if e.accelerator.pruning_rate == rate]
+        if bb:
+            row["no_ee_accuracy"] = bb[0].accuracy
+            row["no_ee_energy_mj"] = bb[0].energy_per_inference_j * 1e3
+        at_rate = [e for e in ee if e.accelerator.pruning_rate == rate]
+        for ct in thresholds:
+            if not at_rate:
+                continue
+            entry = _closest(at_rate, ct)
+            tag = f"ct{int(round(ct * 100)):02d}"
+            row[f"{tag}_accuracy"] = entry.accuracy
+            row[f"{tag}_energy_mj"] = entry.energy_per_inference_j * 1e3
+        rows.append(row)
+    return rows
+
+
+def fig4_design_space(library: Library) -> list:
+    """Figure 4: the full (P.R., C.T.) design space as scatter rows —
+    throughput (IPS) and energy per inference vs accuracy, for pruned and
+    not-pruned exits."""
+    rows = []
+    for pruned in (True, False):
+        for e in _ee_entries(library, pruned_exits=pruned):
+            rows.append({
+                "pruning_rate": e.accelerator.pruning_rate,
+                "confidence_threshold": e.confidence_threshold,
+                "pruned_exits": pruned,
+                "accuracy": e.accuracy,
+                "ips": e.serving_ips,
+                "energy_mj": e.energy_per_inference_j * 1e3,
+            })
+    return rows
+
+
+def fig5_accuracy_latency(library: Library,
+                          thresholds=(0.05, 0.25, 0.50, 0.75)) -> list:
+    """Figure 5(a-d): accuracy and latency vs pruning rate, pruned vs
+    not-pruned exits, at four confidence thresholds."""
+    rows = []
+    rates = sorted({e.accelerator.pruning_rate
+                    for e in library if e.accelerator.variant == "ee"})
+    for ct in thresholds:
+        for rate in rates:
+            row = {"confidence_threshold": ct, "pruning_rate": rate}
+            for pruned, tag in ((True, "pruned"), (False, "not_pruned")):
+                entries = [e for e in _ee_entries(library, pruned)
+                           if e.accelerator.pruning_rate == rate]
+                if not entries:
+                    continue
+                entry = _closest(entries, ct)
+                row[f"{tag}_accuracy"] = entry.accuracy
+                row[f"{tag}_latency_ms"] = entry.latency_s * 1e3
+            rows.append(row)
+    return rows
+
+
+def fig5_resources(library: Library) -> list:
+    """Figure 5(e): BRAM/LUT/FF vs pruning rate for pruned and not-pruned
+    exits (confidence threshold does not affect hardware)."""
+    rows = []
+    rates = sorted({e.accelerator.pruning_rate
+                    for e in library if e.accelerator.variant == "ee"})
+    for rate in rates:
+        row = {"pruning_rate": rate}
+        for pruned, tag in ((True, "pruned"), (False, "not_pruned")):
+            entries = [e for e in _ee_entries(library, pruned)
+                       if e.accelerator.pruning_rate == rate]
+            if not entries:
+                continue
+            res = entries[0].resources
+            row[f"{tag}_bram"] = res.get("bram18", 0.0)
+            row[f"{tag}_lut"] = res.get("lut", 0.0)
+            row[f"{tag}_ff"] = res.get("ff", 0.0)
+        rows.append(row)
+    return rows
+
+
+_DEFAULT_POLICIES = ("adapex", "pr-only", "ct-only", "finn")
+
+
+def table1_rows(frameworks: dict[str, AdaPExFramework], runs: int = 20,
+                workload: WorkloadSpec | None = None,
+                server: ServerConfig | None = None,
+                policies=_DEFAULT_POLICIES, base_seed: int = 0) -> list:
+    """Table I: inference loss / accuracy / power / latency per policy and
+    dataset. ``frameworks`` maps dataset name -> framework with a built
+    library."""
+    rows = []
+    for dataset, framework in frameworks.items():
+        results = framework.evaluate_at_edge(
+            policies=policies, runs=runs, workload=workload, server=server,
+            base_seed=base_seed)
+        for name, agg in results.items():
+            row = {"policy": name, "dataset": dataset}
+            row.update(agg.as_row())
+            row.pop("qoe", None)
+            row.pop("edp", None)
+            rows.append(row)
+    # Paper ordering: AdaPEx, PR-Only, CT-Only, FINN.
+    order = {"AdaPEx": 0, "PR-Only": 1, "CT-Only": 2, "FINN": 3}
+    rows.sort(key=lambda r: (order.get(r["policy"], 9), r["dataset"]))
+    return rows
+
+
+def fig6_qoe_edp(frameworks: dict[str, AdaPExFramework], runs: int = 20,
+                 workload: WorkloadSpec | None = None,
+                 server: ServerConfig | None = None,
+                 policies=_DEFAULT_POLICIES, base_seed: int = 0) -> list:
+    """Figure 6: QoE and EDP (normalized to FINN) per policy and dataset."""
+    rows = []
+    for dataset, framework in frameworks.items():
+        results = framework.evaluate_at_edge(
+            policies=policies, runs=runs, workload=workload, server=server,
+            base_seed=base_seed)
+        finn_edp = results["FINN"].edp if "FINN" in results else None
+        for name, agg in results.items():
+            norm = agg.edp / finn_edp if finn_edp else float("nan")
+            rows.append({
+                "policy": name,
+                "dataset": dataset,
+                "qoe": agg.qoe,
+                "edp_norm_finn": norm,
+                "edp_improvement_x": (1.0 / norm) if norm and norm > 0
+                else float("nan"),
+            })
+    return rows
+
+
+def reconfiguration_ablation(framework: AdaPExFramework, runs: int = 5,
+                             workload: WorkloadSpec | None = None,
+                             server: ServerConfig | None = None,
+                             base_seed: int = 0) -> list:
+    """Paper Sec. VI-B anecdote: count reconfigurations and their total
+    dead time per run, plus the distinct pruning rates and thresholds the
+    manager visited."""
+    policy = framework.policy("adapex")
+    _, run_list = simulate_policy(policy, runs=runs, workload=workload,
+                                  config=server, base_seed=base_seed)
+    rows = []
+    for i, run in enumerate(run_list):
+        trace = run.trace
+        rates = sorted(set(trace.get("pruning_rate", [])))
+        cts = sorted(set(trace.get("confidence_threshold", [])))
+        rows.append({
+            "run": i,
+            "reconfigurations": run.reconfigurations,
+            "dead_time_ms": run.reconfig_dead_time_s * 1e3,
+            "distinct_pruning_rates": len(rates),
+            "distinct_thresholds": len(cts),
+            "inference_loss_pct": 100 * run.inference_loss,
+        })
+    return rows

@@ -1,0 +1,90 @@
+"""The paper's reported numbers, as data.
+
+Used to generate EXPERIMENTS.md-style side-by-side comparisons: the
+reproduction is expected to match *shapes* (orderings, ratios,
+crossovers), not these absolute values — our substrate is a NumPy
+simulator, not the authors' ZCU104 testbed.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PAPER_TABLE1", "PAPER_FIG6", "compare_table1", "compare_fig6"]
+
+# Table I: averaged inference loss, accuracy, power, latency (25 s runs).
+PAPER_TABLE1 = {
+    ("AdaPEx", "cifar10"): {"infer_loss_pct": 0.00, "accuracy_pct": 80.15,
+                            "power_w": 1.26, "latency_ms": 3.52},
+    ("AdaPEx", "gtsrb"): {"infer_loss_pct": 0.00, "accuracy_pct": 68.80,
+                          "power_w": 1.31, "latency_ms": 3.04},
+    ("PR-Only", "cifar10"): {"infer_loss_pct": 11.82, "accuracy_pct": 85.72,
+                             "power_w": 1.13, "latency_ms": 4.37},
+    ("PR-Only", "gtsrb"): {"infer_loss_pct": 0.00, "accuracy_pct": 65.38,
+                           "power_w": 1.09, "latency_ms": 3.79},
+    ("CT-Only", "cifar10"): {"infer_loss_pct": 12.58, "accuracy_pct": 86.57,
+                             "power_w": 1.35, "latency_ms": 4.38},
+    ("CT-Only", "gtsrb"): {"infer_loss_pct": 14.01, "accuracy_pct": 66.09,
+                           "power_w": 1.37, "latency_ms": 3.63},
+    ("FINN", "cifar10"): {"infer_loss_pct": 22.80, "accuracy_pct": 88.74,
+                          "power_w": 1.16, "latency_ms": 5.19},
+    ("FINN", "gtsrb"): {"infer_loss_pct": 23.60, "accuracy_pct": 70.04,
+                        "power_w": 1.14, "latency_ms": 5.21},
+}
+
+# Figure 6 headline numbers.
+PAPER_FIG6 = {
+    "cifar10": {"qoe_gain_over_finn_pct": 11.72, "edp_improvement_x": 2.0},
+    "gtsrb": {"qoe_gain_over_finn_pct": 15.27, "edp_improvement_x": 2.55},
+}
+
+
+def compare_table1(measured_rows: list) -> list:
+    """Side-by-side paper-vs-measured rows for Table I.
+
+    ``measured_rows`` is the output of
+    :func:`repro.analysis.table1_rows` (keys: policy, dataset,
+    infer_loss_pct, accuracy_pct, power_w, latency_ms).
+    """
+    out = []
+    for row in measured_rows:
+        key = (row["policy"], row["dataset"])
+        paper = PAPER_TABLE1.get(key)
+        if paper is None:
+            continue
+        out.append({
+            "policy": row["policy"],
+            "dataset": row["dataset"],
+            "loss_paper": paper["infer_loss_pct"],
+            "loss_ours": row["infer_loss_pct"],
+            "acc_paper": paper["accuracy_pct"],
+            "acc_ours": row["accuracy_pct"],
+            "power_paper": paper["power_w"],
+            "power_ours": row["power_w"],
+            "lat_paper": paper["latency_ms"],
+            "lat_ours": row["latency_ms"],
+        })
+    return out
+
+
+def compare_fig6(measured_rows: list) -> list:
+    """Side-by-side paper-vs-measured for Figure 6's headline ratios.
+
+    ``measured_rows`` is the output of
+    :func:`repro.analysis.fig6_qoe_edp`.
+    """
+    by = {(r["policy"], r["dataset"]): r for r in measured_rows}
+    out = []
+    for dataset, paper in PAPER_FIG6.items():
+        ada = by.get(("AdaPEx", dataset))
+        finn = by.get(("FINN", dataset))
+        if ada is None or finn is None:
+            continue
+        qoe_gain = 100.0 * (ada["qoe"] / finn["qoe"] - 1.0) if finn["qoe"] \
+            else float("nan")
+        out.append({
+            "dataset": dataset,
+            "qoe_gain_paper_pct": paper["qoe_gain_over_finn_pct"],
+            "qoe_gain_ours_pct": qoe_gain,
+            "edp_x_paper": paper["edp_improvement_x"],
+            "edp_x_ours": ada["edp_improvement_x"],
+        })
+    return out

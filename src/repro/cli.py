@@ -1,0 +1,167 @@
+"""Command-line interface for the AdaPEx reproduction.
+
+Subcommands mirror the framework's two phases plus inspection helpers::
+
+    repro-adapex generate   --dataset cifar10 --profile quick -o lib.json
+    repro-adapex info       --library lib.json
+    repro-adapex select     --library lib.json --workload 450
+    repro-adapex evaluate   --library lib.json --runs 10
+    repro-adapex design-space --library lib.json --csv space.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.experiments import fig4_design_space
+from .analysis.report import format_table, write_csv
+from .core.adapex import AdaPExFramework
+from .core.config import AdaPExConfig
+from .edge.server import simulate_policy
+from .runtime.baselines import make_policy
+from .runtime.library import Library
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-adapex",
+        description="AdaPEx (DATE 2023) reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="run the design-time flow and "
+                                          "save the Library as JSON")
+    gen.add_argument("--dataset", default="cifar10",
+                     choices=["cifar10", "gtsrb"])
+    gen.add_argument("--profile", default="quick",
+                     choices=["quick", "paper"],
+                     help="quick: seconds-scale smoke sweep; paper: the "
+                          "full 18x21 sweep (minutes of training)")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("-o", "--output", required=True,
+                     help="output JSON path")
+
+    info = sub.add_parser("info", help="summarize a Library file")
+    info.add_argument("--library", required=True)
+
+    sel = sub.add_parser("select", help="ask the Runtime Manager for an "
+                                        "operating point")
+    sel.add_argument("--library", required=True)
+    sel.add_argument("--workload", type=float, required=True,
+                     help="incoming inferences per second")
+    sel.add_argument("--policy", default="adapex",
+                     choices=["adapex", "pr-only", "ct-only", "finn"])
+
+    ev = sub.add_parser("evaluate", help="simulate the edge scenario")
+    ev.add_argument("--library", required=True)
+    ev.add_argument("--policies", default="adapex,pr-only,ct-only,finn")
+    ev.add_argument("--runs", type=int, default=10)
+    ev.add_argument("--seed", type=int, default=0)
+
+    ds = sub.add_parser("design-space", help="dump the Fig.-4 design space")
+    ds.add_argument("--library", required=True)
+    ds.add_argument("--csv", help="optional CSV output path")
+    ds.add_argument("--top", type=int, default=15,
+                    help="rows to print (sorted by accuracy)")
+    return parser
+
+
+def _load_library(path: str) -> Library:
+    library = Library.load(path)
+    if len(library) == 0:
+        raise SystemExit(f"library {path!r} is empty")
+    return library
+
+
+def _cmd_generate(args) -> int:
+    if args.profile == "quick":
+        config = AdaPExConfig.quick(dataset=args.dataset, seed=args.seed)
+    else:
+        config = AdaPExConfig.paper(dataset=args.dataset, seed=args.seed)
+    framework = AdaPExFramework(config)
+    library = framework.build_library(progress=print)
+    library.save(args.output)
+    print(f"saved {len(library)} entries to {args.output}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    library = _load_library(args.library)
+    print(f"library: {args.library}")
+    for key, value in sorted(library.metadata.items()):
+        print(f"  {key}: {value}")
+    rows = []
+    for accel in library.accelerators():
+        entries = library.entries_for(accel)
+        best = max(entries, key=lambda e: e.accuracy)
+        rows.append({
+            "accelerator": accel.label(),
+            "entries": len(entries),
+            "best_accuracy": best.accuracy,
+            "max_serving_ips": max(e.serving_ips for e in entries),
+            "bram18": best.resources.get("bram18", 0),
+        })
+    print(format_table(rows, title=f"\n{len(library)} entries over "
+                                   f"{len(rows)} accelerators"))
+    return 0
+
+
+def _cmd_select(args) -> int:
+    library = _load_library(args.library)
+    policy = make_policy(args.policy, library)
+    entry = policy.select(args.workload)
+    print(f"policy {args.policy} @ workload {args.workload:.0f} IPS ->")
+    print(f"  accelerator:          {entry.accelerator.label()}")
+    print(f"  confidence threshold: {entry.confidence_threshold:.0%}")
+    print(f"  accuracy:             {entry.accuracy:.2%}")
+    print(f"  serving capacity:     {entry.serving_ips:.0f} IPS")
+    print(f"  avg latency:          {entry.latency_s * 1e3:.2f} ms")
+    print(f"  energy/inference:     "
+          f"{entry.energy_per_inference_j * 1e3:.2f} mJ")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    library = _load_library(args.library)
+    rows = []
+    for name in args.policies.split(","):
+        policy = make_policy(name.strip(), library)
+        aggregate, _ = simulate_policy(policy, runs=args.runs,
+                                       base_seed=args.seed)
+        rows.append(aggregate.as_row())
+    print(format_table(rows, title=f"edge serving ({args.runs} runs)"))
+    return 0
+
+
+def _cmd_design_space(args) -> int:
+    library = _load_library(args.library)
+    rows = fig4_design_space(library)
+    if args.csv:
+        write_csv(rows, args.csv)
+        print(f"wrote {len(rows)} design points to {args.csv}")
+    rows.sort(key=lambda r: -r["accuracy"])
+    print(format_table(rows[:args.top],
+                       title=f"design space (top {args.top} by accuracy, "
+                             f"{len(rows)} points total)"))
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "info": _cmd_info,
+    "select": _cmd_select,
+    "evaluate": _cmd_evaluate,
+    "design-space": _cmd_design_space,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,9 @@
+"""AdaPEx core: configuration, design-time generation, top-level facade."""
+
+from .adapex import AdaPExFramework
+from .config import AdaPExConfig, paper_threshold_sweep
+from .design_time import LibraryGenerator
+from .explore import explore_exit_placements
+
+__all__ = ["AdaPExFramework", "AdaPExConfig", "paper_threshold_sweep",
+           "LibraryGenerator", "explore_exit_placements"]

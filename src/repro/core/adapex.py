@@ -1,0 +1,95 @@
+"""AdaPEx facade: design-time generation + runtime evaluation in one place.
+
+This is the high-level entry point downstream users interact with::
+
+    from repro import AdaPExFramework, AdaPExConfig
+
+    framework = AdaPExFramework(AdaPExConfig.quick())
+    library = framework.build_library()
+    results = framework.evaluate_at_edge(["adapex", "finn"], runs=5)
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..edge.metrics import AggregateMetrics
+from ..edge.server import ServerConfig, simulate_policy
+from ..edge.cameras import WorkloadSpec
+from ..runtime.baselines import make_policy
+from ..runtime.library import Library
+from ..runtime.manager import SelectionPolicy
+from .config import AdaPExConfig
+from .design_time import LibraryGenerator
+
+__all__ = ["AdaPExFramework"]
+
+
+class AdaPExFramework:
+    """End-to-end driver for the reproduction."""
+
+    def __init__(self, config: AdaPExConfig | None = None):
+        self.config = config or AdaPExConfig()
+        self._library: Library | None = None
+
+    # ------------------------------------------------------------------
+    # design time
+    # ------------------------------------------------------------------
+    def build_library(self, progress=None,
+                      cache_dir: str | None = None) -> Library:
+        """Generate (or load from cache) the design-time Library.
+
+        ``cache_dir`` enables a JSON disk cache keyed by the config
+        fingerprint — library generation trains dozens of models, so the
+        benchmarks reuse it across invocations.
+        """
+        if self._library is not None:
+            return self._library
+        cache_path = None
+        if cache_dir is not None:
+            os.makedirs(cache_dir, exist_ok=True)
+            cache_path = os.path.join(
+                cache_dir, f"library_{self.config.dataset}_"
+                f"{self.config.cache_key()}.json")
+            if os.path.exists(cache_path):
+                self._library = Library.load(cache_path)
+                return self._library
+        generator = LibraryGenerator(self.config)
+        self._library = generator.generate(progress=progress)
+        if cache_path is not None:
+            self._library.save(cache_path)
+        return self._library
+
+    @property
+    def library(self) -> Library:
+        if self._library is None:
+            raise RuntimeError("call build_library() first")
+        return self._library
+
+    # ------------------------------------------------------------------
+    # runtime
+    # ------------------------------------------------------------------
+    def policy(self, name: str = "adapex",
+               selection: SelectionPolicy | None = None):
+        """Instantiate a runtime policy over the built library."""
+        return make_policy(name, self.library, selection)
+
+    def evaluate_at_edge(
+        self,
+        policies=("adapex", "pr-only", "ct-only", "finn"),
+        runs: int = 100,
+        workload: WorkloadSpec | None = None,
+        server: ServerConfig | None = None,
+        selection: SelectionPolicy | None = None,
+        base_seed: int = 0,
+    ) -> dict[str, AggregateMetrics]:
+        """Simulate the edge scenario for each policy; returns aggregates
+        keyed by policy display name."""
+        results: dict[str, AggregateMetrics] = {}
+        for name in policies:
+            policy = self.policy(name, selection)
+            aggregate, _ = simulate_policy(policy, runs=runs,
+                                           workload=workload, config=server,
+                                           base_seed=base_seed)
+            results[aggregate.policy] = aggregate
+        return results

@@ -1,0 +1,125 @@
+"""Top-level AdaPEx configuration.
+
+Bundles every knob of the design-time flow: dataset, model scale,
+quantization, exits, pruning-rate sweep, confidence-threshold sweep,
+training budgets, and the hardware target. The paper's settings are the
+defaults (18 pruning rates 0-85 %, thresholds 0-100 % in 5 % steps,
+exits after blocks 1 and 2, ZCU104 at 100 MHz); the model/dataset scale
+knobs exist because full-width CNV training is not feasible in pure
+NumPy — see DESIGN.md's scale-down policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..finn.device import FPGADevice, ZCU104
+from ..finn.power import PowerModel
+from ..models.exits import ExitsConfiguration
+from ..nn.quant import QuantSpec
+from ..nn.trainer import TrainConfig
+from ..pruning.schedule import paper_rate_sweep
+
+__all__ = ["AdaPExConfig", "paper_threshold_sweep"]
+
+# Bump when the design-time flow changes semantics (invalidates caches).
+_FLOW_VERSION = 2
+
+
+def paper_threshold_sweep() -> list[float]:
+    """The paper's confidence thresholds: 0 to 100 % in 5 % steps."""
+    return [round(0.05 * i, 2) for i in range(21)]
+
+
+@dataclass
+class AdaPExConfig:
+    """Everything the Library Generator needs."""
+
+    # -- dataset ---------------------------------------------------------
+    dataset: str = "cifar10"
+    train_samples: int = 1500
+    test_samples: int = 500
+
+    # -- model -----------------------------------------------------------
+    width_scale: float = 0.25           # accuracy-twin width
+    resource_width_scale: float = 1.0   # hardware-twin width
+    quant: QuantSpec = field(default_factory=QuantSpec)
+    exits: ExitsConfiguration = field(
+        default_factory=ExitsConfiguration.paper_default)
+
+    # -- design space ----------------------------------------------------
+    pruning_rates: list = field(default_factory=paper_rate_sweep)
+    confidence_thresholds: list = field(default_factory=paper_threshold_sweep)
+    include_not_pruned_exits: bool = True
+    include_backbone_variant: bool = True  # no-exit models (FINN / PR-Only)
+
+    # -- training --------------------------------------------------------
+    initial_training: TrainConfig = field(default_factory=lambda: TrainConfig(
+        epochs=6, batch_size=64, lr=0.002))
+    retraining: TrainConfig = field(default_factory=lambda: TrainConfig(
+        epochs=1, batch_size=64, lr=0.001))
+    use_augmentation: bool = False
+
+    # -- hardware --------------------------------------------------------
+    device: FPGADevice = field(default_factory=lambda: ZCU104)
+    clock_mhz: float = 100.0
+    power_model: PowerModel = field(default_factory=PowerModel)
+    inflight: int = 1  # frames in flight in the host serving loop
+
+    # -- misc --------------------------------------------------------------
+    seed: int = 0
+    parallel_workers: int = 1
+
+    def __post_init__(self):
+        if self.train_samples < 1 or self.test_samples < 1:
+            raise ValueError("sample counts must be positive")
+        if not self.pruning_rates:
+            raise ValueError("need at least one pruning rate")
+        if any(not 0.0 <= r < 1.0 for r in self.pruning_rates):
+            raise ValueError("pruning rates must be in [0, 1)")
+        if not self.confidence_thresholds:
+            raise ValueError("need at least one confidence threshold")
+        if self.parallel_workers < 1:
+            raise ValueError("parallel_workers must be >= 1")
+
+    @classmethod
+    def quick(cls, dataset: str = "cifar10", seed: int = 0) -> "AdaPExConfig":
+        """A minutes-scale configuration for tests and smoke runs."""
+        return cls(
+            dataset=dataset,
+            train_samples=384,
+            test_samples=192,
+            width_scale=0.125,
+            pruning_rates=[0.0, 0.4, 0.8],
+            confidence_thresholds=[0.05, 0.5, 0.95],
+            initial_training=TrainConfig(epochs=2, batch_size=64, lr=0.002),
+            retraining=TrainConfig(epochs=0, batch_size=64, lr=0.001),
+            seed=seed,
+        )
+
+    @classmethod
+    def paper(cls, dataset: str = "cifar10", seed: int = 0) -> "AdaPExConfig":
+        """The full paper sweep at the default reproduction scale."""
+        return cls(dataset=dataset, seed=seed)
+
+    def cache_key(self) -> str:
+        """Stable fingerprint for disk caching of generated libraries.
+
+        ``_FLOW_VERSION`` salts the key: bump it whenever the design-time
+        flow's semantics change, so stale caches are ignored.
+        """
+        import hashlib
+
+        parts = [
+            _FLOW_VERSION,
+            self.dataset, self.train_samples, self.test_samples,
+            self.width_scale, self.resource_width_scale,
+            self.quant.name, len(self.exits.exits),
+            tuple(self.pruning_rates), tuple(self.confidence_thresholds),
+            self.include_not_pruned_exits, self.include_backbone_variant,
+            self.initial_training.epochs, self.initial_training.lr,
+            self.retraining.epochs, self.use_augmentation,
+            self.device.part, self.clock_mhz, self.inflight, self.seed,
+        ]
+        blob = repr(parts).encode()
+        return hashlib.sha256(blob).hexdigest()[:16]

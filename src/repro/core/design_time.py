@@ -1,0 +1,230 @@
+"""The AdaPEx design-time Library Generator (paper Fig. 3, left).
+
+Pipeline per generated model:
+
+1. **Early-Exit Training** — attach the configured exits to CNV and train
+   all exits jointly (BranchyNet loss, first exit weighted 1.0, others 0.3).
+2. **Dataflow-Aware Pruning** — sweep the pruning rate, each point pruned
+   under the FINN folding constraints and retrained.
+3. **CNN Compilation & HLS Synthesis** — export to the IR, streamline,
+   and compile to a dataflow accelerator; extract resources, per-exit
+   latency, serving throughput, power, and energy.
+4. **Library assembly** — one entry per (accelerator, confidence
+   threshold) with the accuracy and exit statistics measured on the test
+   set.
+
+Two model "twins" are used per design point (see DESIGN.md): a scaled
+*accuracy twin* that is actually trained, and a full-width *hardware
+twin* (never trained — resource and timing figures depend only on the
+architecture) characterized through the FINN-like flow.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+from ..data.augment import standard_augmentation
+from ..data.synthetic import make_dataset
+from ..finn.compile import compile_accelerator
+from ..finn.folding import cnv_reference_fold, fold_constraints
+from ..finn.performance import PerformanceModel
+from ..ir.export import export_model
+from ..ir.passes import streamline
+from ..models.cnv import CNVConfig, build_cnv
+from ..models.exits import ExitsConfiguration
+from ..nn.trainer import Trainer, cascade_sweep, evaluate_exits
+from ..pruning.pruner import prune_model
+from ..runtime.library import AcceleratorId, Library, LibraryEntry
+from .config import AdaPExConfig
+
+__all__ = ["LibraryGenerator"]
+
+
+class LibraryGenerator:
+    """Generates the Library the Runtime Manager searches."""
+
+    def __init__(self, config: AdaPExConfig | None = None):
+        self.config = config or AdaPExConfig()
+        self._train = None
+        self._test = None
+        self._base_cache: dict = {}
+
+    # ------------------------------------------------------------------
+    # data
+    # ------------------------------------------------------------------
+    def datasets(self):
+        if self._train is None:
+            cfg = self.config
+            self._train, self._test = make_dataset(
+                cfg.dataset, cfg.train_samples, cfg.test_samples,
+                seed=cfg.seed)
+        return self._train, self._test
+
+    @property
+    def num_classes(self) -> int:
+        train, _ = self.datasets()
+        return train.spec.num_classes
+
+    # ------------------------------------------------------------------
+    # model construction / training
+    # ------------------------------------------------------------------
+    def _build(self, exits_cfg: ExitsConfiguration, width: float):
+        cfg = self.config
+        return build_cnv(
+            CNVConfig(num_classes=self.num_classes, width_scale=width,
+                      quant=cfg.quant, seed=cfg.seed),
+            exits_cfg,
+        )
+
+    def train_base_model(self, exits_cfg: ExitsConfiguration):
+        """Build and jointly train the scaled accuracy twin.
+
+        Training depends only on the exit *topology*, not on the pruned
+        flags, so the trained base is cached and shared between the
+        "pruned exits" and "not pruned exits" sweeps.
+        """
+        cfg = self.config
+        key = tuple((e.after_block, e.conv_channels, e.fc_width)
+                    for e in exits_cfg.exits)
+        if key in self._base_cache:
+            return self._base_cache[key]
+        train, _ = self.datasets()
+        model = self._build(exits_cfg, cfg.width_scale)
+        trainer = Trainer(model, cfg.initial_training)
+        augment = standard_augmentation() if cfg.use_augmentation else None
+        trainer.fit(train.images, train.labels, augment=augment)
+        self._base_cache[key] = model
+        return model
+
+    # ------------------------------------------------------------------
+    # characterization of one design point
+    # ------------------------------------------------------------------
+    def _characterize(self, variant: str, pruned_exits: bool, rate: float,
+                      scaled_base, hw_base, scaled_constraints,
+                      hw_constraints, folding) -> list[LibraryEntry]:
+        cfg = self.config
+        train, test = self.datasets()
+
+        # Accuracy twin: prune + retrain.
+        scaled, report = prune_model(scaled_base, rate,
+                                     constraints=scaled_constraints,
+                                     prune_exits=pruned_exits)
+        if rate > 0 and cfg.retraining.epochs > 0:
+            Trainer(scaled, cfg.retraining).fit(train.images, train.labels)
+        scaled.eval()
+
+        # Hardware twin: prune (no training needed) + compile.
+        hw, hw_report = prune_model(hw_base, rate,
+                                    constraints=hw_constraints,
+                                    prune_exits=pruned_exits)
+        graph = export_model(hw)
+        streamline(graph)
+        accel = compile_accelerator(graph, folding, clock_mhz=cfg.clock_mhz)
+        resources = accel.resources()
+        cfg.device.check(resources)
+        perf = PerformanceModel(accel)
+        latencies = perf.latencies_s()
+
+        accel_id = AcceleratorId(pruning_rate=rate, pruned_exits=pruned_exits,
+                                 variant=variant)
+
+        if scaled.num_exits == 1:
+            exit_acc = evaluate_exits(scaled, test.images, test.labels)
+            sweep = [{"confidence_threshold": 1.0,
+                      "accuracy": exit_acc[0], "exit_rates": (1.0,)}]
+        else:
+            sweep = cascade_sweep(scaled, test.images, test.labels,
+                                  cfg.confidence_thresholds)
+
+        entries = []
+        for point in sweep:
+            rates = point["exit_rates"]
+            serving = perf.serving_capacity_ips(rates, inflight=cfg.inflight)
+            avg_latency = perf.average_latency_s(rates)
+            energy = cfg.power_model.energy_per_inference_j(accel, rates)
+            idle = cfg.power_model.average_power_w(accel, rates, 0.0)
+            busy = cfg.power_model.average_power_w(accel, rates, serving)
+            entries.append(LibraryEntry(
+                accelerator=accel_id,
+                confidence_threshold=point["confidence_threshold"],
+                accuracy=point["accuracy"],
+                exit_rates=rates,
+                latency_s=avg_latency,
+                serving_ips=serving,
+                energy_per_inference_j=energy,
+                power_idle_w=idle,
+                power_busy_w=busy,
+                achieved_pruning_rate=report.achieved_rate,
+                exit_latencies_s=tuple(latencies),
+                resources={"lut": resources.lut, "ff": resources.ff,
+                           "bram18": resources.bram18},
+                extra={
+                    "requested_rate": rate,
+                    "hw_achieved_rate": hw_report.achieved_rate,
+                    "params": scaled.param_count(),
+                },
+            ))
+        return entries
+
+    # ------------------------------------------------------------------
+    # the full sweep
+    # ------------------------------------------------------------------
+    def _variants(self):
+        cfg = self.config
+        variants = [("ee", cfg.exits.with_pruned(True), True)]
+        if cfg.include_not_pruned_exits and cfg.exits.num_early_exits:
+            variants.append(("ee", cfg.exits.with_pruned(False), False))
+        if cfg.include_backbone_variant:
+            variants.append(("backbone", ExitsConfiguration.none(), True))
+        return variants
+
+    def generate(self, progress=None) -> Library:
+        """Run the full design-time flow; returns the populated Library."""
+        cfg = self.config
+        log = progress or (lambda msg: None)
+        library = Library(metadata={
+            "dataset": cfg.dataset,
+            "num_classes": self.num_classes,
+            "width_scale": cfg.width_scale,
+            "resource_width_scale": cfg.resource_width_scale,
+            "quant": cfg.quant.name,
+            "cache_key": cfg.cache_key(),
+        })
+
+        for variant, exits_cfg, pruned_exits in self._variants():
+            label = accel_label(variant, pruned_exits)
+            log(f"[{cfg.dataset}] training base model ({label})")
+            scaled_base = self.train_base_model(exits_cfg)
+            hw_base = self._build(exits_cfg, cfg.resource_width_scale)
+            folding = cnv_reference_fold(hw_base)
+            hw_constraints = fold_constraints(hw_base, folding)
+            scaled_constraints = fold_constraints(
+                scaled_base, cnv_reference_fold(scaled_base))
+
+            def one_rate(rate, _variant=variant, _pruned=pruned_exits,
+                         _scaled=scaled_base, _hw=hw_base,
+                         _sc=scaled_constraints, _hc=hw_constraints,
+                         _fold=folding):
+                return self._characterize(_variant, _pruned, rate, _scaled,
+                                          _hw, _sc, _hc, _fold)
+
+            if cfg.parallel_workers > 1:
+                with ThreadPoolExecutor(cfg.parallel_workers) as pool:
+                    batches = list(pool.map(one_rate, cfg.pruning_rates))
+            else:
+                batches = []
+                for rate in cfg.pruning_rates:
+                    log(f"[{cfg.dataset}] {label}: pruning rate {rate:.0%}")
+                    batches.append(one_rate(rate))
+            for batch in batches:
+                for entry in batch:
+                    library.add(entry)
+        log(f"[{cfg.dataset}] library complete: {len(library)} entries")
+        return library
+
+
+def accel_label(variant: str, pruned_exits: bool) -> str:
+    if variant == "backbone":
+        return "backbone (no exits)"
+    return "early-exit, {} exits".format("pruned" if pruned_exits
+                                         else "not-pruned")

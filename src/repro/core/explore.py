@@ -1,0 +1,97 @@
+"""Exit-placement exploration.
+
+The paper leaves exit placement to the user ("an active research topic
+in areas like NAS, Auto-ML") but its Exits Configuration makes sweeping
+placements trivial. This utility trains one model per candidate
+configuration, evaluates accuracy/exit statistics, characterizes the
+hardware cost through the FINN-like flow, and returns comparable rows —
+the programmatic version of ``examples/custom_exit_placement.py``.
+"""
+
+from __future__ import annotations
+
+from ..data.synthetic import make_dataset
+from ..finn.compile import compile_accelerator
+from ..finn.folding import cnv_reference_fold
+from ..finn.performance import PerformanceModel
+from ..ir.export import export_model
+from ..ir.passes import streamline
+from ..models.cnv import CNVConfig, build_cnv
+from ..models.exits import ExitsConfiguration
+from ..nn.trainer import Trainer, evaluate_cascade, evaluate_exits
+from .config import AdaPExConfig
+
+__all__ = ["explore_exit_placements"]
+
+
+def explore_exit_placements(
+    candidates: dict,
+    config: AdaPExConfig | None = None,
+    confidence_threshold: float = 0.5,
+    progress=None,
+) -> list:
+    """Compare exit placements under one training/evaluation budget.
+
+    Parameters
+    ----------
+    candidates:
+        Mapping ``label -> ExitsConfiguration``.
+    config:
+        Dataset/model/training budget (defaults to the quick profile).
+    confidence_threshold:
+        Operating threshold for the cascade statistics.
+
+    Returns one dict per candidate with accuracy, per-exit statistics,
+    average latency at the threshold, and hardware cost.
+    """
+    config = config or AdaPExConfig.quick()
+    log = progress or (lambda msg: None)
+    train, test = make_dataset(config.dataset, config.train_samples,
+                               config.test_samples, seed=config.seed)
+    num_classes = train.spec.num_classes
+
+    rows = []
+    for label, exits_cfg in candidates.items():
+        if not isinstance(exits_cfg, ExitsConfiguration):
+            raise TypeError(f"candidate {label!r} is not an "
+                            "ExitsConfiguration")
+        log(f"training candidate {label!r}")
+        model = build_cnv(
+            CNVConfig(num_classes=num_classes,
+                      width_scale=config.width_scale,
+                      quant=config.quant, seed=config.seed),
+            exits_cfg)
+        Trainer(model, config.initial_training).fit(train.images,
+                                                    train.labels)
+
+        exit_accs = evaluate_exits(model, test.images, test.labels)
+        cascade = evaluate_cascade(model, test.images, test.labels,
+                                   confidence_threshold)
+
+        hw = build_cnv(
+            CNVConfig(num_classes=num_classes,
+                      width_scale=config.resource_width_scale,
+                      quant=config.quant, seed=config.seed),
+            exits_cfg)
+        hw.eval()
+        graph = export_model(hw)
+        streamline(graph)
+        accel = compile_accelerator(graph, cnv_reference_fold(hw),
+                                    clock_mhz=config.clock_mhz)
+        perf = PerformanceModel(accel)
+        res = accel.resources()
+        rates = list(cascade["exit_rates"])
+
+        rows.append({
+            "placement": label,
+            "num_exits": model.num_exits,
+            "exit_accuracies": tuple(round(a, 4) for a in exit_accs),
+            "cascade_accuracy": cascade["accuracy"],
+            "exit_rates": tuple(round(r, 4) for r in rates),
+            "avg_latency_ms": perf.average_latency_s(rates) * 1e3,
+            "serving_ips": perf.serving_capacity_ips(
+                rates, inflight=config.inflight),
+            "lut": res.lut,
+            "bram18": res.bram18,
+        })
+    return rows

@@ -1,0 +1,27 @@
+"""Synthetic dataset substrate (CIFAR-10 / GTSRB substitutes)."""
+
+from .augment import (
+    compose,
+    gaussian_noise,
+    random_flip,
+    random_shift,
+    standard_augmentation,
+)
+from .loader import BatchLoader, stratified_split
+from .synthetic import (
+    Dataset,
+    DatasetSpec,
+    SyntheticImageGenerator,
+    cifar10_like,
+    gtsrb_like,
+    make_dataset,
+    mnist_like,
+)
+
+__all__ = [
+    "compose", "gaussian_noise", "random_flip", "random_shift",
+    "standard_augmentation",
+    "BatchLoader", "stratified_split",
+    "Dataset", "DatasetSpec", "SyntheticImageGenerator",
+    "cifar10_like", "gtsrb_like", "make_dataset", "mnist_like",
+]

@@ -1,0 +1,79 @@
+"""Standard data augmentation (the paper trains with "standard data
+augmentation": random shifts and horizontal flips, plus light noise).
+
+Augmentations are pure functions ``(batch, rng) -> batch`` so they plug
+directly into :meth:`repro.nn.Trainer.fit`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["random_shift", "random_flip", "gaussian_noise", "compose",
+           "standard_augmentation"]
+
+
+def random_shift(max_shift: int = 2):
+    """Random per-sample spatial translation with zero padding."""
+    if max_shift < 0:
+        raise ValueError("max_shift must be >= 0")
+
+    def apply(batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if max_shift == 0:
+            return batch
+        out = np.zeros_like(batch)
+        n, _, h, w = batch.shape
+        shifts = rng.integers(-max_shift, max_shift + 1, size=(n, 2))
+        for i in range(n):
+            dy, dx = int(shifts[i, 0]), int(shifts[i, 1])
+            src_y = slice(max(0, -dy), min(h, h - dy))
+            dst_y = slice(max(0, dy), min(h, h + dy))
+            src_x = slice(max(0, -dx), min(w, w - dx))
+            dst_x = slice(max(0, dx), min(w, w + dx))
+            out[i, :, dst_y, dst_x] = batch[i, :, src_y, src_x]
+        return out
+
+    return apply
+
+
+def random_flip(p: float = 0.5):
+    """Random horizontal flip with probability ``p`` per sample."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be in [0, 1]")
+
+    def apply(batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        flips = rng.random(batch.shape[0]) < p
+        out = batch.copy()
+        out[flips] = out[flips, :, :, ::-1]
+        return out
+
+    return apply
+
+
+def gaussian_noise(std: float = 0.02):
+    """Additive Gaussian pixel noise."""
+    if std < 0:
+        raise ValueError("std must be >= 0")
+
+    def apply(batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if std == 0:
+            return batch
+        return batch + rng.normal(scale=std, size=batch.shape).astype(batch.dtype)
+
+    return apply
+
+
+def compose(*augmentations):
+    """Apply augmentations left to right."""
+
+    def apply(batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        for aug in augmentations:
+            batch = aug(batch, rng)
+        return batch
+
+    return apply
+
+
+def standard_augmentation():
+    """The default train-time pipeline used across the reproduction."""
+    return compose(random_shift(2), random_flip(0.5), gaussian_noise(0.02))

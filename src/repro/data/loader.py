@@ -1,0 +1,58 @@
+"""Mini-batch iteration and split utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .synthetic import Dataset
+
+__all__ = ["BatchLoader", "stratified_split"]
+
+
+class BatchLoader:
+    """Iterate a :class:`Dataset` in (optionally shuffled) mini-batches."""
+
+    def __init__(self, dataset: Dataset, batch_size: int = 64,
+                 shuffle: bool = False, seed: int = 0, drop_last: bool = False):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self):
+        n = len(self.dataset)
+        order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        stop = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, stop, self.batch_size):
+            idx = order[start:start + self.batch_size]
+            yield self.dataset.images[idx], self.dataset.labels[idx]
+
+
+def stratified_split(dataset: Dataset, fraction: float, seed: int = 0):
+    """Split into two datasets keeping per-class proportions.
+
+    Returns ``(first, second)`` where ``first`` holds ~``fraction`` of each
+    class.
+    """
+    if not 0.0 < fraction < 1.0:
+        raise ValueError("fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    first_idx = []
+    second_idx = []
+    for cls in np.unique(dataset.labels):
+        members = np.flatnonzero(dataset.labels == cls)
+        rng.shuffle(members)
+        cut = int(round(len(members) * fraction))
+        first_idx.extend(members[:cut])
+        second_idx.extend(members[cut:])
+    return dataset.subset(np.array(first_idx, dtype=np.int64)), \
+        dataset.subset(np.array(second_idx, dtype=np.int64))

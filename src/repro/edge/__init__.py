@@ -1,0 +1,30 @@
+"""Edge-server simulation: DES core, camera workloads, custom traces,
+server, metrics, and a fluid-flow fast path."""
+
+from .cameras import CameraFleet, WorkloadSpec
+from .events import Event, EventLoop
+from .fluid import FluidSimulator, fluid_simulate_policy
+from .metrics import (
+    AggregateMetrics,
+    RunMetrics,
+    aggregate_runs,
+    edp,
+    qoe,
+)
+from .server import EdgeServerSimulator, ServerConfig, simulate_policy
+from .traces import (
+    BurstWorkload,
+    DiurnalWorkload,
+    RampWorkload,
+    arrivals_from_rate,
+)
+
+__all__ = [
+    "CameraFleet", "WorkloadSpec",
+    "Event", "EventLoop",
+    "FluidSimulator", "fluid_simulate_policy",
+    "AggregateMetrics", "RunMetrics", "aggregate_runs", "edp", "qoe",
+    "EdgeServerSimulator", "ServerConfig", "simulate_policy",
+    "BurstWorkload", "DiurnalWorkload", "RampWorkload",
+    "arrivals_from_rate",
+]

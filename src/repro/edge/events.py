@@ -1,0 +1,79 @@
+"""Minimal discrete-event simulation core.
+
+A heap-based scheduler with deterministic tie-breaking (events at equal
+times fire in scheduling order), used by the edge-server simulator. Kept
+deliberately tiny and fully deterministic so the 100-repetition
+experiments of the paper are reproducible bit-for-bit given a seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = ["Event", "EventLoop"]
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled callback."""
+
+    time: float
+    seq: int
+    callback: object = field(compare=False)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventLoop:
+    """Deterministic event scheduler."""
+
+    def __init__(self):
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self.now = 0.0
+        self._processed = 0
+
+    def schedule(self, delay: float, callback) -> Event:
+        """Schedule ``callback(loop)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise ValueError("cannot schedule in the past")
+        event = Event(self.now + delay, next(self._counter), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, callback) -> Event:
+        """Schedule at an absolute simulation time."""
+        return self.schedule(time - self.now, callback)
+
+    @staticmethod
+    def cancel(event: Event) -> None:
+        event.cancelled = True
+
+    def run_until(self, end_time: float) -> int:
+        """Process events up to (and including) ``end_time``.
+
+        Returns the number of callbacks executed. The loop's clock is left
+        at ``end_time`` afterwards.
+        """
+        if end_time < self.now:
+            raise ValueError("end_time is in the past")
+        executed = 0
+        while self._heap and self._heap[0].time <= end_time:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.callback(self)
+            executed += 1
+            self._processed += 1
+        self.now = end_time
+        return executed
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    @property
+    def processed(self) -> int:
+        return self._processed

@@ -1,0 +1,202 @@
+"""Edge inference-server simulation.
+
+Discrete-event model of the paper's evaluation scenario: a camera fleet
+streams inference requests to an FPGA-backed edge server. The server
+holds a bounded request queue (frames arriving at a full queue are
+*lost*), serves requests one at a time through the currently loaded
+accelerator (request-response, as the FINN host code does), samples the
+workload through a :class:`~repro.runtime.WorkloadMonitor`, and invokes
+the runtime policy at a fixed decision cadence. When the policy switches
+accelerators, the server is dead for the reconfiguration time.
+
+Per-frame service latency is the exit-path latency of the exit that
+frame takes (sampled from the entry's exit distribution); per-frame
+correctness is sampled at the entry's measured cascade accuracy.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..runtime.library import LibraryEntry
+from ..runtime.monitor import WorkloadMonitor
+from ..runtime.reconfig import ReconfigurationController
+from .cameras import CameraFleet, WorkloadSpec
+from .events import EventLoop
+from .metrics import RunMetrics, aggregate_runs
+
+__all__ = ["ServerConfig", "EdgeServerSimulator", "simulate_policy"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Serving parameters."""
+
+    queue_capacity: int = 32
+    decision_interval_s: float = 1.0
+    monitor_window_s: float = 1.0
+    reconfig_time_s: float = 0.145
+    record_trace: bool = True
+
+    def __post_init__(self):
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if self.decision_interval_s <= 0 or self.monitor_window_s <= 0:
+            raise ValueError("intervals must be positive")
+        if self.reconfig_time_s < 0:
+            raise ValueError("reconfig_time_s must be >= 0")
+
+
+class EdgeServerSimulator:
+    """One serving run of one policy over one workload realization."""
+
+    def __init__(self, policy, workload: WorkloadSpec | None = None,
+                 config: ServerConfig | None = None, seed: int = 0):
+        self.policy = policy
+        self.workload = workload or WorkloadSpec()
+        self.config = config or ServerConfig()
+        self.seed = seed
+
+    def _arrival_times(self) -> np.ndarray:
+        """Arrivals for this run: camera-fleet spec or a custom trace
+        object exposing ``arrival_times(seed)`` (see repro.edge.traces)."""
+        if hasattr(self.workload, "arrival_times"):
+            return self.workload.arrival_times(seed=self.seed)
+        return CameraFleet(self.workload, seed=self.seed).arrival_times()
+
+    def run(self) -> RunMetrics:
+        cfg = self.config
+        rng = np.random.default_rng(self.seed + 777)
+        arrivals = self._arrival_times()
+        loop = EventLoop()
+        monitor = WorkloadMonitor(window_s=cfg.monitor_window_s)
+        controller = ReconfigurationController(
+            reconfig_time_s=cfg.reconfig_time_s)
+
+        # Deploy the initial selection before serving starts (the initial
+        # board configuration is not charged against the run).
+        entry = self.policy.select(self.workload.nominal_ips)
+        controller.switch(entry.accelerator, now_s=0.0)
+        initial_events = controller.count
+
+        queue: deque = deque()
+        state = {
+            "entry": entry,
+            "busy": False,
+            "reconfig_until": 0.0,
+            "processed": 0,
+            "lost": 0,
+            "latency_sum": 0.0,
+            "accuracy_sum": 0.0,
+            "energy_j": 0.0,
+            "last_power_t": 0.0,
+        }
+        trace: dict = {"t": [], "workload_ips": [], "pruning_rate": [],
+                       "confidence_threshold": [], "accuracy": [],
+                       "serving_ips": []}
+
+        def integrate_power(now: float, arrival_rate: float) -> None:
+            dt = now - state["last_power_t"]
+            if dt > 0:
+                state["energy_j"] += state["entry"].power_at(arrival_rate) * dt
+                state["last_power_t"] = now
+
+        def try_start_service(loop_: EventLoop) -> None:
+            if state["busy"] or not queue:
+                return
+            if loop_.now < state["reconfig_until"]:
+                return
+            queue.popleft()
+            entry_ = state["entry"]
+            exit_idx = int(rng.choice(len(entry_.exit_rates),
+                                      p=np.asarray(entry_.exit_rates)))
+            service = entry_.service_latency_s(exit_idx)
+            state["busy"] = True
+
+            def complete(loop2: EventLoop) -> None:
+                state["busy"] = False
+                state["processed"] += 1
+                state["latency_sum"] += service
+                state["accuracy_sum"] += float(
+                    rng.random() < entry_.accuracy)
+                try_start_service(loop2)
+
+            loop_.schedule(service, complete)
+
+        def on_arrival(loop_: EventLoop) -> None:
+            monitor.record_arrival(loop_.now)
+            if len(queue) >= cfg.queue_capacity:
+                state["lost"] += 1
+                return
+            queue.append(loop_.now)
+            try_start_service(loop_)
+
+        def on_decision(loop_: EventLoop) -> None:
+            now = loop_.now
+            ips = monitor.sampled_ips(now)
+            integrate_power(now, ips)
+            selected = self.policy.select(ips, current=state["entry"])
+            if controller.needs_switch(selected.accelerator):
+                dead = controller.switch(selected.accelerator, now_s=now)
+                state["reconfig_until"] = now + dead
+                state["entry"] = selected
+                loop_.schedule(dead, try_start_service)
+            else:
+                state["entry"] = selected
+            monitor.acknowledge(now)
+            if cfg.record_trace:
+                trace["t"].append(now)
+                trace["workload_ips"].append(ips)
+                trace["pruning_rate"].append(
+                    selected.accelerator.pruning_rate)
+                trace["confidence_threshold"].append(
+                    selected.confidence_threshold)
+                trace["accuracy"].append(selected.accuracy)
+                trace["serving_ips"].append(selected.serving_ips)
+            if now + cfg.decision_interval_s < self.workload.duration_s:
+                loop_.schedule(cfg.decision_interval_s, on_decision)
+
+        for t in arrivals:
+            loop.schedule_at(float(t), on_arrival)
+        loop.schedule(cfg.decision_interval_s, on_decision)
+        loop.run_until(self.workload.duration_s)
+
+        # Requests still queued at the end of the run were never served.
+        state["lost"] += len(queue)
+        integrate_power(self.workload.duration_s,
+                        monitor.sampled_ips(self.workload.duration_s))
+
+        processed = state["processed"]
+        return RunMetrics(
+            policy=getattr(self.policy, "name", type(self.policy).__name__),
+            duration_s=self.workload.duration_s,
+            total_requests=len(arrivals),
+            processed=processed,
+            lost=state["lost"],
+            accuracy=state["accuracy_sum"] / processed if processed else 0.0,
+            avg_latency_s=state["latency_sum"] / processed if processed else 0.0,
+            energy_j=state["energy_j"],
+            reconfigurations=controller.count - initial_events,
+            reconfig_dead_time_s=sum(
+                e.duration_s for e in controller.events[initial_events:]),
+            trace=trace if cfg.record_trace else {},
+        )
+
+
+def simulate_policy(policy, runs: int = 100,
+                    workload: WorkloadSpec | None = None,
+                    config: ServerConfig | None = None,
+                    base_seed: int = 0):
+    """Run a policy over ``runs`` workload realizations; returns
+    ``(aggregate, run_list)``."""
+    if runs < 1:
+        raise ValueError("runs must be >= 1")
+    results = []
+    for r in range(runs):
+        sim = EdgeServerSimulator(policy, workload=workload, config=config,
+                                  seed=base_seed + r)
+        results.append(sim.run())
+    return aggregate_runs(results), results

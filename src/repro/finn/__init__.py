@@ -1,0 +1,47 @@
+"""FINN-like dataflow compiler and accelerator models.
+
+Maps streamlined IR graphs onto HLS module models (MVTU, SWU, pooling,
+the paper's branch module), with analytic resource, performance, and
+power models plus the ZCU104 device envelope and bitstream
+reconfiguration costs.
+"""
+
+from .bitstream import RECONFIG_MS_ZCU104, Bitstream, reconfiguration_time_s
+from .compile import CompileError, DataflowAccelerator, compile_accelerator
+from .device import PYNQ_Z1, ZCU104, FPGADevice, UtilizationError
+from .folding import (
+    FoldingConfig,
+    LayerFolding,
+    auto_fold,
+    cnv_reference_fold,
+    fold_constraints,
+)
+from .hls import (
+    DuplicateStreamsUnit,
+    HLSModule,
+    MVTU,
+    PoolUnit,
+    SlidingWindowUnit,
+    ThresholdUnit,
+)
+from .performance import PerformanceModel, StageLoad
+from .power import PowerModel, PowerReport
+from .resources import (
+    BRAM18_BITS,
+    ResourceEstimate,
+    bram18_for_bits,
+    memory_resources,
+)
+
+__all__ = [
+    "RECONFIG_MS_ZCU104", "Bitstream", "reconfiguration_time_s",
+    "CompileError", "DataflowAccelerator", "compile_accelerator",
+    "PYNQ_Z1", "ZCU104", "FPGADevice", "UtilizationError",
+    "FoldingConfig", "LayerFolding", "auto_fold", "cnv_reference_fold",
+    "fold_constraints",
+    "DuplicateStreamsUnit", "HLSModule", "MVTU", "PoolUnit",
+    "SlidingWindowUnit", "ThresholdUnit",
+    "PerformanceModel", "StageLoad",
+    "PowerModel", "PowerReport",
+    "BRAM18_BITS", "ResourceEstimate", "bram18_for_bits", "memory_resources",
+]

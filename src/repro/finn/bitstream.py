@@ -1,0 +1,50 @@
+"""Bitstream artifacts and FPGA reconfiguration cost.
+
+Each pruned CNN maps to its own hard-wired dataflow accelerator, so
+switching pruning rates at runtime means loading a different full
+bitstream. The paper measures four reconfigurations totalling 580 ms on
+the ZCU104, i.e. ~145 ms per swap — the cost the runtime manager must
+amortize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .device import FPGADevice, ZCU104
+from .resources import ResourceEstimate
+
+__all__ = ["Bitstream", "RECONFIG_MS_ZCU104", "reconfiguration_time_s"]
+
+#: Per-swap full reconfiguration latency measured by the paper (580 ms / 4).
+RECONFIG_MS_ZCU104 = 145.0
+
+
+@dataclass(frozen=True)
+class Bitstream:
+    """A synthesized design ready to load onto the FPGA."""
+
+    name: str
+    device: FPGADevice = field(default=ZCU104)
+    resources: ResourceEstimate = field(default_factory=ResourceEstimate)
+    clock_mhz: float = 100.0
+
+    @property
+    def size_bits(self) -> int:
+        """Full-device bitstream size (configuration frames are fixed per
+        part, independent of design utilization)."""
+        # Rough XCZU7EV figure: ~246 Mbit configuration data.
+        return 246 * 1024 * 1024
+
+    def reconfiguration_time_s(self) -> float:
+        return reconfiguration_time_s(self.device)
+
+
+def reconfiguration_time_s(device: FPGADevice = ZCU104) -> float:
+    """Full-reconfiguration latency for a device (seconds).
+
+    Scaled from the paper's ZCU104 measurement by fabric size for other
+    parts (configuration time is roughly proportional to frame count).
+    """
+    scale = device.lut / ZCU104.lut
+    return (RECONFIG_MS_ZCU104 / 1000.0) * scale

@@ -1,0 +1,78 @@
+"""FPGA device models.
+
+The paper targets a Xilinx Zynq UltraScale+ MPSoC ZCU104 board (XCZU7EV)
+at 100 MHz. The device model holds the resource envelope and checks that
+compiled accelerators fit — the reason the paper's library spans pruning
+rates: heavily pruned designs leave room, unpruned ones approach limits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .resources import ResourceEstimate
+
+__all__ = ["FPGADevice", "ZCU104", "PYNQ_Z1", "UtilizationError"]
+
+
+class UtilizationError(ValueError):
+    """An accelerator exceeds the device's resources."""
+
+
+@dataclass(frozen=True)
+class FPGADevice:
+    """Resource envelope of one FPGA part."""
+
+    name: str
+    part: str
+    lut: int
+    ff: int
+    bram18: int
+    dsp: int
+    default_clock_mhz: float = 100.0
+
+    def utilization(self, res: ResourceEstimate) -> dict:
+        """Fraction of each resource class the estimate occupies."""
+        return {
+            "lut": res.lut / self.lut,
+            "ff": res.ff / self.ff,
+            "bram18": res.bram18 / self.bram18,
+            "dsp": res.dsp / self.dsp if self.dsp else 0.0,
+        }
+
+    def fits(self, res: ResourceEstimate, margin: float = 0.0) -> bool:
+        """True if the estimate fits with a (0..1) safety margin."""
+        if not 0.0 <= margin < 1.0:
+            raise ValueError("margin must be in [0, 1)")
+        limit = 1.0 - margin
+        return all(frac <= limit for frac in self.utilization(res).values())
+
+    def check(self, res: ResourceEstimate, margin: float = 0.0) -> None:
+        if not self.fits(res, margin):
+            util = {k: f"{v:.1%}" for k, v in self.utilization(res).items()}
+            raise UtilizationError(
+                f"design does not fit {self.name} (margin {margin:.0%}): {util}"
+            )
+
+
+#: The paper's board: ZCU104 with the XCZU7EV MPSoC.
+ZCU104 = FPGADevice(
+    name="ZCU104",
+    part="XCZU7EV",
+    lut=230_400,
+    ff=460_800,
+    bram18=624,
+    dsp=1_728,
+    default_clock_mhz=100.0,
+)
+
+#: Smaller edge board, useful for utilization-pressure experiments.
+PYNQ_Z1 = FPGADevice(
+    name="PYNQ-Z1",
+    part="XC7Z020",
+    lut=53_200,
+    ff=106_400,
+    bram18=280,
+    dsp=220,
+    default_clock_mhz=100.0,
+)

@@ -1,0 +1,331 @@
+"""Folding configuration: PE/SIMD parallelism per layer.
+
+FINN lets the user tune each MVTU's parallelism through a JSON file
+("FINN Config." in the paper's Fig. 3): ``PE`` processing elements split
+the output channels, ``SIMD`` lanes split the input channels. Folding
+determines both performance (cycles shrink with PE*SIMD) and the
+dataflow-aware pruning constraints (surviving channel counts must stay
+divisible by the folding factors).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..pruning.dataflow import LayerFoldConstraint
+
+__all__ = ["LayerFolding", "FoldingConfig", "auto_fold",
+           "cnv_reference_fold", "fold_constraints"]
+
+
+@dataclass(frozen=True)
+class LayerFolding:
+    """Parallelism of one compute layer (CONV or FC)."""
+
+    pe: int = 1
+    simd: int = 1
+
+    def __post_init__(self):
+        if self.pe < 1 or self.simd < 1:
+            raise ValueError("pe and simd must be >= 1")
+
+    @property
+    def parallelism(self) -> int:
+        return self.pe * self.simd
+
+
+@dataclass
+class FoldingConfig:
+    """Per-layer folding, keyed by the model's layer names.
+
+    Layers not present fall back to ``LayerFolding(1, 1)`` (fully folded,
+    slowest, smallest).
+    """
+
+    layers: dict = field(default_factory=dict)
+
+    def get(self, layer_name: str) -> LayerFolding:
+        return self.layers.get(layer_name, LayerFolding())
+
+    def set(self, layer_name: str, pe: int, simd: int) -> None:
+        self.layers[layer_name] = LayerFolding(pe, simd)
+
+    # -- JSON round-trip (the paper's user-facing config format) --------
+    def to_json(self) -> str:
+        return json.dumps(
+            {name: {"PE": f.pe, "SIMD": f.simd}
+             for name, f in sorted(self.layers.items())},
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FoldingConfig":
+        raw = json.loads(text)
+        config = cls()
+        for name, entry in raw.items():
+            config.set(name, int(entry.get("PE", 1)), int(entry.get("SIMD", 1)))
+        return config
+
+    def save(self, path) -> None:
+        with open(path, "w") as f:
+            f.write(self.to_json())
+
+    @classmethod
+    def load(cls, path) -> "FoldingConfig":
+        with open(path) as f:
+            return cls.from_json(f.read())
+
+
+def _largest_divisor_leq(n: int, bound: int) -> int:
+    """Largest divisor of ``n`` that is <= ``bound``."""
+    for d in range(min(n, bound), 0, -1):
+        if n % d == 0:
+            return d
+    return 1
+
+
+def _layer_work(layer, out_hw: tuple) -> tuple:
+    """(vectors, rows, cols, simd_limit) of a compute layer."""
+    from ..nn.layers import Conv2D, Linear
+
+    if isinstance(layer, Conv2D):
+        vectors = out_hw[0] * out_hw[1]
+        rows = layer.out_channels
+        cols = layer.kernel_size ** 2 * layer.in_channels
+        return vectors, rows, cols, layer.in_channels
+    if isinstance(layer, Linear):
+        return 1, layer.out_features, layer.in_features, layer.in_features
+    raise TypeError(f"not a compute layer: {layer!r}")
+
+
+def _fold_for_target(vectors: int, rows: int, cols: int, simd_limit: int,
+                     target_cycles: float) -> LayerFolding:
+    """Cheapest (pe, simd) whose cycle count meets ``target_cycles``.
+
+    PE must divide rows, SIMD must divide the layer's input channels
+    (``simd_limit``; also a divisor of cols). Falls back to maximum
+    parallelism when the target is unreachable.
+    """
+    pe_options = [d for d in range(1, rows + 1) if rows % d == 0]
+    simd_options = [d for d in range(1, simd_limit + 1) if simd_limit % d == 0]
+    best = None
+    for pe in pe_options:
+        for simd in simd_options:
+            cycles = vectors * (rows // pe) * (cols // simd)
+            if cycles <= target_cycles:
+                cost = pe * simd
+                if best is None or cost < best[0]:
+                    best = (cost, pe, simd)
+                break  # larger simd only costs more for this pe
+    if best is None:
+        return LayerFolding(rows, simd_limit)
+    return LayerFolding(best[1], best[2])
+
+
+def auto_fold(model, base_cycles: float | None = None,
+              depth_growth: float = 1.35,
+              max_parallel: int = 1024) -> FoldingConfig:
+    """Derive a FINN-style folding for a :class:`~repro.nn.BranchedModel`.
+
+    FINN's reference CNV folding gives the wide early CONV layers high
+    parallelism and folds the deep, weight-heavy layers harder (their PE
+    counts are limited by weight-memory ports), so stage cycle budgets
+    *grow* with depth. We reproduce that shape: the layer at backbone
+    depth ``d`` is folded to ``base_cycles * depth_growth**d`` cycles per
+    frame. Exit-branch layers inherit their host block's depth budget, so
+    branches never become the pipeline bottleneck.
+
+    ``base_cycles`` defaults to the heaviest layer's work divided by
+    ``max_parallel`` — the fastest the pipeline could go if that layer
+    received the full parallelism budget.
+    """
+    from ..nn.layers import Conv2D, Linear
+
+    if depth_growth < 1.0:
+        raise ValueError("depth_growth must be >= 1.0")
+
+    # Collect compute layers with their depths and output sizes.
+    entries = []  # (layer, depth, out_hw)
+    shape = model.input_shape
+    depth = 0
+    seg_depths = {}
+    for si, seg in enumerate(model.segments):
+        for layer in seg.layers:
+            out_shape = layer.output_shape(shape)
+            if isinstance(layer, (Conv2D, Linear)):
+                hw = out_shape[1:] if len(out_shape) == 3 else (1, 1)
+                entries.append((layer, depth, hw))
+                depth += 1
+            shape = out_shape
+        seg_depths[si] = depth  # depth reached at the end of this segment
+    for si, branch in model.exits.items():
+        bshape = model.segment_output_shapes()[si]
+        bdepth = seg_depths[si]
+        for layer in branch.layers:
+            out_shape = layer.output_shape(bshape)
+            if isinstance(layer, (Conv2D, Linear)):
+                hw = out_shape[1:] if len(out_shape) == 3 else (1, 1)
+                entries.append((layer, bdepth, hw))
+            bshape = out_shape
+
+    if base_cycles is None:
+        heaviest = max(
+            _layer_work(l, hw)[0] * _layer_work(l, hw)[1] * _layer_work(l, hw)[2]
+            for l, _, hw in entries
+        )
+        base_cycles = max(heaviest / max_parallel, 64.0)
+
+    config = FoldingConfig()
+    for layer, d, hw in entries:
+        vectors, rows, cols, simd_limit = _layer_work(layer, hw)
+        target = base_cycles * depth_growth ** d
+        fold = _fold_for_target(vectors, rows, cols, simd_limit, target)
+        config.set(layer.name, fold.pe, fold.simd)
+    return config
+
+
+# FINN-examples' reference CNV folding, expressed as fractions of each
+# layer's own dimensions: (PE / out_dim, SIMD / in_dim). The absolute
+# reference values are CNV-W2A2's published folding (PE/SIMD per layer:
+# 16/3, 32/32, 16/32, 16/32, 4/32, 1/32 for the convs; 1/4, 1/8, 5/1 for
+# the FCs), which puts the pipeline bottleneck in the deep conv layers —
+# the structural property the paper's runtime gains rely on.
+_CNV_REFERENCE_FRACTIONS = {
+    "b0_conv0": (16 / 64, None),  # first layer: SIMD = in_channels (RGB)
+    "b0_conv1": (32 / 64, 32 / 64),
+    "b1_conv0": (16 / 128, 32 / 64),
+    "b1_conv1": (16 / 128, 32 / 128),
+    "b2_conv0": (4 / 256, 32 / 128),
+    "b2_conv1": (1 / 256, 32 / 256),
+    "fc0": (1 / 512, 4 / 256),
+    "fc1": (1 / 512, 8 / 512),
+    "fc2": (1 / 2, 1 / 512),
+}
+# Exit branches reuse the host block's parallelism style; generous values
+# keep branches off the critical path (the paper: "neither backbone nor
+# exit throughput is undermined").
+_CNV_EXIT_FRACTIONS = {
+    "conv": (1 / 4, 1 / 4),
+    "fc0": (1 / 64, 1 / 32),
+    "fc1": (1 / 2, 1 / 64),
+}
+
+
+def _fit_fraction(dim: int, fraction: float | None, minimum: int = 1) -> int:
+    """Round ``fraction * dim`` to the nearest divisor of ``dim``."""
+    if fraction is None:
+        return dim
+    want = max(int(round(dim * fraction)), minimum)
+    return _largest_divisor_leq(dim, want)
+
+
+def cnv_reference_fold(model) -> FoldingConfig:
+    """FINN's reference CNV folding, scaled to the model's actual widths.
+
+    This is the default "user FINN configuration" of the reproduction:
+    per-layer PE/SIMD proportional to the published CNV-W2A2 folding, so
+    scaled-width models keep the same pipeline shape (front stages fast,
+    deep convs the bottleneck) and the same *relative* pruning
+    granularities.
+    """
+    from ..nn.layers import Conv2D, Linear
+
+    config = FoldingConfig()
+    for layer in model.backbone_layers():
+        fractions = _CNV_REFERENCE_FRACTIONS.get(layer.name)
+        if fractions is None:
+            continue
+        pe_frac, simd_frac = fractions
+        if isinstance(layer, Conv2D):
+            pe = _fit_fraction(layer.out_channels, pe_frac)
+            simd = _fit_fraction(layer.in_channels, simd_frac)
+            config.set(layer.name, pe, simd)
+        elif isinstance(layer, Linear):
+            pe = _fit_fraction(layer.out_features, pe_frac)
+            simd = _fit_fraction(layer.in_features, simd_frac)
+            config.set(layer.name, pe, simd)
+    for branch in model.exits.values():
+        for layer in branch.layers:
+            suffix = layer.name.rsplit("_", 1)[-1]
+            fractions = _CNV_EXIT_FRACTIONS.get(suffix)
+            if fractions is None:
+                continue
+            pe_frac, simd_frac = fractions
+            if isinstance(layer, Conv2D):
+                config.set(layer.name,
+                           _fit_fraction(layer.out_channels, pe_frac),
+                           _fit_fraction(layer.in_channels, simd_frac))
+            elif isinstance(layer, Linear):
+                config.set(layer.name,
+                           _fit_fraction(layer.out_features, pe_frac),
+                           _fit_fraction(layer.in_features, simd_frac))
+    return config
+
+
+def fold_constraints(model, folding: FoldingConfig) -> dict:
+    """Dataflow-aware pruning constraints from a folding configuration.
+
+    For each CONV layer *i*, the constraint is ``(PE_i, SIMD_{i+1})`` where
+    layer *i+1* is the next CONV consuming its channels (paper, Sec.
+    IV-A2). The consumer of a block's last CONV is the next block's first
+    CONV; exit-branch CONVs additionally constrain their host block's
+    output. FC consumers impose no channel constraint (their SIMD runs
+    over the flattened vector).
+    """
+    import math
+
+    from ..nn.layers import Conv2D, Linear
+
+    def first_linear_simd(layers) -> int:
+        """SIMD of the first FC consuming a conv's flattened channels.
+
+        The paper's constraint covers every consumer MVTU: when the
+        block's channels flatten into an FC, that FC's SIMD lanes must
+        still divide evenly (requiring SIMD | channels is sufficient for
+        any spatial size).
+        """
+        for layer in layers:
+            if isinstance(layer, Conv2D):
+                return 0  # another conv consumes the channels first
+            if isinstance(layer, Linear):
+                return folding.get(layer.name).simd
+        return 0
+
+    constraints: dict[str, LayerFoldConstraint] = {}
+    # Backbone conv chain in order, remembering which segment each conv
+    # closes (a block's last conv also feeds that block's exit, if any).
+    chain: list[tuple] = []  # (conv, seg_idx, layer_idx, is_last_in_segment)
+    for si, seg in enumerate(model.segments):
+        convs = [(li, l) for li, l in enumerate(seg.layers)
+                 if isinstance(l, Conv2D)]
+        for j, (li, conv) in enumerate(convs):
+            chain.append((conv, si, li, j == len(convs) - 1))
+
+    for i, (conv, si, li, is_last) in enumerate(chain):
+        pe = folding.get(conv.name).pe
+        simd_next = 1
+        if i + 1 < len(chain):
+            simd_next = folding.get(chain[i + 1][0].name).simd
+        else:
+            # Last backbone conv: its channels flatten into the first FC.
+            fc_simd = first_linear_simd(model.segments[si].layers[li + 1:])
+            if fc_simd:
+                simd_next = math.lcm(simd_next, fc_simd)
+        if is_last and si in model.exits:
+            # The exit branch's first CONV also consumes these channels:
+            # its SIMD must divide them too.
+            first = model.exits[si].layers[0]
+            if isinstance(first, Conv2D):
+                simd_next = math.lcm(simd_next, folding.get(first.name).simd)
+        constraints[conv.name] = LayerFoldConstraint(pe=pe, simd_next=simd_next)
+
+    # Exit convs: constrained by their own PE and the exit FC's SIMD.
+    for branch in model.exits.values():
+        for layer_idx, layer in enumerate(branch.layers):
+            if isinstance(layer, Conv2D):
+                fc_simd = first_linear_simd(branch.layers[layer_idx + 1:])
+                constraints[layer.name] = LayerFoldConstraint(
+                    pe=folding.get(layer.name).pe,
+                    simd_next=max(fc_simd, 1))
+    return constraints

@@ -1,0 +1,228 @@
+"""HLS module models: MVTU, SWU, pooling, and the new branch module.
+
+Each class models one FINN HLS building block at the granularity the
+paper's evaluation needs: **initiation cycles per frame** (how many clock
+cycles the module is busy per inference) and **resource usage**
+(LUT/FF/BRAM18). The paper's contribution on the hardware side is the
+``DuplicateStreams`` branch module that splits an AXI stream into a
+backbone copy and an exit copy, buffering the exit side in FIFOs — the
+BRAM overhead that Figure 5(e) measures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .resources import ResourceEstimate, bram18_for_bits, memory_resources
+
+__all__ = ["HLSModule", "MVTU", "SlidingWindowUnit", "PoolUnit",
+           "DuplicateStreamsUnit", "ThresholdUnit"]
+
+
+class HLSModule:
+    """Base interface of a dataflow pipeline stage."""
+
+    name: str
+
+    def cycles(self) -> int:
+        """Busy cycles per frame (the stage's contribution to latency and
+        the lower bound on the pipeline's initiation interval)."""
+        raise NotImplementedError
+
+    def resources(self) -> ResourceEstimate:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}({self.name}, cycles={self.cycles()})"
+
+
+@dataclass
+class MVTU(HLSModule):
+    """Matrix-Vector-Threshold Unit: executes CONV (via SWU) and FC layers.
+
+    Parameters
+    ----------
+    rows:
+        Output dimension MH (= output channels for CONV, out features for FC).
+    cols:
+        Input dimension MW (= k*k*in_channels for CONV, in features for FC).
+    pe, simd:
+        Folding factors; ``pe`` must divide ``rows`` and ``simd`` divide
+        ``cols`` at construction time (FINN's synthesis requirement).
+    vectors:
+        Matrix-vector products per frame (= output pixels for CONV, 1 for FC).
+    weight_bits, act_bits:
+        Operand precisions.
+    thresholds:
+        Number of threshold levels folded into the unit (0 = raw
+        accumulator output, e.g. final logits).
+    """
+
+    name: str
+    rows: int
+    cols: int
+    pe: int = 1
+    simd: int = 1
+    vectors: int = 1
+    weight_bits: int = 2
+    act_bits: int = 2
+    thresholds: int = 0
+
+    def __post_init__(self):
+        if self.rows < 1 or self.cols < 1 or self.vectors < 1:
+            raise ValueError("rows/cols/vectors must be >= 1")
+        if self.rows % self.pe:
+            raise ValueError(
+                f"{self.name}: PE={self.pe} must divide rows={self.rows}")
+        if self.cols % self.simd:
+            raise ValueError(
+                f"{self.name}: SIMD={self.simd} must divide cols={self.cols}")
+
+    # -- performance -----------------------------------------------------
+    @property
+    def fold(self) -> int:
+        """Cycles per matrix-vector product."""
+        return (self.rows // self.pe) * (self.cols // self.simd)
+
+    def cycles(self) -> int:
+        return self.vectors * self.fold
+
+    def macs_per_frame(self) -> int:
+        return self.vectors * self.rows * self.cols
+
+    # -- resources ---------------------------------------------------------
+    def weight_bits_total(self) -> int:
+        return self.rows * self.cols * self.weight_bits
+
+    def resources(self) -> ResourceEstimate:
+        # Compute fabric: low-precision MACs synthesize to LUTs
+        # (FINN-R: ~1 LUT per bit-product plus accumulate/control per PE).
+        mac_lut = self.pe * self.simd * max(self.weight_bits * self.act_bits, 1)
+        acc_lut = self.pe * 24
+        control_lut = 120
+        lut = mac_lut + acc_lut + control_lut
+        ff = 0.8 * (mac_lut + acc_lut) + 90
+        # Weight memory, partitioned across PEs (each PE streams its rows).
+        per_pe_bits = self.weight_bits_total() / self.pe
+        wmem = sum(
+            (memory_resources(per_pe_bits) for _ in range(self.pe)),
+            ResourceEstimate(),
+        )
+        # Threshold memory: rows * levels entries of ~24-bit accumulators.
+        tmem = memory_resources(self.rows * self.thresholds * 24)
+        return ResourceEstimate(lut=lut, ff=ff) + wmem + tmem
+
+
+@dataclass
+class SlidingWindowUnit(HLSModule):
+    """SWU: lowers the input feature map to MVTU-ready windows.
+
+    Buffers ``kernel`` rows of the input image in a line buffer and emits
+    k*k*ch window elements per output pixel, ``simd`` channels at a time.
+    """
+
+    name: str
+    in_channels: int
+    in_width: int
+    kernel: int
+    out_pixels: int
+    simd: int = 1
+    act_bits: int = 2
+
+    def __post_init__(self):
+        if self.in_channels % self.simd:
+            raise ValueError(
+                f"{self.name}: SIMD={self.simd} must divide "
+                f"in_channels={self.in_channels}")
+
+    def cycles(self) -> int:
+        window_elems = self.kernel * self.kernel * (self.in_channels // self.simd)
+        return self.out_pixels * window_elems
+
+    def resources(self) -> ResourceEstimate:
+        # Line buffer: kernel+1 image rows at act_bits precision. FINN's
+        # input generators always instantiate BRAM (dual-port access
+        # pattern), so at least one block is consumed.
+        buffer_bits = (self.kernel + 1) * self.in_width * self.in_channels \
+            * self.act_bits
+        mem = ResourceEstimate(bram18=max(bram18_for_bits(buffer_bits), 1.0))
+        return ResourceEstimate(lut=180 + 8 * self.simd, ff=140) + mem
+
+
+@dataclass
+class PoolUnit(HLSModule):
+    """Max-pooling stage (channel-parallel streaming comparator tree)."""
+
+    name: str
+    channels: int
+    kernel: int
+    in_pixels: int
+    act_bits: int = 2
+
+    def cycles(self) -> int:
+        return self.in_pixels
+
+    def resources(self) -> ResourceEstimate:
+        # One comparator per channel plus a row buffer for the window.
+        lut = 3 * self.channels * self.act_bits + 60
+        row_bits = self.kernel * math.isqrt(max(self.in_pixels, 1)) \
+            * self.channels * self.act_bits
+        return ResourceEstimate(lut=lut, ff=0.5 * lut) + memory_resources(row_bits)
+
+
+@dataclass
+class DuplicateStreamsUnit(HLSModule):
+    """The paper's new HLS branch module.
+
+    Duplicates the incoming AXI stream into two independent streams — one
+    continuing down the backbone, one feeding the early exit. Each copy
+    is decoupled through a FIFO deep enough to absorb rate mismatch
+    between the two consumers (sized to the duplicated feature map), so
+    neither backbone nor exit throughput is undermined and no pipeline
+    stall can occur. The cost is mainly BRAM for those FIFOs — exactly
+    the overhead the paper reports.
+    """
+
+    name: str
+    channels: int
+    pixels: int
+    act_bits: int = 2
+    # Trunk FIFO holds the duplicated feature map until the host's
+    # accept/reject verdict arrives; the exit-side FIFO decouples rates.
+    trunk_fifo_fraction: float = 1.0
+    exit_fifo_fraction: float = 0.5
+
+    def cycles(self) -> int:
+        return self.pixels
+
+    def fifo_bits(self) -> float:
+        map_bits = self.pixels * self.channels * self.act_bits
+        return map_bits * (self.trunk_fifo_fraction + self.exit_fifo_fraction)
+
+    def resources(self) -> ResourceEstimate:
+        # Two FIFOs (backbone copy + exit copy) plus stream control. FIFO
+        # primitives occupy whole BRAM18s even when logically shallower.
+        map_bits = self.pixels * self.channels * self.act_bits
+        trunk = max(bram18_for_bits(map_bits * self.trunk_fifo_fraction), 1.0)
+        exit_side = max(bram18_for_bits(map_bits * self.exit_fifo_fraction), 1.0)
+        fifos = ResourceEstimate(bram18=trunk + exit_side)
+        return ResourceEstimate(lut=90, ff=70) + fifos
+
+
+@dataclass
+class ThresholdUnit(HLSModule):
+    """Standalone MultiThreshold stage (when not folded into an MVTU)."""
+
+    name: str
+    channels: int
+    pixels: int
+    levels: int
+
+    def cycles(self) -> int:
+        return self.pixels
+
+    def resources(self) -> ResourceEstimate:
+        return ResourceEstimate(lut=2 * self.channels * self.levels + 40,
+                                ff=self.channels * self.levels) \
+            + memory_resources(self.channels * self.levels * 24)

@@ -1,0 +1,77 @@
+"""FPGA resource estimates.
+
+:class:`ResourceEstimate` is the common currency every HLS module model
+produces and the device model checks. The analytic cost functions follow
+the FINN-R paper's scaling laws: MVTU compute LUTs grow with
+``PE * SIMD * (weight_bits * act_bits)``, weight memories consume BRAM18
+blocks (18 kbit each), sliding-window line buffers and stream FIFOs are
+BRAM when deep and LUTRAM when shallow. Absolute constants are
+calibrated so trends (not absolute board numbers) match the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ResourceEstimate", "BRAM18_BITS", "LUTRAM_THRESHOLD_BITS",
+           "bram18_for_bits", "memory_resources"]
+
+BRAM18_BITS = 18 * 1024
+# Below this, a memory is mapped to LUTRAM instead of BRAM.
+LUTRAM_THRESHOLD_BITS = 4096
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """LUT / FF / BRAM18 / DSP counts (fractions allowed mid-estimate)."""
+
+    lut: float = 0.0
+    ff: float = 0.0
+    bram18: float = 0.0
+    dsp: float = 0.0
+
+    def __add__(self, other: "ResourceEstimate") -> "ResourceEstimate":
+        return ResourceEstimate(
+            self.lut + other.lut,
+            self.ff + other.ff,
+            self.bram18 + other.bram18,
+            self.dsp + other.dsp,
+        )
+
+    def __radd__(self, other):
+        if other == 0:  # allow sum()
+            return self
+        return self.__add__(other)
+
+    def scaled(self, factor: float) -> "ResourceEstimate":
+        return ResourceEstimate(self.lut * factor, self.ff * factor,
+                                self.bram18 * factor, self.dsp * factor)
+
+    def as_dict(self) -> dict:
+        return {"lut": self.lut, "ff": self.ff, "bram18": self.bram18,
+                "dsp": self.dsp}
+
+
+def bram18_for_bits(bits: float, packing_efficiency: float = 0.8) -> float:
+    """BRAM18 blocks to store ``bits`` with realistic packing losses.
+
+    Memories rarely tile BRAM aspect ratios perfectly; FINN reports ~70-90%
+    packing efficiency, so the default divides capacity by 0.8.
+    """
+    import math
+
+    if bits <= 0:
+        return 0.0
+    if packing_efficiency <= 0 or packing_efficiency > 1:
+        raise ValueError("packing_efficiency must be in (0, 1]")
+    return math.ceil(bits / (BRAM18_BITS * packing_efficiency))
+
+
+def memory_resources(bits: float) -> ResourceEstimate:
+    """Map a memory to BRAM or LUTRAM depending on its size."""
+    if bits <= 0:
+        return ResourceEstimate()
+    if bits < LUTRAM_THRESHOLD_BITS:
+        # LUTRAM: one 6-input LUT stores 64 bits.
+        return ResourceEstimate(lut=bits / 64.0)
+    return ResourceEstimate(bram18=bram18_for_bits(bits))

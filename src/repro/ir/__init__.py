@@ -1,0 +1,23 @@
+"""Executable ONNX-like IR: export, streamlining, serialization, analysis."""
+
+from .analysis import (
+    branch_points,
+    critical_path,
+    exit_paths,
+    per_exit_op_counts,
+    to_networkx,
+    verify_exit_structure,
+)
+from .export import export_model
+from .graph import IRGraph, IRNode, TensorInfo
+from .passes import absorb_batchnorm, count_unabsorbed_batchnorms, streamline
+from .serialize import load_graph, save_graph
+
+__all__ = [
+    "branch_points", "critical_path", "exit_paths", "per_exit_op_counts",
+    "to_networkx", "verify_exit_structure",
+    "export_model",
+    "IRGraph", "IRNode", "TensorInfo",
+    "absorb_batchnorm", "count_unabsorbed_batchnorms", "streamline",
+    "load_graph", "save_graph",
+]

@@ -1,0 +1,122 @@
+"""Graph analyses over the IR, built on networkx.
+
+Used by the compiler's sanity layer and by tooling: exit enumeration,
+branch-point discovery, per-exit operation counts, and weighted critical
+paths (handy for spotting which layer dominates an exit's latency before
+committing to a folding).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from .graph import IRGraph
+
+__all__ = ["to_networkx", "exit_paths", "branch_points",
+           "per_exit_op_counts", "critical_path", "verify_exit_structure"]
+
+
+def to_networkx(graph: IRGraph) -> nx.DiGraph:
+    """Node-level DAG: IR node names as vertices, tensor flows as edges."""
+    g = nx.DiGraph()
+    producer = {}
+    for node in graph.nodes:
+        g.add_node(node.name, op_type=node.op_type)
+        for t in node.outputs:
+            producer[t] = node.name
+    for node in graph.nodes:
+        for t in node.inputs:
+            if t in producer:
+                g.add_edge(producer[t], node.name, tensor=t)
+    return g
+
+
+def exit_paths(graph: IRGraph) -> list[list[str]]:
+    """Node names on the path from the input to each graph output."""
+    g = to_networkx(graph)
+    paths = []
+    for out in graph.output_names:
+        sink = graph.producer(out)
+        if sink is None:
+            raise ValueError(f"output {out!r} has no producer")
+        ancestors = nx.ancestors(g, sink.name) | {sink.name}
+        order = [n.name for n in graph.topological_order()
+                 if n.name in ancestors]
+        paths.append(order)
+    return paths
+
+
+def branch_points(graph: IRGraph) -> list[str]:
+    """Names of DuplicateStreams nodes, in topological order."""
+    return [n.name for n in graph.topological_order()
+            if n.op_type == "DuplicateStreams"]
+
+
+def per_exit_op_counts(graph: IRGraph) -> list[dict]:
+    """Operator census along each exit's path."""
+    result = []
+    for path in exit_paths(graph):
+        counts: dict[str, int] = {}
+        for name in path:
+            op = graph.node_by_name(name).op_type
+            counts[op] = counts.get(op, 0) + 1
+        result.append(counts)
+    return result
+
+
+def critical_path(graph: IRGraph, weight_fn) -> tuple[list[str], float]:
+    """Heaviest input-to-output chain under a per-node weight.
+
+    ``weight_fn(node) -> float`` assigns each IR node a cost (e.g. MACs,
+    or estimated cycles). Returns ``(node names, total weight)``.
+    """
+    g = to_networkx(graph)
+    weights = {n.name: float(weight_fn(n)) for n in graph.nodes}
+    best: dict[str, tuple[float, list]] = {}
+    for node in graph.topological_order():
+        preds = list(g.predecessors(node.name))
+        if preds:
+            prev_w, prev_path = max((best[p] for p in preds),
+                                    key=lambda x: x[0])
+        else:
+            prev_w, prev_path = 0.0, []
+        best[node.name] = (prev_w + weights[node.name],
+                           prev_path + [node.name])
+    total, path = max(best.values(), key=lambda x: x[0])
+    return path, total
+
+
+def verify_exit_structure(graph: IRGraph) -> None:
+    """Structural invariants of a branched export.
+
+    * the graph is a DAG,
+    * every output is reachable from the input,
+    * exactly ``num_exits - 1`` branch points exist and each feeds two
+      distinct consumers,
+    * exit paths are nested: each early exit shares its backbone prefix
+      with the final exit.
+    """
+    g = to_networkx(graph)
+    if not nx.is_directed_acyclic_graph(g):
+        raise ValueError("IR graph has a cycle")
+    paths = exit_paths(graph)
+    num_exits = graph.metadata.get("num_exits", len(paths))
+    branches = branch_points(graph)
+    if len(branches) != num_exits - 1:
+        raise ValueError(
+            f"expected {num_exits - 1} branch points, found {len(branches)}")
+    for name in branches:
+        node = graph.node_by_name(name)
+        consumers = {c.name for t in node.outputs
+                     for c in graph.consumers(t)}
+        if len(consumers) < 2:
+            raise ValueError(f"branch {name!r} does not fan out")
+    final = paths[-1]
+    final_set = set(final)
+    for early in paths[:-1]:
+        shared = [n for n in early if n in final_set]
+        # The shared backbone prefix must appear in the same order.
+        filtered = [n for n in final if n in set(shared)]
+        if filtered != shared:
+            raise ValueError("exit path is not a nested extension of the "
+                             "backbone prefix")

@@ -1,0 +1,90 @@
+"""Reference executors for IR nodes.
+
+These define the semantics of each operator; tests compare IR execution
+against the source :class:`~repro.nn.BranchedModel` to prove that export
+and streamlining are function-preserving.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import functional as F
+from .graph import IRNode
+
+__all__ = ["execute_node"]
+
+
+def _conv(node: IRNode, x: np.ndarray) -> np.ndarray:
+    w = node.initializers["weight"]
+    b = node.initializers.get("bias")
+    out, _ = F.conv2d_forward(x, w, b, node.attrs.get("stride", 1),
+                              node.attrs.get("padding", 0))
+    return out
+
+
+def _matmul(node: IRNode, x: np.ndarray) -> np.ndarray:
+    w = node.initializers["weight"]
+    out = x @ w.T
+    b = node.initializers.get("bias")
+    if b is not None:
+        out = out + b
+    return out
+
+
+def _batchnorm(node: IRNode, x: np.ndarray) -> np.ndarray:
+    scale = node.initializers["scale"]
+    shift = node.initializers["shift"]
+    if x.ndim == 4:
+        return x * scale.reshape(1, -1, 1, 1) + shift.reshape(1, -1, 1, 1)
+    return x * scale + shift
+
+
+def _multithreshold(node: IRNode, x: np.ndarray) -> np.ndarray:
+    """Per-channel threshold counting: out = step * #(sign*x > sign*t_k)."""
+    thresholds = node.initializers["thresholds"]  # (C, L)
+    signs = node.initializers["signs"]  # (C,)
+    step = node.attrs["step"]
+    c, levels = thresholds.shape
+    if x.ndim == 4:
+        xe = x[:, :, :, :, None]  # (N, C, H, W, 1)
+        t = thresholds.reshape(1, c, 1, 1, levels)
+        s = signs.reshape(1, c, 1, 1, 1)
+    elif x.ndim == 2:
+        xe = x[:, :, None]  # (N, C, 1)
+        t = thresholds.reshape(1, c, levels)
+        s = signs.reshape(1, c, 1)
+    else:
+        raise ValueError(f"MultiThreshold expects 2-D or 4-D input, got {x.ndim}-D")
+    code = (s * xe > s * t).sum(axis=-1)
+    return step * code.astype(np.float64)
+
+
+def _maxpool(node: IRNode, x: np.ndarray) -> np.ndarray:
+    out, _ = F.maxpool2d_forward(x, node.attrs["kernel"],
+                                 node.attrs.get("stride"))
+    return out
+
+
+def _flatten(node: IRNode, x: np.ndarray) -> np.ndarray:
+    return x.reshape(x.shape[0], -1)
+
+
+_EXECUTORS = {
+    "Conv": _conv,
+    "MatMul": _matmul,
+    "BatchNorm": _batchnorm,
+    "MultiThreshold": _multithreshold,
+    "MaxPool": _maxpool,
+    "Flatten": _flatten,
+}
+
+
+def execute_node(node: IRNode, inputs: list) -> list:
+    """Execute one node; returns a list of output arrays."""
+    if node.op_type == "DuplicateStreams":
+        return [inputs[0], inputs[0]]
+    fn = _EXECUTORS.get(node.op_type)
+    if fn is None:
+        raise ValueError(f"no executor for op {node.op_type!r}")
+    return [fn(node, inputs[0])]

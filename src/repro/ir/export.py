@@ -1,0 +1,150 @@
+"""Export a trained :class:`~repro.nn.BranchedModel` to the IR.
+
+This is the reproduction's stand-in for the paper's ONNX export step:
+quantized layers are exported with their *quantized* weights (what the
+FPGA will actually hold), BatchNorm becomes an inference-time affine, and
+quantized activations become MultiThreshold nodes — the form FINN's
+streamlining produces before hardware mapping. Early-exit branch points
+are materialized as ``DuplicateStreams`` nodes (the paper's new HLS branch
+module).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.graph import BranchedModel, Sequential
+from ..nn.layers import (
+    BatchNorm,
+    Conv2D,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    QuantConv2D,
+    QuantLinear,
+    QuantReLU,
+    ReLU,
+)
+from ..nn.quant import activation_thresholds
+from .graph import IRGraph, IRNode
+
+__all__ = ["export_model"]
+
+
+class _Exporter:
+    def __init__(self, graph: IRGraph):
+        self.graph = graph
+        self._counter = 0
+
+    def fresh_tensor(self, shape: tuple, bits: int) -> str:
+        name = f"t{self._counter}"
+        self._counter += 1
+        self.graph.add_tensor(name, shape, bits)
+        return name
+
+    def emit_sequential(self, seq: Sequential, src: str, shape: tuple,
+                        prefix: str) -> tuple[str, tuple]:
+        """Emit nodes for one Sequential; returns (output tensor, shape)."""
+        g = self.graph
+        for layer in seq.layers:
+            out_shape = layer.output_shape(shape)
+            if isinstance(layer, Conv2D):
+                bits = layer.quant.weight_bits if isinstance(layer, QuantConv2D) \
+                    else 32
+                dst = self.fresh_tensor(out_shape, 32)
+                inits = {"weight": layer.effective_weight().copy()}
+                if layer.has_bias:
+                    inits["bias"] = layer.params["bias"].copy()
+                g.add_node(IRNode(
+                    "Conv", f"{prefix}{layer.name}", [src], [dst],
+                    attrs={"stride": layer.stride, "padding": layer.padding,
+                           "kernel": layer.kernel_size, "weight_bits": bits},
+                    initializers=inits,
+                ))
+            elif isinstance(layer, Linear):
+                bits = layer.quant.weight_bits if isinstance(layer, QuantLinear) \
+                    else 32
+                dst = self.fresh_tensor(out_shape, 32)
+                inits = {"weight": layer.effective_weight().copy()}
+                if layer.has_bias:
+                    inits["bias"] = layer.params["bias"].copy()
+                g.add_node(IRNode(
+                    "MatMul", f"{prefix}{layer.name}", [src], [dst],
+                    attrs={"weight_bits": bits}, initializers=inits,
+                ))
+            elif isinstance(layer, BatchNorm):
+                scale, shift = layer.fold_scale_shift()
+                dst = self.fresh_tensor(out_shape, 32)
+                g.add_node(IRNode(
+                    "BatchNorm", f"{prefix}{layer.name}", [src], [dst],
+                    initializers={"scale": scale.copy(), "shift": shift.copy()},
+                ))
+            elif isinstance(layer, QuantReLU):
+                bits = layer.quant.act_bits
+                levels = 2 ** bits - 1
+                step = layer.quant.act_range / levels
+                channels = shape[0]
+                base = activation_thresholds(bits, layer.quant.act_range)
+                dst = self.fresh_tensor(out_shape, bits)
+                g.add_node(IRNode(
+                    "MultiThreshold", f"{prefix}{layer.name}", [src], [dst],
+                    attrs={"step": step, "act_bits": bits},
+                    initializers={
+                        "thresholds": np.tile(base, (channels, 1)),
+                        "signs": np.ones(channels),
+                    },
+                ))
+            elif isinstance(layer, MaxPool2d):
+                dst = self.fresh_tensor(out_shape, g.tensors[src].bits)
+                g.add_node(IRNode(
+                    "MaxPool", f"{prefix}{layer.name}", [src], [dst],
+                    attrs={"kernel": layer.kernel_size, "stride": layer.stride},
+                ))
+            elif isinstance(layer, Flatten):
+                dst = self.fresh_tensor(out_shape, g.tensors[src].bits)
+                g.add_node(IRNode("Flatten", f"{prefix}{layer.name}",
+                                  [src], [dst]))
+            elif isinstance(layer, ReLU):
+                raise ValueError(
+                    "plain ReLU is not dataflow-mappable; use QuantReLU"
+                )
+            else:
+                raise ValueError(f"cannot export layer {layer!r}")
+            src = dst
+            shape = out_shape
+        return src, shape
+
+
+def export_model(model: BranchedModel, name: str | None = None) -> IRGraph:
+    """Export a branched model; outputs ordered early exits first."""
+    model.eval()
+    graph = IRGraph(name or model.name)
+    graph.set_input("input", model.input_shape, bits=32)
+    graph.metadata["num_exits"] = model.num_exits
+    graph.metadata["input_shape"] = tuple(model.input_shape)
+
+    exporter = _Exporter(graph)
+    src = "input"
+    shape = model.input_shape
+    exit_outputs: list[str] = []
+    for si, seg in enumerate(model.segments):
+        src, shape = exporter.emit_sequential(seg, src, shape, prefix=f"seg{si}/")
+        if si in model.exits:
+            # Materialize the branch: duplicate the stream, one copy feeds
+            # the backbone continuation, the other the exit branch.
+            bits = graph.tensors[src].bits
+            trunk = exporter.fresh_tensor(shape, bits)
+            branch_in = exporter.fresh_tensor(shape, bits)
+            graph.add_node(IRNode(
+                "DuplicateStreams", f"branch{si}", [src], [trunk, branch_in],
+            ))
+            out, _ = exporter.emit_sequential(
+                model.exits[si], branch_in, shape, prefix=f"exit{si}/"
+            )
+            exit_outputs.append(out)
+            src = trunk
+    for out in exit_outputs:
+        graph.mark_output(out)
+    graph.mark_output(src)
+    graph.validate()
+    return graph

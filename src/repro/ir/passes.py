@@ -1,0 +1,94 @@
+"""Streamlining transformations on the IR.
+
+FINN's compiler "streamlines" exported quantized networks so every
+remaining op is dataflow-mappable. The key transformation reproduced here
+is BatchNorm absorption: an inference-time affine ``a*x + b`` followed by
+a MultiThreshold can be folded into per-channel thresholds
+``t' = (t - b) / a`` (with the comparison direction flipped wherever
+``a < 0``), leaving a pure threshold unit that maps straight into the
+MVTU's threshold memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import IRGraph
+
+__all__ = ["absorb_batchnorm", "streamline", "count_unabsorbed_batchnorms"]
+
+
+def _fold_affine_into_thresholds(thresholds: np.ndarray, signs: np.ndarray,
+                                 scale: np.ndarray, shift: np.ndarray):
+    """New (thresholds, signs) so that counting crossings of ``x`` equals
+    counting crossings of ``scale*x + shift`` against the old thresholds."""
+    c, levels = thresholds.shape
+    new_t = np.empty_like(thresholds, dtype=np.float64)
+    new_s = signs.astype(np.float64).copy()
+    for ch in range(c):
+        a = scale[ch]
+        b = shift[ch]
+        if a == 0.0:
+            # BN output is the constant b: each threshold is either always
+            # or never crossed regardless of x.
+            crossed = (signs[ch] * b) > (signs[ch] * thresholds[ch])
+            new_t[ch] = np.where(crossed, -np.inf, np.inf)
+            new_s[ch] = 1.0
+        else:
+            new_t[ch] = (thresholds[ch] - b) / a
+            new_s[ch] = signs[ch] * np.sign(a)
+            if a < 0:
+                # Flipping direction reverses threshold order; keep them
+                # ascending in crossing order for the hardware unit.
+                new_t[ch] = new_t[ch][::-1]
+    return new_t, new_s
+
+
+def absorb_batchnorm(graph: IRGraph) -> int:
+    """Fold every BatchNorm that feeds a MultiThreshold; returns #folded."""
+    folded = 0
+    changed = True
+    while changed:
+        changed = False
+        for node in list(graph.nodes):
+            if node.op_type != "MultiThreshold":
+                continue
+            producer = graph.producer(node.inputs[0])
+            if producer is None or producer.op_type != "BatchNorm":
+                continue
+            if len(graph.consumers(producer.outputs[0])) != 1:
+                continue  # BN output also used elsewhere; cannot fold
+            scale = producer.initializers["scale"]
+            shift = producer.initializers["shift"]
+            new_t, new_s = _fold_affine_into_thresholds(
+                node.initializers["thresholds"],
+                node.initializers["signs"],
+                scale, shift,
+            )
+            node.initializers["thresholds"] = new_t
+            node.initializers["signs"] = new_s
+            graph.remove_node(producer)
+            folded += 1
+            changed = True
+    return folded
+
+
+def count_unabsorbed_batchnorms(graph: IRGraph) -> int:
+    return sum(1 for n in graph.nodes if n.op_type == "BatchNorm")
+
+
+def streamline(graph: IRGraph) -> dict:
+    """Run the full streamlining pipeline; returns a small report dict.
+
+    After streamlining, a dataflow-mappable graph contains only Conv,
+    MatMul, MultiThreshold, MaxPool, Flatten, and DuplicateStreams nodes
+    (BatchNorm remains only if it feeds a graph output directly, which the
+    CNV topology never does for intermediate layers).
+    """
+    folded = absorb_batchnorm(graph)
+    graph.validate()
+    return {
+        "batchnorms_absorbed": folded,
+        "batchnorms_remaining": count_unabsorbed_batchnorms(graph),
+        "num_nodes": len(graph.nodes),
+    }

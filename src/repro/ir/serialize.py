@@ -1,0 +1,124 @@
+"""IR (de)serialization — the reproduction's "ONNX file".
+
+A graph is stored as a JSON header (nodes, tensors, attributes,
+input/output bindings, metadata) plus an NPZ payload holding every
+initializer array. ``save_graph``/``load_graph`` round-trip exactly, so
+the design-time flow can hand compiled artifacts across process
+boundaries the way the paper hands ONNX files from Brevitas to FINN.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from .graph import IRGraph, IRNode
+
+__all__ = ["save_graph", "load_graph", "graph_to_payload",
+           "graph_from_payload"]
+
+_FORMAT_VERSION = 1
+
+
+def graph_to_payload(graph: IRGraph) -> tuple[dict, dict]:
+    """Split a graph into a JSON-able header and an array payload."""
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "name": graph.name,
+        "input": {
+            "name": graph.input_name,
+            "shape": list(graph.tensors[graph.input_name].shape),
+            "bits": graph.tensors[graph.input_name].bits,
+        },
+        "tensors": [
+            {"name": t.name, "shape": list(t.shape), "bits": t.bits}
+            for t in graph.tensors.values() if t.name != graph.input_name
+        ],
+        "outputs": list(graph.output_names),
+        "metadata": _jsonable(graph.metadata),
+        "nodes": [],
+    }
+    arrays: dict[str, np.ndarray] = {}
+    for node in graph.nodes:
+        entry = {
+            "op_type": node.op_type,
+            "name": node.name,
+            "inputs": list(node.inputs),
+            "outputs": list(node.outputs),
+            "attrs": _jsonable(node.attrs),
+            "initializers": [],
+        }
+        for key, value in node.initializers.items():
+            ref = f"{node.name}::{key}"
+            arrays[ref] = np.asarray(value)
+            entry["initializers"].append({"key": key, "ref": ref})
+        header["nodes"].append(entry)
+    return header, arrays
+
+
+def graph_from_payload(header: dict, arrays: dict) -> IRGraph:
+    """Rebuild a graph from :func:`graph_to_payload` output."""
+    version = header.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported IR format version {version!r}")
+    graph = IRGraph(header["name"])
+    graph.set_input(header["input"]["name"],
+                    tuple(header["input"]["shape"]),
+                    header["input"]["bits"])
+    for t in header["tensors"]:
+        graph.add_tensor(t["name"], tuple(t["shape"]), t["bits"])
+    for entry in header["nodes"]:
+        inits = {item["key"]: np.asarray(arrays[item["ref"]])
+                 for item in entry["initializers"]}
+        graph.add_node(IRNode(
+            op_type=entry["op_type"],
+            name=entry["name"],
+            inputs=list(entry["inputs"]),
+            outputs=list(entry["outputs"]),
+            attrs=dict(entry["attrs"]),
+            initializers=inits,
+        ))
+    for out in header["outputs"]:
+        graph.mark_output(out)
+    md = dict(header.get("metadata", {}))
+    if "input_shape" in md:
+        md["input_shape"] = tuple(md["input_shape"])
+    graph.metadata = md
+    graph.validate()
+    return graph
+
+
+def save_graph(graph: IRGraph, path: str) -> None:
+    """Write ``<path>.json`` (header) and ``<path>.npz`` (initializers)."""
+    header, arrays = graph_to_payload(graph)
+    with open(path + ".json", "w") as f:
+        json.dump(header, f, indent=1)
+    np.savez_compressed(path + ".npz", **arrays)
+
+
+def load_graph(path: str) -> IRGraph:
+    """Inverse of :func:`save_graph`."""
+    json_path, npz_path = path + ".json", path + ".npz"
+    for p in (json_path, npz_path):
+        if not os.path.exists(p):
+            raise FileNotFoundError(p)
+    with open(json_path) as f:
+        header = json.load(f)
+    with np.load(npz_path) as data:
+        arrays = {k: data[k] for k in data.files}
+    return graph_from_payload(header, arrays)
+
+
+def _jsonable(obj):
+    """Recursively convert numpy scalars/tuples to JSON-native types."""
+    if isinstance(obj, dict):
+        return {k: _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    return obj

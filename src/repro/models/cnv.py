@@ -1,0 +1,144 @@
+"""CNV — FINN's VGG-like reference CNN, with optional early exits.
+
+The paper's case study is CNV quantized to 2-bit weights/activations
+(CNVW2A2): six 3x3 CONV layers in three blocks of two (64-64, 128-128,
+256-256 channels), 2x2 max-pool after the first two blocks, and three FC
+layers (512-512-classes). Convolutions are unpadded, so a 3x32x32 input
+shrinks 32->30->28->14->12->10->5->3->1 through the pipeline.
+
+Full-width CNV is not trainable in pure NumPy within this environment, so
+the builder takes a ``width_scale`` that shrinks every channel count while
+preserving the topology (widths stay multiples of 4 so FINN-style folding
+factors exist). All paper experiments run with a scaled CNV; the scale is
+recorded in the Library so results remain self-describing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn.graph import BranchedModel, Sequential
+from ..nn.layers import BatchNorm, Flatten, MaxPool2d, QuantConv2D, QuantLinear, QuantReLU
+from ..nn.quant import QuantSpec
+from .exits import ExitsConfiguration, build_exit_branch
+
+__all__ = ["CNVConfig", "build_cnv", "scaled_width"]
+
+_FULL_CONV_WIDTHS = (64, 64, 128, 128, 256, 256)
+_FULL_FC_WIDTHS = (512, 512)
+
+
+def scaled_width(width: int, scale: float, multiple: int = 4,
+                 minimum: int = 4) -> int:
+    """Scale a channel count, keeping it a positive multiple of ``multiple``."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    scaled = int(round(width * scale / multiple)) * multiple
+    return max(scaled, minimum)
+
+
+@dataclass(frozen=True)
+class CNVConfig:
+    """Topology and quantization parameters of a CNV instance."""
+
+    num_classes: int = 10
+    in_channels: int = 3
+    image_size: int = 32
+    width_scale: float = 1.0
+    quant: QuantSpec = field(default_factory=QuantSpec)
+    seed: int = 0
+
+    @property
+    def conv_widths(self) -> tuple:
+        return tuple(scaled_width(w, self.width_scale) for w in _FULL_CONV_WIDTHS)
+
+    @property
+    def fc_widths(self) -> tuple:
+        return tuple(scaled_width(w, self.width_scale) for w in _FULL_FC_WIDTHS)
+
+    @property
+    def name(self) -> str:
+        tag = self.quant.name
+        if self.width_scale != 1.0:
+            return f"CNV{tag}-x{self.width_scale:g}"
+        return f"CNV{tag}"
+
+
+def _conv_block(in_ch: int, widths: tuple, quant: QuantSpec, pool: bool,
+                rng: np.random.Generator, prefix: str) -> Sequential:
+    seg = Sequential(name=prefix)
+    ch = in_ch
+    for i, out_ch in enumerate(widths):
+        seg.append(QuantConv2D(ch, out_ch, kernel_size=3, padding=0,
+                               quant=quant, name=f"{prefix}_conv{i}", rng=rng))
+        seg.append(BatchNorm(out_ch, name=f"{prefix}_bn{i}"))
+        seg.append(QuantReLU(quant, name=f"{prefix}_act{i}"))
+        ch = out_ch
+    if pool:
+        seg.append(MaxPool2d(2, name=f"{prefix}_pool"))
+    return seg
+
+
+def build_cnv(config: CNVConfig | None = None,
+              exits_config: ExitsConfiguration | None = None) -> BranchedModel:
+    """Build CNV as a :class:`BranchedModel`, optionally with early exits.
+
+    ``exits_config`` defaults to no exits (the plain FINN baseline
+    topology). The paper's configuration is
+    ``ExitsConfiguration.paper_default()``: one exit after each of the
+    first two CONV blocks.
+    """
+    config = config or CNVConfig()
+    exits_config = exits_config or ExitsConfiguration.none()
+    rng = np.random.default_rng(config.seed)
+    cw = config.conv_widths
+    fw = config.fc_widths
+    quant = config.quant
+
+    seg0 = _conv_block(config.in_channels, cw[0:2], quant, pool=True,
+                       rng=rng, prefix="b0")
+    seg1 = _conv_block(cw[1], cw[2:4], quant, pool=True, rng=rng, prefix="b1")
+    seg2 = _conv_block(cw[3], cw[4:6], quant, pool=False, rng=rng, prefix="b2")
+
+    # Classifier appended to the last segment.
+    input_shape = (config.in_channels, config.image_size, config.image_size)
+    spatial = Sequential(seg0.layers + seg1.layers + seg2.layers)
+    c, h, w = spatial.output_shape(input_shape)
+    flat = c * h * w
+    seg2.append(Flatten(name="flatten"))
+    seg2.append(QuantLinear(flat, fw[0], quant=quant, name="fc0", rng=rng))
+    seg2.append(BatchNorm(fw[0], name="fc_bn0"))
+    seg2.append(QuantReLU(quant, name="fc_act0"))
+    seg2.append(QuantLinear(fw[0], fw[1], quant=quant, name="fc1", rng=rng))
+    seg2.append(BatchNorm(fw[1], name="fc_bn1"))
+    seg2.append(QuantReLU(quant, name="fc_act1"))
+    seg2.append(QuantLinear(fw[1], config.num_classes, quant=quant,
+                            name="fc2", rng=rng))
+
+    segments = [seg0, seg1, seg2]
+    max_exit_block = len(segments) - 2  # exits allowed after blocks 0 and 1
+    exits = {}
+    shape = input_shape
+    shapes = []
+    for seg in segments:
+        shape = seg.output_shape(shape)
+        shapes.append(shape)
+    for spec in exits_config.exits:
+        if spec.after_block > max_exit_block:
+            raise ValueError(
+                f"exit after block {spec.after_block} not supported for CNV "
+                f"(must be <= {max_exit_block})"
+            )
+        exits[spec.after_block] = build_exit_branch(
+            shapes[spec.after_block], spec, config.num_classes, fw[0],
+            quant, rng, name=f"exit{spec.after_block}",
+        )
+
+    model = BranchedModel(segments, exits, input_shape=input_shape,
+                          name=config.name)
+    # Record configuration on the model for downstream tooling.
+    model.config = config
+    model.exits_config = exits_config
+    return model

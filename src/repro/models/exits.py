@@ -1,0 +1,124 @@
+"""Early-exit specification and branch construction.
+
+The paper attaches exits at user-chosen backbone locations ("Exits
+Configuration" in Fig. 3): each exit is a CONV layer configured like the
+host block, a max-pool with kernel ``k = floor(DIM / 2)`` (DIM being the
+block's output feature-map dimension) to shrink the map for synthesis,
+and FC layers configured like the original CNV's FC stage. The ``pruned``
+flag selects whether the exit CONV layers participate in pruning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn.graph import Sequential
+from ..nn.layers import BatchNorm, Flatten, MaxPool2d, QuantConv2D, QuantLinear, QuantReLU
+from ..nn.quant import QuantSpec
+
+__all__ = ["ExitSpec", "ExitsConfiguration", "build_exit_branch"]
+
+
+@dataclass(frozen=True)
+class ExitSpec:
+    """One early exit.
+
+    Parameters
+    ----------
+    after_block:
+        0-based index of the backbone block whose output feeds this exit.
+    conv_channels:
+        Channels of the exit's CONV layer; ``None`` copies the host block's
+        channel count (the paper's configuration).
+    fc_width:
+        Width of the exit's hidden FC layer; ``None`` copies the backbone
+        FC width.
+    pruned:
+        Whether the exit's CONV layer is pruned together with the backbone
+        ("Pruned Exits") or left untouched ("Not Pruned Exits").
+    """
+
+    after_block: int
+    conv_channels: int | None = None
+    fc_width: int | None = None
+    pruned: bool = True
+
+    def __post_init__(self):
+        if self.after_block < 0:
+            raise ValueError("after_block must be >= 0")
+
+
+@dataclass(frozen=True)
+class ExitsConfiguration:
+    """The full user-facing exits configuration file."""
+
+    exits: tuple = field(default_factory=tuple)
+
+    def __post_init__(self):
+        blocks = [e.after_block for e in self.exits]
+        if len(set(blocks)) != len(blocks):
+            raise ValueError("at most one exit per backbone block")
+        object.__setattr__(self, "exits", tuple(
+            sorted(self.exits, key=lambda e: e.after_block)))
+
+    @classmethod
+    def paper_default(cls, pruned: bool = True) -> "ExitsConfiguration":
+        """The paper's CNV case study: exits after blocks 1 and 2
+        (i.e., after the second and fourth CONV layers)."""
+        return cls((ExitSpec(after_block=0, pruned=pruned),
+                    ExitSpec(after_block=1, pruned=pruned)))
+
+    @classmethod
+    def none(cls) -> "ExitsConfiguration":
+        """No early exits (plain backbone, the FINN baseline)."""
+        return cls(())
+
+    @property
+    def num_early_exits(self) -> int:
+        return len(self.exits)
+
+    def with_pruned(self, pruned: bool) -> "ExitsConfiguration":
+        """Copy of this configuration with every exit's ``pruned`` flag set."""
+        return ExitsConfiguration(tuple(
+            ExitSpec(e.after_block, e.conv_channels, e.fc_width, pruned)
+            for e in self.exits))
+
+
+def build_exit_branch(
+    input_shape: tuple,
+    spec: ExitSpec,
+    num_classes: int,
+    fc_width: int,
+    quant: QuantSpec,
+    rng: np.random.Generator,
+    name: str = "exit",
+) -> Sequential:
+    """Construct one exit branch per the paper's recipe.
+
+    ``input_shape`` is the (C, H, W) of the host block's output map. The
+    branch is CONV (3x3, host-block channels) -> BN -> quantized ReLU ->
+    max-pool k=floor(DIM/2) -> flatten -> FC -> BN -> quantized ReLU ->
+    FC(num_classes).
+    """
+    in_ch, dim, _ = input_shape
+    conv_ch = spec.conv_channels or in_ch
+    branch = Sequential(name=name)
+    branch.append(QuantConv2D(in_ch, conv_ch, kernel_size=3, padding=1,
+                              quant=quant, name=f"{name}_conv", rng=rng))
+    branch.append(BatchNorm(conv_ch, name=f"{name}_bn0"))
+    branch.append(QuantReLU(quant, name=f"{name}_act0"))
+    pool_k = max(dim // 2, 1)
+    branch.append(MaxPool2d(pool_k, name=f"{name}_pool"))
+    pooled = dim // pool_k
+    flat = conv_ch * pooled * pooled
+    hidden = spec.fc_width or fc_width
+    branch.append(Flatten(name=f"{name}_flatten"))
+    branch.append(QuantLinear(flat, hidden, quant=quant,
+                              name=f"{name}_fc0", rng=rng))
+    branch.append(BatchNorm(hidden, name=f"{name}_bn1"))
+    branch.append(QuantReLU(quant, name=f"{name}_act1"))
+    branch.append(QuantLinear(hidden, num_classes, quant=quant,
+                              name=f"{name}_fc1", rng=rng))
+    return branch

@@ -1,0 +1,97 @@
+"""TFC — FINN's fully-connected reference network, with optional exits.
+
+FINN ships two example topologies: CNV (the paper's case study) and the
+TFC family of MNIST MLPs (784 -> W -> W -> W -> 10, quantized). TFC
+rounds out the model zoo and exercises the FC-only path of the flow:
+MatMul-only dataflow graphs, no sliding-window units, and — since the
+paper's pruning removes CONV *filters* — a model the pruner must treat
+as a no-op.
+
+Early exits attach after the first or second hidden layer as a direct
+quantized classifier head (there is no spatial map to pool).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn.graph import BranchedModel, Sequential
+from ..nn.layers import BatchNorm, Flatten, QuantLinear, QuantReLU
+from ..nn.quant import QuantSpec
+from .exits import ExitsConfiguration
+
+__all__ = ["TFCConfig", "build_tfc"]
+
+
+@dataclass(frozen=True)
+class TFCConfig:
+    """Topology parameters of a TFC instance."""
+
+    num_classes: int = 10
+    in_channels: int = 1
+    image_size: int = 28
+    hidden_width: int = 64
+    quant: QuantSpec = field(default_factory=QuantSpec)
+    seed: int = 0
+
+    @property
+    def in_features(self) -> int:
+        return self.in_channels * self.image_size ** 2
+
+    @property
+    def name(self) -> str:
+        return f"TFC{self.quant.name}-h{self.hidden_width}"
+
+
+def _fc_block(in_f: int, out_f: int, quant: QuantSpec,
+              rng: np.random.Generator, prefix: str) -> list:
+    return [
+        QuantLinear(in_f, out_f, quant=quant, name=f"{prefix}_fc", rng=rng),
+        BatchNorm(out_f, name=f"{prefix}_bn"),
+        QuantReLU(quant, name=f"{prefix}_act"),
+    ]
+
+
+def build_tfc(config: TFCConfig | None = None,
+              exits_config: ExitsConfiguration | None = None) -> BranchedModel:
+    """Build TFC as a :class:`BranchedModel` (exits after blocks 0/1)."""
+    config = config or TFCConfig()
+    exits_config = exits_config or ExitsConfiguration.none()
+    rng = np.random.default_rng(config.seed)
+    w = config.hidden_width
+    quant = config.quant
+
+    seg0 = Sequential(
+        [Flatten(name="flatten")]
+        + _fc_block(config.in_features, w, quant, rng, "h0"),
+        name="seg0",
+    )
+    seg1 = Sequential(_fc_block(w, w, quant, rng, "h1"), name="seg1")
+    seg2 = Sequential(
+        _fc_block(w, w, quant, rng, "h2")
+        + [QuantLinear(w, config.num_classes, quant=quant, name="out",
+                       rng=rng)],
+        name="seg2",
+    )
+
+    exits = {}
+    for spec in exits_config.exits:
+        if spec.after_block > 1:
+            raise ValueError(
+                f"TFC supports exits after blocks 0 and 1, got "
+                f"{spec.after_block}"
+            )
+        exits[spec.after_block] = Sequential(
+            [QuantLinear(w, config.num_classes, quant=quant,
+                         name=f"exit{spec.after_block}_fc", rng=rng)],
+            name=f"exit{spec.after_block}",
+        )
+
+    input_shape = (config.in_channels, config.image_size, config.image_size)
+    model = BranchedModel([seg0, seg1, seg2], exits,
+                          input_shape=input_shape, name=config.name)
+    model.config = config
+    model.exits_config = exits_config
+    return model

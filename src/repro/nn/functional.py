@@ -1,0 +1,234 @@
+"""Low-level numerical kernels for the NumPy neural-network substrate.
+
+Everything here operates on ``numpy.ndarray`` in NCHW layout (batch,
+channels, height, width). The convolution kernels use the classic
+im2col/col2im lowering so the heavy lifting happens inside BLAS matrix
+multiplies, which keeps pure-NumPy training tractable for the scaled-down
+CNV models used across the reproduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "im2col",
+    "col2im",
+    "conv2d_forward",
+    "conv2d_backward",
+    "maxpool2d_forward",
+    "maxpool2d_backward",
+    "conv_output_size",
+    "softmax",
+    "log_softmax",
+    "relu",
+    "relu_grad",
+    "one_hot",
+]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution/pooling window sweep."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive output size {out} for input={size}, "
+            f"kernel={kernel}, stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int = 1, padding: int = 0) -> np.ndarray:
+    """Lower input patches into a matrix.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C, H, W)``.
+    kernel, stride, padding:
+        Square window parameters.
+
+    Returns
+    -------
+    ndarray of shape ``(N * out_h * out_w, C * kernel * kernel)`` where each
+    row is one receptive field, channel-major then row-major within the
+    window (matching the weight layout ``W.reshape(out_ch, -1)``).
+    """
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel, stride, padding)
+    out_w = conv_output_size(w, kernel, stride, padding)
+
+    if padding > 0:
+        x = np.pad(
+            x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+        )
+
+    # Strided sliding-window view: (N, C, out_h, out_w, kernel, kernel)
+    sn, sc, sh, sw = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kernel, kernel),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    # -> (N, out_h, out_w, C, kernel, kernel) -> rows
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
+        n * out_h * out_w, c * kernel * kernel
+    )
+    return np.ascontiguousarray(cols)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple,
+    kernel: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add patch rows back into an image.
+
+    Overlapping windows accumulate, which is exactly the gradient of the
+    im2col gather.
+    """
+    n, c, h, w = x_shape
+    out_h = conv_output_size(h, kernel, stride, padding)
+    out_w = conv_output_size(w, kernel, stride, padding)
+
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    cols6 = cols.reshape(n, out_h, out_w, c, kernel, kernel).transpose(0, 3, 1, 2, 4, 5)
+
+    for ki in range(kernel):
+        i_max = ki + stride * out_h
+        for kj in range(kernel):
+            j_max = kj + stride * out_w
+            padded[:, :, ki:i_max:stride, kj:j_max:stride] += cols6[:, :, :, :, ki, kj]
+
+    if padding > 0:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+def conv2d_forward(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None,
+    stride: int = 1,
+    padding: int = 0,
+):
+    """2-D convolution forward pass.
+
+    Returns ``(out, cols)`` where ``cols`` is the im2col matrix cached for
+    the backward pass.
+    """
+    n, _, h, w = x.shape
+    out_ch, _, kernel, _ = weight.shape
+    out_h = conv_output_size(h, kernel, stride, padding)
+    out_w = conv_output_size(w, kernel, stride, padding)
+
+    cols = im2col(x, kernel, stride, padding)
+    out = cols @ weight.reshape(out_ch, -1).T
+    if bias is not None:
+        out += bias
+    out = out.reshape(n, out_h, out_w, out_ch).transpose(0, 3, 1, 2)
+    return out, cols
+
+
+def conv2d_backward(
+    grad_out: np.ndarray,
+    x_shape: tuple,
+    weight: np.ndarray,
+    cols: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+):
+    """Gradients of :func:`conv2d_forward`.
+
+    Returns ``(grad_x, grad_weight, grad_bias)``.
+    """
+    out_ch, in_ch, kernel, _ = weight.shape
+    # (N, C_out, H, W) -> (N*H*W, C_out)
+    grad_flat = grad_out.transpose(0, 2, 3, 1).reshape(-1, out_ch)
+
+    grad_weight = (grad_flat.T @ cols).reshape(weight.shape)
+    grad_bias = grad_flat.sum(axis=0)
+    grad_cols = grad_flat @ weight.reshape(out_ch, -1)
+    grad_x = col2im(grad_cols, x_shape, kernel, stride, padding)
+    return grad_x, grad_weight, grad_bias
+
+
+def maxpool2d_forward(x: np.ndarray, kernel: int, stride: int | None = None):
+    """Max pooling. Returns ``(out, argmax)`` with argmax cached for backward."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel, stride, 0)
+    out_w = conv_output_size(w, kernel, stride, 0)
+
+    sn, sc, sh, sw = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kernel, kernel),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    flat = windows.reshape(n, c, out_h, out_w, kernel * kernel)
+    argmax = flat.argmax(axis=-1)
+    out = np.take_along_axis(flat, argmax[..., None], axis=-1)[..., 0]
+    return out, argmax
+
+
+def maxpool2d_backward(
+    grad_out: np.ndarray,
+    argmax: np.ndarray,
+    x_shape: tuple,
+    kernel: int,
+    stride: int | None = None,
+) -> np.ndarray:
+    """Route pooled gradients back to the argmax positions."""
+    stride = stride or kernel
+    n, c, h, w = x_shape
+    out_h, out_w = grad_out.shape[2], grad_out.shape[3]
+    grad_x = np.zeros(x_shape, dtype=grad_out.dtype)
+
+    ki = argmax // kernel
+    kj = argmax % kernel
+    oi = np.arange(out_h)[None, None, :, None]
+    oj = np.arange(out_w)[None, None, None, :]
+    rows = oi * stride + ki
+    cols = oj * stride + kj
+    nn_idx = np.arange(n)[:, None, None, None]
+    cc_idx = np.arange(c)[None, :, None, None]
+    np.add.at(grad_x, (nn_idx, cc_idx, rows, cols), grad_out)
+    return grad_x
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(x: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+    return grad_out * (x > 0)
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Integer labels -> one-hot float matrix."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError("label out of range")
+    out = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out

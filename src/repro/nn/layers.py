@@ -1,0 +1,429 @@
+"""Trainable layers for the NumPy substrate.
+
+Each :class:`Layer` owns its parameters (``params``) and gradient buffers
+(``grads``) and implements ``forward``/``backward``. Quantized variants
+(:class:`QuantConv2D`, :class:`QuantLinear`, :class:`QuantReLU`) keep
+full-precision shadow parameters and fake-quantize on the forward pass,
+back-propagating through the straight-through estimator — the same scheme
+Brevitas uses for CNV-W2A2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .quant import (
+    QuantSpec,
+    quantize_activations,
+    quantize_weights,
+    ste_mask,
+)
+
+__all__ = [
+    "Layer",
+    "Conv2D",
+    "QuantConv2D",
+    "Linear",
+    "QuantLinear",
+    "BatchNorm",
+    "MaxPool2d",
+    "ReLU",
+    "QuantReLU",
+    "Flatten",
+    "Identity",
+]
+
+
+class Layer:
+    """Base class: a differentiable, stateful computation node."""
+
+    def __init__(self, name: str = ""):
+        self.name = name or type(self).__name__
+        self.params: dict[str, np.ndarray] = {}
+        self.grads: dict[str, np.ndarray] = {}
+        self.training = True
+
+    # -- interface -------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        """Shape (without batch dim) produced for a given input shape."""
+        raise NotImplementedError
+
+    # -- helpers ---------------------------------------------------------
+    def zero_grad(self) -> None:
+        for k in self.params:
+            self.grads[k] = np.zeros_like(self.params[k])
+
+    def train(self) -> None:
+        self.training = True
+
+    def eval(self) -> None:
+        self.training = False
+
+    def param_count(self) -> int:
+        return int(sum(p.size for p in self.params.values()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name})"
+
+
+def _kaiming(shape, fan_in, rng):
+    return rng.normal(0.0, np.sqrt(2.0 / max(fan_in, 1)), size=shape)
+
+
+class Conv2D(Layer):
+    """Plain float 2-D convolution (square kernel, NCHW)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        name: str = "",
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__(name)
+        if in_channels < 1 or out_channels < 1:
+            raise ValueError("channel counts must be positive")
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.params["weight"] = _kaiming(
+            (out_channels, in_channels, kernel_size, kernel_size), fan_in, rng
+        )
+        self.has_bias = bias
+        if bias:
+            self.params["bias"] = np.zeros(out_channels)
+        self.zero_grad()
+        self._cache = None
+
+    # weight actually used in the forward pass (quantized in subclasses)
+    def effective_weight(self) -> np.ndarray:
+        return self.params["weight"]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        w = self.effective_weight()
+        b = self.params.get("bias")
+        out, cols = F.conv2d_forward(x, w, b, self.stride, self.padding)
+        self._cache = (x.shape, cols, w)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        x_shape, cols, w = self._cache
+        grad_x, grad_w, grad_b = F.conv2d_backward(
+            grad_out, x_shape, w, cols, self.stride, self.padding
+        )
+        self.grads["weight"] += self._weight_grad(grad_w)
+        if self.has_bias:
+            self.grads["bias"] += grad_b
+        return grad_x
+
+    def _weight_grad(self, grad_w: np.ndarray) -> np.ndarray:
+        return grad_w
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        c, h, w = input_shape
+        if c != self.in_channels:
+            raise ValueError(
+                f"{self.name}: expected {self.in_channels} input channels, got {c}"
+            )
+        oh = F.conv_output_size(h, self.kernel_size, self.stride, self.padding)
+        ow = F.conv_output_size(w, self.kernel_size, self.stride, self.padding)
+        return (self.out_channels, oh, ow)
+
+    def macs(self, input_shape: tuple) -> int:
+        """Multiply-accumulate count for one inference at this input shape."""
+        _, oh, ow = self.output_shape(input_shape)
+        k2 = self.kernel_size * self.kernel_size
+        return self.out_channels * oh * ow * k2 * self.in_channels
+
+
+class QuantConv2D(Conv2D):
+    """Convolution with fake-quantized weights (STE backward)."""
+
+    def __init__(self, *args, quant: QuantSpec | None = None, **kwargs):
+        self.quant = quant or QuantSpec()
+        super().__init__(*args, **kwargs)
+
+    def effective_weight(self) -> np.ndarray:
+        return quantize_weights(self.params["weight"], self.quant.weight_bits)
+
+    def _weight_grad(self, grad_w: np.ndarray) -> np.ndarray:
+        return grad_w * ste_mask(self.params["weight"], self.quant.weight_bits)
+
+
+class Linear(Layer):
+    """Fully-connected layer."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        name: str = "",
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__(name)
+        if in_features < 1 or out_features < 1:
+            raise ValueError("feature counts must be positive")
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.params["weight"] = _kaiming((out_features, in_features), in_features, rng)
+        self.has_bias = bias
+        if bias:
+            self.params["bias"] = np.zeros(out_features)
+        self.zero_grad()
+        self._cache = None
+
+    def effective_weight(self) -> np.ndarray:
+        return self.params["weight"]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        w = self.effective_weight()
+        self._cache = (x, w)
+        out = x @ w.T
+        if self.has_bias:
+            out += self.params["bias"]
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        x, w = self._cache
+        self.grads["weight"] += self._weight_grad(grad_out.T @ x)
+        if self.has_bias:
+            self.grads["bias"] += grad_out.sum(axis=0)
+        return grad_out @ w
+
+    def _weight_grad(self, grad_w: np.ndarray) -> np.ndarray:
+        return grad_w
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        if input_shape != (self.in_features,):
+            raise ValueError(
+                f"{self.name}: expected ({self.in_features},), got {input_shape}"
+            )
+        return (self.out_features,)
+
+    def macs(self, input_shape: tuple) -> int:
+        return self.in_features * self.out_features
+
+
+class QuantLinear(Linear):
+    """Fully-connected layer with fake-quantized weights (STE backward)."""
+
+    def __init__(self, *args, quant: QuantSpec | None = None, **kwargs):
+        self.quant = quant or QuantSpec()
+        super().__init__(*args, **kwargs)
+
+    def effective_weight(self) -> np.ndarray:
+        return quantize_weights(self.params["weight"], self.quant.weight_bits)
+
+    def _weight_grad(self, grad_w: np.ndarray) -> np.ndarray:
+        return grad_w * ste_mask(self.params["weight"], self.quant.weight_bits)
+
+
+class BatchNorm(Layer):
+    """Batch normalization over the channel axis (2-D or 4-D inputs)."""
+
+    def __init__(self, num_features: int, momentum: float = 0.9, eps: float = 1e-5,
+                 name: str = ""):
+        super().__init__(name)
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.params["gamma"] = np.ones(num_features)
+        self.params["beta"] = np.zeros(num_features)
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self.zero_grad()
+        self._cache = None
+
+    def _axes(self, x):
+        if x.ndim == 4:
+            return (0, 2, 3)
+        if x.ndim == 2:
+            return (0,)
+        raise ValueError(f"BatchNorm expects 2-D or 4-D input, got {x.ndim}-D")
+
+    def _reshape(self, v, ndim):
+        if ndim == 4:
+            return v.reshape(1, -1, 1, 1)
+        return v.reshape(1, -1)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        axes = self._axes(x)
+        if self.training:
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            self.running_mean = (
+                self.momentum * self.running_mean + (1 - self.momentum) * mean
+            )
+            self.running_var = (
+                self.momentum * self.running_var + (1 - self.momentum) * var
+            )
+        else:
+            mean, var = self.running_mean, self.running_var
+        std = np.sqrt(var + self.eps)
+        x_hat = (x - self._reshape(mean, x.ndim)) / self._reshape(std, x.ndim)
+        out = self._reshape(self.params["gamma"], x.ndim) * x_hat + self._reshape(
+            self.params["beta"], x.ndim
+        )
+        self._cache = (x_hat, std, axes, x.ndim)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        x_hat, std, axes, ndim = self._cache
+        m = grad_out.size / self.num_features
+        self.grads["gamma"] += (grad_out * x_hat).sum(axis=axes)
+        self.grads["beta"] += grad_out.sum(axis=axes)
+        gamma = self._reshape(self.params["gamma"], ndim)
+        g = grad_out * gamma
+        if self.training:
+            g_mean = g.mean(axis=axes)
+            gx_mean = (g * x_hat).mean(axis=axes)
+            grad_x = (
+                g
+                - self._reshape(g_mean, ndim)
+                - x_hat * self._reshape(gx_mean, ndim)
+            ) / self._reshape(std, ndim)
+        else:
+            grad_x = g / self._reshape(std, ndim)
+        return grad_x
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        return input_shape
+
+    def macs(self, input_shape: tuple) -> int:
+        return 0
+
+    def fold_scale_shift(self):
+        """Return the affine (scale, shift) this BN applies at inference.
+
+        FINN's streamlining absorbs BN into the following threshold unit;
+        the IR export uses these values.
+        """
+        std = np.sqrt(self.running_var + self.eps)
+        scale = self.params["gamma"] / std
+        shift = self.params["beta"] - self.running_mean * scale
+        return scale, shift
+
+
+class MaxPool2d(Layer):
+    """Square max pooling."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None, name: str = ""):
+        super().__init__(name)
+        if kernel_size < 1:
+            raise ValueError("kernel_size must be >= 1")
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out, argmax = F.maxpool2d_forward(x, self.kernel_size, self.stride)
+        self._cache = (x.shape, argmax)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        x_shape, argmax = self._cache
+        return F.maxpool2d_backward(
+            grad_out, argmax, x_shape, self.kernel_size, self.stride
+        )
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        c, h, w = input_shape
+        oh = F.conv_output_size(h, self.kernel_size, self.stride, 0)
+        ow = F.conv_output_size(w, self.kernel_size, self.stride, 0)
+        return (c, oh, ow)
+
+    def macs(self, input_shape: tuple) -> int:
+        return 0
+
+
+class ReLU(Layer):
+    def __init__(self, name: str = ""):
+        super().__init__(name)
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._cache = x
+        return F.relu(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return F.relu_grad(self._cache, grad_out)
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        return input_shape
+
+    def macs(self, input_shape: tuple) -> int:
+        return 0
+
+
+class QuantReLU(Layer):
+    """Quantized activation: clipped ReLU to ``2**act_bits`` levels (STE)."""
+
+    def __init__(self, quant: QuantSpec | None = None, name: str = ""):
+        super().__init__(name)
+        self.quant = quant or QuantSpec()
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._cache = x
+        return quantize_activations(x, self.quant.act_bits, self.quant.act_range)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        x = self._cache
+        inside = (x > 0) & (x < self.quant.act_range)
+        return grad_out * inside
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        return input_shape
+
+    def macs(self, input_shape: tuple) -> int:
+        return 0
+
+
+class Flatten(Layer):
+    def __init__(self, name: str = ""):
+        super().__init__(name)
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._cache = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out.reshape(self._cache)
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        return (int(np.prod(input_shape)),)
+
+    def macs(self, input_shape: tuple) -> int:
+        return 0
+
+
+class Identity(Layer):
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        return input_shape
+
+    def macs(self, input_shape: tuple) -> int:
+        return 0

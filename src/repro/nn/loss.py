@@ -1,0 +1,78 @@
+"""Loss functions: cross-entropy and the BranchyNet joint loss.
+
+The paper trains all exits simultaneously with a weighted sum of per-exit
+cross-entropy losses, J = sum_n w_n * L(y_hat_exit_n, y) — first exit
+weighted 1.0 and remaining exits 0.3 in the paper's methodology.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .functional import log_softmax, one_hot, softmax
+
+__all__ = ["cross_entropy", "CrossEntropyLoss", "JointLoss"]
+
+
+def cross_entropy(logits: np.ndarray, labels: np.ndarray):
+    """Mean cross-entropy and its gradient w.r.t. the logits.
+
+    Returns ``(loss, grad)`` with ``grad`` already averaged over the batch.
+    """
+    n, k = logits.shape
+    targets = one_hot(labels, k)
+    logp = log_softmax(logits, axis=1)
+    loss = -(targets * logp).sum() / n
+    grad = (softmax(logits, axis=1) - targets) / n
+    return float(loss), grad
+
+
+class CrossEntropyLoss:
+    """Stateless object wrapper around :func:`cross_entropy`."""
+
+    def __call__(self, logits: np.ndarray, labels: np.ndarray):
+        return cross_entropy(logits, labels)
+
+
+class JointLoss:
+    """BranchyNet joint loss over all exits.
+
+    Parameters
+    ----------
+    exit_weights:
+        One weight per exit in forward order (early exits first, final exit
+        last). The paper uses 1.0 for the first exit and 0.3 for the rest.
+    """
+
+    def __init__(self, exit_weights: list[float]):
+        if not exit_weights:
+            raise ValueError("need at least one exit weight")
+        if any(w < 0 for w in exit_weights):
+            raise ValueError("exit weights must be non-negative")
+        self.exit_weights = list(exit_weights)
+
+    @classmethod
+    def paper_default(cls, num_exits: int) -> "JointLoss":
+        """Paper schedule: first exit 1.0, every later exit 0.3."""
+        if num_exits < 1:
+            raise ValueError("num_exits must be >= 1")
+        return cls([1.0] + [0.3] * (num_exits - 1))
+
+    def __call__(self, exit_logits: list[np.ndarray], labels: np.ndarray):
+        """Joint loss and one gradient array per exit.
+
+        Returns ``(total_loss, grads, per_exit_losses)``.
+        """
+        if len(exit_logits) != len(self.exit_weights):
+            raise ValueError(
+                f"got {len(exit_logits)} exits but {len(self.exit_weights)} weights"
+            )
+        total = 0.0
+        grads = []
+        per_exit = []
+        for w, logits in zip(self.exit_weights, exit_logits):
+            loss, grad = cross_entropy(logits, labels)
+            total += w * loss
+            grads.append(w * grad)
+            per_exit.append(loss)
+        return total, grads, per_exit

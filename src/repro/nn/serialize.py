@@ -1,0 +1,70 @@
+"""Model weight persistence.
+
+Checkpoints a :class:`~repro.nn.BranchedModel`'s parameters (plus
+BatchNorm running statistics) to a single ``.npz`` file. Only weights are
+stored — the architecture is rebuilt by the caller (e.g.
+:func:`repro.models.build_cnv` with the same config), mirroring the
+PyTorch ``state_dict`` convention the paper's toolchain uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import BranchedModel
+from .layers import BatchNorm
+
+__all__ = ["save_model", "load_model"]
+
+_BN_PREFIX = "__bnstat__"
+
+
+def _bn_entries(model: BranchedModel):
+    for si, seg in enumerate(model.segments):
+        for li, layer in enumerate(seg.layers):
+            if isinstance(layer, BatchNorm):
+                yield f"seg{si}.l{li}", layer
+    for ei, branch in model.exits.items():
+        for li, layer in enumerate(branch.layers):
+            if isinstance(layer, BatchNorm):
+                yield f"exit{ei}.l{li}", layer
+
+
+def save_model(model: BranchedModel, path: str) -> None:
+    """Write all parameters and BN running stats to ``path`` (.npz)."""
+    arrays = dict(model.state_dict())
+    for key, bn in _bn_entries(model):
+        arrays[f"{_BN_PREFIX}{key}.running_mean"] = bn.running_mean
+        arrays[f"{_BN_PREFIX}{key}.running_var"] = bn.running_var
+    np.savez_compressed(path, **arrays)
+
+
+def load_model(model: BranchedModel, path: str) -> BranchedModel:
+    """Load weights saved by :func:`save_model` into ``model`` (in place).
+
+    The model must have been built with the identical architecture;
+    mismatched shapes raise ``ValueError``.
+    """
+    with np.load(path) as data:
+        arrays = {k: data[k] for k in data.files}
+    state = {k: v for k, v in arrays.items()
+             if not k.startswith(_BN_PREFIX)}
+    expected = model.state_dict()
+    missing = set(expected) - set(state)
+    if missing:
+        raise ValueError(f"checkpoint is missing parameters: "
+                         f"{sorted(missing)[:5]}...")
+    for key, value in state.items():
+        if key in expected and expected[key].shape != value.shape:
+            raise ValueError(
+                f"shape mismatch for {key}: model {expected[key].shape}, "
+                f"checkpoint {value.shape}")
+    model.load_state_dict(state)
+    for key, bn in _bn_entries(model):
+        mean = arrays.get(f"{_BN_PREFIX}{key}.running_mean")
+        var = arrays.get(f"{_BN_PREFIX}{key}.running_var")
+        if mean is not None:
+            bn.running_mean = mean.copy()
+        if var is not None:
+            bn.running_var = var.copy()
+    return model

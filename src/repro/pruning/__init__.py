@@ -1,0 +1,25 @@
+"""Dataflow-aware structured filter pruning (the paper's Sec. IV-A2)."""
+
+from .dataflow import (
+    LayerFoldConstraint,
+    achievable_rates,
+    adjust_removal,
+    requested_removal,
+)
+from .pruner import PruneDecision, PruneReport, prune_model
+from .ranking import filter_l1_norms, select_keep_filters
+from .schedule import (
+    PruneRetrainResult,
+    paper_rate_sweep,
+    prune_and_retrain,
+    sweep_prune_retrain,
+)
+
+__all__ = [
+    "LayerFoldConstraint", "achievable_rates", "adjust_removal",
+    "requested_removal",
+    "PruneDecision", "PruneReport", "prune_model",
+    "filter_l1_norms", "select_keep_filters",
+    "PruneRetrainResult", "paper_rate_sweep", "prune_and_retrain",
+    "sweep_prune_retrain",
+]

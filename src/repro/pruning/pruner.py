@@ -1,0 +1,297 @@
+"""Structured filter pruning of early-exit CNV models.
+
+Implements the paper's Dataflow-Aware Pruning: for every CONV layer,
+``r_i`` filters are removed according to the l1-norm ranking, where
+``r_i`` is first reduced until the FINN folding constraints hold
+(:mod:`repro.pruning.dataflow`). Pruning a filter removes the
+corresponding output channel everywhere it is consumed:
+
+* the layer's own weight/bias rows and the following BatchNorm,
+* the *next* CONV layer's input channels,
+* the input channels of any early-exit branch attached to the block, and
+* the columns of the first FC layer after a Flatten (channel-major).
+
+Exit CONV layers are pruned at the same rate when the exit's ``pruned``
+flag is set ("Pruned Exits") and left untouched otherwise ("Not Pruned
+Exits").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn.graph import BranchedModel, Sequential
+from ..nn.layers import BatchNorm, Conv2D, Flatten, Linear
+from .dataflow import LayerFoldConstraint, adjust_removal, requested_removal
+from .ranking import select_keep_filters
+
+__all__ = ["PruneDecision", "PruneReport", "prune_model"]
+
+
+@dataclass(frozen=True)
+class PruneDecision:
+    """What happened to one CONV layer."""
+
+    layer_name: str
+    channels_before: int
+    requested_removal: int
+    achieved_removal: int
+    keep: tuple
+
+    @property
+    def channels_after(self) -> int:
+        return self.channels_before - self.achieved_removal
+
+    @property
+    def achieved_rate(self) -> float:
+        return self.achieved_removal / self.channels_before
+
+
+@dataclass
+class PruneReport:
+    """Summary of a whole-model pruning pass."""
+
+    rate: float
+    prune_exits: bool
+    decisions: list = field(default_factory=list)
+
+    @property
+    def achieved_rate(self) -> float:
+        """Filter-weighted overall achieved pruning rate."""
+        before = sum(d.channels_before for d in self.decisions)
+        removed = sum(d.achieved_removal for d in self.decisions)
+        return removed / before if before else 0.0
+
+    def decision_for(self, layer_name: str) -> PruneDecision:
+        for d in self.decisions:
+            if d.layer_name == layer_name:
+                return d
+        raise KeyError(layer_name)
+
+
+def _layer_input_shapes(seq: Sequential, input_shape: tuple) -> list[tuple]:
+    """Input shape seen by every layer of a Sequential."""
+    shapes = []
+    shape = input_shape
+    for layer in seq.layers:
+        shapes.append(shape)
+        shape = layer.output_shape(shape)
+    return shapes
+
+
+def _slice_bn(bn: BatchNorm, keep: np.ndarray) -> None:
+    bn.params["gamma"] = bn.params["gamma"][keep]
+    bn.params["beta"] = bn.params["beta"][keep]
+    bn.grads["gamma"] = np.zeros_like(bn.params["gamma"])
+    bn.grads["beta"] = np.zeros_like(bn.params["beta"])
+    bn.running_mean = bn.running_mean[keep]
+    bn.running_var = bn.running_var[keep]
+    bn.num_features = len(keep)
+
+
+def _slice_conv_out(conv: Conv2D, keep: np.ndarray) -> None:
+    conv.params["weight"] = conv.params["weight"][keep]
+    if conv.has_bias:
+        conv.params["bias"] = conv.params["bias"][keep]
+    conv.out_channels = len(keep)
+    conv.zero_grad()
+
+
+def _slice_conv_in(conv: Conv2D, keep: np.ndarray) -> None:
+    conv.params["weight"] = conv.params["weight"][:, keep]
+    conv.in_channels = len(keep)
+    conv.zero_grad()
+
+
+def _slice_linear_in_channels(linear: Linear, keep: np.ndarray,
+                              spatial: tuple) -> None:
+    """Remove channel groups from an FC fed by a flattened (C, H, W) map."""
+    h, w = spatial
+    out_f, in_f = linear.params["weight"].shape
+    c = in_f // (h * w)
+    if c * h * w != in_f:
+        raise ValueError(
+            f"{linear.name}: in_features={in_f} not divisible by "
+            f"spatial {h}x{w}"
+        )
+    w4 = linear.params["weight"].reshape(out_f, c, h, w)
+    linear.params["weight"] = w4[:, keep].reshape(out_f, -1)
+    linear.in_features = linear.params["weight"].shape[1]
+    linear.zero_grad()
+
+
+def _find_next(layers: list, start: int, cls) -> int | None:
+    for j in range(start, len(layers)):
+        if isinstance(layers[j], cls):
+            return j
+    return None
+
+
+def _spatial_upto(layers: list, stop: int, hw: tuple) -> tuple:
+    """Track only (H, W) through ``layers[:stop]`` (channel-agnostic).
+
+    Needed when the channel count is mid-slice and full shape inference
+    would reject the temporarily inconsistent widths.
+    """
+    from ..nn import functional as F
+    from ..nn.layers import MaxPool2d
+
+    h, w = hw
+    for layer in layers[:stop]:
+        if isinstance(layer, Conv2D):
+            h = F.conv_output_size(h, layer.kernel_size, layer.stride,
+                                   layer.padding)
+            w = F.conv_output_size(w, layer.kernel_size, layer.stride,
+                                   layer.padding)
+        elif isinstance(layer, MaxPool2d):
+            h = F.conv_output_size(h, layer.kernel_size, layer.stride, 0)
+            w = F.conv_output_size(w, layer.kernel_size, layer.stride, 0)
+    return h, w
+
+
+def _apply_downstream(seq: Sequential, conv_pos: int, keep: np.ndarray,
+                      shapes: list[tuple]) -> bool:
+    """Propagate an out-channel slice to consumers inside one Sequential.
+
+    Returns True if a consumer was found inside this Sequential; False if
+    the sliced channels flow out of the Sequential (i.e., the caller must
+    handle cross-segment consumers).
+    """
+    layers = seq.layers
+    j = conv_pos + 1
+    while j < len(layers):
+        layer = layers[j]
+        if isinstance(layer, BatchNorm):
+            _slice_bn(layer, keep)
+        elif isinstance(layer, Conv2D):
+            _slice_conv_in(layer, keep)
+            return True
+        elif isinstance(layer, Flatten):
+            lin_pos = _find_next(layers, j + 1, Linear)
+            if lin_pos is None:
+                raise ValueError(
+                    f"{seq.name}: Flatten without a following Linear"
+                )
+            _, h, w = shapes[j]
+            _slice_linear_in_channels(layers[lin_pos], keep, (h, w))
+            return True
+        j += 1
+    return False
+
+
+def _prune_sequential_convs(
+    seq: Sequential,
+    input_shape: tuple,
+    rate: float,
+    constraints,
+    report: PruneReport,
+) -> np.ndarray | None:
+    """Prune every CONV inside one Sequential.
+
+    Returns the keep-set of the last conv if its channels escape the
+    Sequential (no internal consumer), else None.
+    """
+    escaping = None
+    for pos, layer in enumerate(seq.layers):
+        if not isinstance(layer, Conv2D):
+            continue
+        shapes = _layer_input_shapes(seq, input_shape)
+        ch_out = layer.out_channels
+        constraint = constraints.get(layer.name, LayerFoldConstraint())
+        requested = requested_removal(ch_out, rate)
+        achieved = adjust_removal(ch_out, requested, constraint)
+        keep = select_keep_filters(layer.params["weight"], achieved)
+        _slice_conv_out(layer, keep)
+        consumed = _apply_downstream(seq, pos, keep, shapes)
+        report.decisions.append(PruneDecision(
+            layer.name, ch_out, requested, achieved, tuple(int(k) for k in keep)
+        ))
+        if not consumed:
+            escaping = keep
+    return escaping
+
+
+def prune_model(
+    model: BranchedModel,
+    rate: float,
+    constraints: dict[str, LayerFoldConstraint] | None = None,
+    prune_exits: bool = True,
+) -> tuple[BranchedModel, PruneReport]:
+    """Prune a (possibly branched) model at one pruning rate.
+
+    Parameters
+    ----------
+    model:
+        The trained early-exit model. It is not modified; a pruned clone
+        is returned.
+    rate:
+        Fraction of filters to remove from every CONV layer, in [0, 1).
+    constraints:
+        Optional per-layer folding constraints keyed by CONV layer name
+        (see :func:`repro.finn.folding.fold_constraints`). Missing layers
+        get the unconstrained default.
+    prune_exits:
+        Prune exit CONV layers at the same rate (the "Pruned Exits"
+        variant). Ignored for models without exits.
+
+    Returns
+    -------
+    ``(pruned_model, report)``
+    """
+    constraints = constraints or {}
+    new = model.clone()
+    report = PruneReport(rate=rate, prune_exits=prune_exits)
+
+    shape = new.input_shape
+    pending: np.ndarray | None = None  # keep-set escaping the previous segment
+    seg_input_shapes = []
+    for si, seg in enumerate(new.segments):
+        seg_input_shapes.append(shape)
+        if pending is not None:
+            # Channels flowed across the segment boundary: the consumer is
+            # the first conv (or flatten->linear) of this segment.
+            handled = False
+            for pos, layer in enumerate(seg.layers):
+                if isinstance(layer, Conv2D):
+                    _slice_conv_in(layer, pending)
+                    handled = True
+                    break
+                if isinstance(layer, Flatten):
+                    lin_pos = _find_next(seg.layers, pos + 1, Linear)
+                    h, w = _spatial_upto(seg.layers, pos, shape[1:])
+                    _slice_linear_in_channels(seg.layers[lin_pos], pending, (h, w))
+                    handled = True
+                    break
+            if not handled:
+                raise ValueError(f"segment {si}: no consumer for pruned channels")
+            pending = None
+
+        escaping = _prune_sequential_convs(seg, shape, rate, constraints, report)
+
+        # Exit branches see the segment output. Their input channels must
+        # follow the backbone pruning regardless of the pruned flag.
+        if si in new.exits and escaping is not None:
+            first = new.exits[si].layers[0]
+            if not isinstance(first, Conv2D):
+                raise ValueError("exit branches must start with a CONV layer")
+            _slice_conv_in(first, escaping)
+        if si + 1 < len(new.segments):
+            pending = escaping
+        elif escaping is not None:
+            raise ValueError("final backbone conv has no consumer")
+        shape = seg.output_shape(shape)
+
+    # Prune exit conv layers (out channels) if requested.
+    if prune_exits:
+        for si, branch in new.exits.items():
+            branch_input = new.segments[si].output_shape(seg_input_shapes[si])
+            _prune_sequential_convs(branch, branch_input, rate, constraints,
+                                    report)
+
+    # Sanity check: a forward pass on a dummy input must work.
+    probe = np.zeros((1,) + new.input_shape, dtype=np.float32)
+    new.eval()
+    new.forward(probe)
+    return new, report

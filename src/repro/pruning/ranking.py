@@ -1,0 +1,42 @@
+"""Filter importance ranking for structured pruning.
+
+The paper ranks CONV filters by the l1-norm of their weights in
+floating-point representation [Li et al., ICLR 2017] and removes the
+lowest-ranked ones. Ranking always happens on the full-precision shadow
+weights, not the quantized values, exactly as the paper specifies
+("from the floating-point representation").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["filter_l1_norms", "select_keep_filters"]
+
+
+def filter_l1_norms(weight: np.ndarray) -> np.ndarray:
+    """Per-filter l1 norm of a CONV weight tensor ``(out, in, k, k)``."""
+    if weight.ndim != 4:
+        raise ValueError(f"expected 4-D conv weight, got {weight.ndim}-D")
+    return np.abs(weight).sum(axis=(1, 2, 3))
+
+
+def select_keep_filters(weight: np.ndarray, num_remove: int) -> np.ndarray:
+    """Indices of filters to keep after removing the ``num_remove`` weakest.
+
+    Returns a sorted index array so that channel order is preserved (the
+    dataflow accelerator's stream ordering must not be permuted).
+    """
+    out_channels = weight.shape[0]
+    if not 0 <= num_remove < out_channels:
+        raise ValueError(
+            f"cannot remove {num_remove} of {out_channels} filters "
+            "(at least one filter must survive)"
+        )
+    if num_remove == 0:
+        return np.arange(out_channels)
+    norms = filter_l1_norms(weight)
+    # Stable selection: ties broken by original index, weakest removed first.
+    order = np.lexsort((np.arange(out_channels), norms))
+    keep = np.sort(order[num_remove:])
+    return keep

@@ -1,0 +1,97 @@
+"""Prune-then-retrain pipeline.
+
+The paper prunes each early-exit model at a fixed rate, then retrains it
+(40 epochs in the paper; configurable here) before export. This module
+wires :func:`repro.pruning.prune_model` to :class:`repro.nn.Trainer` and
+exposes the full pruning-rate sweep used by the design-time Library
+Generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn.graph import BranchedModel
+from ..nn.loss import JointLoss
+from ..nn.trainer import TrainConfig, Trainer
+from .dataflow import LayerFoldConstraint
+from .pruner import PruneReport, prune_model
+
+__all__ = ["PruneRetrainResult", "prune_and_retrain", "paper_rate_sweep",
+           "sweep_prune_retrain"]
+
+
+@dataclass
+class PruneRetrainResult:
+    """One pruned, retrained model plus its pruning report."""
+
+    model: BranchedModel
+    report: PruneReport
+    history: object = None
+
+    @property
+    def rate(self) -> float:
+        return self.report.rate
+
+    @property
+    def achieved_rate(self) -> float:
+        return self.report.achieved_rate
+
+
+def paper_rate_sweep() -> list[float]:
+    """The paper's 18 pruning rates: 0 % to 85 % in 5 % steps."""
+    return [round(0.05 * i, 2) for i in range(18)]
+
+
+def prune_and_retrain(
+    model: BranchedModel,
+    rate: float,
+    images: np.ndarray,
+    labels: np.ndarray,
+    retrain: TrainConfig | None = None,
+    constraints: dict[str, LayerFoldConstraint] | None = None,
+    prune_exits: bool = True,
+    joint_loss: JointLoss | None = None,
+    augment=None,
+) -> PruneRetrainResult:
+    """Prune ``model`` at ``rate`` and retrain the pruned clone."""
+    pruned, report = prune_model(model, rate, constraints=constraints,
+                                 prune_exits=prune_exits)
+    history = None
+    if retrain is not None and retrain.epochs > 0 and rate > 0:
+        trainer = Trainer(pruned, retrain, joint_loss=joint_loss)
+        history = trainer.fit(images, labels, augment=augment)
+    pruned.eval()
+    return PruneRetrainResult(pruned, report, history)
+
+
+def sweep_prune_retrain(
+    model: BranchedModel,
+    rates: list[float],
+    images: np.ndarray,
+    labels: np.ndarray,
+    retrain: TrainConfig | None = None,
+    constraints: dict[str, LayerFoldConstraint] | None = None,
+    prune_exits: bool = True,
+    joint_loss: JointLoss | None = None,
+    augment=None,
+    progress=None,
+) -> list[PruneRetrainResult]:
+    """Run the full rate sweep; each rate starts from the trained model.
+
+    ``progress`` is an optional callable ``(rate, result)`` invoked after
+    each point (the Library Generator uses it for logging).
+    """
+    results = []
+    for rate in rates:
+        result = prune_and_retrain(
+            model, rate, images, labels, retrain=retrain,
+            constraints=constraints, prune_exits=prune_exits,
+            joint_loss=joint_loss, augment=augment,
+        )
+        if progress is not None:
+            progress(rate, result)
+        results.append(result)
+    return results

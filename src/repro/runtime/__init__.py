@@ -1,0 +1,18 @@
+"""AdaPEx runtime: the Library, Runtime Manager, baselines, and
+reconfiguration machinery."""
+
+from .baselines import AdaPEx, CTOnly, FINNStatic, PROnly, make_policy
+from .extra_policies import OraclePolicy, RandomPolicy
+from .library import AcceleratorId, Library, LibraryEntry
+from .manager import RuntimeManager, SelectionPolicy
+from .monitor import WorkloadMonitor
+from .reconfig import ReconfigEvent, ReconfigurationController
+
+__all__ = [
+    "AdaPEx", "CTOnly", "FINNStatic", "PROnly", "make_policy",
+    "OraclePolicy", "RandomPolicy",
+    "AcceleratorId", "Library", "LibraryEntry",
+    "RuntimeManager", "SelectionPolicy",
+    "WorkloadMonitor",
+    "ReconfigEvent", "ReconfigurationController",
+]

@@ -1,0 +1,76 @@
+"""Reference policies beyond the paper's baselines.
+
+* :class:`OraclePolicy` — selects with perfect knowledge of the *peak*
+  workload of the whole run, so it never reconfigures mid-run and never
+  under-provisions: an upper bound on achievable serving (at the cost of
+  accuracy headroom).
+* :class:`RandomPolicy` — picks uniformly at random among
+  accuracy-feasible entries at every decision: a sanity lower bound that
+  any sensible manager must beat.
+
+Both implement the standard policy interface
+(``select``/``requires_reconfiguration``) so the edge simulator and the
+benchmarks can drive them interchangeably.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .library import Library, LibraryEntry
+from .manager import RuntimeManager, SelectionPolicy
+
+__all__ = ["OraclePolicy", "RandomPolicy"]
+
+
+class OraclePolicy(RuntimeManager):
+    """Provision once for a known peak workload.
+
+    ``peak_ips`` is typically the workload's worst case
+    (``nominal * (1 + deviation)``); the oracle picks the most accurate
+    entry that covers it and sticks with that choice for the whole run.
+    """
+
+    name = "Oracle"
+
+    def __init__(self, library: Library, peak_ips: float,
+                 policy: SelectionPolicy | None = None):
+        filtered = library.filtered(lambda e: e.accelerator.variant == "ee")
+        if len(filtered) == 0:
+            filtered = library
+        super().__init__(filtered, policy)
+        if peak_ips < 0:
+            raise ValueError("peak_ips must be >= 0")
+        self._choice = super().select(peak_ips)
+
+    def select(self, workload_ips: float,
+               current: LibraryEntry | None = None) -> LibraryEntry:
+        return self._choice
+
+
+class RandomPolicy:
+    """Uniform choice among accuracy-feasible entries (sanity baseline)."""
+
+    name = "Random"
+
+    def __init__(self, library: Library,
+                 policy: SelectionPolicy | None = None, seed: int = 0):
+        if len(library) == 0:
+            raise ValueError("cannot sample from an empty library")
+        self.policy = policy or SelectionPolicy()
+        reference = library.best_accuracy()
+        min_accuracy = reference - self.policy.accuracy_loss_threshold
+        self._pool = [e for e in library if e.accuracy >= min_accuracy] \
+            or list(library)
+        self._rng = np.random.default_rng(seed)
+
+    def select(self, workload_ips: float,
+               current: LibraryEntry | None = None) -> LibraryEntry:
+        if workload_ips < 0:
+            raise ValueError("workload must be >= 0")
+        return self._pool[int(self._rng.integers(len(self._pool)))]
+
+    def requires_reconfiguration(self, current, selected) -> bool:
+        if current is None:
+            return True
+        return current.accelerator != selected.accelerator

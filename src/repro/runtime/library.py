@@ -1,0 +1,151 @@
+"""The AdaPEx Library: the design-time artifact the runtime searches.
+
+The Library is "a table containing a list of pruned early-exit CNNs
+(rows) with their accuracy as well as throughput values" (paper, Sec.
+IV-A), extended here with the power/energy figures the evaluation needs.
+One :class:`LibraryEntry` describes one operating point: a concrete
+accelerator (identified by pruning rate and exit-pruning mode — switching
+accelerators costs an FPGA reconfiguration) at one confidence threshold
+(free to change at runtime).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+__all__ = ["AcceleratorId", "LibraryEntry", "Library"]
+
+
+@dataclass(frozen=True, order=True)
+class AcceleratorId:
+    """Identity of one synthesized bitstream.
+
+    Two entries with the same ``AcceleratorId`` can be switched between
+    for free (only the host-side confidence threshold changes); different
+    ids require reconfiguring the FPGA.
+    """
+
+    pruning_rate: float
+    pruned_exits: bool = True
+    variant: str = "ee"  # "ee" = early-exit model, "backbone" = no exits
+
+    def label(self) -> str:
+        mode = "px" if self.pruned_exits else "npx"
+        return f"{self.variant}-pr{int(round(self.pruning_rate * 100)):02d}-{mode}"
+
+
+@dataclass(frozen=True)
+class LibraryEntry:
+    """One (accelerator, confidence threshold) operating point."""
+
+    accelerator: AcceleratorId
+    confidence_threshold: float
+    accuracy: float
+    exit_rates: tuple
+    latency_s: float
+    serving_ips: float
+    energy_per_inference_j: float
+    power_idle_w: float
+    power_busy_w: float
+    achieved_pruning_rate: float = 0.0
+    exit_latencies_s: tuple = ()
+    resources: dict = field(default_factory=dict)
+    extra: dict = field(default_factory=dict)
+
+    def service_latency_s(self, exit_idx: int) -> float:
+        """Latency of one inference that takes the given exit."""
+        if self.exit_latencies_s:
+            return self.exit_latencies_s[exit_idx]
+        return self.latency_s
+
+    def power_at(self, arrival_ips: float) -> float:
+        """Board power at a given served rate (linear idle-busy blend)."""
+        if self.serving_ips <= 0:
+            return self.power_idle_w
+        util = min(arrival_ips / self.serving_ips, 1.0)
+        return self.power_idle_w + util * (self.power_busy_w - self.power_idle_w)
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["accelerator"] = asdict(self.accelerator)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "LibraryEntry":
+        d = dict(d)
+        d["accelerator"] = AcceleratorId(**d["accelerator"])
+        d["exit_rates"] = tuple(d["exit_rates"])
+        d["exit_latencies_s"] = tuple(d.get("exit_latencies_s", ()))
+        return cls(**d)
+
+
+class Library:
+    """Queryable collection of operating points."""
+
+    def __init__(self, entries: list | None = None, metadata: dict | None = None):
+        self.entries: list[LibraryEntry] = list(entries or [])
+        self.metadata: dict = dict(metadata or {})
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def add(self, entry: LibraryEntry) -> None:
+        self.entries.append(entry)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def accelerators(self) -> list[AcceleratorId]:
+        seen = []
+        for e in self.entries:
+            if e.accelerator not in seen:
+                seen.append(e.accelerator)
+        return seen
+
+    def entries_for(self, accelerator: AcceleratorId) -> list[LibraryEntry]:
+        return [e for e in self.entries if e.accelerator == accelerator]
+
+    def best_accuracy(self) -> float:
+        """Highest accuracy in the library (the reference point the user's
+        accuracy threshold is measured from)."""
+        if not self.entries:
+            raise ValueError("library is empty")
+        return max(e.accuracy for e in self.entries)
+
+    def feasible(self, min_accuracy: float, required_ips: float) -> list:
+        """Entries meeting both the accuracy bound and the workload."""
+        return [e for e in self.entries
+                if e.accuracy >= min_accuracy and e.serving_ips >= required_ips]
+
+    def filtered(self, predicate) -> "Library":
+        """New library view with only entries matching ``predicate``."""
+        return Library([e for e in self.entries if predicate(e)],
+                       dict(self.metadata))
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps({
+            "metadata": self.metadata,
+            "entries": [e.to_dict() for e in self.entries],
+        }, indent=1)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Library":
+        raw = json.loads(text)
+        return cls([LibraryEntry.from_dict(d) for d in raw["entries"]],
+                   raw.get("metadata", {}))
+
+    def save(self, path) -> None:
+        with open(path, "w") as f:
+            f.write(self.to_json())
+
+    @classmethod
+    def load(cls, path) -> "Library":
+        with open(path) as f:
+            return cls.from_json(f.read())

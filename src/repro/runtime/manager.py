@@ -1,0 +1,100 @@
+"""The AdaPEx Runtime Manager.
+
+Selection policy from the paper (Sec. IV-B): given the user's accuracy
+threshold (a maximum accuracy loss relative to the best model in the
+Library) and the sampled incoming workload (IPS), keep only entries whose
+accuracy is above the bound *and* whose throughput covers the workload,
+then pick the one with the highest accuracy. Changing the confidence
+threshold is free; changing the pruning rate means reconfiguring the FPGA.
+
+Two practical refinements the paper implies:
+
+* when no entry can carry the workload, the manager degrades gracefully
+  to the fastest entry above the accuracy bound (the alternative is
+  uncontrolled frame loss);
+* ties on accuracy prefer (1) the currently loaded accelerator (avoids a
+  145 ms reconfiguration) and (2) lower energy per inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .library import AcceleratorId, Library, LibraryEntry
+
+__all__ = ["SelectionPolicy", "RuntimeManager"]
+
+
+@dataclass(frozen=True)
+class SelectionPolicy:
+    """Tunable knobs of the selection."""
+
+    accuracy_loss_threshold: float = 0.10  # paper default: 10 %
+    headroom: float = 1.0  # required serving capacity = workload * headroom
+
+    def __post_init__(self):
+        if not 0.0 <= self.accuracy_loss_threshold <= 1.0:
+            raise ValueError("accuracy_loss_threshold must be in [0, 1]")
+        if self.headroom <= 0:
+            raise ValueError("headroom must be positive")
+
+
+class RuntimeManager:
+    """Selects Library entries to match the current edge conditions."""
+
+    def __init__(self, library: Library,
+                 policy: SelectionPolicy | None = None):
+        if len(library) == 0:
+            raise ValueError("cannot manage an empty library")
+        self.library = library
+        self.policy = policy or SelectionPolicy()
+        self._reference_accuracy = library.best_accuracy()
+
+    @property
+    def min_accuracy(self) -> float:
+        """Lowest acceptable accuracy (reference minus allowed loss)."""
+        return self._reference_accuracy - self.policy.accuracy_loss_threshold
+
+    def select(self, workload_ips: float,
+               current: LibraryEntry | None = None) -> LibraryEntry:
+        """Pick the entry for the sampled workload.
+
+        ``current`` is the currently deployed entry (used to break ties in
+        favour of avoiding a reconfiguration).
+        """
+        if workload_ips < 0:
+            raise ValueError("workload must be >= 0")
+        required = workload_ips * self.policy.headroom
+        candidates = self.library.feasible(self.min_accuracy, required)
+        if not candidates:
+            # Degraded mode: fastest entry that still honours accuracy.
+            acc_ok = [e for e in self.library
+                      if e.accuracy >= self.min_accuracy]
+            pool = acc_ok or list(self.library)
+            return max(pool, key=lambda e: (
+                e.serving_ips,
+                e.accuracy,
+                self._stability_bonus(e, current),
+            ))
+        return max(candidates, key=lambda e: (
+            round(e.accuracy, 6),
+            self._stability_bonus(e, current),
+            -e.energy_per_inference_j,
+        ))
+
+    @staticmethod
+    def _stability_bonus(entry: LibraryEntry,
+                         current: LibraryEntry | None) -> int:
+        if current is not None and entry.accelerator == current.accelerator:
+            return 1
+        return 0
+
+    def requires_reconfiguration(self, current: LibraryEntry | None,
+                                 selected: LibraryEntry) -> bool:
+        """True when moving to ``selected`` swaps the loaded bitstream."""
+        if current is None:
+            return True
+        return current.accelerator != selected.accelerator
+
+    def operating_points(self) -> list[AcceleratorId]:
+        return self.library.accelerators()

@@ -1,0 +1,99 @@
+"""Experiment driver tests over the generated quick library."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    fig1_tradeoff,
+    fig4_design_space,
+    fig5_accuracy_latency,
+    fig5_resources,
+    fig6_qoe_edp,
+    reconfiguration_ablation,
+    table1_rows,
+)
+from repro.edge import ServerConfig, WorkloadSpec
+
+
+SMALL_WORKLOAD = WorkloadSpec(num_cameras=4, ips_per_camera=25.0,
+                              duration_s=5.0)
+
+
+class TestFig1:
+    def test_rows_per_rate(self, quick_library):
+        rows = fig1_tradeoff(quick_library, thresholds=(0.05, 0.5, 0.95))
+        rates = sorted({e.accelerator.pruning_rate for e in quick_library})
+        assert [r["pruning_rate"] for r in rows] == rates
+
+    def test_columns(self, quick_library):
+        rows = fig1_tradeoff(quick_library, thresholds=(0.05, 0.95))
+        row = rows[0]
+        for col in ("no_ee_accuracy", "no_ee_energy_mj", "ct05_accuracy",
+                    "ct95_energy_mj"):
+            assert col in row
+
+    def test_energy_decreases_with_pruning(self, quick_library):
+        rows = fig1_tradeoff(quick_library)
+        assert rows[-1]["no_ee_energy_mj"] < rows[0]["no_ee_energy_mj"]
+
+
+class TestFig4:
+    def test_full_scatter(self, quick_library):
+        rows = fig4_design_space(quick_library)
+        ee_count = sum(1 for e in quick_library
+                       if e.accelerator.variant == "ee")
+        assert len(rows) == ee_count
+        assert {r["pruned_exits"] for r in rows} == {True, False}
+
+    def test_fields_physical(self, quick_library):
+        for r in fig4_design_space(quick_library):
+            assert r["ips"] > 0
+            assert r["energy_mj"] > 0
+            assert 0 <= r["accuracy"] <= 1
+
+
+class TestFig5:
+    def test_accuracy_latency_grid(self, quick_library):
+        rows = fig5_accuracy_latency(quick_library, thresholds=(0.05, 0.5))
+        rates = {e.accelerator.pruning_rate for e in quick_library
+                 if e.accelerator.variant == "ee"}
+        assert len(rows) == 2 * len(rates)
+        for r in rows:
+            assert "pruned_accuracy" in r and "not_pruned_accuracy" in r
+
+    def test_resources_rows(self, quick_library):
+        rows = fig5_resources(quick_library)
+        assert rows[0]["pruned_bram"] > 0
+        # BRAM must shrink with pruning for both variants (paper Fig 5e).
+        assert rows[-1]["pruned_bram"] < rows[0]["pruned_bram"]
+        assert rows[-1]["not_pruned_bram"] < rows[0]["not_pruned_bram"]
+        # Keeping exits unpruned costs at least as much as pruning them.
+        assert rows[-1]["not_pruned_bram"] >= rows[-1]["pruned_bram"]
+
+
+class TestEdgeExperiments:
+    def test_table1(self, quick_framework):
+        rows = table1_rows({"cifar10": quick_framework}, runs=2,
+                           workload=SMALL_WORKLOAD)
+        assert [r["policy"] for r in rows] == \
+            ["AdaPEx", "PR-Only", "CT-Only", "FINN"]
+        for r in rows:
+            assert 0.0 <= r["infer_loss_pct"] <= 100.0
+            assert r["power_w"] > 0
+
+    def test_fig6(self, quick_framework):
+        rows = fig6_qoe_edp({"cifar10": quick_framework}, runs=2,
+                            workload=SMALL_WORKLOAD)
+        finn = [r for r in rows if r["policy"] == "FINN"][0]
+        assert finn["edp_norm_finn"] == pytest.approx(1.0)
+        for r in rows:
+            assert r["qoe"] >= 0.0
+
+    def test_reconfig_ablation(self, quick_framework):
+        rows = reconfiguration_ablation(quick_framework, runs=2,
+                                        workload=SMALL_WORKLOAD)
+        assert len(rows) == 2
+        for r in rows:
+            assert r["reconfigurations"] >= 0
+            assert r["dead_time_ms"] == pytest.approx(
+                145.0 * r["reconfigurations"])

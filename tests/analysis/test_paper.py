@@ -1,0 +1,59 @@
+"""Paper-expectations data and comparison helpers."""
+
+import pytest
+
+from repro.analysis.paper import (
+    PAPER_FIG6,
+    PAPER_TABLE1,
+    compare_fig6,
+    compare_table1,
+)
+
+
+class TestPaperData:
+    def test_table1_complete(self):
+        policies = {"AdaPEx", "PR-Only", "CT-Only", "FINN"}
+        datasets = {"cifar10", "gtsrb"}
+        assert set(PAPER_TABLE1) == {(p, d) for p in policies
+                                     for d in datasets}
+
+    def test_headline_numbers(self):
+        assert PAPER_TABLE1[("FINN", "cifar10")]["infer_loss_pct"] == 22.80
+        assert PAPER_TABLE1[("AdaPEx", "gtsrb")]["infer_loss_pct"] == 0.00
+        assert PAPER_FIG6["gtsrb"]["edp_improvement_x"] == 2.55
+
+
+class TestCompareTable1:
+    def test_pairs_paper_and_measured(self):
+        measured = [{
+            "policy": "FINN", "dataset": "cifar10",
+            "infer_loss_pct": 30.0, "accuracy_pct": 85.0,
+            "power_w": 1.1, "latency_ms": 2.5,
+        }]
+        rows = compare_table1(measured)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["loss_paper"] == 22.80
+        assert row["loss_ours"] == 30.0
+        assert row["lat_paper"] == 5.19
+
+    def test_unknown_rows_skipped(self):
+        rows = compare_table1([{"policy": "Oracle", "dataset": "cifar10",
+                                "infer_loss_pct": 0, "accuracy_pct": 0,
+                                "power_w": 0, "latency_ms": 0}])
+        assert rows == []
+
+
+class TestCompareFig6:
+    def test_ratios(self):
+        measured = [
+            {"policy": "AdaPEx", "dataset": "cifar10", "qoe": 0.88,
+             "edp_improvement_x": 2.1},
+            {"policy": "FINN", "dataset": "cifar10", "qoe": 0.80,
+             "edp_improvement_x": 1.0},
+        ]
+        rows = compare_fig6(measured)
+        assert len(rows) == 1
+        assert rows[0]["qoe_gain_ours_pct"] == pytest.approx(10.0)
+        assert rows[0]["qoe_gain_paper_pct"] == 11.72
+        assert rows[0]["edp_x_ours"] == 2.1

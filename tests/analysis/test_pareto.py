@@ -1,0 +1,56 @@
+"""Pareto-frontier helper tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import pareto_frontier
+
+
+def rows_from(pairs):
+    return [{"ips": x, "accuracy": y} for x, y in pairs]
+
+
+class TestParetoFrontier:
+    def test_empty(self):
+        assert pareto_frontier([], "ips") == []
+
+    def test_dominated_points_removed(self):
+        rows = rows_from([(100, 0.9), (200, 0.8), (150, 0.7), (50, 0.85)])
+        frontier = pareto_frontier(rows, "ips")
+        pairs = [(r["ips"], r["accuracy"]) for r in frontier]
+        assert pairs == [(100, 0.9), (200, 0.8)]
+
+    def test_sorted_by_x(self):
+        rows = rows_from([(300, 0.5), (100, 0.9), (200, 0.7)])
+        frontier = pareto_frontier(rows, "ips")
+        xs = [r["ips"] for r in frontier]
+        assert xs == sorted(xs)
+
+    def test_minimize_x(self):
+        # Energy: lower is better.
+        rows = [{"energy": e, "accuracy": a}
+                for e, a in [(1.0, 0.7), (2.0, 0.9), (3.0, 0.8)]]
+        frontier = pareto_frontier(rows, "energy", maximize_x=False)
+        pairs = [(r["energy"], r["accuracy"]) for r in frontier]
+        assert (3.0, 0.8) not in pairs  # dominated by (2.0, 0.9)
+        assert (1.0, 0.7) in pairs and (2.0, 0.9) in pairs
+
+    def test_single_point(self):
+        rows = rows_from([(10, 0.5)])
+        assert pareto_frontier(rows, "ips") == rows
+
+    @given(st.lists(st.tuples(st.floats(1, 1000), st.floats(0, 1)),
+                    min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_no_frontier_point_dominated(self, pairs):
+        rows = rows_from(pairs)
+        frontier = pareto_frontier(rows, "ips")
+        assert frontier  # never empty for non-empty input
+        for f in frontier:
+            dominated = any(
+                r["ips"] >= f["ips"] and r["accuracy"] >= f["accuracy"]
+                and (r["ips"] > f["ips"] or r["accuracy"] > f["accuracy"])
+                for r in rows
+            )
+            assert not dominated

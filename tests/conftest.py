@@ -1,0 +1,101 @@
+"""Shared fixtures.
+
+Heavy artifacts (trained models, generated libraries) are session-scoped
+so the whole suite pays for them once. Runtime/edge tests mostly use the
+hand-built ``toy_library`` (fast, fully controlled); core/analysis
+integration tests use the real generated ``quick_library``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AdaPExConfig, AdaPExFramework
+from repro.data import make_dataset
+from repro.models import CNVConfig, ExitsConfiguration, build_cnv
+from repro.runtime import AcceleratorId, Library, LibraryEntry
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """Small train/test split of the CIFAR-10-like dataset."""
+    return make_dataset("cifar10", 192, 96, seed=1)
+
+
+@pytest.fixture(scope="session")
+def tiny_cnv():
+    """Untrained scaled CNV with the paper's two exits."""
+    return build_cnv(CNVConfig(width_scale=0.125, seed=3),
+                     ExitsConfiguration.paper_default())
+
+
+@pytest.fixture(scope="session")
+def tiny_backbone():
+    """Untrained scaled CNV without exits."""
+    return build_cnv(CNVConfig(width_scale=0.125, seed=3))
+
+
+def _entry(rate, ct, acc, ips, variant="ee", pruned=True, latency=None,
+           exit_lats=(0.001, 0.0015, 0.0025), energy=2e-3,
+           p_idle=0.8, p_busy=1.2, rates=(0.3, 0.3, 0.4)):
+    if variant == "backbone":
+        rates = (1.0,)
+        exit_lats = (exit_lats[-1],)
+    latency = latency if latency is not None else float(
+        np.dot(rates, exit_lats))
+    return LibraryEntry(
+        accelerator=AcceleratorId(pruning_rate=rate, pruned_exits=pruned,
+                                  variant=variant),
+        confidence_threshold=ct,
+        accuracy=acc,
+        exit_rates=tuple(rates),
+        latency_s=latency,
+        serving_ips=ips,
+        energy_per_inference_j=energy,
+        power_idle_w=p_idle,
+        power_busy_w=p_busy,
+        achieved_pruning_rate=rate,
+        exit_latencies_s=tuple(exit_lats),
+    )
+
+
+@pytest.fixture()
+def toy_library():
+    """Hand-built library with controlled accuracy/throughput trade-offs.
+
+    Structure: early-exit accelerators at pruning rates 0/0.4/0.8 with
+    three thresholds each (lower CT -> faster, less accurate), plus
+    backbone accelerators at the same rates for FINN/PR-Only.
+    """
+    lib = Library(metadata={"dataset": "toy"})
+    # (rate, base accuracy, base ips)
+    grid = [(0.0, 0.90, 400.0), (0.4, 0.84, 650.0), (0.8, 0.74, 1100.0)]
+    for rate, acc, ips in grid:
+        for ct, dacc, dips, rates in [
+            (0.1, -0.06, +250.0, (0.8, 0.15, 0.05)),
+            (0.5, -0.02, +120.0, (0.45, 0.30, 0.25)),
+            (0.9, 0.0, 0.0, (0.05, 0.15, 0.80)),
+        ]:
+            lib.add(_entry(rate, ct, acc + dacc, ips + dips, rates=rates))
+        lib.add(_entry(rate, 1.0, acc - 0.01, ips - 20.0,
+                       variant="backbone"))
+    return lib
+
+
+def make_entry(**kwargs):
+    """Expose the entry factory to tests that need custom entries."""
+    return _entry(**kwargs)
+
+
+@pytest.fixture(scope="session")
+def quick_framework():
+    """A real end-to-end framework at the quick (seconds-scale) config."""
+    fw = AdaPExFramework(AdaPExConfig.quick(seed=1))
+    fw.build_library()
+    return fw
+
+
+@pytest.fixture(scope="session")
+def quick_library(quick_framework):
+    return quick_framework.library

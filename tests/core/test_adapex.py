@@ -1,0 +1,49 @@
+"""AdaPExFramework facade tests."""
+
+import pytest
+
+from repro.core import AdaPExConfig, AdaPExFramework
+from repro.edge import WorkloadSpec
+
+
+class TestFacade:
+    def test_library_property_before_build(self):
+        fw = AdaPExFramework(AdaPExConfig.quick())
+        with pytest.raises(RuntimeError):
+            _ = fw.library
+
+    def test_build_library_idempotent(self, quick_framework):
+        lib1 = quick_framework.build_library()
+        lib2 = quick_framework.build_library()
+        assert lib1 is lib2
+
+    def test_policy_factory(self, quick_framework):
+        for name in ("adapex", "finn", "pr-only", "ct-only"):
+            policy = quick_framework.policy(name)
+            entry = policy.select(100.0)
+            assert entry.accuracy >= 0.0
+
+    def test_disk_cache_roundtrip(self, tmp_path):
+        cfg = AdaPExConfig.quick(seed=5)
+        cfg.pruning_rates = [0.0]
+        cfg.confidence_thresholds = [0.5]
+        cfg.include_not_pruned_exits = False
+        fw1 = AdaPExFramework(cfg)
+        lib1 = fw1.build_library(cache_dir=str(tmp_path))
+        # Second framework with the same config must load from disk
+        # (no training): verified by matching entry count and values.
+        fw2 = AdaPExFramework(cfg)
+        lib2 = fw2.build_library(cache_dir=str(tmp_path))
+        assert len(lib1) == len(lib2)
+        assert lib1.entries[0] == lib2.entries[0]
+        assert any(tmp_path.iterdir())
+
+    def test_evaluate_at_edge_small(self, quick_framework):
+        workload = WorkloadSpec(num_cameras=4, ips_per_camera=25.0,
+                                duration_s=5.0)
+        results = quick_framework.evaluate_at_edge(
+            policies=("adapex", "finn"), runs=2, workload=workload)
+        assert set(results) == {"AdaPEx", "FINN"}
+        for agg in results.values():
+            assert 0.0 <= agg.inference_loss <= 1.0
+            assert agg.avg_power_w > 0

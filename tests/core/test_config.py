@@ -1,0 +1,62 @@
+"""AdaPExConfig tests."""
+
+import pytest
+
+from repro.core import AdaPExConfig, paper_threshold_sweep
+from repro.pruning import paper_rate_sweep
+
+
+class TestSweeps:
+    def test_threshold_sweep(self):
+        cts = paper_threshold_sweep()
+        assert len(cts) == 21
+        assert cts[0] == 0.0 and cts[-1] == 1.0
+
+    def test_paper_config_matches_methodology(self):
+        cfg = AdaPExConfig.paper()
+        assert cfg.pruning_rates == paper_rate_sweep()
+        assert len(cfg.confidence_thresholds) == 21
+        assert cfg.quant.name == "W2A2"
+        assert cfg.device.part == "XCZU7EV"
+        assert cfg.clock_mhz == 100.0
+        assert cfg.exits.num_early_exits == 2
+
+
+class TestValidation:
+    def test_bad_rates(self):
+        with pytest.raises(ValueError):
+            AdaPExConfig(pruning_rates=[1.0])
+        with pytest.raises(ValueError):
+            AdaPExConfig(pruning_rates=[])
+
+    def test_bad_samples(self):
+        with pytest.raises(ValueError):
+            AdaPExConfig(train_samples=0)
+
+    def test_bad_workers(self):
+        with pytest.raises(ValueError):
+            AdaPExConfig(parallel_workers=0)
+
+
+class TestCacheKey:
+    def test_stable(self):
+        assert AdaPExConfig.quick().cache_key() == \
+            AdaPExConfig.quick().cache_key()
+
+    def test_sensitive_to_dataset(self):
+        assert AdaPExConfig.quick("cifar10").cache_key() != \
+            AdaPExConfig.quick("gtsrb").cache_key()
+
+    def test_sensitive_to_rates(self):
+        a = AdaPExConfig.quick()
+        b = AdaPExConfig.quick()
+        b.pruning_rates = [0.0, 0.5]
+        assert a.cache_key() != b.cache_key()
+
+
+class TestQuickProfile:
+    def test_runs_fast_settings(self):
+        cfg = AdaPExConfig.quick()
+        assert cfg.train_samples <= 512
+        assert cfg.initial_training.epochs <= 3
+        assert len(cfg.pruning_rates) <= 5

@@ -1,0 +1,106 @@
+"""Library Generator tests (on the session-scoped quick library)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AdaPExConfig, LibraryGenerator
+
+
+class TestGeneratedLibrary:
+    def test_entry_census(self, quick_library):
+        cfg = AdaPExConfig.quick(seed=1)
+        rates = len(cfg.pruning_rates)
+        cts = len(cfg.confidence_thresholds)
+        # ee pruned + ee not-pruned: rates * cts each; backbone: rates * 1.
+        expected = 2 * rates * cts + rates
+        assert len(quick_library) == expected
+
+    def test_variants_present(self, quick_library):
+        variants = {(a.variant, a.pruned_exits)
+                    for a in quick_library.accelerators()}
+        assert ("ee", True) in variants
+        assert ("ee", False) in variants
+        assert ("backbone", True) in variants
+
+    def test_metadata(self, quick_library):
+        md = quick_library.metadata
+        assert md["dataset"] == "cifar10"
+        assert md["num_classes"] == 10
+        assert md["quant"] == "W2A2"
+
+    def test_entries_within_physical_bounds(self, quick_library):
+        for e in quick_library:
+            assert 0.0 <= e.accuracy <= 1.0
+            assert e.serving_ips > 0
+            assert e.latency_s > 0
+            assert e.energy_per_inference_j > 0
+            assert e.power_busy_w >= e.power_idle_w > 0
+            assert np.isclose(sum(e.exit_rates), 1.0)
+
+    def test_pruning_reduces_latency(self, quick_library):
+        """At the highest confidence threshold (all frames to the final
+        exit), pruned accelerators must be faster."""
+        ee = [e for e in quick_library
+              if e.accelerator.variant == "ee" and e.accelerator.pruned_exits
+              and e.confidence_threshold == 0.95]
+        by_rate = {e.accelerator.pruning_rate: e for e in ee}
+        assert by_rate[0.8].exit_latencies_s[-1] \
+            < by_rate[0.0].exit_latencies_s[-1]
+
+    def test_lower_ct_means_more_early_exits(self, quick_library):
+        ee = [e for e in quick_library
+              if e.accelerator.variant == "ee" and e.accelerator.pruned_exits
+              and e.accelerator.pruning_rate == 0.0]
+        by_ct = {e.confidence_threshold: e for e in ee}
+        assert by_ct[0.05].exit_rates[0] >= by_ct[0.95].exit_rates[0]
+
+    def test_backbone_entries_single_exit(self, quick_library):
+        for e in quick_library:
+            if e.accelerator.variant == "backbone":
+                assert e.exit_rates == (1.0,)
+                assert len(e.exit_latencies_s) == 1
+
+    def test_resources_recorded_and_decreasing(self, quick_library):
+        ee = [e for e in quick_library
+              if e.accelerator.variant == "ee" and e.accelerator.pruned_exits]
+        by_rate = {}
+        for e in ee:
+            by_rate.setdefault(e.accelerator.pruning_rate, e)
+        assert by_rate[0.8].resources["bram18"] \
+            < by_rate[0.0].resources["bram18"]
+
+    def test_not_pruned_exits_cost_more_bram_when_pruned_hard(
+            self, quick_library):
+        def bram(pruned_exits):
+            for e in quick_library:
+                a = e.accelerator
+                if a.variant == "ee" and a.pruned_exits == pruned_exits \
+                        and a.pruning_rate == 0.8:
+                    return e.resources["bram18"]
+            raise AssertionError("entry missing")
+
+        assert bram(False) >= bram(True)
+
+
+class TestGeneratorInternals:
+    def test_datasets_cached(self):
+        gen = LibraryGenerator(AdaPExConfig.quick(seed=2))
+        a = gen.datasets()
+        b = gen.datasets()
+        assert a[0] is b[0]
+
+    def test_num_classes_gtsrb(self):
+        gen = LibraryGenerator(AdaPExConfig.quick(dataset="gtsrb", seed=0))
+        assert gen.num_classes == 43
+
+    def test_progress_called(self, quick_framework):
+        # The session fixture already generated; a fresh tiny generator
+        # verifies the progress hook fires.
+        cfg = AdaPExConfig.quick(seed=3)
+        cfg.pruning_rates = [0.0]
+        cfg.confidence_thresholds = [0.5]
+        cfg.include_not_pruned_exits = False
+        cfg.include_backbone_variant = False
+        messages = []
+        LibraryGenerator(cfg).generate(progress=messages.append)
+        assert any("training base model" in m for m in messages)

@@ -1,0 +1,50 @@
+"""Exit-placement exploration tests."""
+
+import pytest
+
+from repro.core import AdaPExConfig, explore_exit_placements
+from repro.models import ExitsConfiguration
+from repro.models.exits import ExitSpec
+from repro.nn import TrainConfig
+
+
+@pytest.fixture(scope="module")
+def placement_rows():
+    cfg = AdaPExConfig.quick(seed=4)
+    cfg.train_samples = 192
+    cfg.test_samples = 96
+    cfg.initial_training = TrainConfig(epochs=1, batch_size=64, lr=0.002)
+    candidates = {
+        "none": ExitsConfiguration.none(),
+        "one": ExitsConfiguration((ExitSpec(after_block=0),)),
+        "paper": ExitsConfiguration.paper_default(),
+    }
+    return explore_exit_placements(candidates, cfg)
+
+
+class TestExplore:
+    def test_row_per_candidate(self, placement_rows):
+        assert [r["placement"] for r in placement_rows] \
+            == ["none", "one", "paper"]
+
+    def test_exit_counts(self, placement_rows):
+        assert [r["num_exits"] for r in placement_rows] == [1, 2, 3]
+        for row in placement_rows:
+            assert len(row["exit_accuracies"]) == row["num_exits"]
+            assert len(row["exit_rates"]) == row["num_exits"]
+
+    def test_exits_cost_resources(self, placement_rows):
+        by = {r["placement"]: r for r in placement_rows}
+        assert by["paper"]["bram18"] > by["none"]["bram18"]
+        assert by["one"]["bram18"] > by["none"]["bram18"]
+
+    def test_physical_fields(self, placement_rows):
+        for row in placement_rows:
+            assert row["avg_latency_ms"] > 0
+            assert row["serving_ips"] > 0
+            assert 0.0 <= row["cascade_accuracy"] <= 1.0
+
+    def test_bad_candidate_rejected(self):
+        with pytest.raises(TypeError):
+            explore_exit_placements({"bad": "not-a-config"},
+                                    AdaPExConfig.quick())

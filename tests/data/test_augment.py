@@ -1,0 +1,95 @@
+"""Augmentation pipeline tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    compose,
+    gaussian_noise,
+    random_flip,
+    random_shift,
+    standard_augmentation,
+)
+
+
+def batch(seed=0, n=8):
+    return np.random.default_rng(seed).normal(size=(n, 3, 8, 8)).astype(
+        np.float32)
+
+
+class TestRandomShift:
+    def test_preserves_shape(self):
+        out = random_shift(2)(batch(), np.random.default_rng(0))
+        assert out.shape == (8, 3, 8, 8)
+
+    def test_zero_shift_identity(self):
+        x = batch()
+        out = random_shift(0)(x, np.random.default_rng(0))
+        np.testing.assert_allclose(out, x)
+
+    def test_content_translated(self):
+        x = np.zeros((1, 1, 5, 5), dtype=np.float32)
+        x[0, 0, 2, 2] = 1.0
+        rng = np.random.default_rng(3)
+        out = random_shift(1)(x, rng)
+        assert out.sum() in (0.0, 1.0)  # pixel moved or fell off the edge
+        if out.sum() == 1.0:
+            pos = np.argwhere(out[0, 0] == 1.0)[0]
+            assert abs(pos[0] - 2) <= 1 and abs(pos[1] - 2) <= 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            random_shift(-1)
+
+
+class TestRandomFlip:
+    def test_p_one_flips_all(self):
+        x = batch()
+        out = random_flip(1.0)(x, np.random.default_rng(0))
+        np.testing.assert_allclose(out, x[:, :, :, ::-1])
+
+    def test_p_zero_identity(self):
+        x = batch()
+        out = random_flip(0.0)(x, np.random.default_rng(0))
+        np.testing.assert_allclose(out, x)
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            random_flip(1.5)
+
+
+class TestGaussianNoise:
+    def test_zero_std_identity(self):
+        x = batch()
+        np.testing.assert_allclose(gaussian_noise(0.0)(
+            x, np.random.default_rng(0)), x)
+
+    def test_noise_magnitude(self):
+        x = np.zeros((4, 3, 8, 8), dtype=np.float32)
+        out = gaussian_noise(0.1)(x, np.random.default_rng(1))
+        assert 0.05 < out.std() < 0.2
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            gaussian_noise(-0.1)
+
+
+class TestCompose:
+    def test_order_applied(self):
+        calls = []
+
+        def a(x, rng):
+            calls.append("a")
+            return x
+
+        def b(x, rng):
+            calls.append("b")
+            return x
+
+        compose(a, b)(batch(), np.random.default_rng(0))
+        assert calls == ["a", "b"]
+
+    def test_standard_pipeline_runs(self):
+        out = standard_augmentation()(batch(), np.random.default_rng(0))
+        assert out.shape == (8, 3, 8, 8)
+        assert np.isfinite(out).all()

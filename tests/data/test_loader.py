@@ -1,0 +1,73 @@
+"""Batch loader and stratified split tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import BatchLoader, stratified_split
+from repro.data.synthetic import SyntheticImageGenerator, cifar10_like
+
+
+def dataset(n=50, seed=0):
+    return SyntheticImageGenerator(cifar10_like()).sample(n, seed=seed)
+
+
+class TestBatchLoader:
+    def test_covers_all_samples(self):
+        ds = dataset(50)
+        loader = BatchLoader(ds, batch_size=16)
+        total = sum(x.shape[0] for x, _ in loader)
+        assert total == 50
+
+    def test_len(self):
+        ds = dataset(50)
+        assert len(BatchLoader(ds, batch_size=16)) == 4
+        assert len(BatchLoader(ds, batch_size=16, drop_last=True)) == 3
+
+    def test_drop_last(self):
+        ds = dataset(50)
+        loader = BatchLoader(ds, batch_size=16, drop_last=True)
+        sizes = [x.shape[0] for x, _ in loader]
+        assert sizes == [16, 16, 16]
+
+    def test_shuffle_changes_order(self):
+        ds = dataset(64)
+        plain = next(iter(BatchLoader(ds, batch_size=64)))[1]
+        shuffled = next(iter(BatchLoader(ds, batch_size=64, shuffle=True,
+                                         seed=3)))[1]
+        assert not np.array_equal(plain, shuffled)
+        assert sorted(plain) == sorted(shuffled)
+
+    def test_labels_align_with_images(self):
+        ds = dataset(40)
+        loader = BatchLoader(ds, batch_size=8, shuffle=True, seed=1)
+        for images, labels in loader:
+            for img, lab in zip(images, labels):
+                idx = np.flatnonzero(ds.labels == lab)
+                assert any(np.allclose(img, ds.images[i]) for i in idx)
+            break
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            BatchLoader(dataset(10), batch_size=0)
+
+
+class TestStratifiedSplit:
+    def test_proportions(self):
+        ds = dataset(200)
+        a, b = stratified_split(ds, 0.75, seed=0)
+        assert len(a) + len(b) == 200
+        assert abs(len(a) - 150) <= ds.num_classes  # rounding per class
+
+    def test_class_balance_preserved(self):
+        ds = dataset(300)
+        a, _ = stratified_split(ds, 0.5, seed=0)
+        for cls in np.unique(ds.labels):
+            total = (ds.labels == cls).sum()
+            got = (a.labels == cls).sum()
+            assert abs(got - total / 2) <= 1
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            stratified_split(dataset(10), 0.0)
+        with pytest.raises(ValueError):
+            stratified_split(dataset(10), 1.0)

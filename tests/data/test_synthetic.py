@@ -1,0 +1,133 @@
+"""Synthetic dataset properties: shapes, determinism, structure."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    Dataset,
+    DatasetSpec,
+    SyntheticImageGenerator,
+    cifar10_like,
+    gtsrb_like,
+    make_dataset,
+)
+
+
+class TestSpecs:
+    def test_cifar10_like(self):
+        spec = cifar10_like()
+        assert spec.num_classes == 10
+        assert spec.image_shape == (3, 32, 32)
+
+    def test_gtsrb_like(self):
+        spec = gtsrb_like()
+        assert spec.num_classes == 43
+        assert spec.image_shape == (3, 32, 32)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DatasetSpec(name="x", num_classes=1)
+        with pytest.raises(ValueError):
+            DatasetSpec(name="x", num_classes=3, hard_fraction=1.5)
+        with pytest.raises(ValueError):
+            DatasetSpec(name="x", num_classes=3, image_shape=(32, 32))
+
+
+class TestGenerator:
+    def test_shapes_and_types(self):
+        gen = SyntheticImageGenerator(cifar10_like())
+        ds = gen.sample(50, seed=0)
+        assert ds.images.shape == (50, 3, 32, 32)
+        assert ds.images.dtype == np.float32
+        assert ds.labels.shape == (50,)
+        assert ds.difficulty.shape == (50,)
+        assert len(ds) == 50
+
+    def test_label_range(self):
+        gen = SyntheticImageGenerator(gtsrb_like())
+        ds = gen.sample(200, seed=1)
+        assert ds.labels.min() >= 0
+        assert ds.labels.max() < 43
+
+    def test_deterministic(self):
+        gen1 = SyntheticImageGenerator(cifar10_like())
+        gen2 = SyntheticImageGenerator(cifar10_like())
+        a = gen1.sample(20, seed=5)
+        b = gen2.sample(20, seed=5)
+        np.testing.assert_allclose(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        gen = SyntheticImageGenerator(cifar10_like())
+        a = gen.sample(20, seed=1)
+        b = gen.sample(20, seed=2)
+        assert not np.allclose(a.images, b.images)
+
+    def test_splits_disjoint_streams(self):
+        gen = SyntheticImageGenerator(cifar10_like())
+        train, test = gen.splits(40, 40, seed=0)
+        assert not np.allclose(train.images[:10], test.images[:10])
+
+    def test_difficulty_in_unit_interval(self):
+        gen = SyntheticImageGenerator(cifar10_like())
+        ds = gen.sample(100, seed=3)
+        assert ds.difficulty.min() >= 0.0
+        assert ds.difficulty.max() <= 1.0
+
+    def test_images_clipped(self):
+        gen = SyntheticImageGenerator(cifar10_like())
+        ds = gen.sample(100, seed=4)
+        assert np.abs(ds.images).max() <= 3.0
+
+    def test_class_signal_exists(self):
+        """Nearest-prototype classification must beat chance by a lot —
+        otherwise no model could learn the task."""
+        gen = SyntheticImageGenerator(cifar10_like())
+        ds = gen.sample(300, seed=6)
+        protos = gen.coarse_prototypes + gen.fine_signatures
+        flat = ds.images.reshape(len(ds), -1).astype(np.float64)
+        scores = flat @ protos.reshape(10, -1).T
+        acc = (scores.argmax(axis=1) == ds.labels).mean()
+        assert acc > 0.5
+
+    def test_easy_samples_more_separable(self):
+        """Low-difficulty samples must be closer to their coarse prototype
+        — the property early exits exploit."""
+        gen = SyntheticImageGenerator(cifar10_like())
+        ds = gen.sample(400, seed=7)
+        coarse = gen.coarse_prototypes.reshape(10, -1)
+        flat = ds.images.reshape(len(ds), -1).astype(np.float64)
+        correct_coarse = (flat @ coarse.T).argmax(axis=1) == ds.labels
+        easy = ds.difficulty < 0.3
+        hard = ds.difficulty > 0.7
+        assert correct_coarse[easy].mean() > correct_coarse[hard].mean()
+
+
+class TestDatasetContainer:
+    def test_subset(self):
+        gen = SyntheticImageGenerator(cifar10_like())
+        ds = gen.sample(30, seed=0)
+        sub = ds.subset(np.array([0, 2, 4]))
+        assert len(sub) == 3
+        np.testing.assert_allclose(sub.images[1], ds.images[2])
+
+    def test_num_classes(self):
+        gen = SyntheticImageGenerator(gtsrb_like())
+        assert gen.sample(10, seed=0).num_classes == 43
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 3, 32, 32)), np.zeros(2, dtype=int),
+                    np.zeros(3))
+
+
+class TestFactory:
+    def test_make_dataset_names(self):
+        train, test = make_dataset("cifar10", 20, 10)
+        assert len(train) == 20 and len(test) == 10
+        train, test = make_dataset("GTSRB", 20, 10)
+        assert train.num_classes == 43
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_dataset("imagenet", 10, 10)

@@ -1,0 +1,69 @@
+"""Camera fleet workload tests."""
+
+import numpy as np
+import pytest
+
+from repro.edge import CameraFleet, WorkloadSpec
+
+
+class TestWorkloadSpec:
+    def test_paper_defaults(self):
+        spec = WorkloadSpec()
+        assert spec.num_cameras == 20
+        assert spec.ips_per_camera == 30.0
+        assert spec.duration_s == 25.0
+        assert spec.deviation == 0.30
+        assert spec.deviation_interval_s == 5.0
+        assert spec.nominal_ips == 600.0
+        assert spec.num_windows() == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(num_cameras=0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(deviation=1.0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(duration_s=0.0)
+
+
+class TestCameraFleet:
+    def test_window_rates_within_deviation(self):
+        fleet = CameraFleet(seed=0)
+        rates = fleet.window_rates()
+        assert rates.shape == (5,)
+        assert np.all(rates >= 600 * 0.7 - 1e-9)
+        assert np.all(rates <= 600 * 1.3 + 1e-9)
+
+    def test_deterministic_per_seed(self):
+        a = CameraFleet(seed=3).arrival_times()
+        b = CameraFleet(seed=3).arrival_times()
+        np.testing.assert_allclose(a, b)
+
+    def test_seeds_differ(self):
+        a = CameraFleet(seed=1).arrival_times()
+        b = CameraFleet(seed=2).arrival_times()
+        assert len(a) != len(b) or not np.allclose(a[:50], b[:50])
+
+    def test_arrivals_sorted_and_bounded(self):
+        times = CameraFleet(seed=4).arrival_times()
+        assert np.all(np.diff(times) >= 0)
+        assert times.min() >= 0.0
+        assert times.max() < 25.0
+
+    def test_total_volume_near_nominal(self):
+        times = CameraFleet(seed=5).arrival_times()
+        # 600 IPS nominal for 25 s = 15000 requests +- deviation.
+        assert 15000 * 0.7 < len(times) < 15000 * 1.3
+
+    def test_rates_actually_fluctuate(self):
+        rates = CameraFleet(seed=6).window_rates()
+        assert rates.std() > 1.0
+
+    def test_small_custom_workload(self):
+        spec = WorkloadSpec(num_cameras=2, ips_per_camera=5.0,
+                            duration_s=4.0, deviation_interval_s=2.0)
+        fleet = CameraFleet(spec, seed=0)
+        times = fleet.arrival_times()
+        assert 4.0 * 10 * 0.7 <= len(times) <= 4.0 * 10 * 1.3
+        assert fleet.expected_total_requests() == pytest.approx(
+            fleet.window_rates().sum() * 2.0)

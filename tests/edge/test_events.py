@@ -1,0 +1,100 @@
+"""Discrete-event loop tests."""
+
+import pytest
+
+from repro.edge import EventLoop
+
+
+class TestEventLoop:
+    def test_ordering(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(2.0, lambda l: fired.append("b"))
+        loop.schedule(1.0, lambda l: fired.append("a"))
+        loop.schedule(3.0, lambda l: fired.append("c"))
+        loop.run_until(10.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_tie_break_by_scheduling_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda l: fired.append(1))
+        loop.schedule(1.0, lambda l: fired.append(2))
+        loop.run_until(2.0)
+        assert fired == [1, 2]
+
+    def test_clock_advances(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(1.5, lambda l: seen.append(l.now))
+        loop.run_until(5.0)
+        assert seen == [1.5]
+        assert loop.now == 5.0
+
+    def test_run_until_boundary_inclusive(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda l: fired.append("x"))
+        loop.run_until(1.0)
+        assert fired == ["x"]
+
+    def test_events_after_horizon_pending(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(5.0, lambda l: fired.append("x"))
+        loop.run_until(1.0)
+        assert fired == []
+        assert loop.pending == 1
+        loop.run_until(6.0)
+        assert fired == ["x"]
+
+    def test_nested_scheduling(self):
+        loop = EventLoop()
+        fired = []
+
+        def first(l):
+            fired.append(("first", l.now))
+            l.schedule(0.5, lambda l2: fired.append(("second", l2.now)))
+
+        loop.schedule(1.0, first)
+        loop.run_until(2.0)
+        assert fired == [("first", 1.0), ("second", 1.5)]
+
+    def test_cancel(self):
+        loop = EventLoop()
+        fired = []
+        event = loop.schedule(1.0, lambda l: fired.append("x"))
+        loop.cancel(event)
+        loop.run_until(2.0)
+        assert fired == []
+        assert loop.pending == 0
+
+    def test_schedule_in_past_rejected(self):
+        loop = EventLoop()
+        loop.run_until(5.0)
+        with pytest.raises(ValueError):
+            loop.schedule(-1.0, lambda l: None)
+        with pytest.raises(ValueError):
+            loop.schedule_at(3.0, lambda l: None)
+        with pytest.raises(ValueError):
+            loop.run_until(4.0)
+
+    def test_processed_counter(self):
+        loop = EventLoop()
+        for i in range(5):
+            loop.schedule(float(i), lambda l: None)
+        executed = loop.run_until(10.0)
+        assert executed == 5
+        assert loop.processed == 5
+
+    def test_determinism(self):
+        def run():
+            loop = EventLoop()
+            out = []
+            for i in range(100):
+                loop.schedule((i * 37 % 50) / 10.0,
+                              lambda l, i=i: out.append(i))
+            loop.run_until(10.0)
+            return out
+
+        assert run() == run()

@@ -1,0 +1,102 @@
+"""Fluid model tests, including cross-validation against the DES."""
+
+import numpy as np
+import pytest
+
+from repro.edge import (
+    EdgeServerSimulator,
+    FluidSimulator,
+    WorkloadSpec,
+    fluid_simulate_policy,
+    simulate_policy,
+)
+from repro.runtime import Library, RuntimeManager
+from tests.conftest import make_entry
+
+
+class StaticPolicy:
+    name = "static"
+
+    def __init__(self, entry):
+        self.entry = entry
+
+    def select(self, workload_ips, current=None):
+        return self.entry
+
+    def requires_reconfiguration(self, current, selected):
+        return current is None
+
+
+def workload(ips=60.0, duration=10.0):
+    return WorkloadSpec(num_cameras=4, ips_per_camera=ips / 4,
+                        duration_s=duration, deviation=0.25,
+                        deviation_interval_s=2.5)
+
+
+def entry_with_capacity(mu, acc=0.85):
+    return make_entry(rate=0.0, ct=0.5, acc=acc, ips=mu,
+                      exit_lats=(1.0 / mu,) * 3, rates=(0.0, 0.0, 1.0))
+
+
+class TestFluidBasics:
+    def test_underload_no_loss(self):
+        sim = FluidSimulator(StaticPolicy(entry_with_capacity(500.0)),
+                             workload=workload(60.0), seed=0)
+        result = sim.run()
+        assert result.inference_loss < 0.01
+        assert result.accuracy == pytest.approx(0.85)
+
+    def test_overload_loss(self):
+        sim = FluidSimulator(StaticPolicy(entry_with_capacity(30.0)),
+                             workload=workload(60.0), seed=1)
+        result = sim.run()
+        assert abs(result.inference_loss - 0.5) < 0.1
+
+    def test_run_count_validation(self):
+        with pytest.raises(ValueError):
+            fluid_simulate_policy(StaticPolicy(entry_with_capacity(100.0)),
+                                  runs=0)
+
+
+class TestCrossValidation:
+    """The fluid model and the DES must agree on aggregates."""
+
+    @pytest.mark.parametrize("mu,lam", [(200.0, 60.0), (40.0, 60.0)])
+    def test_loss_agrees(self, mu, lam):
+        policy = StaticPolicy(entry_with_capacity(mu))
+        w = workload(lam, duration=10.0)
+        fluid_agg, _ = fluid_simulate_policy(policy, runs=5, workload=w)
+        des_agg, _ = simulate_policy(policy, runs=5, workload=w)
+        assert abs(fluid_agg.inference_loss - des_agg.inference_loss) < 0.08
+
+    def test_power_agrees(self):
+        policy = StaticPolicy(entry_with_capacity(120.0))
+        w = workload(60.0, duration=10.0)
+        fluid_agg, _ = fluid_simulate_policy(policy, runs=5, workload=w)
+        des_agg, _ = simulate_policy(policy, runs=5, workload=w)
+        assert fluid_agg.avg_power_w == pytest.approx(des_agg.avg_power_w,
+                                                      rel=0.10)
+
+    def test_adaptive_policy_agrees_on_loss(self):
+        lib = Library()
+        lib.add(entry_with_capacity(50.0, acc=0.9))
+        lib.add(make_entry(rate=0.8, ct=0.1, acc=0.82, ips=300.0,
+                           exit_lats=(1 / 300.0,) * 3, rates=(1.0, 0, 0)))
+        w = workload(70.0, duration=10.0)
+        fluid_agg, _ = fluid_simulate_policy(RuntimeManager(lib), runs=5,
+                                             workload=w)
+        des_agg, _ = simulate_policy(RuntimeManager(lib), runs=5, workload=w)
+        assert abs(fluid_agg.inference_loss - des_agg.inference_loss) < 0.10
+
+    def test_fluid_much_faster(self):
+        import time
+
+        policy = StaticPolicy(entry_with_capacity(120.0))
+        w = workload(60.0, duration=10.0)
+        t0 = time.time()
+        fluid_simulate_policy(policy, runs=10, workload=w)
+        fluid_t = time.time() - t0
+        t0 = time.time()
+        simulate_policy(policy, runs=10, workload=w)
+        des_t = time.time() - t0
+        assert fluid_t < des_t

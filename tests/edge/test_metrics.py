@@ -1,0 +1,72 @@
+"""Metrics computations."""
+
+import pytest
+
+from repro.edge import RunMetrics, aggregate_runs, edp, qoe
+
+
+def run(policy="X", processed=900, lost=100, accuracy=0.8, latency=0.004,
+        energy=25.0, duration=25.0):
+    return RunMetrics(
+        policy=policy, duration_s=duration, total_requests=processed + lost,
+        processed=processed, lost=lost, accuracy=accuracy,
+        avg_latency_s=latency, energy_j=energy, reconfigurations=2,
+        reconfig_dead_time_s=0.29,
+    )
+
+
+class TestQoEandEDP:
+    def test_qoe_definition(self):
+        assert qoe(0.8, 0.9) == pytest.approx(0.72)
+        with pytest.raises(ValueError):
+            qoe(0.8, 1.2)
+
+    def test_edp_definition(self):
+        assert edp(2e-3, 4e-3) == pytest.approx(8e-6)
+
+
+class TestRunMetrics:
+    def test_derived_quantities(self):
+        r = run()
+        assert r.inference_loss == pytest.approx(0.1)
+        assert r.processed_fraction == pytest.approx(0.9)
+        assert r.avg_power_w == pytest.approx(1.0)
+        assert r.qoe == pytest.approx(0.8 * 0.9)
+        assert r.energy_per_inference_j == pytest.approx(25.0 / 900)
+        assert r.edp == pytest.approx((25.0 / 900) * 0.004)
+
+    def test_zero_requests(self):
+        r = run(processed=0, lost=0)
+        assert r.inference_loss == 0.0
+        assert r.processed_fraction == 1.0
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError):
+            RunMetrics(policy="x", duration_s=1.0, total_requests=5,
+                       processed=4, lost=2, accuracy=0.5,
+                       avg_latency_s=0.001, energy_j=1.0,
+                       reconfigurations=0, reconfig_dead_time_s=0.0)
+
+
+class TestAggregate:
+    def test_means(self):
+        runs = [run(accuracy=0.8), run(accuracy=0.6)]
+        agg = aggregate_runs(runs)
+        assert agg.accuracy == pytest.approx(0.7)
+        assert agg.runs == 2
+        assert agg.policy == "X"
+
+    def test_mixed_policies_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_runs([run(policy="A"), run(policy="B")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_runs([])
+
+    def test_as_row_units(self):
+        agg = aggregate_runs([run()])
+        row = agg.as_row()
+        assert row["infer_loss_pct"] == pytest.approx(10.0)
+        assert row["accuracy_pct"] == pytest.approx(80.0)
+        assert row["latency_ms"] == pytest.approx(4.0)

@@ -1,0 +1,93 @@
+"""Workload trace generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.edge import (
+    BurstWorkload,
+    DiurnalWorkload,
+    EdgeServerSimulator,
+    RampWorkload,
+    arrivals_from_rate,
+)
+from repro.runtime import Library, RuntimeManager
+from tests.conftest import make_entry
+
+
+class TestArrivalsFromRate:
+    def test_volume_matches_integral(self):
+        times = arrivals_from_rate(lambda t: 100.0, 10.0, seed=0)
+        assert abs(len(times) - 1000) < 150
+
+    def test_sorted_and_bounded(self):
+        times = arrivals_from_rate(lambda t: 50.0 + 10 * t, 5.0, seed=1)
+        assert np.all(np.diff(times) >= 0)
+        assert times.min() >= 0 and times.max() <= 5.0
+
+    def test_zero_rate_empty(self):
+        assert len(arrivals_from_rate(lambda t: 0.0, 5.0, seed=0)) == 0
+
+    def test_duration_validated(self):
+        with pytest.raises(ValueError):
+            arrivals_from_rate(lambda t: 1.0, 0.0, seed=0)
+
+
+class TestRamp:
+    def test_rate_endpoints(self):
+        w = RampWorkload(start_ips=100.0, end_ips=500.0, duration_s=10.0)
+        assert w.rate_at(0.0) == pytest.approx(100.0)
+        assert w.rate_at(10.0) == pytest.approx(500.0)
+        assert w.nominal_ips == pytest.approx(300.0)
+
+    def test_later_half_denser(self):
+        w = RampWorkload(start_ips=50.0, end_ips=450.0, duration_s=10.0)
+        times = w.arrival_times(seed=0)
+        first = (times < 5.0).sum()
+        second = (times >= 5.0).sum()
+        assert second > 1.5 * first
+
+
+class TestBurst:
+    def test_rate_profile(self):
+        w = BurstWorkload(base_ips=100.0, burst_ips=500.0,
+                          burst_start_s=4.0, burst_duration_s=2.0,
+                          duration_s=10.0)
+        assert w.rate_at(1.0) == 100.0
+        assert w.rate_at(5.0) == 500.0
+        assert w.rate_at(7.0) == 100.0
+
+    def test_burst_visible_in_arrivals(self):
+        w = BurstWorkload(base_ips=100.0, burst_ips=800.0,
+                          burst_start_s=4.0, burst_duration_s=2.0,
+                          duration_s=10.0)
+        times = w.arrival_times(seed=2)
+        in_burst = ((times >= 4.0) & (times < 6.0)).mean()
+        assert in_burst > 0.4  # burst carries a large share of arrivals
+
+
+class TestDiurnal:
+    def test_amplitude_validated(self):
+        with pytest.raises(ValueError):
+            DiurnalWorkload(mean_ips=100.0, amplitude_ips=200.0)
+
+    def test_rate_oscillates(self):
+        w = DiurnalWorkload(mean_ips=300.0, amplitude_ips=200.0,
+                            period_s=20.0, duration_s=20.0)
+        assert w.rate_at(5.0) == pytest.approx(500.0)
+        assert w.rate_at(15.0) == pytest.approx(100.0)
+
+
+class TestSimulatorIntegration:
+    def test_des_accepts_traces(self):
+        lib = Library()
+        lib.add(make_entry(rate=0.0, ct=0.9, acc=0.9, ips=150.0,
+                           exit_lats=(1 / 150.0,) * 3, rates=(0, 0, 1.0)))
+        lib.add(make_entry(rate=0.8, ct=0.1, acc=0.8, ips=600.0,
+                           exit_lats=(1 / 600.0,) * 3, rates=(1.0, 0, 0)))
+        w = RampWorkload(start_ips=50.0, end_ips=400.0, duration_s=8.0)
+        result = EdgeServerSimulator(RuntimeManager(lib), workload=w,
+                                     seed=0).run()
+        assert result.total_requests > 0
+        # The ramp forces the manager onto the fast accelerator.
+        assert 0.8 in set(result.trace["pruning_rate"])
+        assert result.inference_loss < 0.25

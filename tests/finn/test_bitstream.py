@@ -1,0 +1,36 @@
+"""Bitstream/reconfiguration cost tests."""
+
+import pytest
+
+from repro.finn import (
+    PYNQ_Z1,
+    RECONFIG_MS_ZCU104,
+    Bitstream,
+    ZCU104,
+    reconfiguration_time_s,
+)
+from repro.finn.resources import ResourceEstimate
+
+
+class TestReconfigTime:
+    def test_paper_value(self):
+        """The paper: 4 reconfigurations took 580 ms -> 145 ms each."""
+        assert RECONFIG_MS_ZCU104 == pytest.approx(580.0 / 4)
+        assert reconfiguration_time_s() == pytest.approx(0.145)
+
+    def test_scales_with_fabric(self):
+        assert reconfiguration_time_s(PYNQ_Z1) < reconfiguration_time_s(ZCU104)
+
+
+class TestBitstream:
+    def test_defaults(self):
+        bs = Bitstream("design0")
+        assert bs.device is ZCU104
+        assert bs.size_bits > 0
+        assert bs.reconfiguration_time_s() == pytest.approx(0.145)
+
+    def test_size_independent_of_utilization(self):
+        """Full bitstreams cover the whole device regardless of design."""
+        small = Bitstream("a", resources=ResourceEstimate(lut=10))
+        large = Bitstream("b", resources=ResourceEstimate(lut=100_000))
+        assert small.size_bits == large.size_bits

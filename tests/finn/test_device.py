@@ -1,0 +1,61 @@
+"""FPGA device model tests."""
+
+import pytest
+
+from repro.finn import PYNQ_Z1, ZCU104, ResourceEstimate, UtilizationError
+
+
+class TestDevices:
+    def test_zcu104_envelope(self):
+        assert ZCU104.part == "XCZU7EV"
+        assert ZCU104.lut == 230_400
+        assert ZCU104.bram18 == 624
+
+    def test_utilization(self):
+        res = ResourceEstimate(lut=23_040, bram18=62.4)
+        util = ZCU104.utilization(res)
+        assert util["lut"] == pytest.approx(0.1)
+        assert util["bram18"] == pytest.approx(0.1)
+
+    def test_fits(self):
+        small = ResourceEstimate(lut=1000, ff=1000, bram18=10)
+        assert ZCU104.fits(small)
+        huge = ResourceEstimate(lut=10 ** 7)
+        assert not ZCU104.fits(huge)
+
+    def test_margin(self):
+        res = ResourceEstimate(lut=ZCU104.lut * 0.95)
+        assert ZCU104.fits(res)
+        assert not ZCU104.fits(res, margin=0.10)
+        with pytest.raises(ValueError):
+            ZCU104.fits(res, margin=1.0)
+
+    def test_check_raises_with_details(self):
+        with pytest.raises(UtilizationError) as err:
+            ZCU104.check(ResourceEstimate(bram18=10_000))
+        assert "bram18" in str(err.value)
+
+    def test_pynq_smaller(self):
+        assert PYNQ_Z1.lut < ZCU104.lut
+        res = ResourceEstimate(lut=100_000)
+        assert ZCU104.fits(res) and not PYNQ_Z1.fits(res)
+
+
+class TestResourceEstimate:
+    def test_addition(self):
+        a = ResourceEstimate(lut=10, ff=20, bram18=1)
+        b = ResourceEstimate(lut=5, dsp=2)
+        c = a + b
+        assert c.lut == 15 and c.ff == 20 and c.bram18 == 1 and c.dsp == 2
+
+    def test_sum_builtin(self):
+        parts = [ResourceEstimate(lut=1)] * 3
+        assert sum(parts, ResourceEstimate()).lut == 3
+        assert sum(parts).lut == 3  # __radd__ with int 0
+
+    def test_scaled(self):
+        assert ResourceEstimate(lut=10).scaled(2.5).lut == 25
+
+    def test_as_dict(self):
+        d = ResourceEstimate(lut=1, ff=2, bram18=3, dsp=4).as_dict()
+        assert d == {"lut": 1, "ff": 2, "bram18": 3, "dsp": 4}

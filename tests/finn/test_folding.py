@@ -1,0 +1,141 @@
+"""Folding configuration and constraint derivation tests."""
+
+import math
+
+import pytest
+
+from repro.finn import (
+    FoldingConfig,
+    LayerFolding,
+    auto_fold,
+    cnv_reference_fold,
+    fold_constraints,
+)
+from repro.models import CNVConfig, ExitsConfiguration, build_cnv
+from repro.nn.layers import QuantConv2D, QuantLinear
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_cnv(CNVConfig(width_scale=0.25, seed=0),
+                     ExitsConfiguration.paper_default())
+
+
+class TestLayerFolding:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LayerFolding(pe=0)
+        assert LayerFolding(4, 8).parallelism == 32
+
+
+class TestFoldingConfig:
+    def test_default_fallback(self):
+        cfg = FoldingConfig()
+        assert cfg.get("anything") == LayerFolding(1, 1)
+
+    def test_json_roundtrip(self, tmp_path):
+        cfg = FoldingConfig()
+        cfg.set("b0_conv0", 16, 3)
+        cfg.set("fc0", 1, 4)
+        path = tmp_path / "fold.json"
+        cfg.save(path)
+        loaded = FoldingConfig.load(path)
+        assert loaded.get("b0_conv0") == LayerFolding(16, 3)
+        assert loaded.get("fc0") == LayerFolding(1, 4)
+
+    def test_json_format(self):
+        cfg = FoldingConfig()
+        cfg.set("layer", 2, 3)
+        assert '"PE": 2' in cfg.to_json()
+        assert '"SIMD": 3' in cfg.to_json()
+
+
+class TestCnvReferenceFold:
+    def test_divisibility(self, model):
+        fold = cnv_reference_fold(model)
+        for layer in model.all_layers():
+            if isinstance(layer, QuantConv2D):
+                f = fold.get(layer.name)
+                assert layer.out_channels % f.pe == 0
+                assert layer.in_channels % f.simd == 0
+            elif isinstance(layer, QuantLinear):
+                f = fold.get(layer.name)
+                assert layer.out_features % f.pe == 0
+                assert layer.in_features % f.simd == 0
+
+    def test_first_layer_simd_is_input_channels(self, model):
+        fold = cnv_reference_fold(model)
+        assert fold.get("b0_conv0").simd == 3
+
+    def test_scales_with_width(self):
+        small = build_cnv(CNVConfig(width_scale=0.125, seed=0),
+                          ExitsConfiguration.paper_default())
+        big = build_cnv(CNVConfig(width_scale=1.0, seed=0),
+                        ExitsConfiguration.paper_default())
+        fs = cnv_reference_fold(small)
+        fb = cnv_reference_fold(big)
+        # Parallelism grows with width (proportional fractions).
+        assert fb.get("b0_conv1").pe > fs.get("b0_conv1").pe
+
+    def test_exit_layers_covered(self, model):
+        fold = cnv_reference_fold(model)
+        assert "exit0_conv" in fold.layers
+        assert "exit1_fc1" in fold.layers
+
+
+class TestAutoFold:
+    def test_divisibility(self, model):
+        fold = auto_fold(model)
+        for layer in model.all_layers():
+            if isinstance(layer, QuantConv2D):
+                f = fold.get(layer.name)
+                assert layer.out_channels % f.pe == 0
+                assert layer.in_channels % f.simd == 0
+
+    def test_depth_growth_validation(self, model):
+        with pytest.raises(ValueError):
+            auto_fold(model, depth_growth=0.9)
+
+    def test_deeper_layers_more_folded(self, model):
+        """Cycle budgets grow with depth, so depth-0 conv must get at
+        least as much parallelism per unit work as the deepest conv."""
+        fold = auto_fold(model, depth_growth=1.5)
+        first = fold.get("b0_conv1")
+        last = fold.get("b2_conv1")
+        assert first.parallelism >= last.parallelism
+
+
+class TestFoldConstraints:
+    def test_backbone_chain(self, model):
+        fold = cnv_reference_fold(model)
+        cons = fold_constraints(model, fold)
+        # conv_i constrained by its own PE and the next conv's SIMD.
+        c0 = cons["b0_conv0"]
+        assert c0.pe == fold.get("b0_conv0").pe
+        assert c0.simd_next % fold.get("b0_conv1").simd == 0
+
+    def test_exit_host_includes_exit_simd(self, model):
+        fold = cnv_reference_fold(model)
+        cons = fold_constraints(model, fold)
+        # b0_conv1 feeds both b1_conv0 and exit0_conv.
+        expected = math.lcm(fold.get("b1_conv0").simd,
+                            fold.get("exit0_conv").simd)
+        assert cons["b0_conv1"].simd_next == expected
+
+    def test_last_conv_constrained_by_fc_simd(self, model):
+        """The last conv's channels flatten into fc0, whose SIMD lanes
+        must divide them (paper: 'the MVTU's SIMD of next layer i+1')."""
+        fold = cnv_reference_fold(model)
+        cons = fold_constraints(model, fold)
+        assert cons["b2_conv1"].simd_next == max(fold.get("fc0").simd, 1)
+
+    def test_last_conv_full_width_fc_constraint(self):
+        big = build_cnv(CNVConfig(width_scale=1.0, seed=0),
+                        ExitsConfiguration.paper_default())
+        fold = cnv_reference_fold(big)
+        cons = fold_constraints(big, fold)
+        assert cons["b2_conv1"].simd_next % fold.get("fc0").simd == 0
+
+    def test_exit_convs_present(self, model):
+        cons = fold_constraints(model, cnv_reference_fold(model))
+        assert "exit0_conv" in cons and "exit1_conv" in cons

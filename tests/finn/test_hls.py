@@ -1,0 +1,115 @@
+"""HLS module model tests: cycle formulas and resource behaviour."""
+
+import pytest
+
+from repro.finn import (
+    DuplicateStreamsUnit,
+    MVTU,
+    PoolUnit,
+    SlidingWindowUnit,
+    ThresholdUnit,
+)
+from repro.finn.resources import BRAM18_BITS
+
+
+class TestMVTU:
+    def test_cycles_formula(self):
+        """cycles = vectors * (rows/PE) * (cols/SIMD) — the FINN formula."""
+        m = MVTU("m", rows=64, cols=576, pe=16, simd=32, vectors=784)
+        assert m.cycles() == 784 * 4 * 18
+
+    def test_fold_one_at_max_parallelism(self):
+        m = MVTU("m", rows=8, cols=8, pe=8, simd=8, vectors=10)
+        assert m.cycles() == 10
+
+    def test_divisibility_enforced(self):
+        with pytest.raises(ValueError):
+            MVTU("m", rows=10, cols=8, pe=3, simd=2)
+        with pytest.raises(ValueError):
+            MVTU("m", rows=8, cols=10, pe=2, simd=3)
+
+    def test_macs(self):
+        m = MVTU("m", rows=4, cols=8, vectors=5)
+        assert m.macs_per_frame() == 160
+
+    def test_more_parallelism_more_lut(self):
+        small = MVTU("a", rows=64, cols=64, pe=2, simd=2)
+        big = MVTU("b", rows=64, cols=64, pe=16, simd=16)
+        assert big.resources().lut > small.resources().lut
+
+    def test_weight_memory_scales(self):
+        small = MVTU("a", rows=16, cols=64, weight_bits=2)
+        big = MVTU("b", rows=256, cols=2304, weight_bits=2)
+        assert big.resources().bram18 > small.resources().bram18
+        assert big.weight_bits_total() == 256 * 2304 * 2
+
+    def test_threshold_memory_counted(self):
+        bare = MVTU("a", rows=256, cols=256, thresholds=0)
+        thr = MVTU("b", rows=256, cols=256, thresholds=3)
+        r_bare, r_thr = bare.resources(), thr.resources()
+        assert (r_thr.lut + r_thr.bram18 * 1000) > \
+            (r_bare.lut + r_bare.bram18 * 1000)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MVTU("m", rows=0, cols=4)
+
+
+class TestSWU:
+    def test_cycles(self):
+        swu = SlidingWindowUnit("s", in_channels=64, in_width=32, kernel=3,
+                                out_pixels=900, simd=32)
+        assert swu.cycles() == 900 * 9 * 2
+
+    def test_simd_divisibility(self):
+        with pytest.raises(ValueError):
+            SlidingWindowUnit("s", in_channels=10, in_width=8, kernel=3,
+                              out_pixels=36, simd=4)
+
+    def test_line_buffer_bram(self):
+        swu = SlidingWindowUnit("s", in_channels=256, in_width=32, kernel=3,
+                                out_pixels=900, simd=1, act_bits=2)
+        expected_bits = 4 * 32 * 256 * 2
+        assert swu.resources().bram18 >= expected_bits / BRAM18_BITS
+
+    def test_minimum_one_bram(self):
+        swu = SlidingWindowUnit("s", in_channels=3, in_width=8, kernel=3,
+                                out_pixels=36, simd=1)
+        assert swu.resources().bram18 >= 1
+
+
+class TestPoolUnit:
+    def test_cycles_are_input_pixels(self):
+        pool = PoolUnit("p", channels=64, kernel=2, in_pixels=784)
+        assert pool.cycles() == 784
+
+    def test_resources_scale_with_channels(self):
+        a = PoolUnit("a", channels=16, kernel=2, in_pixels=196)
+        b = PoolUnit("b", channels=256, kernel=2, in_pixels=196)
+        assert b.resources().lut > a.resources().lut
+
+
+class TestDuplicateStreams:
+    def test_cycles_passthrough(self):
+        dup = DuplicateStreamsUnit("d", channels=64, pixels=196)
+        assert dup.cycles() == 196
+
+    def test_fifo_brams_at_least_two(self):
+        dup = DuplicateStreamsUnit("d", channels=4, pixels=4)
+        assert dup.resources().bram18 >= 2  # trunk + exit FIFOs
+
+    def test_fifo_scales_with_map(self):
+        small = DuplicateStreamsUnit("a", channels=16, pixels=196)
+        large = DuplicateStreamsUnit("b", channels=256, pixels=196)
+        assert large.resources().bram18 > small.resources().bram18
+        assert large.fifo_bits() > small.fifo_bits()
+
+
+class TestThresholdUnit:
+    def test_cycles(self):
+        t = ThresholdUnit("t", channels=64, pixels=196, levels=3)
+        assert t.cycles() == 196
+
+    def test_resources_positive(self):
+        t = ThresholdUnit("t", channels=64, pixels=196, levels=3)
+        assert t.resources().lut > 0

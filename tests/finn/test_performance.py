@@ -1,0 +1,97 @@
+"""Performance model: visit fractions, capacity, serving model."""
+
+import numpy as np
+import pytest
+
+from repro.finn import (
+    PerformanceModel,
+    cnv_reference_fold,
+    compile_accelerator,
+)
+from repro.ir import export_model, streamline
+from repro.models import CNVConfig, ExitsConfiguration, build_cnv
+
+
+@pytest.fixture(scope="module")
+def perf():
+    model = build_cnv(CNVConfig(width_scale=0.25, seed=0),
+                      ExitsConfiguration.paper_default())
+    model.eval()
+    graph = export_model(model)
+    streamline(graph)
+    return PerformanceModel(compile_accelerator(graph,
+                                                cnv_reference_fold(model)))
+
+
+class TestLatency:
+    def test_latencies_ordered(self, perf):
+        lats = perf.latencies_s()
+        assert lats[0] < lats[-1]
+
+    def test_average_latency_interpolates(self, perf):
+        lats = perf.latencies_s()
+        all_early = perf.average_latency_s([1.0, 0.0, 0.0])
+        all_final = perf.average_latency_s([0.0, 0.0, 1.0])
+        mixed = perf.average_latency_s([0.5, 0.0, 0.5])
+        assert np.isclose(all_early, lats[0])
+        assert np.isclose(all_final, lats[2])
+        assert all_early < mixed < all_final
+
+    def test_rate_validation(self, perf):
+        with pytest.raises(ValueError):
+            perf.average_latency_s([0.5, 0.5])  # wrong length
+        with pytest.raises(ValueError):
+            perf.average_latency_s([0.5, 0.4, 0.4])  # sums to 1.3
+
+
+class TestVisitFractions:
+    def test_all_final_visits_everything_shared(self, perf):
+        fractions = perf.stage_visit_fractions([0.0, 0.0, 1.0])
+        # Every stage on some path is visited by every frame (nothing
+        # exits early).
+        assert all(np.isclose(v, 1.0) for v in fractions.values())
+
+    def test_early_exits_reduce_deep_visits(self, perf):
+        fractions = perf.stage_visit_fractions([0.8, 0.1, 0.1])
+        final_only = set(perf.accel.exit_paths[-1]) \
+            - set(perf.accel.exit_paths[0]) - set(perf.accel.exit_paths[1])
+        for idx in final_only:
+            assert np.isclose(fractions[idx], 0.1)
+
+    def test_shared_prefix_always_visited(self, perf):
+        fractions = perf.stage_visit_fractions([0.9, 0.05, 0.05])
+        shared = set(perf.accel.exit_paths[0])
+        for idx in shared:
+            assert np.isclose(fractions[idx], 1.0)
+
+
+class TestCapacity:
+    def test_early_exit_raises_capacity(self, perf):
+        low = perf.capacity_ips([0.0, 0.0, 1.0])
+        high = perf.capacity_ips([0.9, 0.05, 0.05])
+        assert high >= low
+
+    def test_serving_capacity_latency_bound(self, perf):
+        rates = [0.0, 0.0, 1.0]
+        serve = perf.serving_capacity_ips(rates, inflight=1)
+        assert np.isclose(serve,
+                          min(1.0 / perf.average_latency_s(rates),
+                              perf.capacity_ips(rates)))
+
+    def test_inflight_scales_serving(self, perf):
+        rates = [0.2, 0.2, 0.6]
+        s1 = perf.serving_capacity_ips(rates, inflight=1)
+        s2 = perf.serving_capacity_ips(rates, inflight=2)
+        assert s2 >= s1
+
+    def test_inflight_validation(self, perf):
+        with pytest.raises(ValueError):
+            perf.serving_capacity_ips([0, 0, 1], inflight=0)
+
+    def test_utilization_capped(self, perf):
+        assert perf.utilization([0.0, 0.0, 1.0], 1e9) == 1.0
+
+    def test_stage_loads_structure(self, perf):
+        loads = perf.stage_loads([0.3, 0.3, 0.4])
+        assert all(0.0 <= l.visit_fraction <= 1.0 for l in loads)
+        assert all(l.effective_cycles <= l.cycles for l in loads)

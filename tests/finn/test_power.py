@@ -1,0 +1,80 @@
+"""Power model: calibration band and structural trends."""
+
+import pytest
+
+from repro.finn import (
+    PowerModel,
+    cnv_reference_fold,
+    compile_accelerator,
+)
+from repro.ir import export_model, streamline
+from repro.models import CNVConfig, ExitsConfiguration, build_cnv
+
+
+def make_accel(exits=None, width=1.0, seed=0):
+    model = build_cnv(CNVConfig(width_scale=width, seed=seed), exits)
+    model.eval()
+    graph = export_model(model)
+    streamline(graph)
+    return compile_accelerator(graph, cnv_reference_fold(model))
+
+
+@pytest.fixture(scope="module")
+def finn_accel():
+    return make_accel()
+
+
+@pytest.fixture(scope="module")
+def ee_accel():
+    return make_accel(ExitsConfiguration.paper_default())
+
+
+class TestCalibration:
+    def test_finn_power_band(self, finn_accel):
+        """Full-width FINN CNV must land near the paper's ~1.1-1.2 W."""
+        pm = PowerModel()
+        p = pm.average_power_w(finn_accel, [1.0], 400)
+        assert 0.9 < p < 1.4
+
+    def test_exit_overhead_band(self, finn_accel, ee_accel):
+        """Exit circuitry costs ~10-30 % power (paper: 16-20 %)."""
+        pm = PowerModel()
+        p_finn = pm.average_power_w(finn_accel, [1.0], 400)
+        p_ee = pm.average_power_w(ee_accel, [0.0, 0.0, 1.0], 400)
+        overhead = p_ee / p_finn - 1.0
+        assert 0.05 < overhead < 0.35
+
+    def test_energy_band(self, finn_accel):
+        """Energy per inference in the paper's few-mJ regime."""
+        pm = PowerModel()
+        e = pm.energy_per_inference_j(finn_accel, [1.0])
+        assert 0.5e-3 < e < 10e-3
+
+
+class TestTrends:
+    def test_power_increases_with_load(self, finn_accel):
+        pm = PowerModel()
+        p_idle = pm.average_power_w(finn_accel, [1.0], 0.0)
+        p_busy = pm.average_power_w(finn_accel, [1.0], 400.0)
+        assert p_busy > p_idle > pm.static_base_w
+
+    def test_early_exit_saves_energy(self, ee_accel):
+        pm = PowerModel()
+        e_final = pm.energy_per_inference_j(ee_accel, [0.0, 0.0, 1.0])
+        e_early = pm.energy_per_inference_j(ee_accel, [0.9, 0.05, 0.05])
+        assert e_early < e_final
+
+    def test_clock_scales_dynamic(self, finn_accel):
+        pm = PowerModel()
+        res = finn_accel.resources()
+        assert pm.stage_dynamic_w(res, 200.0) == pytest.approx(
+            2.0 * pm.stage_dynamic_w(res, 100.0))
+
+    def test_report_consistent(self, finn_accel):
+        pm = PowerModel()
+        rep = pm.report(finn_accel, [1.0], 300.0)
+        assert rep.total_w == pytest.approx(
+            pm.average_power_w(finn_accel, [1.0], 300.0))
+        assert rep.static_w == pytest.approx(
+            pm.static_w(finn_accel.resources()))
+        assert rep.energy_per_inference_j > 0

@@ -1,0 +1,107 @@
+"""networkx-based IR analysis tests."""
+
+import networkx as nx
+import pytest
+
+from repro.ir import (
+    branch_points,
+    critical_path,
+    exit_paths,
+    export_model,
+    per_exit_op_counts,
+    to_networkx,
+    verify_exit_structure,
+)
+from repro.models import CNVConfig, ExitsConfiguration, build_cnv
+
+
+@pytest.fixture(scope="module")
+def graph():
+    model = build_cnv(CNVConfig(width_scale=0.125, seed=8),
+                      ExitsConfiguration.paper_default())
+    model.eval()
+    return export_model(model)
+
+
+class TestToNetworkx:
+    def test_dag(self, graph):
+        g = to_networkx(graph)
+        assert nx.is_directed_acyclic_graph(g)
+        assert g.number_of_nodes() == len(graph.nodes)
+
+    def test_op_types_annotated(self, graph):
+        g = to_networkx(graph)
+        ops = nx.get_node_attributes(g, "op_type")
+        assert ops["branch0"] == "DuplicateStreams"
+
+
+class TestExitPaths:
+    def test_one_path_per_output(self, graph):
+        paths = exit_paths(graph)
+        assert len(paths) == 3
+
+    def test_nesting(self, graph):
+        paths = exit_paths(graph)
+        # Deeper exits traverse more nodes.
+        assert len(paths[0]) < len(paths[2])
+
+    def test_early_path_contains_branch(self, graph):
+        paths = exit_paths(graph)
+        assert "branch0" in paths[0]
+        assert "branch0" in paths[2]  # trunk passes through the duplicator
+        assert not any(n.startswith("exit") for n in paths[2])
+
+
+class TestBranchPoints:
+    def test_two_branches(self, graph):
+        assert branch_points(graph) == ["branch0", "branch1"]
+
+    def test_no_exits_no_branches(self):
+        model = build_cnv(CNVConfig(width_scale=0.125, seed=0))
+        model.eval()
+        assert branch_points(export_model(model)) == []
+
+
+class TestOpCounts:
+    def test_counts(self, graph):
+        counts = per_exit_op_counts(graph)
+        # Exit 0: two backbone convs + its own conv.
+        assert counts[0]["Conv"] == 3
+        # Final exit: all six backbone convs, no exit layers.
+        assert counts[2]["Conv"] == 6
+        assert counts[2]["MatMul"] == 3
+
+
+class TestCriticalPath:
+    def test_unit_weights_counts_depth(self, graph):
+        path, total = critical_path(graph, lambda n: 1.0)
+        assert total == len(path)
+        # The deepest chain ends at a backbone node past both branches.
+        assert path[-1].startswith(("seg2", "exit"))
+
+    def test_mac_weighted(self, graph):
+        def macs(node):
+            if node.op_type in ("Conv", "MatMul"):
+                return float(node.initializers["weight"].size)
+            return 0.0
+
+        path, total = critical_path(graph, macs)
+        assert total > 0
+
+
+class TestVerifyExitStructure:
+    def test_valid_graph_passes(self, graph):
+        verify_exit_structure(graph)
+
+    def test_no_exit_graph_passes(self):
+        model = build_cnv(CNVConfig(width_scale=0.125, seed=0))
+        model.eval()
+        verify_exit_structure(export_model(model))
+
+    def test_detects_missing_branch(self, graph):
+        import copy
+
+        broken = copy.deepcopy(graph)
+        broken.metadata["num_exits"] = 4  # claims one more exit
+        with pytest.raises(ValueError):
+            verify_exit_structure(broken)

@@ -1,0 +1,79 @@
+"""Export equivalence: the IR must compute exactly what the model does."""
+
+import numpy as np
+import pytest
+
+from repro.ir import export_model
+from repro.models import CNVConfig, ExitsConfiguration, build_cnv
+
+
+@pytest.fixture(scope="module")
+def exported():
+    model = build_cnv(CNVConfig(width_scale=0.125, seed=2),
+                      ExitsConfiguration.paper_default())
+    model.eval()
+    return model, export_model(model)
+
+
+class TestExport:
+    def test_outputs_match_model(self, exported):
+        model, graph = exported
+        x = np.random.default_rng(0).normal(size=(3, 3, 32, 32))
+        ref = model.forward(x)
+        out = graph.execute(x)
+        assert len(ref) == len(out) == 3
+        for a, b in zip(ref, out):
+            np.testing.assert_allclose(a, b, atol=1e-9)
+
+    def test_op_census(self, exported):
+        _, graph = exported
+        counts = graph.stats()["op_counts"]
+        assert counts["Conv"] == 8           # 6 backbone + 2 exit convs
+        assert counts["MatMul"] == 7         # 3 backbone + 2 per exit
+        assert counts["DuplicateStreams"] == 2
+        assert counts["MaxPool"] == 4        # 2 backbone + 1 per exit
+
+    def test_exit_output_order(self, exported):
+        model, graph = exported
+        # Early exits first, backbone last (same as model.forward).
+        assert len(graph.output_names) == model.num_exits
+        producer = graph.producer(graph.output_names[-1])
+        assert producer.name.startswith("seg")
+        assert graph.producer(graph.output_names[0]).name.startswith("exit0")
+
+    def test_weights_are_quantized(self, exported):
+        _, graph = exported
+        conv = graph.node_by_name("seg0/b0_conv0")
+        assert len(np.unique(conv.initializers["weight"])) <= 3
+        assert conv.attrs["weight_bits"] == 2
+
+    def test_metadata(self, exported):
+        model, graph = exported
+        assert graph.metadata["num_exits"] == 3
+        assert graph.metadata["input_shape"] == (3, 32, 32)
+
+    def test_multithreshold_bits(self, exported):
+        _, graph = exported
+        mts = [n for n in graph.nodes if n.op_type == "MultiThreshold"]
+        assert mts  # every quantized activation became a threshold node
+        for node in mts:
+            assert node.initializers["thresholds"].shape[1] == 3  # 2-bit
+
+    def test_no_exit_model_single_output(self):
+        model = build_cnv(CNVConfig(width_scale=0.125, seed=0))
+        model.eval()
+        graph = export_model(model)
+        assert len(graph.output_names) == 1
+        assert graph.stats()["op_counts"].get("DuplicateStreams", 0) == 0
+
+    def test_export_pruned_model(self):
+        from repro.pruning import prune_model
+
+        model = build_cnv(CNVConfig(width_scale=0.25, seed=1),
+                          ExitsConfiguration.paper_default())
+        model.eval()
+        pruned, _ = prune_model(model, 0.5)
+        graph = export_model(pruned)
+        x = np.random.default_rng(1).normal(size=(2, 3, 32, 32))
+        for a, b in zip(pruned.forward(x), graph.execute(x)):
+            np.testing.assert_allclose(a, b, atol=1e-9)

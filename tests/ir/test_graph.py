@@ -1,0 +1,143 @@
+"""IR graph structure tests."""
+
+import numpy as np
+import pytest
+
+from repro.ir import IRGraph, IRNode
+
+
+def linear_graph():
+    g = IRGraph("g")
+    g.set_input("input", (4,))
+    g.add_tensor("t0", (4,))
+    g.add_tensor("t1", (4,))
+    g.add_node(IRNode("BatchNorm", "bn0", ["input"], ["t0"],
+                      initializers={"scale": np.ones(4),
+                                    "shift": np.zeros(4)}))
+    g.add_node(IRNode("Flatten", "flat", ["t0"], ["t1"]))
+    g.mark_output("t1")
+    return g
+
+
+class TestConstruction:
+    def test_validate_ok(self):
+        linear_graph().validate()
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            IRNode("Softmax", "s", ["a"], ["b"])
+
+    def test_duplicate_tensor_rejected(self):
+        g = IRGraph()
+        g.set_input("input", (4,))
+        g.add_tensor("t0", (4,))
+        with pytest.raises(ValueError):
+            g.add_tensor("t0", (4,))
+
+    def test_unknown_input_rejected(self):
+        g = IRGraph()
+        g.set_input("input", (4,))
+        g.add_tensor("t0", (4,))
+        with pytest.raises(ValueError):
+            g.add_node(IRNode("Flatten", "f", ["missing"], ["t0"]))
+
+    def test_duplicate_node_name_rejected(self):
+        g = linear_graph()
+        g.add_tensor("t2", (4,))
+        with pytest.raises(ValueError):
+            g.add_node(IRNode("Flatten", "flat", ["t1"], ["t2"]))
+
+    def test_double_producer_rejected(self):
+        g = linear_graph()
+        g.add_node(IRNode("Flatten", "flat2", ["input"], ["t1"]))
+        with pytest.raises(ValueError):
+            g.validate()
+
+    def test_mark_unknown_output_rejected(self):
+        g = linear_graph()
+        with pytest.raises(ValueError):
+            g.mark_output("zzz")
+
+
+class TestQueries:
+    def test_producer_consumers(self):
+        g = linear_graph()
+        assert g.producer("t0").name == "bn0"
+        assert g.producer("input") is None
+        assert [n.name for n in g.consumers("t0")] == ["flat"]
+
+    def test_node_by_name(self):
+        g = linear_graph()
+        assert g.node_by_name("bn0").op_type == "BatchNorm"
+        with pytest.raises(KeyError):
+            g.node_by_name("zzz")
+
+    def test_topological_order(self):
+        g = linear_graph()
+        order = [n.name for n in g.topological_order()]
+        assert order.index("bn0") < order.index("flat")
+
+    def test_cycle_detected(self):
+        g = IRGraph()
+        g.set_input("input", (4,))
+        g.add_tensor("a", (4,))
+        g.add_tensor("b", (4,))
+        g.add_node(IRNode("Flatten", "f1", ["b"], ["a"]))
+        g.add_node(IRNode("Flatten", "f2", ["a"], ["b"]))
+        with pytest.raises(ValueError):
+            g.topological_order()
+
+    def test_stats(self):
+        stats = linear_graph().stats()
+        assert stats["op_counts"]["BatchNorm"] == 1
+        assert stats["num_nodes"] == 2
+
+
+class TestRemoveNode:
+    def test_rewires_consumers(self):
+        g = linear_graph()
+        g.remove_node(g.node_by_name("bn0"))
+        assert g.node_by_name("flat").inputs == ["input"]
+        g.validate()
+
+    def test_rewires_outputs(self):
+        g = linear_graph()
+        g.remove_node(g.node_by_name("flat"))
+        assert g.output_names == ["t0"]
+        g.validate()
+
+    def test_rejects_multi_output(self):
+        g = IRGraph()
+        g.set_input("input", (4,))
+        g.add_tensor("a", (4,))
+        g.add_tensor("b", (4,))
+        node = g.add_node(IRNode("DuplicateStreams", "dup", ["input"],
+                                 ["a", "b"]))
+        with pytest.raises(ValueError):
+            g.remove_node(node)
+
+
+class TestExecute:
+    def test_duplicate_streams(self):
+        g = IRGraph()
+        g.set_input("input", (3,))
+        g.add_tensor("a", (3,))
+        g.add_tensor("b", (3,))
+        g.add_node(IRNode("DuplicateStreams", "dup", ["input"], ["a", "b"]))
+        g.mark_output("a")
+        g.mark_output("b")
+        x = np.arange(6.0).reshape(2, 3)
+        outs = g.execute(x)
+        np.testing.assert_allclose(outs[0], x)
+        np.testing.assert_allclose(outs[1], x)
+
+    def test_batchnorm_executor(self):
+        g = IRGraph()
+        g.set_input("input", (2,))
+        g.add_tensor("o", (2,))
+        g.add_node(IRNode("BatchNorm", "bn", ["input"], ["o"],
+                          initializers={"scale": np.array([2.0, 1.0]),
+                                        "shift": np.array([0.0, 1.0])}))
+        g.mark_output("o")
+        out = g.execute(np.array([[1.0, 1.0]]))[0]
+        np.testing.assert_allclose(out, [[2.0, 2.0]])

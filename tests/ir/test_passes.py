@@ -1,0 +1,96 @@
+"""Streamlining transformations: BN absorption must preserve function."""
+
+import numpy as np
+import pytest
+
+from repro.ir import IRGraph, IRNode, export_model, streamline
+from repro.ir.passes import absorb_batchnorm, count_unabsorbed_batchnorms
+from repro.models import CNVConfig, ExitsConfiguration, build_cnv
+
+
+def bn_mt_graph(scale, shift, thresholds=None, signs=None):
+    """input -> BatchNorm -> MultiThreshold graph over C channels."""
+    c = len(scale)
+    levels = 3
+    thresholds = thresholds if thresholds is not None else np.tile(
+        np.array([0.25, 0.5, 0.75]), (c, 1))
+    signs = signs if signs is not None else np.ones(c)
+    g = IRGraph()
+    g.set_input("input", (c,))
+    g.add_tensor("bn_out", (c,))
+    g.add_tensor("out", (c,), bits=2)
+    g.add_node(IRNode("BatchNorm", "bn", ["input"], ["bn_out"],
+                      initializers={"scale": np.asarray(scale, float),
+                                    "shift": np.asarray(shift, float)}))
+    g.add_node(IRNode("MultiThreshold", "mt", ["bn_out"], ["out"],
+                      attrs={"step": 1.0 / levels, "act_bits": 2},
+                      initializers={"thresholds": thresholds,
+                                    "signs": signs}))
+    g.mark_output("out")
+    return g
+
+
+class TestAbsorbBatchnorm:
+    def test_positive_scale(self):
+        g = bn_mt_graph([2.0, 0.5], [0.1, -0.2])
+        x = np.random.default_rng(0).normal(size=(40, 2))
+        ref = g.execute(x)[0]
+        assert absorb_batchnorm(g) == 1
+        assert count_unabsorbed_batchnorms(g) == 0
+        np.testing.assert_allclose(g.execute(x)[0], ref, atol=1e-12)
+
+    def test_negative_scale_flips_direction(self):
+        g = bn_mt_graph([-1.5, 2.0], [0.3, 0.0])
+        x = np.random.default_rng(1).normal(size=(60, 2))
+        ref = g.execute(x)[0]
+        absorb_batchnorm(g)
+        np.testing.assert_allclose(g.execute(x)[0], ref, atol=1e-12)
+
+    def test_zero_scale_constant_output(self):
+        g = bn_mt_graph([0.0], [0.6])
+        x = np.random.default_rng(2).normal(size=(20, 1))
+        ref = g.execute(x)[0]
+        assert np.unique(ref).size == 1  # constant regardless of input
+        absorb_batchnorm(g)
+        np.testing.assert_allclose(g.execute(x)[0], ref, atol=1e-12)
+
+    def test_bn_without_threshold_kept(self):
+        g = IRGraph()
+        g.set_input("input", (2,))
+        g.add_tensor("o", (2,))
+        g.add_node(IRNode("BatchNorm", "bn", ["input"], ["o"],
+                          initializers={"scale": np.ones(2),
+                                        "shift": np.zeros(2)}))
+        g.mark_output("o")
+        assert absorb_batchnorm(g) == 0
+        assert count_unabsorbed_batchnorms(g) == 1
+
+
+class TestStreamlineCNV:
+    @pytest.fixture(scope="class")
+    def model_graph(self):
+        model = build_cnv(CNVConfig(width_scale=0.125, seed=4),
+                          ExitsConfiguration.paper_default())
+        model.eval()
+        return model, export_model(model)
+
+    def test_all_bns_absorbed(self, model_graph):
+        _, graph = model_graph
+        report = streamline(graph)
+        assert report["batchnorms_remaining"] == 0
+        assert report["batchnorms_absorbed"] == 12
+
+    def test_function_preserved(self, model_graph):
+        model, graph = model_graph
+        x = np.random.default_rng(5).normal(size=(4, 3, 32, 32))
+        ref = model.forward(x)
+        streamline(graph)
+        out = graph.execute(x)
+        for a, b in zip(ref, out):
+            np.testing.assert_allclose(a, b, atol=1e-9)
+
+    def test_streamline_idempotent(self, model_graph):
+        _, graph = model_graph
+        streamline(graph)
+        report = streamline(graph)
+        assert report["batchnorms_absorbed"] == 0

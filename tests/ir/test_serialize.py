@@ -1,0 +1,79 @@
+"""IR serialization round-trip tests."""
+
+import numpy as np
+import pytest
+
+from repro.ir import export_model, load_graph, save_graph, streamline
+from repro.ir.serialize import graph_from_payload, graph_to_payload
+from repro.models import CNVConfig, ExitsConfiguration, build_cnv
+
+
+@pytest.fixture(scope="module")
+def graph_and_model():
+    model = build_cnv(CNVConfig(width_scale=0.125, seed=6),
+                      ExitsConfiguration.paper_default())
+    model.eval()
+    return model, export_model(model)
+
+
+class TestPayloadRoundtrip:
+    def test_structure_preserved(self, graph_and_model):
+        _, graph = graph_and_model
+        header, arrays = graph_to_payload(graph)
+        restored = graph_from_payload(header, arrays)
+        assert restored.name == graph.name
+        assert restored.output_names == graph.output_names
+        assert len(restored.nodes) == len(graph.nodes)
+        assert restored.metadata["num_exits"] == 3
+
+    def test_execution_preserved(self, graph_and_model):
+        model, graph = graph_and_model
+        header, arrays = graph_to_payload(graph)
+        restored = graph_from_payload(header, arrays)
+        x = np.random.default_rng(0).normal(size=(2, 3, 32, 32))
+        for a, b in zip(graph.execute(x), restored.execute(x)):
+            np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_header_is_json_safe(self, graph_and_model):
+        import json
+
+        _, graph = graph_and_model
+        header, _ = graph_to_payload(graph)
+        json.dumps(header)  # must not raise
+
+    def test_version_checked(self, graph_and_model):
+        _, graph = graph_and_model
+        header, arrays = graph_to_payload(graph)
+        header["format_version"] = 99
+        with pytest.raises(ValueError):
+            graph_from_payload(header, arrays)
+
+
+class TestFileRoundtrip:
+    def test_save_load(self, graph_and_model, tmp_path):
+        model, graph = graph_and_model
+        path = str(tmp_path / "cnv_export")
+        save_graph(graph, path)
+        assert (tmp_path / "cnv_export.json").exists()
+        assert (tmp_path / "cnv_export.npz").exists()
+        restored = load_graph(path)
+        x = np.random.default_rng(1).normal(size=(1, 3, 32, 32))
+        for a, b in zip(model.forward(x), restored.execute(x)):
+            np.testing.assert_allclose(a, b, atol=1e-9)
+
+    def test_streamlined_graph_roundtrips(self, tmp_path):
+        model = build_cnv(CNVConfig(width_scale=0.125, seed=7),
+                          ExitsConfiguration.none())
+        model.eval()
+        graph = export_model(model)
+        streamline(graph)
+        path = str(tmp_path / "streamlined")
+        save_graph(graph, path)
+        restored = load_graph(path)
+        x = np.random.default_rng(2).normal(size=(1, 3, 32, 32))
+        np.testing.assert_allclose(graph.execute(x)[0],
+                                   restored.execute(x)[0], atol=1e-12)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_graph(str(tmp_path / "nope"))

@@ -1,0 +1,111 @@
+"""CNV topology tests."""
+
+import numpy as np
+import pytest
+
+from repro.models import CNVConfig, ExitsConfiguration, build_cnv, scaled_width
+from repro.nn.layers import QuantConv2D, QuantLinear
+
+
+class TestScaledWidth:
+    def test_full_scale_identity(self):
+        assert scaled_width(64, 1.0) == 64
+        assert scaled_width(512, 1.0) == 512
+
+    def test_quarter_scale(self):
+        assert scaled_width(64, 0.25) == 16
+        assert scaled_width(256, 0.25) == 64
+
+    def test_minimum(self):
+        assert scaled_width(64, 0.01) == 4
+
+    def test_multiple_of_four(self):
+        for scale in (0.1, 0.3, 0.55, 0.77):
+            assert scaled_width(128, scale) % 4 == 0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            scaled_width(64, 0.0)
+
+
+class TestCNVConfig:
+    def test_paper_widths(self):
+        cfg = CNVConfig()
+        assert cfg.conv_widths == (64, 64, 128, 128, 256, 256)
+        assert cfg.fc_widths == (512, 512)
+
+    def test_name(self):
+        assert CNVConfig().name == "CNVW2A2"
+        assert "x0.25" in CNVConfig(width_scale=0.25).name
+
+
+class TestBuildCNV:
+    def test_spatial_pipeline(self):
+        """The FINN CNV spatial shrink: 32->30->28->14->12->10->5->3->1."""
+        model = build_cnv(CNVConfig(width_scale=0.125))
+        shapes = model.segment_output_shapes()
+        assert shapes[0][1:] == (14, 14)
+        assert shapes[1][1:] == (5, 5)
+        assert shapes[-1] == (10,)
+
+    def test_forward_shapes(self):
+        model = build_cnv(CNVConfig(width_scale=0.125))
+        out = model.forward(np.zeros((2, 3, 32, 32)))
+        assert len(out) == 1
+        assert out[0].shape == (2, 10)
+
+    def test_exits_attached(self):
+        model = build_cnv(CNVConfig(width_scale=0.125),
+                          ExitsConfiguration.paper_default())
+        assert model.num_exits == 3
+        assert model.exit_segment_indices == [0, 1]
+        out = model.forward(np.zeros((1, 3, 32, 32)))
+        assert len(out) == 3
+        assert all(o.shape == (1, 10) for o in out)
+
+    def test_num_classes(self):
+        model = build_cnv(CNVConfig(width_scale=0.125, num_classes=43),
+                          ExitsConfiguration.paper_default())
+        out = model.forward(np.zeros((1, 3, 32, 32)))
+        assert all(o.shape == (1, 43) for o in out)
+
+    def test_all_compute_layers_quantized(self):
+        model = build_cnv(CNVConfig(width_scale=0.125),
+                          ExitsConfiguration.paper_default())
+        convs = [l for l in model.all_layers() if isinstance(l, QuantConv2D)]
+        fcs = [l for l in model.all_layers() if isinstance(l, QuantLinear)]
+        assert len(convs) == 6 + 2  # backbone + one conv per exit
+        assert len(fcs) == 3 + 2 * 2  # backbone FCs + two per exit
+
+    def test_six_backbone_convs(self):
+        model = build_cnv(CNVConfig(width_scale=0.25))
+        convs = [l for l in model.backbone_layers()
+                 if isinstance(l, QuantConv2D)]
+        assert len(convs) == 6
+        assert [c.out_channels for c in convs] == [16, 16, 32, 32, 64, 64]
+
+    def test_exit_after_invalid_block_rejected(self):
+        from repro.models.exits import ExitSpec
+
+        bad = ExitsConfiguration((ExitSpec(after_block=2),))
+        with pytest.raises(ValueError):
+            build_cnv(CNVConfig(width_scale=0.125), bad)
+
+    def test_deterministic_by_seed(self):
+        a = build_cnv(CNVConfig(width_scale=0.125, seed=9))
+        b = build_cnv(CNVConfig(width_scale=0.125, seed=9))
+        x = np.random.default_rng(0).normal(size=(1, 3, 32, 32))
+        np.testing.assert_allclose(a.forward(x)[0], b.forward(x)[0])
+
+    def test_config_recorded(self):
+        cfg = CNVConfig(width_scale=0.125)
+        exits = ExitsConfiguration.paper_default()
+        model = build_cnv(cfg, exits)
+        assert model.config is cfg
+        assert model.exits_config is exits
+
+    def test_exit_macs_cheaper_than_final(self):
+        model = build_cnv(CNVConfig(width_scale=0.25),
+                          ExitsConfiguration.paper_default())
+        macs = model.exit_macs()
+        assert macs[0] < macs[-1]

@@ -1,0 +1,72 @@
+"""TFC model tests (FC-only FINN reference network)."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_dataset
+from repro.finn import auto_fold, compile_accelerator, PerformanceModel
+from repro.ir import export_model, streamline, verify_exit_structure
+from repro.models import ExitsConfiguration, TFCConfig, build_tfc
+from repro.models.exits import ExitSpec
+from repro.nn import TrainConfig, Trainer, evaluate_exits
+from repro.pruning import prune_model
+
+
+class TestBuildTFC:
+    def test_forward_shapes(self):
+        model = build_tfc(TFCConfig())
+        out = model.forward(np.zeros((2, 1, 28, 28)))
+        assert len(out) == 1
+        assert out[0].shape == (2, 10)
+
+    def test_exits(self):
+        model = build_tfc(TFCConfig(), ExitsConfiguration.paper_default())
+        out = model.forward(np.zeros((1, 1, 28, 28)))
+        assert len(out) == 3
+        assert all(o.shape == (1, 10) for o in out)
+
+    def test_exit_past_block1_rejected(self):
+        with pytest.raises(ValueError):
+            build_tfc(TFCConfig(),
+                      ExitsConfiguration((ExitSpec(after_block=2),)))
+
+    def test_name(self):
+        assert build_tfc(TFCConfig(hidden_width=64)).name == "TFCW2A2-h64"
+
+    def test_custom_width(self):
+        model = build_tfc(TFCConfig(hidden_width=32))
+        seg1_fc = model.segments[1].layers[0]
+        assert seg1_fc.out_features == 32
+
+
+class TestTFCPipeline:
+    def test_export_compile(self):
+        model = build_tfc(TFCConfig(), ExitsConfiguration.paper_default())
+        model.eval()
+        graph = export_model(model)
+        verify_exit_structure(graph)
+        streamline(graph)
+        accel = compile_accelerator(graph, auto_fold(model))
+        perf = PerformanceModel(accel)
+        lats = perf.latencies_s()
+        assert lats[0] < lats[-1]
+        # FC-only graph: no sliding-window or pooling stages.
+        names = {type(m).__name__ for m in accel.modules}
+        assert "SlidingWindowUnit" not in names
+        assert "PoolUnit" not in names
+
+    def test_pruning_is_noop(self):
+        """Filter pruning targets CONV layers; TFC has none."""
+        model = build_tfc(TFCConfig())
+        pruned, report = prune_model(model, 0.5)
+        assert report.decisions == []
+        assert pruned.param_count() == model.param_count()
+
+    def test_trains_on_mnist_like(self):
+        train, test = make_dataset("mnist", 256, 128, seed=0)
+        model = build_tfc(TFCConfig(seed=0),
+                          ExitsConfiguration.paper_default())
+        Trainer(model, TrainConfig(epochs=8, batch_size=64,
+                                   lr=0.002)).fit(train.images, train.labels)
+        accs = evaluate_exits(model, test.images, test.labels)
+        assert accs[-1] > 0.4  # far above the 10 % chance level

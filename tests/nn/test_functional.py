@@ -1,0 +1,202 @@
+"""Kernel-level tests: convolutions against scipy, adjointness, pooling,
+softmax properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.signal import correlate2d
+
+from repro.nn import functional as F
+
+
+class TestConvOutputSize:
+    def test_basic(self):
+        assert F.conv_output_size(32, 3, 1, 0) == 30
+        assert F.conv_output_size(32, 3, 1, 1) == 32
+        assert F.conv_output_size(28, 2, 2, 0) == 14
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            F.conv_output_size(2, 5, 1, 0)
+
+
+class TestIm2col:
+    def test_shape(self):
+        x = np.random.default_rng(0).normal(size=(2, 3, 8, 8))
+        cols = F.im2col(x, kernel=3)
+        assert cols.shape == (2 * 6 * 6, 3 * 9)
+
+    def test_identity_kernel_1(self):
+        x = np.random.default_rng(1).normal(size=(1, 2, 4, 4))
+        cols = F.im2col(x, kernel=1)
+        # 1x1 windows reproduce the pixels, channel-major per row.
+        expected = x.transpose(0, 2, 3, 1).reshape(-1, 2)
+        np.testing.assert_allclose(cols, expected)
+
+    def test_stride_and_padding(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        cols = F.im2col(x, kernel=2, stride=2)
+        assert cols.shape == (4, 4)
+        np.testing.assert_allclose(cols[0], [0, 1, 4, 5])
+        np.testing.assert_allclose(cols[3], [10, 11, 14, 15])
+
+    def test_col2im_adjoint(self):
+        """col2im must be the exact adjoint of im2col: <Ax, y> == <x, A'y>."""
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(2, 3, 7, 7))
+        y = rng.normal(size=(2 * 25, 3 * 9))
+        ax = F.im2col(x, kernel=3, stride=1, padding=0)
+        aty = F.col2im(y, x.shape, kernel=3, stride=1, padding=0)
+        np.testing.assert_allclose((ax * y).sum(), (x * aty).sum(), rtol=1e-10)
+
+    def test_col2im_adjoint_with_padding_stride(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(1, 2, 8, 8))
+        out = F.conv_output_size(8, 3, 2, 1)
+        y = rng.normal(size=(out * out, 2 * 9))
+        ax = F.im2col(x, kernel=3, stride=2, padding=1)
+        aty = F.col2im(y, x.shape, kernel=3, stride=2, padding=1)
+        np.testing.assert_allclose((ax * y).sum(), (x * aty).sum(), rtol=1e-10)
+
+
+class TestConv2d:
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(2, 3, 10, 10))
+        w = rng.normal(size=(4, 3, 3, 3))
+        b = rng.normal(size=4)
+        out, _ = F.conv2d_forward(x, w, b, stride=1, padding=0)
+        for n in range(2):
+            for o in range(4):
+                ref = sum(
+                    correlate2d(x[n, c], w[o, c], mode="valid")
+                    for c in range(3)
+                ) + b[o]
+                np.testing.assert_allclose(out[n, o], ref, atol=1e-10)
+
+    def test_gradients_numerical(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(1, 2, 5, 5))
+        w = rng.normal(size=(3, 2, 3, 3))
+        b = rng.normal(size=3)
+        out, cols = F.conv2d_forward(x, w, b)
+        grad_out = rng.normal(size=out.shape)
+        gx, gw, gb = F.conv2d_backward(grad_out, x.shape, w, cols)
+
+        def loss(x_, w_, b_):
+            o, _ = F.conv2d_forward(x_, w_, b_)
+            return (o * grad_out).sum()
+
+        eps = 1e-6
+        for idx in [(0, 0, 1, 1), (0, 1, 4, 2)]:
+            xp, xm = x.copy(), x.copy()
+            xp[idx] += eps
+            xm[idx] -= eps
+            num = (loss(xp, w, b) - loss(xm, w, b)) / (2 * eps)
+            assert abs(num - gx[idx]) < 1e-4
+        for idx in [(0, 0, 0, 0), (2, 1, 2, 2)]:
+            wp, wm = w.copy(), w.copy()
+            wp[idx] += eps
+            wm[idx] -= eps
+            num = (loss(x, wp, b) - loss(x, wm, b)) / (2 * eps)
+            assert abs(num - gw[idx]) < 1e-4
+        bp, bm = b.copy(), b.copy()
+        bp[1] += eps
+        bm[1] -= eps
+        num = (loss(x, w, bp) - loss(x, w, bm)) / (2 * eps)
+        assert abs(num - gb[1]) < 1e-4
+
+    def test_no_bias(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(1, 1, 4, 4))
+        w = rng.normal(size=(2, 1, 3, 3))
+        out, _ = F.conv2d_forward(x, w, None)
+        assert out.shape == (1, 2, 2, 2)
+
+
+class TestMaxPool:
+    def test_forward_values(self):
+        x = np.array([[[[1, 2, 5, 3],
+                        [4, 0, 1, 2],
+                        [7, 1, 0, 0],
+                        [2, 8, 1, 9.0]]]])
+        out, _ = F.maxpool2d_forward(x, kernel=2)
+        np.testing.assert_allclose(out[0, 0], [[4, 5], [8, 9]])
+
+    def test_backward_routes_to_argmax(self):
+        x = np.array([[[[1, 2], [4, 0.0]]]])
+        out, argmax = F.maxpool2d_forward(x, kernel=2)
+        grad = F.maxpool2d_backward(np.ones_like(out), argmax, x.shape, 2)
+        np.testing.assert_allclose(grad[0, 0], [[0, 0], [1, 0]])
+
+    def test_backward_gradient_numerical(self):
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(2, 3, 6, 6))
+        out, argmax = F.maxpool2d_forward(x, kernel=2)
+        grad_out = rng.normal(size=out.shape)
+        gx = F.maxpool2d_backward(grad_out, argmax, x.shape, 2)
+        eps = 1e-6
+        for idx in [(0, 0, 0, 0), (1, 2, 3, 3), (0, 1, 5, 5)]:
+            xp, xm = x.copy(), x.copy()
+            xp[idx] += eps
+            xm[idx] -= eps
+            op, _ = F.maxpool2d_forward(xp, 2)
+            om, _ = F.maxpool2d_forward(xm, 2)
+            num = ((op - om) * grad_out).sum() / (2 * eps)
+            assert abs(num - gx[idx]) < 1e-4
+
+    def test_overlapping_stride(self):
+        x = np.random.default_rng(8).normal(size=(1, 1, 5, 5))
+        out, _ = F.maxpool2d_forward(x, kernel=3, stride=1)
+        assert out.shape == (1, 1, 3, 3)
+        assert out[0, 0, 0, 0] == x[0, 0, :3, :3].max()
+
+
+class TestSoftmax:
+    @given(st.lists(st.floats(-50, 50), min_size=2, max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_probability_vector(self, logits):
+        p = F.softmax(np.array([logits]))
+        assert np.all(p >= 0)
+        assert np.isclose(p.sum(), 1.0)
+
+    @given(st.lists(st.floats(-30, 30), min_size=2, max_size=8),
+           st.floats(-100, 100))
+    @settings(max_examples=50, deadline=None)
+    def test_shift_invariance(self, logits, shift):
+        a = F.softmax(np.array([logits]))
+        b = F.softmax(np.array([logits]) + shift)
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+    def test_numerical_stability_large(self):
+        p = F.softmax(np.array([[1e4, 1e4 - 1]]))
+        assert np.isfinite(p).all()
+
+    def test_log_softmax_consistent(self):
+        x = np.random.default_rng(9).normal(size=(4, 7))
+        np.testing.assert_allclose(F.log_softmax(x),
+                                   np.log(F.softmax(x)), atol=1e-10)
+
+
+class TestOneHot:
+    def test_basic(self):
+        oh = F.one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_allclose(oh, np.eye(3)[[0, 2, 1]])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([3]), 3)
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([-1]), 3)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.zeros((2, 2), dtype=int), 3)
+
+
+class TestRelu:
+    def test_values_and_grad(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        np.testing.assert_allclose(F.relu(x), [0, 0, 2])
+        np.testing.assert_allclose(F.relu_grad(x, np.ones(3)), [0, 0, 1])

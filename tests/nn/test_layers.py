@@ -1,0 +1,241 @@
+"""Layer-level tests: shapes, gradient checks, BN behaviour, quant STE."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm,
+    Conv2D,
+    Flatten,
+    Identity,
+    Linear,
+    MaxPool2d,
+    QuantConv2D,
+    QuantLinear,
+    QuantReLU,
+    QuantSpec,
+    ReLU,
+)
+
+
+def numerical_grad(layer, x, grad_out, param=None, idx=None, eps=1e-6):
+    """Central-difference gradient of sum(out * grad_out)."""
+    def value():
+        return (layer.forward(x) * grad_out).sum()
+
+    if param is None:  # input gradient
+        xp, xm = x.copy(), x.copy()
+        xp[idx] += eps
+        xm[idx] -= eps
+        return ((layer.forward(xp) * grad_out).sum()
+                - (layer.forward(xm) * grad_out).sum()) / (2 * eps)
+    orig = layer.params[param][idx]
+    layer.params[param][idx] = orig + eps
+    plus = value()
+    layer.params[param][idx] = orig - eps
+    minus = value()
+    layer.params[param][idx] = orig
+    return (plus - minus) / (2 * eps)
+
+
+class TestConv2D:
+    def test_shapes(self):
+        conv = Conv2D(3, 8, kernel_size=3)
+        assert conv.output_shape((3, 32, 32)) == (8, 30, 30)
+        x = np.zeros((2, 3, 32, 32))
+        assert conv.forward(x).shape == (2, 8, 30, 30)
+
+    def test_rejects_wrong_channels(self):
+        conv = Conv2D(3, 8)
+        with pytest.raises(ValueError):
+            conv.output_shape((4, 32, 32))
+
+    def test_macs(self):
+        conv = Conv2D(3, 8, kernel_size=3)
+        assert conv.macs((3, 32, 32)) == 8 * 30 * 30 * 9 * 3
+
+    def test_weight_gradient(self):
+        rng = np.random.default_rng(0)
+        conv = Conv2D(2, 3, kernel_size=3, rng=rng)
+        x = rng.normal(size=(2, 2, 6, 6))
+        out = conv.forward(x)
+        grad_out = rng.normal(size=out.shape)
+        conv.zero_grad()
+        gx = conv.backward(grad_out)
+        for idx in [(0, 0, 0, 0), (2, 1, 2, 1)]:
+            num = numerical_grad(conv, x, grad_out, "weight", idx)
+            assert abs(num - conv.grads["weight"][idx]) < 1e-4
+        num = numerical_grad(conv, x, grad_out, idx=(0, 1, 3, 3))
+        assert abs(num - gx[0, 1, 3, 3]) < 1e-4
+
+    def test_param_count(self):
+        conv = Conv2D(3, 8, kernel_size=3)
+        assert conv.param_count() == 8 * 3 * 9 + 8
+
+    def test_rejects_bad_channels(self):
+        with pytest.raises(ValueError):
+            Conv2D(0, 4)
+
+
+class TestQuantConv2D:
+    def test_effective_weight_is_quantized(self):
+        conv = QuantConv2D(2, 4, quant=QuantSpec(2, 2),
+                           rng=np.random.default_rng(1))
+        w = conv.effective_weight()
+        assert len(np.unique(w)) <= 3
+
+    def test_shadow_weights_full_precision(self):
+        conv = QuantConv2D(2, 4, rng=np.random.default_rng(2))
+        assert len(np.unique(conv.params["weight"])) > 3
+
+    def test_backward_updates_shadow(self):
+        rng = np.random.default_rng(3)
+        conv = QuantConv2D(2, 4, rng=rng)
+        x = rng.normal(size=(1, 2, 5, 5))
+        out = conv.forward(x)
+        conv.zero_grad()
+        conv.backward(np.ones_like(out))
+        assert np.abs(conv.grads["weight"]).sum() > 0
+
+
+class TestLinear:
+    def test_forward(self):
+        lin = Linear(3, 2)
+        lin.params["weight"] = np.array([[1.0, 0, 0], [0, 2.0, 0]])
+        lin.params["bias"] = np.array([0.5, -0.5])
+        out = lin.forward(np.array([[1.0, 1.0, 1.0]]))
+        np.testing.assert_allclose(out, [[1.5, 1.5]])
+
+    def test_gradients(self):
+        rng = np.random.default_rng(4)
+        lin = Linear(5, 3, rng=rng)
+        x = rng.normal(size=(4, 5))
+        out = lin.forward(x)
+        grad_out = rng.normal(size=out.shape)
+        lin.zero_grad()
+        gx = lin.backward(grad_out)
+        np.testing.assert_allclose(lin.grads["weight"], grad_out.T @ x)
+        np.testing.assert_allclose(lin.grads["bias"], grad_out.sum(axis=0))
+        np.testing.assert_allclose(gx, grad_out @ lin.params["weight"])
+
+    def test_output_shape_validation(self):
+        lin = Linear(5, 3)
+        assert lin.output_shape((5,)) == (3,)
+        with pytest.raises(ValueError):
+            lin.output_shape((4,))
+
+
+class TestQuantLinear:
+    def test_quantized_effective_weight(self):
+        lin = QuantLinear(8, 4, rng=np.random.default_rng(5))
+        assert len(np.unique(lin.effective_weight())) <= 3
+
+
+class TestBatchNorm:
+    def test_normalizes_training_batch(self):
+        rng = np.random.default_rng(6)
+        bn = BatchNorm(4)
+        x = rng.normal(3.0, 2.0, size=(64, 4))
+        out = bn.forward(x)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_4d_axes(self):
+        rng = np.random.default_rng(7)
+        bn = BatchNorm(3)
+        x = rng.normal(size=(8, 3, 5, 5))
+        out = bn.forward(x)
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-7)
+
+    def test_eval_uses_running_stats(self):
+        rng = np.random.default_rng(8)
+        bn = BatchNorm(2, momentum=0.0)  # running stats = last batch
+        x = rng.normal(1.0, 2.0, size=(256, 2))
+        bn.forward(x)
+        bn.eval()
+        out = bn.forward(x)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-2)
+
+    def test_gradients(self):
+        rng = np.random.default_rng(9)
+        bn = BatchNorm(3)
+        x = rng.normal(size=(6, 3))
+        out = bn.forward(x)
+        grad_out = rng.normal(size=out.shape)
+        bn.zero_grad()
+        gx = bn.backward(grad_out)
+        eps = 1e-6
+        for idx in [(0, 0), (5, 2)]:
+            xp, xm = x.copy(), x.copy()
+            xp[idx] += eps
+            xm[idx] -= eps
+            num = ((bn.forward(xp) * grad_out).sum()
+                   - (bn.forward(xm) * grad_out).sum()) / (2 * eps)
+            assert abs(num - gx[idx]) < 1e-4
+
+    def test_fold_scale_shift(self):
+        rng = np.random.default_rng(10)
+        bn = BatchNorm(4, momentum=0.0)
+        x = rng.normal(2.0, 3.0, size=(512, 4))
+        bn.forward(x)  # populate running stats
+        bn.eval()
+        scale, shift = bn.fold_scale_shift()
+        np.testing.assert_allclose(bn.forward(x), x * scale + shift,
+                                   atol=1e-9)
+
+    def test_rejects_3d(self):
+        bn = BatchNorm(2)
+        with pytest.raises(ValueError):
+            bn.forward(np.zeros((2, 2, 2)))
+
+
+class TestMaxPool2dLayer:
+    def test_shape(self):
+        pool = MaxPool2d(2)
+        assert pool.output_shape((8, 14, 14)) == (8, 7, 7)
+
+    def test_roundtrip_grad_shape(self):
+        pool = MaxPool2d(2)
+        x = np.random.default_rng(11).normal(size=(2, 3, 6, 6))
+        out = pool.forward(x)
+        grad = pool.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+        # Each window routes exactly one gradient unit.
+        assert grad.sum() == out.size
+
+
+class TestQuantReLU:
+    def test_forward_levels(self):
+        act = QuantReLU(QuantSpec(2, 2))
+        x = np.linspace(-1, 2, 50)
+        out = act.forward(x)
+        assert len(np.unique(out)) <= 4
+
+    def test_ste_gradient_window(self):
+        act = QuantReLU(QuantSpec(2, 2, act_range=1.0))
+        x = np.array([-0.5, 0.5, 1.5])
+        act.forward(x)
+        grad = act.backward(np.ones(3))
+        np.testing.assert_allclose(grad, [0, 1, 0])
+
+
+class TestStructuralLayers:
+    def test_flatten_roundtrip(self):
+        f = Flatten()
+        x = np.random.default_rng(12).normal(size=(2, 3, 4, 4))
+        out = f.forward(x)
+        assert out.shape == (2, 48)
+        np.testing.assert_allclose(f.backward(out), x)
+        assert f.output_shape((3, 4, 4)) == (48,)
+
+    def test_identity(self):
+        ident = Identity()
+        x = np.ones((2, 3))
+        np.testing.assert_allclose(ident.forward(x), x)
+        np.testing.assert_allclose(ident.backward(x), x)
+
+    def test_relu_layer(self):
+        relu = ReLU()
+        x = np.array([[-1.0, 2.0]])
+        np.testing.assert_allclose(relu.forward(x), [[0, 2]])
+        np.testing.assert_allclose(relu.backward(np.ones((1, 2))), [[0, 1]])

@@ -1,0 +1,104 @@
+"""Loss functions: analytic gradients, joint-loss weighting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import JointLoss, cross_entropy
+from repro.nn.functional import softmax
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+        loss, _ = cross_entropy(logits, np.array([0, 1]))
+        assert loss < 1e-4
+
+    def test_uniform_loss_is_log_k(self):
+        logits = np.zeros((4, 5))
+        loss, _ = cross_entropy(logits, np.array([0, 1, 2, 3]))
+        assert np.isclose(loss, np.log(5))
+
+    def test_gradient_formula(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(6, 4))
+        labels = rng.integers(0, 4, size=6)
+        _, grad = cross_entropy(logits, labels)
+        expected = softmax(logits, axis=1)
+        expected[np.arange(6), labels] -= 1.0
+        np.testing.assert_allclose(grad, expected / 6, atol=1e-12)
+
+    def test_gradient_numerical(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(3, 4))
+        labels = np.array([1, 0, 3])
+        _, grad = cross_entropy(logits, labels)
+        eps = 1e-6
+        for idx in [(0, 1), (2, 3), (1, 2)]:
+            lp, lm = logits.copy(), logits.copy()
+            lp[idx] += eps
+            lm[idx] -= eps
+            num = (cross_entropy(lp, labels)[0]
+                   - cross_entropy(lm, labels)[0]) / (2 * eps)
+            assert abs(num - grad[idx]) < 1e-6
+
+    @given(st.integers(2, 8), st.integers(1, 16))
+    @settings(max_examples=30, deadline=None)
+    def test_gradient_rows_sum_to_zero(self, k, n):
+        rng = np.random.default_rng(42)
+        logits = rng.normal(size=(n, k))
+        labels = rng.integers(0, k, size=n)
+        _, grad = cross_entropy(logits, labels)
+        np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-10)
+
+
+class TestJointLoss:
+    def test_paper_default_weights(self):
+        jl = JointLoss.paper_default(3)
+        assert jl.exit_weights == [1.0, 0.3, 0.3]
+
+    def test_single_exit(self):
+        jl = JointLoss.paper_default(1)
+        assert jl.exit_weights == [1.0]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            JointLoss([])
+        with pytest.raises(ValueError):
+            JointLoss.paper_default(0)
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError):
+            JointLoss([1.0, -0.5])
+
+    def test_total_is_weighted_sum(self):
+        rng = np.random.default_rng(2)
+        logits = [rng.normal(size=(5, 3)) for _ in range(2)]
+        labels = rng.integers(0, 3, size=5)
+        jl = JointLoss([1.0, 0.3])
+        total, grads, per_exit = jl(logits, labels)
+        l0, _ = cross_entropy(logits[0], labels)
+        l1, _ = cross_entropy(logits[1], labels)
+        assert np.isclose(total, l0 + 0.3 * l1)
+        assert np.isclose(per_exit[0], l0)
+        assert np.isclose(per_exit[1], l1)
+
+    def test_gradients_scaled_by_weights(self):
+        rng = np.random.default_rng(3)
+        logits = [rng.normal(size=(4, 3))] * 2
+        labels = rng.integers(0, 3, size=4)
+        _, grads, _ = JointLoss([1.0, 0.5])(logits, labels)
+        np.testing.assert_allclose(grads[1], 0.5 * grads[0], atol=1e-12)
+
+    def test_zero_weight_silences_exit(self):
+        rng = np.random.default_rng(4)
+        logits = [rng.normal(size=(4, 3))] * 2
+        labels = rng.integers(0, 3, size=4)
+        _, grads, _ = JointLoss([1.0, 0.0])(logits, labels)
+        np.testing.assert_allclose(grads[1], 0.0)
+
+    def test_rejects_mismatched_exits(self):
+        jl = JointLoss([1.0, 0.3])
+        with pytest.raises(ValueError):
+            jl([np.zeros((2, 3))], np.array([0, 1]))

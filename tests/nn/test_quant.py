@@ -1,0 +1,153 @@
+"""Quantizer properties (largely hypothesis-driven)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.quant import (
+    QuantSpec,
+    activation_thresholds,
+    auto_weight_scale,
+    quantize_activations,
+    quantize_weights,
+    ste_mask,
+    weight_quant_levels,
+)
+
+finite_arrays = st.lists(
+    st.floats(-5, 5, allow_nan=False), min_size=4, max_size=64
+).map(lambda v: np.array(v))
+
+
+class TestQuantSpec:
+    def test_name(self):
+        assert QuantSpec(2, 2).name == "W2A2"
+        assert QuantSpec(4, 8).name == "W4A8"
+
+    def test_levels(self):
+        assert QuantSpec(2, 2).weight_levels == 3
+        assert QuantSpec(2, 2).act_levels == 4
+        assert QuantSpec(3, 3).weight_levels == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuantSpec(0, 2)
+        with pytest.raises(ValueError):
+            QuantSpec(2, 17)
+        with pytest.raises(ValueError):
+            QuantSpec(2, 2, act_range=0.0)
+
+
+class TestWeightQuantization:
+    @given(finite_arrays, st.integers(1, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_idempotent(self, w, bits):
+        q = quantize_weights(w, bits)
+        scale = auto_weight_scale(w, bits)
+        q2 = quantize_weights(q, bits, scale=scale)
+        np.testing.assert_allclose(q, q2, atol=1e-9)
+
+    @given(finite_arrays, st.integers(2, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_level_count(self, w, bits):
+        q = quantize_weights(w, bits)
+        assert len(np.unique(q)) <= 2 ** bits - 1
+
+    @given(finite_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_symmetry(self, w):
+        """Quantizing -w must give -quantize(w) (symmetric grid)."""
+        scale = auto_weight_scale(w, 2)
+        q1 = quantize_weights(w, 2, scale=scale)
+        q2 = quantize_weights(-w, 2, scale=scale)
+        np.testing.assert_allclose(q1, -q2, atol=1e-9)
+
+    def test_ternary_levels(self):
+        w = np.array([-2.0, -0.1, 0.0, 0.1, 2.0])
+        q = quantize_weights(w, 2, scale=1.0)
+        np.testing.assert_allclose(q, [-1, 0, 0, 0, 1])
+
+    def test_binary_sign(self):
+        w = np.array([-0.5, 0.2])
+        q = quantize_weights(w, 1, scale=0.3)
+        np.testing.assert_allclose(q, [-0.3, 0.3])
+
+    def test_auto_scale_keeps_weights_alive(self):
+        """Most Kaiming-initialized weights must survive 2-bit
+        quantization (the motivation for distribution-based scaling)."""
+        rng = np.random.default_rng(0)
+        w = rng.normal(0, 0.1, size=1000)
+        q = quantize_weights(w, 2)
+        assert (q != 0).mean() > 0.3
+
+    def test_zero_weights(self):
+        q = quantize_weights(np.zeros(8), 2)
+        np.testing.assert_allclose(q, 0.0)
+
+
+class TestSteMask:
+    def test_masks_outside_clip(self):
+        w = np.array([-10.0, 0.0, 10.0])
+        mask = ste_mask(w, 2, scale=1.0)
+        np.testing.assert_allclose(mask, [0, 1, 0])
+
+    @given(finite_arrays, st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_binary_mask(self, w, bits):
+        mask = ste_mask(w, bits)
+        assert set(np.unique(mask)) <= {0.0, 1.0}
+
+
+class TestActivationQuantization:
+    @given(finite_arrays, st.integers(1, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_range(self, x, bits):
+        q = quantize_activations(x, bits)
+        assert q.min() >= 0.0
+        assert q.max() <= 1.0 + 1e-12
+
+    @given(finite_arrays, st.integers(1, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_level_count(self, x, bits):
+        q = quantize_activations(x, bits)
+        assert len(np.unique(q)) <= 2 ** bits
+
+    @given(st.lists(st.floats(-3, 3), min_size=2, max_size=32),
+           st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_monotone(self, vals, bits):
+        x = np.sort(np.array(vals))
+        q = quantize_activations(x, bits)
+        assert np.all(np.diff(q) >= -1e-12)
+
+    def test_thresholds_equal_quantizer(self):
+        """Counting threshold crossings must reproduce the quantizer —
+        the identity FINN's MultiThreshold lowering relies on."""
+        bits, rng_ = 2, 1.0
+        thresholds = activation_thresholds(bits, rng_)
+        # Avoid exact half-step boundaries where round-half-to-even and a
+        # strict > comparison legitimately disagree.
+        x = np.linspace(-0.501, 1.497, 201)
+        step = rng_ / (2 ** bits - 1)
+        via_thresholds = step * (x[:, None] > thresholds[None, :]).sum(axis=1)
+        direct = quantize_activations(x, bits, rng_)
+        np.testing.assert_allclose(via_thresholds, direct, atol=1e-9)
+
+    def test_act_range_scaling(self):
+        x = np.array([0.0, 1.0, 2.0, 3.0])
+        q = quantize_activations(x, 2, act_range=3.0)
+        np.testing.assert_allclose(q, [0, 1, 2, 3])
+
+
+class TestWeightQuantLevels:
+    def test_two_bit_grid(self):
+        np.testing.assert_allclose(weight_quant_levels(2, 1.0), [-1, 0, 1])
+
+    def test_binary_grid(self):
+        np.testing.assert_allclose(weight_quant_levels(1, 0.5), [-0.5, 0.5])
+
+    def test_three_bit_grid(self):
+        levels = weight_quant_levels(3, 3.0)
+        assert len(levels) == 7
+        np.testing.assert_allclose(levels, [-3, -2, -1, 0, 1, 2, 3])

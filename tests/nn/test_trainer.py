@@ -1,0 +1,149 @@
+"""Training loop and evaluation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BranchedModel,
+    JointLoss,
+    Linear,
+    ReLU,
+    Sequential,
+    TrainConfig,
+    Trainer,
+    evaluate_cascade,
+    evaluate_exits,
+)
+from repro.nn.trainer import cascade_sweep
+
+
+def make_model(seed=0):
+    rng = np.random.default_rng(seed)
+    seg0 = Sequential([Linear(6, 24, rng=rng), ReLU()])
+    seg1 = Sequential([Linear(24, 3, rng=rng)])
+    exit0 = Sequential([Linear(24, 3, rng=rng)])
+    return BranchedModel([seg0, seg1], {0: exit0}, input_shape=(6,))
+
+
+def make_data(n=240, seed=0):
+    """Linearly separable 3-class problem on 6 features."""
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 3, size=n)
+    centers = rng.normal(size=(3, 6)) * 3.0
+    x = centers[labels] + rng.normal(scale=0.5, size=(n, 6))
+    return x, labels
+
+
+class TestTrainer:
+    def test_loss_decreases(self):
+        x, y = make_data()
+        model = make_model()
+        history = Trainer(model, TrainConfig(epochs=5, batch_size=32,
+                                             lr=0.01)).fit(x, y)
+        assert history.joint_loss[-1] < history.joint_loss[0]
+
+    def test_learns_separable_data(self):
+        x, y = make_data()
+        model = make_model()
+        Trainer(model, TrainConfig(epochs=20, batch_size=32, lr=0.01)).fit(x, y)
+        accs = evaluate_exits(model, x, y)
+        assert accs[-1] > 0.9
+
+    def test_history_lengths(self):
+        x, y = make_data(60)
+        model = make_model()
+        h = Trainer(model, TrainConfig(epochs=3, batch_size=16)).fit(x, y)
+        assert len(h.joint_loss) == 3
+        assert len(h.exit_losses) == 3
+        assert len(h.train_accuracy) == 3
+        assert all(len(t) == model.num_exits for t in h.exit_losses)
+
+    def test_model_left_in_eval_mode(self):
+        x, y = make_data(30)
+        model = make_model()
+        Trainer(model, TrainConfig(epochs=1)).fit(x, y)
+        assert all(not layer.training for layer in model.all_layers())
+
+    def test_zero_epochs_noop(self):
+        x, y = make_data(30)
+        model = make_model()
+        before = model.state_dict()
+        Trainer(model, TrainConfig(epochs=0)).fit(x, y)
+        after = model.state_dict()
+        for k in before:
+            np.testing.assert_allclose(before[k], after[k])
+
+    def test_custom_joint_loss_must_match(self):
+        model = make_model()
+        with pytest.raises(ValueError):
+            Trainer(model, joint_loss=JointLoss([1.0]))
+
+    def test_augment_called(self):
+        x, y = make_data(64)
+        model = make_model()
+        calls = []
+
+        def augment(batch, rng):
+            calls.append(batch.shape[0])
+            return batch
+
+        Trainer(model, TrainConfig(epochs=1, batch_size=32)).fit(
+            x, y, augment=augment)
+        assert sum(calls) == 64
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TrainConfig(epochs=-1)
+        with pytest.raises(ValueError):
+            TrainConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            TrainConfig(optimizer="sgdm")
+
+    def test_mismatched_data_rejected(self):
+        model = make_model()
+        with pytest.raises(ValueError):
+            Trainer(model).fit(np.zeros((4, 6)), np.zeros(3, dtype=int))
+
+
+class TestEvaluation:
+    def test_evaluate_exits_range(self):
+        x, y = make_data(50)
+        model = make_model()
+        model.eval()
+        accs = evaluate_exits(model, x, y)
+        assert len(accs) == 2
+        assert all(0.0 <= a <= 1.0 for a in accs)
+
+    def test_cascade_extremes_match_exits(self):
+        x, y = make_data(80)
+        model = make_model()
+        Trainer(model, TrainConfig(epochs=5, lr=0.01)).fit(x, y)
+        accs = evaluate_exits(model, x, y)
+        low = evaluate_cascade(model, x, y, 0.0)
+        assert np.isclose(low["accuracy"], accs[0])
+        assert np.isclose(low["exit_rates"][0], 1.0)
+
+    def test_cascade_rates_sum_to_one(self):
+        x, y = make_data(50)
+        model = make_model()
+        model.eval()
+        r = evaluate_cascade(model, x, y, 0.6)
+        assert np.isclose(sum(r["exit_rates"]), 1.0)
+
+    def test_cascade_sweep_matches_pointwise(self):
+        x, y = make_data(70)
+        model = make_model()
+        Trainer(model, TrainConfig(epochs=3, lr=0.01)).fit(x, y)
+        thresholds = [0.0, 0.4, 0.8, 1.0]
+        sweep = cascade_sweep(model, x, y, thresholds)
+        for point in sweep:
+            ref = evaluate_cascade(model, x, y, point["confidence_threshold"])
+            assert np.isclose(point["accuracy"], ref["accuracy"])
+            np.testing.assert_allclose(point["exit_rates"], ref["exit_rates"])
+
+    def test_cascade_sweep_rejects_bad_threshold(self):
+        x, y = make_data(10)
+        model = make_model()
+        model.eval()
+        with pytest.raises(ValueError):
+            cascade_sweep(model, x, y, [1.2])

@@ -1,0 +1,115 @@
+"""Dataflow-aware pruning constraints (paper Sec. IV-A2)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pruning import (
+    LayerFoldConstraint,
+    achievable_rates,
+    adjust_removal,
+    requested_removal,
+)
+
+
+class TestLayerFoldConstraint:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LayerFoldConstraint(pe=0)
+        with pytest.raises(ValueError):
+            LayerFoldConstraint(simd_next=0)
+
+    def test_validate_unpruned(self):
+        LayerFoldConstraint(pe=8, simd_next=4).validate_unpruned(64)
+        with pytest.raises(ValueError):
+            LayerFoldConstraint(pe=7).validate_unpruned(64)
+        with pytest.raises(ValueError):
+            LayerFoldConstraint(pe=8, simd_next=5).validate_unpruned(64)
+
+
+class TestRequestedRemoval:
+    def test_floor(self):
+        assert requested_removal(64, 0.05) == 3
+        assert requested_removal(64, 0.85) == 54
+        assert requested_removal(64, 0.0) == 0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            requested_removal(64, 1.0)
+        with pytest.raises(ValueError):
+            requested_removal(64, -0.1)
+
+
+class TestAdjustRemoval:
+    def test_paper_constraints_hold(self):
+        c = LayerFoldConstraint(pe=8, simd_next=4)
+        r = adjust_removal(64, 20, c)
+        remaining = 64 - r
+        assert remaining % 8 == 0
+        assert remaining % 4 == 0
+        assert r <= 20
+
+    def test_iterative_decrease(self):
+        c = LayerFoldConstraint(pe=8, simd_next=8)
+        # requested 20 -> nearest feasible below is 16
+        assert adjust_removal(64, 20, c) == 16
+
+    def test_zero_when_infeasible(self):
+        c = LayerFoldConstraint(pe=32, simd_next=32)
+        assert adjust_removal(64, 20, c) == 0
+
+    def test_unconstrained(self):
+        c = LayerFoldConstraint()
+        assert adjust_removal(64, 20, c) == 20
+
+    def test_never_removes_everything(self):
+        c = LayerFoldConstraint(pe=1, simd_next=1)
+        assert adjust_removal(8, 100, c) == 7
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            adjust_removal(64, -1, LayerFoldConstraint())
+
+    @given(
+        st.integers(1, 6), st.integers(1, 6), st.integers(1, 8),
+        st.floats(0.0, 0.99),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_invariants(self, pe_pow, simd_pow, groups, rate):
+        """For any folding and rate: result <= requested, constraints hold,
+        and the result is the LARGEST feasible removal."""
+        pe = 2 ** (pe_pow - 1)
+        simd = 2 ** (simd_pow - 1)
+        ch = math.lcm(pe, simd) * groups
+        c = LayerFoldConstraint(pe=pe, simd_next=simd)
+        requested = requested_removal(ch, rate)
+        r = adjust_removal(ch, requested, c)
+        assert 0 <= r <= requested
+        remaining = ch - r
+        assert remaining % pe == 0 and remaining % simd == 0
+        # Maximality: no feasible r' in (r, requested].
+        group = math.lcm(pe, simd)
+        for rp in range(r + 1, min(requested, ch - 1) + 1):
+            if (ch - rp) % group == 0:
+                pytest.fail(f"r={r} not maximal; {rp} also feasible")
+
+
+class TestAchievableRates:
+    def test_granularity(self):
+        c = LayerFoldConstraint(pe=8, simd_next=4)
+        rates = achievable_rates(64, c)
+        assert rates[0] == 0.0
+        assert pytest.approx(rates[1]) == 8 / 64
+        assert len(rates) == 8
+
+    def test_coarse_folding_few_points(self):
+        c = LayerFoldConstraint(pe=32, simd_next=32)
+        assert achievable_rates(64, c) == [0.0, 0.5]
+
+    def test_all_rates_feasible(self):
+        c = LayerFoldConstraint(pe=4, simd_next=6)
+        for rate in achievable_rates(48, c):
+            remaining = round(48 * (1 - rate))
+            assert remaining % 4 == 0 and remaining % 6 == 0

@@ -1,0 +1,63 @@
+"""L1-norm filter ranking tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pruning import filter_l1_norms, select_keep_filters
+
+
+class TestFilterL1Norms:
+    def test_values(self):
+        w = np.zeros((2, 1, 2, 2))
+        w[0] = 1.0
+        w[1] = -2.0
+        np.testing.assert_allclose(filter_l1_norms(w), [4.0, 8.0])
+
+    def test_rejects_non_4d(self):
+        with pytest.raises(ValueError):
+            filter_l1_norms(np.zeros((2, 3)))
+
+
+class TestSelectKeepFilters:
+    def test_removes_weakest(self):
+        w = np.zeros((4, 1, 1, 1))
+        w[:, 0, 0, 0] = [3.0, 0.1, 2.0, 0.5]
+        keep = select_keep_filters(w, 2)
+        np.testing.assert_array_equal(keep, [0, 2])
+
+    def test_keep_order_preserved(self):
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=(16, 3, 3, 3))
+        keep = select_keep_filters(w, 5)
+        assert np.all(np.diff(keep) > 0)
+
+    def test_zero_removal_identity(self):
+        w = np.random.default_rng(1).normal(size=(8, 2, 3, 3))
+        np.testing.assert_array_equal(select_keep_filters(w, 0), np.arange(8))
+
+    def test_cannot_remove_all(self):
+        w = np.zeros((4, 1, 1, 1))
+        with pytest.raises(ValueError):
+            select_keep_filters(w, 4)
+        with pytest.raises(ValueError):
+            select_keep_filters(w, -1)
+
+    def test_ties_break_by_index(self):
+        w = np.ones((4, 1, 1, 1))
+        keep = select_keep_filters(w, 2)
+        np.testing.assert_array_equal(keep, [2, 3])
+
+    @given(st.integers(2, 32), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_kept_norms_dominate_removed(self, channels, data):
+        remove = data.draw(st.integers(0, channels - 1))
+        rng = np.random.default_rng(channels * 101 + remove)
+        w = rng.normal(size=(channels, 2, 3, 3))
+        keep = select_keep_filters(w, remove)
+        assert len(keep) == channels - remove
+        norms = filter_l1_norms(w)
+        removed = np.setdiff1d(np.arange(channels), keep)
+        if remove and len(keep):
+            assert norms[keep].min() >= norms[removed].max() - 1e-12

@@ -1,0 +1,71 @@
+"""Prune-retrain pipeline tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_dataset
+from repro.models import CNVConfig, ExitsConfiguration, build_cnv
+from repro.nn import TrainConfig
+from repro.pruning import (
+    paper_rate_sweep,
+    prune_and_retrain,
+    sweep_prune_retrain,
+)
+
+
+@pytest.fixture(scope="module")
+def trained_setup():
+    train, test = make_dataset("cifar10", 96, 48, seed=0)
+    model = build_cnv(CNVConfig(width_scale=0.125, seed=0),
+                      ExitsConfiguration.paper_default())
+    return model, train
+
+
+class TestPaperRateSweep:
+    def test_18_rates(self):
+        rates = paper_rate_sweep()
+        assert len(rates) == 18
+        assert rates[0] == 0.0
+        assert rates[-1] == 0.85
+        steps = np.diff(rates)
+        np.testing.assert_allclose(steps, 0.05)
+
+
+class TestPruneAndRetrain:
+    def test_basic(self, trained_setup):
+        model, train = trained_setup
+        result = prune_and_retrain(
+            model, 0.5, train.images, train.labels,
+            retrain=TrainConfig(epochs=1, batch_size=32))
+        assert result.rate == 0.5
+        assert result.achieved_rate > 0.3
+        assert result.history is not None
+        assert result.model.param_count() < model.param_count()
+
+    def test_rate_zero_skips_retrain(self, trained_setup):
+        model, train = trained_setup
+        result = prune_and_retrain(
+            model, 0.0, train.images, train.labels,
+            retrain=TrainConfig(epochs=1))
+        assert result.history is None
+
+    def test_no_retrain_config(self, trained_setup):
+        model, train = trained_setup
+        result = prune_and_retrain(model, 0.4, train.images, train.labels,
+                                   retrain=None)
+        assert result.history is None
+        assert result.model.param_count() < model.param_count()
+
+
+class TestSweep:
+    def test_sweep_returns_per_rate(self, trained_setup):
+        model, train = trained_setup
+        rates = [0.0, 0.4, 0.8]
+        seen = []
+        results = sweep_prune_retrain(
+            model, rates, train.images, train.labels, retrain=None,
+            progress=lambda r, res: seen.append(r))
+        assert [r.rate for r in results] == rates
+        assert seen == rates
+        params = [r.model.param_count() for r in results]
+        assert params[0] > params[1] > params[2]

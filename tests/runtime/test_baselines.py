@@ -1,0 +1,99 @@
+"""Baseline policy tests."""
+
+import pytest
+
+from repro.runtime import (
+    AdaPEx,
+    CTOnly,
+    FINNStatic,
+    Library,
+    PROnly,
+    make_policy,
+)
+from tests.conftest import make_entry
+
+
+class TestFINNStatic:
+    def test_always_same_entry(self, toy_library):
+        finn = FINNStatic(toy_library)
+        a = finn.select(10.0)
+        b = finn.select(10_000.0)
+        assert a == b
+        assert a.accelerator.variant == "backbone"
+        assert a.accelerator.pruning_rate == 0.0
+
+    def test_requires_backbone(self):
+        lib = Library()
+        lib.add(make_entry(rate=0.0, ct=0.5, acc=0.9, ips=500.0))
+        with pytest.raises(ValueError):
+            FINNStatic(lib)
+
+    def test_never_reconfigures_after_load(self, toy_library):
+        finn = FINNStatic(toy_library)
+        e = finn.select(100.0)
+        assert finn.requires_reconfiguration(None, e)
+        assert not finn.requires_reconfiguration(e, e)
+
+
+class TestPROnly:
+    def test_only_backbone_entries(self, toy_library):
+        pr = PROnly(toy_library)
+        for w in (100.0, 700.0, 1500.0):
+            assert pr.select(w).accelerator.variant == "backbone"
+
+    def test_adapts_rate_to_workload(self, toy_library):
+        pr = PROnly(toy_library)
+        low = pr.select(100.0)
+        high = pr.select(1000.0)
+        assert high.accelerator.pruning_rate > low.accelerator.pruning_rate
+
+    def test_requires_backbone_entries(self):
+        lib = Library()
+        lib.add(make_entry(rate=0.0, ct=0.5, acc=0.9, ips=500.0))
+        with pytest.raises(ValueError):
+            PROnly(lib)
+
+
+class TestCTOnly:
+    def test_only_unpruned_ee_entries(self, toy_library):
+        ct = CTOnly(toy_library)
+        for w in (100.0, 600.0, 1500.0):
+            e = ct.select(w)
+            assert e.accelerator.variant == "ee"
+            assert e.accelerator.pruning_rate == 0.0
+
+    def test_adapts_threshold(self, toy_library):
+        ct = CTOnly(toy_library)
+        low = ct.select(100.0)
+        high = ct.select(640.0)
+        assert high.confidence_threshold < low.confidence_threshold
+
+    def test_never_needs_runtime_reconfig(self, toy_library):
+        ct = CTOnly(toy_library)
+        entries = [ct.select(w) for w in (50.0, 400.0, 640.0)]
+        for a in entries:
+            for b in entries:
+                assert not ct.requires_reconfiguration(a, b)
+
+
+class TestAdaPEx:
+    def test_uses_full_ee_space(self, toy_library):
+        ada = AdaPEx(toy_library)
+        picks = {ada.select(w).accelerator for w in (50, 600, 900, 1300)}
+        assert len(picks) >= 2  # actually moves through the library
+
+    def test_only_ee_variant(self, toy_library):
+        ada = AdaPEx(toy_library)
+        assert ada.select(500.0).accelerator.variant == "ee"
+
+
+class TestFactory:
+    def test_names(self, toy_library):
+        assert isinstance(make_policy("adapex", toy_library), AdaPEx)
+        assert isinstance(make_policy("FINN", toy_library), FINNStatic)
+        assert isinstance(make_policy("pr_only", toy_library), PROnly)
+        assert isinstance(make_policy("CT-Only", toy_library), CTOnly)
+
+    def test_unknown(self, toy_library):
+        with pytest.raises(ValueError):
+            make_policy("greedy", toy_library)

@@ -1,0 +1,65 @@
+"""Oracle and Random reference policy tests."""
+
+import pytest
+
+from repro.edge import WorkloadSpec, simulate_policy
+from repro.runtime import Library, OraclePolicy, RandomPolicy, RuntimeManager
+from tests.conftest import make_entry
+
+
+class TestOracle:
+    def test_static_choice(self, toy_library):
+        oracle = OraclePolicy(toy_library, peak_ips=780.0)
+        picks = {oracle.select(w).accelerator for w in (10.0, 500.0, 2000.0)}
+        assert len(picks) == 1
+
+    def test_provisioned_for_peak(self, toy_library):
+        oracle = OraclePolicy(toy_library, peak_ips=700.0)
+        assert oracle.select(0.0).serving_ips >= 700.0
+
+    def test_validation(self, toy_library):
+        with pytest.raises(ValueError):
+            OraclePolicy(toy_library, peak_ips=-1.0)
+
+    def test_never_loses_under_peak(self, toy_library):
+        workload = WorkloadSpec(num_cameras=4, ips_per_camera=100.0,
+                                duration_s=6.0, deviation=0.25)
+        peak = workload.nominal_ips * (1 + workload.deviation)
+        oracle = OraclePolicy(toy_library, peak_ips=peak)
+        agg, _ = simulate_policy(oracle, runs=3, workload=workload)
+        assert agg.inference_loss < 0.05
+        assert agg.reconfigurations == 0
+
+
+class TestRandom:
+    def test_respects_accuracy_bound(self, toy_library):
+        rnd = RandomPolicy(toy_library, seed=1)
+        reference = toy_library.best_accuracy()
+        for w in range(0, 1000, 100):
+            assert rnd.select(float(w)).accuracy >= reference - 0.10 - 1e-9
+
+    def test_deterministic_per_seed(self, toy_library):
+        a = [RandomPolicy(toy_library, seed=5).select(100.0)
+             for _ in range(1)]
+        b = [RandomPolicy(toy_library, seed=5).select(100.0)
+             for _ in range(1)]
+        assert a == b
+
+    def test_varies_choices(self, toy_library):
+        rnd = RandomPolicy(toy_library, seed=2)
+        picks = {rnd.select(100.0).confidence_threshold for _ in range(30)}
+        assert len(picks) > 1
+
+    def test_empty_library_rejected(self):
+        with pytest.raises(ValueError):
+            RandomPolicy(Library())
+
+    def test_manager_beats_random_under_load(self, toy_library):
+        """Sanity: the paper's selection must dominate random choice."""
+        workload = WorkloadSpec(num_cameras=6, ips_per_camera=100.0,
+                                duration_s=8.0)
+        mgr_agg, _ = simulate_policy(RuntimeManager(toy_library), runs=3,
+                                     workload=workload)
+        rnd_agg, _ = simulate_policy(RandomPolicy(toy_library, seed=3),
+                                     runs=3, workload=workload)
+        assert mgr_agg.qoe >= rnd_agg.qoe - 1e-9

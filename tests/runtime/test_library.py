@@ -1,0 +1,91 @@
+"""Library container tests."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import AcceleratorId, Library, LibraryEntry
+from tests.conftest import make_entry
+
+
+class TestAcceleratorId:
+    def test_label(self):
+        a = AcceleratorId(0.45, pruned_exits=True, variant="ee")
+        assert a.label() == "ee-pr45-px"
+        b = AcceleratorId(0.0, pruned_exits=False, variant="backbone")
+        assert b.label() == "backbone-pr00-npx"
+
+    def test_equality_drives_reconfig(self):
+        a = AcceleratorId(0.4, True, "ee")
+        b = AcceleratorId(0.4, True, "ee")
+        c = AcceleratorId(0.45, True, "ee")
+        assert a == b and a != c
+
+
+class TestLibraryEntry:
+    def test_power_interpolation(self):
+        e = make_entry(rate=0.0, ct=0.5, acc=0.9, ips=500.0,
+                       p_idle=0.8, p_busy=1.2)
+        assert e.power_at(0.0) == pytest.approx(0.8)
+        assert e.power_at(500.0) == pytest.approx(1.2)
+        assert e.power_at(250.0) == pytest.approx(1.0)
+        assert e.power_at(1e6) == pytest.approx(1.2)  # capped
+
+    def test_service_latency_per_exit(self):
+        e = make_entry(rate=0.0, ct=0.5, acc=0.9, ips=500.0,
+                       exit_lats=(0.001, 0.002, 0.004))
+        assert e.service_latency_s(0) == 0.001
+        assert e.service_latency_s(2) == 0.004
+
+    def test_service_latency_fallback(self):
+        e = make_entry(rate=0.0, ct=0.5, acc=0.9, ips=500.0)
+        e2 = LibraryEntry(**{**e.to_dict(),
+                             "accelerator": e.accelerator,
+                             "exit_rates": e.exit_rates,
+                             "exit_latencies_s": ()})
+        assert e2.service_latency_s(1) == e2.latency_s
+
+    def test_dict_roundtrip(self):
+        e = make_entry(rate=0.4, ct=0.3, acc=0.8, ips=700.0)
+        restored = LibraryEntry.from_dict(e.to_dict())
+        assert restored == e
+
+
+class TestLibrary:
+    def test_queries(self, toy_library):
+        assert len(toy_library) == 12
+        accs = toy_library.accelerators()
+        assert len(accs) == 6  # 3 ee + 3 backbone
+        ee0 = [a for a in accs if a.variant == "ee"
+               and a.pruning_rate == 0.0][0]
+        assert len(toy_library.entries_for(ee0)) == 3
+
+    def test_best_accuracy(self, toy_library):
+        assert toy_library.best_accuracy() == pytest.approx(0.90)
+
+    def test_best_accuracy_empty(self):
+        with pytest.raises(ValueError):
+            Library().best_accuracy()
+
+    def test_feasible(self, toy_library):
+        feasible = toy_library.feasible(min_accuracy=0.80,
+                                        required_ips=700.0)
+        assert feasible
+        assert all(e.accuracy >= 0.80 and e.serving_ips >= 700.0
+                   for e in feasible)
+
+    def test_feasible_empty(self, toy_library):
+        assert toy_library.feasible(0.99, 1e5) == []
+
+    def test_filtered_view(self, toy_library):
+        ee = toy_library.filtered(lambda e: e.accelerator.variant == "ee")
+        assert len(ee) == 9
+        assert len(toy_library) == 12  # original untouched
+
+    def test_json_roundtrip(self, toy_library, tmp_path):
+        path = tmp_path / "lib.json"
+        toy_library.save(path)
+        loaded = Library.load(path)
+        assert len(loaded) == len(toy_library)
+        assert loaded.metadata == toy_library.metadata
+        for a, b in zip(loaded, toy_library):
+            assert a == b

@@ -1,0 +1,106 @@
+"""Runtime Manager selection policy tests."""
+
+import pytest
+
+from repro.runtime import Library, RuntimeManager, SelectionPolicy
+from tests.conftest import make_entry
+
+
+class TestSelectionPolicy:
+    def test_defaults(self):
+        p = SelectionPolicy()
+        assert p.accuracy_loss_threshold == 0.10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SelectionPolicy(accuracy_loss_threshold=1.5)
+        with pytest.raises(ValueError):
+            SelectionPolicy(headroom=0.0)
+
+
+class TestRuntimeManager:
+    def test_empty_library_rejected(self):
+        with pytest.raises(ValueError):
+            RuntimeManager(Library())
+
+    def test_min_accuracy_relative_to_best(self, toy_library):
+        mgr = RuntimeManager(toy_library)
+        assert mgr.min_accuracy == pytest.approx(0.90 - 0.10)
+
+    def test_picks_highest_accuracy_feasible(self, toy_library):
+        mgr = RuntimeManager(toy_library)
+        # Low workload: the most accurate entry that still covers it.
+        selected = mgr.select(workload_ips=100.0)
+        assert selected.accuracy == pytest.approx(0.90)
+
+    def test_high_workload_forces_faster_entry(self, toy_library):
+        mgr = RuntimeManager(toy_library)
+        slow = mgr.select(100.0)
+        fast = mgr.select(700.0)
+        assert fast.serving_ips >= 700.0
+        assert fast.accuracy <= slow.accuracy
+
+    def test_accuracy_threshold_respected(self, toy_library):
+        mgr = RuntimeManager(toy_library)
+        selected = mgr.select(600.0)
+        assert selected.accuracy >= mgr.min_accuracy
+
+    def test_degraded_mode_when_infeasible(self, toy_library):
+        mgr = RuntimeManager(toy_library)
+        selected = mgr.select(1e6)  # nothing can serve this
+        # Fastest entry still honouring the accuracy bound.
+        candidates = [e for e in toy_library
+                      if e.accuracy >= mgr.min_accuracy]
+        assert selected.serving_ips == max(e.serving_ips for e in candidates)
+
+    def test_stability_tiebreak(self):
+        """Equal-accuracy entries: prefer the loaded accelerator."""
+        lib = Library()
+        a = make_entry(rate=0.0, ct=0.5, acc=0.85, ips=500.0)
+        b = make_entry(rate=0.4, ct=0.9, acc=0.85, ips=500.0)
+        lib.add(a)
+        lib.add(b)
+        mgr = RuntimeManager(lib)
+        assert mgr.select(100.0, current=a) == a
+        assert mgr.select(100.0, current=b) == b
+
+    def test_energy_tiebreak(self):
+        lib = Library()
+        costly = make_entry(rate=0.0, ct=0.5, acc=0.85, ips=500.0,
+                            energy=5e-3)
+        frugal = make_entry(rate=0.0, ct=0.7, acc=0.85, ips=500.0,
+                            energy=1e-3)
+        lib.add(costly)
+        lib.add(frugal)
+        mgr = RuntimeManager(lib)
+        assert mgr.select(100.0) == frugal
+
+    def test_requires_reconfiguration(self, toy_library):
+        mgr = RuntimeManager(toy_library)
+        low = mgr.select(100.0)
+        assert mgr.requires_reconfiguration(None, low)
+        assert not mgr.requires_reconfiguration(low, low)
+        high = mgr.select(900.0)
+        if high.accelerator != low.accelerator:
+            assert mgr.requires_reconfiguration(low, high)
+
+    def test_ct_change_is_free(self):
+        """Same accelerator, different threshold -> no reconfiguration."""
+        lib = Library()
+        a = make_entry(rate=0.4, ct=0.1, acc=0.80, ips=900.0)
+        b = make_entry(rate=0.4, ct=0.9, acc=0.84, ips=500.0)
+        lib.add(a)
+        lib.add(b)
+        mgr = RuntimeManager(lib)
+        assert not mgr.requires_reconfiguration(a, b)
+
+    def test_negative_workload_rejected(self, toy_library):
+        with pytest.raises(ValueError):
+            RuntimeManager(toy_library).select(-1.0)
+
+    def test_headroom(self, toy_library):
+        tight = RuntimeManager(toy_library, SelectionPolicy(headroom=1.5))
+        loose = RuntimeManager(toy_library)
+        w = 500.0
+        assert tight.select(w).serving_ips >= 1.5 * w - 1e-9
+        assert loose.select(w).serving_ips >= w - 1e-9

@@ -1,0 +1,66 @@
+"""Workload monitor tests."""
+
+import pytest
+
+from repro.runtime import WorkloadMonitor
+
+
+class TestWorkloadMonitor:
+    def test_sampled_rate(self):
+        mon = WorkloadMonitor(window_s=1.0)
+        for i in range(10):
+            mon.record_arrival(i * 0.1)
+        assert mon.sampled_ips(1.0) == pytest.approx(9.0)  # 0.0 expired
+
+    def test_window_trims(self):
+        mon = WorkloadMonitor(window_s=1.0)
+        mon.record_arrival(0.0)
+        mon.record_arrival(5.0)
+        assert mon.sampled_ips(5.0) == pytest.approx(1.0)
+
+    def test_out_of_order_rejected(self):
+        mon = WorkloadMonitor()
+        mon.record_arrival(1.0)
+        with pytest.raises(ValueError):
+            mon.record_arrival(0.5)
+
+    def test_change_flag_lifecycle(self):
+        mon = WorkloadMonitor(window_s=1.0, change_threshold=0.10)
+        for i in range(20):
+            mon.record_arrival(i * 0.05)
+        assert mon.change_flagged(1.0)  # nothing acknowledged yet
+        mon.acknowledge(1.0)
+        assert not mon.change_flagged(1.0)
+
+    def test_change_detected_on_rate_jump(self):
+        mon = WorkloadMonitor(window_s=1.0, change_threshold=0.10)
+        for i in range(10):
+            mon.record_arrival(i * 0.1)
+        mon.acknowledge(1.0)
+        # Burst: rate doubles within the next window.
+        for i in range(20):
+            mon.record_arrival(1.0 + i * 0.05)
+        assert mon.change_flagged(2.0)
+
+    def test_small_drift_not_flagged(self):
+        mon = WorkloadMonitor(window_s=1.0, change_threshold=0.50)
+        for i in range(10):
+            mon.record_arrival(i * 0.1)
+        mon.acknowledge(1.0)
+        for i in range(11):
+            mon.record_arrival(1.0 + i * 0.09)
+        assert not mon.change_flagged(2.0)
+
+    def test_reset(self):
+        mon = WorkloadMonitor()
+        mon.record_arrival(0.5)
+        mon.acknowledge(1.0)
+        mon.reset()
+        assert mon.sampled_ips(1.0) == 0.0
+        assert mon.change_flagged(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadMonitor(window_s=0.0)
+        with pytest.raises(ValueError):
+            WorkloadMonitor(change_threshold=-0.1)

@@ -1,0 +1,56 @@
+"""Reconfiguration controller tests."""
+
+import pytest
+
+from repro.runtime import AcceleratorId, ReconfigurationController
+
+
+def aid(rate):
+    return AcceleratorId(pruning_rate=rate, pruned_exits=True, variant="ee")
+
+
+class TestReconfigurationController:
+    def test_initial_load_charged(self):
+        ctrl = ReconfigurationController()
+        dead = ctrl.switch(aid(0.0), now_s=0.0)
+        assert dead == pytest.approx(0.145)
+        assert ctrl.count == 1
+        assert ctrl.runtime_swaps() == []  # initial load isn't a swap
+
+    def test_same_target_free(self):
+        ctrl = ReconfigurationController()
+        ctrl.switch(aid(0.0))
+        assert ctrl.switch(aid(0.0)) == 0.0
+        assert ctrl.count == 1
+
+    def test_paper_anecdote_four_swaps(self):
+        """Four pruning-rate changes cost ~580 ms total (paper Sec VI-B)."""
+        ctrl = ReconfigurationController()
+        ctrl.switch(aid(0.05), now_s=0.0)
+        total = 0.0
+        for t, rate in [(3.0, 0.20), (8.0, 0.30), (15.0, 0.20), (21.0, 0.05)]:
+            total += ctrl.switch(aid(rate), now_s=t)
+        assert total == pytest.approx(0.580)
+        assert len(ctrl.runtime_swaps()) == 4
+
+    def test_events_recorded(self):
+        ctrl = ReconfigurationController()
+        ctrl.switch(aid(0.0), now_s=0.0)
+        ctrl.switch(aid(0.4), now_s=5.0)
+        event = ctrl.events[-1]
+        assert event.time_s == 5.0
+        assert event.from_accelerator == aid(0.0)
+        assert event.to_accelerator == aid(0.4)
+
+    def test_needs_switch(self):
+        ctrl = ReconfigurationController()
+        assert ctrl.needs_switch(aid(0.0))
+        ctrl.switch(aid(0.0))
+        assert not ctrl.needs_switch(aid(0.0))
+        assert ctrl.needs_switch(aid(0.1))
+
+    def test_total_dead_time(self):
+        ctrl = ReconfigurationController(reconfig_time_s=0.1)
+        ctrl.switch(aid(0.0))
+        ctrl.switch(aid(0.1))
+        assert ctrl.total_dead_time_s == pytest.approx(0.2)

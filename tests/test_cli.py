@@ -1,0 +1,91 @@
+"""CLI tests (against the hand-built toy library on disk)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def library_path(toy_library, tmp_path):
+    path = tmp_path / "lib.json"
+    toy_library.save(path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "--dataset", "gtsrb", "-o", "x.json"])
+        assert args.dataset == "gtsrb"
+        assert args.profile == "quick"
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestGenerate:
+    def test_quick_generate_writes_library(self, tmp_path, capsys):
+        out = tmp_path / "generated.json"
+        assert main(["generate", "--dataset", "cifar10",
+                     "--profile", "quick", "--seed", "3",
+                     "-o", str(out)]) == 0
+        assert out.exists()
+        from repro.runtime import Library
+
+        library = Library.load(str(out))
+        assert len(library) > 0
+        assert library.metadata["dataset"] == "cifar10"
+        # The generated file immediately works with the other commands.
+        assert main(["info", "--library", str(out)]) == 0
+
+
+class TestInfo:
+    def test_prints_summary(self, library_path, capsys):
+        assert main(["info", "--library", library_path]) == 0
+        out = capsys.readouterr().out
+        assert "accelerator" in out
+        assert "ee-pr00-px" in out
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["info", "--library", str(tmp_path / "nope.json")])
+
+
+class TestSelect:
+    def test_select_adapex(self, library_path, capsys):
+        assert main(["select", "--library", library_path,
+                     "--workload", "450"]) == 0
+        out = capsys.readouterr().out
+        assert "confidence threshold" in out
+        assert "IPS" in out
+
+    def test_select_finn_static(self, library_path, capsys):
+        main(["select", "--library", library_path, "--workload", "900",
+              "--policy", "finn"])
+        out = capsys.readouterr().out
+        assert "backbone-pr00" in out
+
+
+class TestEvaluate:
+    def test_two_policies(self, library_path, capsys):
+        assert main(["evaluate", "--library", library_path,
+                     "--policies", "adapex,finn", "--runs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "AdaPEx" in out and "FINN" in out
+
+
+class TestDesignSpace:
+    def test_prints_and_writes_csv(self, library_path, tmp_path, capsys):
+        csv_path = tmp_path / "space.csv"
+        assert main(["design-space", "--library", library_path,
+                     "--csv", str(csv_path)]) == 0
+        out = capsys.readouterr().out
+        assert "design space" in out
+        content = csv_path.read_text()
+        assert content.startswith("pruning_rate,")
+        assert len(content.splitlines()) == 10  # 9 ee entries + header

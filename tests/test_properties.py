@@ -1,0 +1,118 @@
+"""Cross-cutting property-based tests (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.edge import EventLoop
+from repro.finn.resources import ResourceEstimate, memory_resources
+from repro.nn.functional import softmax
+from repro.runtime import Library, LibraryEntry, RuntimeManager
+from tests.conftest import make_entry
+
+
+class TestEventLoopProperties:
+    @given(st.lists(st.floats(0.0, 100.0), min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_events_fire_in_time_order(self, delays):
+        loop = EventLoop()
+        fired = []
+        for d in delays:
+            loop.schedule(d, lambda l: fired.append(l.now))
+        loop.run_until(101.0)
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+
+class TestResourceAlgebra:
+    @given(st.lists(st.tuples(st.floats(0, 1e4), st.floats(0, 1e4),
+                              st.floats(0, 500), st.floats(0, 100)),
+                    min_size=1, max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_sum_equals_componentwise(self, parts):
+        estimates = [ResourceEstimate(*p) for p in parts]
+        total = sum(estimates, ResourceEstimate())
+        assert total.lut == pytest.approx(sum(p[0] for p in parts))
+        assert total.bram18 == pytest.approx(sum(p[2] for p in parts))
+
+    @given(st.floats(1.0, 1e7))
+    @settings(max_examples=60, deadline=None)
+    def test_memory_resources_monotone(self, bits):
+        a = memory_resources(bits)
+        b = memory_resources(bits * 2)
+        # Doubling the bits never reduces the total memory cost.
+        assert b.lut + b.bram18 * 288 >= a.lut + a.bram18 * 288 - 1e-9
+
+
+class TestManagerProperties:
+    @given(st.lists(st.tuples(st.floats(0.3, 0.95), st.floats(50, 2000)),
+                    min_size=2, max_size=12),
+           st.floats(0, 1500))
+    @settings(max_examples=40, deadline=None)
+    def test_selection_feasibility(self, entries, workload):
+        lib = Library()
+        for i, (acc, ips) in enumerate(entries):
+            lib.add(make_entry(rate=round(0.05 * (i % 18), 2),
+                               ct=round((i % 21) / 20, 2),
+                               acc=acc, ips=ips))
+        mgr = RuntimeManager(lib)
+        chosen = mgr.select(workload)
+        feasible = lib.feasible(mgr.min_accuracy, workload)
+        if feasible:
+            # Must pick the most accurate feasible entry.
+            assert chosen in feasible
+            assert chosen.accuracy == pytest.approx(
+                max(e.accuracy for e in feasible))
+        else:
+            # Degraded mode: accuracy bound still honoured when possible.
+            acc_ok = [e for e in lib if e.accuracy >= mgr.min_accuracy]
+            if acc_ok:
+                assert chosen.accuracy >= mgr.min_accuracy
+
+    @given(st.floats(0, 1200), st.floats(0, 1200))
+    @settings(max_examples=40, deadline=None)
+    def test_higher_workload_never_slower_choice(self, w1, w2):
+        lib = Library()
+        grid = [(0.0, 0.90, 400.0), (0.4, 0.84, 700.0), (0.8, 0.74, 1200.0)]
+        for rate, acc, ips in grid:
+            lib.add(make_entry(rate=rate, ct=0.5, acc=acc, ips=ips))
+        mgr = RuntimeManager(lib)
+        lo, hi = sorted((w1, w2))
+        assert mgr.select(hi).serving_ips >= mgr.select(lo).serving_ips - 1e-9
+
+
+class TestLibraryRoundtripProperty:
+    @given(st.lists(st.tuples(
+        st.sampled_from([0.0, 0.25, 0.5, 0.75]),
+        st.sampled_from([0.1, 0.5, 0.9]),
+        st.floats(0.1, 0.99),
+        st.floats(10.0, 5000.0),
+    ), min_size=1, max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_json_roundtrip(self, raw):
+        lib = Library(metadata={"dataset": "prop"})
+        for rate, ct, acc, ips in raw:
+            lib.add(make_entry(rate=rate, ct=ct, acc=acc, ips=ips))
+        restored = Library.from_json(lib.to_json())
+        assert len(restored) == len(lib)
+        for a, b in zip(restored, lib):
+            assert a == b
+
+
+class TestCascadeProperties:
+    @given(st.integers(2, 5), st.integers(5, 40))
+    @settings(max_examples=20, deadline=None)
+    def test_exit_taken_rates_form_distribution(self, num_classes, n):
+        from tests.nn.test_graph import tiny_branched
+
+        model = tiny_branched(num_classes=4, seed=num_classes)
+        model.eval()
+        x = np.random.default_rng(n).normal(size=(n, 8))
+        for ct in (0.0, 0.5, 1.0):
+            d = model.predict(x, ct)
+            fracs = d.exit_fractions(model.num_exits)
+            assert np.isclose(fracs.sum(), 1.0)
+            assert (d.confidences >= 0).all() and (d.confidences <= 1).all()
+            # Accepted confidence is a valid softmax top-1: >= 1/K.
+            assert (d.confidences >= 1.0 / 4 - 1e-9).all()
