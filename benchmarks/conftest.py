@@ -20,10 +20,17 @@ from pathlib import Path
 
 import pytest
 
-from repro.core import AdaPExConfig, AdaPExFramework
+from repro.core import AdaPExConfig, AdaPExFramework, PhaseTimer
 from repro.nn import TrainConfig
 
 CACHE_DIR = str(Path(__file__).parent / ".cache")
+
+
+def bench_workers() -> int:
+    """Worker processes for library generation (results are identical
+    to serial; set ``REPRO_BENCH_WORKERS`` to the core count to sweep
+    faster on first run)."""
+    return int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
 
 def bench_profile() -> str:
@@ -36,22 +43,32 @@ def bench_runs() -> int:
 
 def bench_config(dataset: str) -> AdaPExConfig:
     if bench_profile() == "quick":
-        return AdaPExConfig.quick(dataset=dataset, seed=7)
-    return AdaPExConfig(
-        dataset=dataset,
-        train_samples=1000,
-        test_samples=300,
-        width_scale=0.25,
-        initial_training=TrainConfig(epochs=5, batch_size=64, lr=0.002),
-        retraining=TrainConfig(epochs=1, batch_size=64, lr=0.001),
-        seed=7,
-    )
+        config = AdaPExConfig.quick(dataset=dataset, seed=7)
+    else:
+        config = AdaPExConfig(
+            dataset=dataset,
+            train_samples=1000,
+            test_samples=300,
+            width_scale=0.25,
+            initial_training=TrainConfig(epochs=5, batch_size=64, lr=0.002),
+            retraining=TrainConfig(epochs=1, batch_size=64, lr=0.001),
+            seed=7,
+        )
+    config.parallel_workers = bench_workers()
+    return config
 
 
 def _framework(dataset: str) -> AdaPExFramework:
     fw = AdaPExFramework(bench_config(dataset))
+    timer = PhaseTimer()
     fw.build_library(progress=lambda m: print(f"  {m}", flush=True),
-                     cache_dir=CACHE_DIR)
+                     cache_dir=CACHE_DIR, point_cache=True, timer=timer)
+    # Per-phase wall time next to the cached artifacts: the perf
+    # trajectory of the design-time flow, trackable across PRs.
+    timer.write_json(
+        str(Path(CACHE_DIR) / f"BENCH_generate_{dataset}.json"),
+        extra={"dataset": dataset, "profile": bench_profile(),
+               "workers": bench_workers()})
     return fw
 
 

@@ -18,6 +18,7 @@ from .analysis.experiments import fig4_design_space
 from .analysis.report import format_table, write_csv
 from .core.adapex import AdaPExFramework
 from .core.config import AdaPExConfig
+from .core.instrument import PhaseTimer
 from .edge.server import simulate_policy
 from .runtime.baselines import make_policy
 from .runtime.library import Library
@@ -43,6 +44,16 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--seed", type=int, default=0)
     gen.add_argument("-o", "--output", required=True,
                      help="output JSON path")
+    gen.add_argument("--workers", type=int, default=1,
+                     help="design points characterized in parallel worker "
+                          "processes (1 = serial; results are identical "
+                          "either way)")
+    gen.add_argument("--point-cache", metavar="DIR",
+                     help="per-design-point cache directory; reruns and "
+                          "interrupted sweeps only recompute changed points")
+    gen.add_argument("--timing-json", metavar="PATH",
+                     help="write the per-phase timing report (BENCH-style "
+                          "JSON) to PATH")
 
     info = sub.add_parser("info", help="summarize a Library file")
     info.add_argument("--library", required=True)
@@ -60,6 +71,11 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--policies", default="adapex,pr-only,ct-only,finn")
     ev.add_argument("--runs", type=int, default=10)
     ev.add_argument("--seed", type=int, default=0)
+    ev.add_argument("--parallel", type=int, default=0, metavar="N",
+                    help="simulate runs on N worker processes (0 = serial; "
+                         "aggregates are seed-exact either way)")
+    ev.add_argument("--timing-json", metavar="PATH",
+                    help="write the per-phase timing report to PATH")
 
     ds = sub.add_parser("design-space", help="dump the Fig.-4 design space")
     ds.add_argument("--library", required=True)
@@ -81,10 +97,19 @@ def _cmd_generate(args) -> int:
         config = AdaPExConfig.quick(dataset=args.dataset, seed=args.seed)
     else:
         config = AdaPExConfig.paper(dataset=args.dataset, seed=args.seed)
+    config.parallel_workers = max(1, args.workers)
     framework = AdaPExFramework(config)
-    library = framework.build_library(progress=print)
+    timer = PhaseTimer()
+    library = framework.build_library(progress=print, timer=timer,
+                                      point_cache=args.point_cache)
     library.save(args.output)
     print(f"saved {len(library)} entries to {args.output}")
+    print(timer.summary())
+    if args.timing_json:
+        timer.write_json(args.timing_json, extra={
+            "command": "generate", "dataset": args.dataset,
+            "profile": args.profile, "workers": config.parallel_workers})
+        print(f"timing report written to {args.timing_json}")
     return 0
 
 
@@ -126,13 +151,22 @@ def _cmd_select(args) -> int:
 
 def _cmd_evaluate(args) -> int:
     library = _load_library(args.library)
+    timer = PhaseTimer()
     rows = []
     for name in args.policies.split(","):
         policy = make_policy(name.strip(), library)
-        aggregate, _ = simulate_policy(policy, runs=args.runs,
-                                       base_seed=args.seed)
+        with timer.phase("simulate"):
+            aggregate, _ = simulate_policy(policy, runs=args.runs,
+                                           base_seed=args.seed,
+                                           parallel=args.parallel)
         rows.append(aggregate.as_row())
     print(format_table(rows, title=f"edge serving ({args.runs} runs)"))
+    print(timer.summary())
+    if args.timing_json:
+        timer.write_json(args.timing_json, extra={
+            "command": "evaluate", "runs": args.runs,
+            "policies": args.policies, "parallel": args.parallel})
+        print(f"timing report written to {args.timing_json}")
     return 0
 
 

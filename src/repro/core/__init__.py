@@ -1,9 +1,16 @@
-"""AdaPEx core: configuration, design-time generation, top-level facade."""
+"""AdaPEx core: configuration, design-time generation, top-level facade,
+plus the execution layer (process-parallel backend, per-design-point
+cache, phase timing)."""
 
 from .adapex import AdaPExFramework
 from .config import AdaPExConfig, paper_threshold_sweep
 from .design_time import LibraryGenerator
 from .explore import explore_exit_placements
+from .instrument import PhaseTimer
+from .parallel import fork_available, parallel_map, resolve_workers
+from .pointcache import PointCache
 
 __all__ = ["AdaPExFramework", "AdaPExConfig", "paper_threshold_sweep",
-           "LibraryGenerator", "explore_exit_placements"]
+           "LibraryGenerator", "explore_exit_placements",
+           "PhaseTimer", "PointCache",
+           "fork_available", "parallel_map", "resolve_workers"]

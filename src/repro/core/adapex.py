@@ -21,6 +21,7 @@ from ..runtime.library import Library
 from ..runtime.manager import SelectionPolicy
 from .config import AdaPExConfig
 from .design_time import LibraryGenerator
+from .instrument import PhaseTimer
 
 __all__ = ["AdaPExFramework"]
 
@@ -36,12 +37,20 @@ class AdaPExFramework:
     # design time
     # ------------------------------------------------------------------
     def build_library(self, progress=None,
-                      cache_dir: str | None = None) -> Library:
+                      cache_dir: str | None = None,
+                      point_cache=None,
+                      timer: PhaseTimer | None = None) -> Library:
         """Generate (or load from cache) the design-time Library.
 
         ``cache_dir`` enables a JSON disk cache keyed by the config
         fingerprint — library generation trains dozens of models, so the
-        benchmarks reuse it across invocations.
+        benchmarks reuse it across invocations. On a whole-library miss,
+        the per-design-point cache kicks in: ``point_cache`` (a
+        :class:`~repro.core.pointcache.PointCache`, a directory path, or
+        ``True`` to place it under ``cache_dir/points``) lets interrupted
+        or incremental sweeps reuse every already-characterized point.
+        ``timer`` (a :class:`~repro.core.instrument.PhaseTimer`) collects
+        per-phase wall time for the run.
         """
         if self._library is not None:
             return self._library
@@ -54,8 +63,14 @@ class AdaPExFramework:
             if os.path.exists(cache_path):
                 self._library = Library.load(cache_path)
                 return self._library
+        if point_cache is True:
+            if cache_dir is None:
+                raise ValueError("point_cache=True requires cache_dir")
+            point_cache = os.path.join(cache_dir, "points")
         generator = LibraryGenerator(self.config)
-        self._library = generator.generate(progress=progress)
+        self._library = generator.generate(progress=progress,
+                                           point_cache=point_cache,
+                                           timer=timer)
         if cache_path is not None:
             self._library.save(cache_path)
         return self._library
@@ -82,14 +97,23 @@ class AdaPExFramework:
         server: ServerConfig | None = None,
         selection: SelectionPolicy | None = None,
         base_seed: int = 0,
+        parallel: bool | int = False,
+        timer: PhaseTimer | None = None,
     ) -> dict[str, AggregateMetrics]:
         """Simulate the edge scenario for each policy; returns aggregates
-        keyed by policy display name."""
+        keyed by policy display name.
+
+        ``parallel`` fans each policy's runs out over worker processes
+        (seed-exact, see :func:`repro.edge.simulate_policy`); ``timer``
+        accumulates the wall time under a ``simulate`` phase.
+        """
+        timer = timer or PhaseTimer()
         results: dict[str, AggregateMetrics] = {}
         for name in policies:
             policy = self.policy(name, selection)
-            aggregate, _ = simulate_policy(policy, runs=runs,
-                                           workload=workload, config=server,
-                                           base_seed=base_seed)
+            with timer.phase("simulate"):
+                aggregate, _ = simulate_policy(
+                    policy, runs=runs, workload=workload, config=server,
+                    base_seed=base_seed, parallel=parallel)
             results[aggregate.policy] = aggregate
         return results

@@ -102,24 +102,42 @@ class AdaPExConfig:
         """The full paper sweep at the default reproduction scale."""
         return cls(dataset=dataset, seed=seed)
 
+    def _key_parts(self, include_rate_sweep: bool = True) -> list:
+        parts = [
+            _FLOW_VERSION,
+            self.dataset, self.train_samples, self.test_samples,
+            self.width_scale, self.resource_width_scale,
+            self.quant.name, len(self.exits.exits),
+            tuple(self.confidence_thresholds),
+            self.include_not_pruned_exits, self.include_backbone_variant,
+            self.initial_training.epochs, self.initial_training.lr,
+            self.retraining.epochs, self.use_augmentation,
+            self.device.part, self.clock_mhz, self.inflight, self.seed,
+        ]
+        if include_rate_sweep:
+            parts.append(tuple(self.pruning_rates))
+        return parts
+
+    @staticmethod
+    def _digest(parts: list) -> str:
+        import hashlib
+
+        return hashlib.sha256(repr(parts).encode()).hexdigest()[:16]
+
     def cache_key(self) -> str:
         """Stable fingerprint for disk caching of generated libraries.
 
         ``_FLOW_VERSION`` salts the key: bump it whenever the design-time
         flow's semantics change, so stale caches are ignored.
         """
-        import hashlib
+        return self._digest(self._key_parts(include_rate_sweep=True))
 
-        parts = [
-            _FLOW_VERSION,
-            self.dataset, self.train_samples, self.test_samples,
-            self.width_scale, self.resource_width_scale,
-            self.quant.name, len(self.exits.exits),
-            tuple(self.pruning_rates), tuple(self.confidence_thresholds),
-            self.include_not_pruned_exits, self.include_backbone_variant,
-            self.initial_training.epochs, self.initial_training.lr,
-            self.retraining.epochs, self.use_augmentation,
-            self.device.part, self.clock_mhz, self.inflight, self.seed,
-        ]
-        blob = repr(parts).encode()
-        return hashlib.sha256(blob).hexdigest()[:16]
+    def point_cache_key(self) -> str:
+        """Fingerprint for the per-design-point cache.
+
+        Identical to :meth:`cache_key` except the pruning-rate sweep is
+        excluded: one point's result does not depend on which *other*
+        rates are swept, so extending an existing sweep with new rates
+        still hits every previously characterized point.
+        """
+        return self._digest(self._key_parts(include_rate_sweep=False))

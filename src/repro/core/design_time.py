@@ -17,11 +17,26 @@ Two model "twins" are used per design point (see DESIGN.md): a scaled
 *accuracy twin* that is actually trained, and a full-width *hardware
 twin* (never trained — resource and timing figures depend only on the
 architecture) characterized through the FINN-like flow.
+
+Execution model
+---------------
+The sweep is a flat list of independent design points ``(variant,
+pruned_exits, rate)``. With ``config.parallel_workers > 1`` the points
+run on a process pool (:mod:`repro.core.parallel` — the work is NumPy
+Python loops that hold the GIL, so threads cannot help): the base models
+are trained once in the parent, their weights shipped to each worker via
+:func:`repro.nn.serialize.state_arrays`, and every worker reconstructs
+datasets and twins once in its initializer. Results are merged in
+deterministic sweep order, so parallel libraries are bit-identical to
+serial ones. A :class:`~repro.core.pointcache.PointCache` can additionally
+skip any point characterized by a previous (possibly interrupted) sweep.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import os
+import threading
+from dataclasses import dataclass
 
 from ..data.augment import standard_augmentation
 from ..data.synthetic import make_dataset
@@ -32,12 +47,37 @@ from ..ir.export import export_model
 from ..ir.passes import streamline
 from ..models.cnv import CNVConfig, build_cnv
 from ..models.exits import ExitsConfiguration
+from ..nn.serialize import load_state_arrays, state_arrays
 from ..nn.trainer import Trainer, cascade_sweep, evaluate_exits
 from ..pruning.pruner import prune_model
 from ..runtime.library import AcceleratorId, Library, LibraryEntry
 from .config import AdaPExConfig
+from .instrument import PhaseTimer
+from .parallel import fork_available, parallel_map
+from .pointcache import PointCache
 
-__all__ = ["LibraryGenerator"]
+__all__ = ["LibraryGenerator", "accel_label"]
+
+
+@dataclass
+class _VariantContext:
+    """Everything one variant's per-rate characterizations share."""
+
+    variant: str
+    pruned_exits: bool
+    scaled_base: object
+    hw_base: object
+    scaled_constraints: dict
+    hw_constraints: dict
+    folding: object
+
+    @property
+    def key(self) -> tuple:
+        return (self.variant, self.pruned_exits)
+
+    @property
+    def label(self) -> str:
+        return accel_label(self.variant, self.pruned_exits)
 
 
 class LibraryGenerator:
@@ -48,17 +88,22 @@ class LibraryGenerator:
         self._train = None
         self._test = None
         self._base_cache: dict = {}
+        # Guards datasets() and train_base_model() so concurrent
+        # generation (two variants racing from different threads) never
+        # double-builds the shared dataset or double-trains a base model.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # data
     # ------------------------------------------------------------------
     def datasets(self):
-        if self._train is None:
-            cfg = self.config
-            self._train, self._test = make_dataset(
-                cfg.dataset, cfg.train_samples, cfg.test_samples,
-                seed=cfg.seed)
-        return self._train, self._test
+        with self._lock:
+            if self._train is None:
+                cfg = self.config
+                self._train, self._test = make_dataset(
+                    cfg.dataset, cfg.train_samples, cfg.test_samples,
+                    seed=cfg.seed)
+            return self._train, self._test
 
     @property
     def num_classes(self) -> int:
@@ -76,6 +121,12 @@ class LibraryGenerator:
             exits_cfg,
         )
 
+    @staticmethod
+    def _topology_key(exits_cfg: ExitsConfiguration) -> tuple:
+        """Cache key for trained bases: the exit *topology* only."""
+        return tuple((e.after_block, e.conv_channels, e.fc_width)
+                     for e in exits_cfg.exits)
+
     def train_base_model(self, exits_cfg: ExitsConfiguration):
         """Build and jointly train the scaled accuracy twin.
 
@@ -84,86 +135,112 @@ class LibraryGenerator:
         "pruned exits" and "not pruned exits" sweeps.
         """
         cfg = self.config
-        key = tuple((e.after_block, e.conv_channels, e.fc_width)
-                    for e in exits_cfg.exits)
-        if key in self._base_cache:
-            return self._base_cache[key]
-        train, _ = self.datasets()
-        model = self._build(exits_cfg, cfg.width_scale)
-        trainer = Trainer(model, cfg.initial_training)
-        augment = standard_augmentation() if cfg.use_augmentation else None
-        trainer.fit(train.images, train.labels, augment=augment)
-        self._base_cache[key] = model
-        return model
+        key = self._topology_key(exits_cfg)
+        with self._lock:
+            if key in self._base_cache:
+                return self._base_cache[key]
+            train, _ = self.datasets()
+            model = self._build(exits_cfg, cfg.width_scale)
+            trainer = Trainer(model, cfg.initial_training)
+            augment = standard_augmentation() if cfg.use_augmentation else None
+            trainer.fit(train.images, train.labels, augment=augment)
+            self._base_cache[key] = model
+            return model
+
+    def _variant_context(self, variant: str, exits_cfg: ExitsConfiguration,
+                         pruned_exits: bool, scaled_base) -> _VariantContext:
+        """Prepare the per-variant state the per-rate points share."""
+        cfg = self.config
+        hw_base = self._build(exits_cfg, cfg.resource_width_scale)
+        folding = cnv_reference_fold(hw_base)
+        return _VariantContext(
+            variant=variant,
+            pruned_exits=pruned_exits,
+            scaled_base=scaled_base,
+            hw_base=hw_base,
+            scaled_constraints=fold_constraints(
+                scaled_base, cnv_reference_fold(scaled_base)),
+            hw_constraints=fold_constraints(hw_base, folding),
+            folding=folding,
+        )
 
     # ------------------------------------------------------------------
     # characterization of one design point
     # ------------------------------------------------------------------
-    def _characterize(self, variant: str, pruned_exits: bool, rate: float,
-                      scaled_base, hw_base, scaled_constraints,
-                      hw_constraints, folding) -> list[LibraryEntry]:
+    def _characterize(self, ctx: _VariantContext, rate: float,
+                      timer: PhaseTimer | None = None) -> list[LibraryEntry]:
         cfg = self.config
+        timer = timer or PhaseTimer()
         train, test = self.datasets()
 
         # Accuracy twin: prune + retrain.
-        scaled, report = prune_model(scaled_base, rate,
-                                     constraints=scaled_constraints,
-                                     prune_exits=pruned_exits)
+        with timer.phase("prune"):
+            scaled, report = prune_model(ctx.scaled_base, rate,
+                                         constraints=ctx.scaled_constraints,
+                                         prune_exits=ctx.pruned_exits)
         if rate > 0 and cfg.retraining.epochs > 0:
-            Trainer(scaled, cfg.retraining).fit(train.images, train.labels)
+            with timer.phase("retrain"):
+                Trainer(scaled, cfg.retraining).fit(train.images,
+                                                    train.labels)
         scaled.eval()
 
         # Hardware twin: prune (no training needed) + compile.
-        hw, hw_report = prune_model(hw_base, rate,
-                                    constraints=hw_constraints,
-                                    prune_exits=pruned_exits)
-        graph = export_model(hw)
-        streamline(graph)
-        accel = compile_accelerator(graph, folding, clock_mhz=cfg.clock_mhz)
-        resources = accel.resources()
-        cfg.device.check(resources)
-        perf = PerformanceModel(accel)
-        latencies = perf.latencies_s()
+        with timer.phase("prune"):
+            hw, hw_report = prune_model(ctx.hw_base, rate,
+                                        constraints=ctx.hw_constraints,
+                                        prune_exits=ctx.pruned_exits)
+        with timer.phase("compile"):
+            graph = export_model(hw)
+            streamline(graph)
+            accel = compile_accelerator(graph, ctx.folding,
+                                        clock_mhz=cfg.clock_mhz)
+            resources = accel.resources()
+            cfg.device.check(resources)
+            perf = PerformanceModel(accel)
+            latencies = perf.latencies_s()
 
-        accel_id = AcceleratorId(pruning_rate=rate, pruned_exits=pruned_exits,
-                                 variant=variant)
+        accel_id = AcceleratorId(pruning_rate=rate,
+                                 pruned_exits=ctx.pruned_exits,
+                                 variant=ctx.variant)
 
-        if scaled.num_exits == 1:
-            exit_acc = evaluate_exits(scaled, test.images, test.labels)
-            sweep = [{"confidence_threshold": 1.0,
-                      "accuracy": exit_acc[0], "exit_rates": (1.0,)}]
-        else:
-            sweep = cascade_sweep(scaled, test.images, test.labels,
-                                  cfg.confidence_thresholds)
+        with timer.phase("characterize"):
+            if scaled.num_exits == 1:
+                exit_acc = evaluate_exits(scaled, test.images, test.labels)
+                sweep = [{"confidence_threshold": 1.0,
+                          "accuracy": exit_acc[0], "exit_rates": (1.0,)}]
+            else:
+                sweep = cascade_sweep(scaled, test.images, test.labels,
+                                      cfg.confidence_thresholds)
 
-        entries = []
-        for point in sweep:
-            rates = point["exit_rates"]
-            serving = perf.serving_capacity_ips(rates, inflight=cfg.inflight)
-            avg_latency = perf.average_latency_s(rates)
-            energy = cfg.power_model.energy_per_inference_j(accel, rates)
-            idle = cfg.power_model.average_power_w(accel, rates, 0.0)
-            busy = cfg.power_model.average_power_w(accel, rates, serving)
-            entries.append(LibraryEntry(
-                accelerator=accel_id,
-                confidence_threshold=point["confidence_threshold"],
-                accuracy=point["accuracy"],
-                exit_rates=rates,
-                latency_s=avg_latency,
-                serving_ips=serving,
-                energy_per_inference_j=energy,
-                power_idle_w=idle,
-                power_busy_w=busy,
-                achieved_pruning_rate=report.achieved_rate,
-                exit_latencies_s=tuple(latencies),
-                resources={"lut": resources.lut, "ff": resources.ff,
-                           "bram18": resources.bram18},
-                extra={
-                    "requested_rate": rate,
-                    "hw_achieved_rate": hw_report.achieved_rate,
-                    "params": scaled.param_count(),
-                },
-            ))
+            entries = []
+            for point in sweep:
+                rates = point["exit_rates"]
+                serving = perf.serving_capacity_ips(rates,
+                                                    inflight=cfg.inflight)
+                avg_latency = perf.average_latency_s(rates)
+                energy = cfg.power_model.energy_per_inference_j(accel, rates)
+                idle = cfg.power_model.average_power_w(accel, rates, 0.0)
+                busy = cfg.power_model.average_power_w(accel, rates, serving)
+                entries.append(LibraryEntry(
+                    accelerator=accel_id,
+                    confidence_threshold=point["confidence_threshold"],
+                    accuracy=point["accuracy"],
+                    exit_rates=rates,
+                    latency_s=avg_latency,
+                    serving_ips=serving,
+                    energy_per_inference_j=energy,
+                    power_idle_w=idle,
+                    power_busy_w=busy,
+                    achieved_pruning_rate=report.achieved_rate,
+                    exit_latencies_s=tuple(latencies),
+                    resources={"lut": resources.lut, "ff": resources.ff,
+                               "bram18": resources.bram18},
+                    extra={
+                        "requested_rate": rate,
+                        "hw_achieved_rate": hw_report.achieved_rate,
+                        "params": scaled.param_count(),
+                    },
+                ))
         return entries
 
     # ------------------------------------------------------------------
@@ -178,10 +255,29 @@ class LibraryGenerator:
             variants.append(("backbone", ExitsConfiguration.none(), True))
         return variants
 
-    def generate(self, progress=None) -> Library:
-        """Run the full design-time flow; returns the populated Library."""
+    def generate(self, progress=None, point_cache=None,
+                 timer: PhaseTimer | None = None) -> Library:
+        """Run the full design-time flow; returns the populated Library.
+
+        Parameters
+        ----------
+        progress:
+            Optional ``callable(str)`` receiving per-step log lines (also
+            routed from the parallel backend as points complete).
+        point_cache:
+            Optional :class:`~repro.core.pointcache.PointCache` (or a
+            directory path) of previously characterized design points;
+            hits skip prune/retrain/compile entirely.
+        timer:
+            Optional :class:`PhaseTimer` accumulating per-phase wall time
+            (train / prune / retrain / compile / characterize), including
+            time spent inside worker processes.
+        """
         cfg = self.config
         log = progress or (lambda msg: None)
+        timer = timer or PhaseTimer()
+        if isinstance(point_cache, (str, os.PathLike)):
+            point_cache = PointCache(point_cache)
         library = Library(metadata={
             "dataset": cfg.dataset,
             "num_classes": self.num_classes,
@@ -191,36 +287,122 @@ class LibraryGenerator:
             "cache_key": cfg.cache_key(),
         })
 
-        for variant, exits_cfg, pruned_exits in self._variants():
-            label = accel_label(variant, pruned_exits)
-            log(f"[{cfg.dataset}] training base model ({label})")
-            scaled_base = self.train_base_model(exits_cfg)
-            hw_base = self._build(exits_cfg, cfg.resource_width_scale)
-            folding = cnv_reference_fold(hw_base)
-            hw_constraints = fold_constraints(hw_base, folding)
-            scaled_constraints = fold_constraints(
-                scaled_base, cnv_reference_fold(scaled_base))
+        variants = {(variant, pruned_exits): exits_cfg
+                    for variant, exits_cfg, pruned_exits in self._variants()}
 
-            def one_rate(rate, _variant=variant, _pruned=pruned_exits,
-                         _scaled=scaled_base, _hw=hw_base,
-                         _sc=scaled_constraints, _hc=hw_constraints,
-                         _fold=folding):
-                return self._characterize(_variant, _pruned, rate, _scaled,
-                                          _hw, _sc, _hc, _fold)
+        # The sweep as a flat, deterministically ordered point list.
+        points = [(key, rate) for key in variants
+                  for rate in cfg.pruning_rates]
 
-            if cfg.parallel_workers > 1:
-                with ThreadPoolExecutor(cfg.parallel_workers) as pool:
-                    batches = list(pool.map(one_rate, cfg.pruning_rates))
-            else:
-                batches = []
-                for rate in cfg.pruning_rates:
-                    log(f"[{cfg.dataset}] {label}: pruning rate {rate:.0%}")
-                    batches.append(one_rate(rate))
-            for batch in batches:
-                for entry in batch:
-                    library.add(entry)
+        results: dict = {}
+        pending = []
+        if point_cache is not None:
+            config_key = cfg.point_cache_key()
+            for key, rate in points:
+                cached = point_cache.get(
+                    PointCache.point_key(config_key, key[0], key[1], rate))
+                if cached is not None:
+                    results[(key, rate)] = cached
+                    log(f"[{cfg.dataset}] {accel_label(*key)}: pruning "
+                        f"rate {rate:.0%} (cached)")
+                else:
+                    pending.append((key, rate))
+        else:
+            pending = list(points)
+
+        # Base models (the expensive training) are only needed for
+        # variants that still have uncached points — a fully warm cache
+        # rerun trains nothing at all.
+        contexts: dict[tuple, _VariantContext] = {}
+        for key in variants:
+            if any(p_key == key for p_key, _ in pending):
+                log(f"[{cfg.dataset}] training base model "
+                    f"({accel_label(*key)})")
+                with timer.phase("train"):
+                    scaled_base = self.train_base_model(variants[key])
+                contexts[key] = self._variant_context(
+                    key[0], variants[key], key[1], scaled_base)
+
+        workers = min(cfg.parallel_workers, len(pending))
+        if workers > 1 and fork_available():
+            base_states = {topo: state_arrays(model)
+                           for topo, model in self._base_cache.items()}
+
+            def point_label(point):
+                (variant, pruned), rate = point
+                return (f"[{cfg.dataset}] {accel_label(variant, pruned)}: "
+                        f"pruning rate {rate:.0%}")
+
+            outs = parallel_map(
+                _characterize_task, pending, workers=workers,
+                progress=log, label=point_label,
+                initializer=_parallel_worker_init,
+                initargs=(cfg, base_states))
+            for point, (entries, worker_timings) in zip(pending, outs):
+                timer.merge(worker_timings)
+                results[point] = entries
+        else:
+            for key, rate in pending:
+                log(f"[{cfg.dataset}] {contexts[key].label}: "
+                    f"pruning rate {rate:.0%}")
+                results[(key, rate)] = self._characterize(
+                    contexts[key], rate, timer=timer)
+
+        if point_cache is not None:
+            config_key = cfg.point_cache_key()
+            for key, rate in pending:
+                point_cache.put(
+                    PointCache.point_key(config_key, key[0], key[1], rate),
+                    results[(key, rate)])
+
+        for point in points:
+            for entry in results[point]:
+                library.add(entry)
         log(f"[{cfg.dataset}] library complete: {len(library)} entries")
         return library
+
+
+# ----------------------------------------------------------------------
+# process-pool worker side
+# ----------------------------------------------------------------------
+# Populated once per worker by the pool initializer: a LibraryGenerator
+# whose datasets and base models were reconstructed from the parent's
+# shipped weights, plus the prepared per-variant contexts.
+_WORKER_STATE: tuple | None = None
+
+
+def _parallel_worker_init(config: AdaPExConfig, base_states: dict) -> None:
+    """Rebuild datasets, twins, and fold constraints once per worker.
+
+    ``base_states`` maps each exit-topology key to the trained base's
+    :func:`~repro.nn.serialize.state_arrays` snapshot, so workers never
+    retrain — they rebuild the architecture (deterministic from the
+    config seed) and load the parent's exact weights.
+    """
+    global _WORKER_STATE
+    gen = LibraryGenerator(config)
+    for topo, arrays in base_states.items():
+        for variant, exits_cfg, pruned_exits in gen._variants():
+            if gen._topology_key(exits_cfg) == topo:
+                model = gen._build(exits_cfg, config.width_scale)
+                load_state_arrays(model, arrays)
+                gen._base_cache[topo] = model
+                break
+    contexts = {}
+    for variant, exits_cfg, pruned_exits in gen._variants():
+        scaled_base = gen.train_base_model(exits_cfg)  # cache hit, no fit
+        contexts[(variant, pruned_exits)] = gen._variant_context(
+            variant, exits_cfg, pruned_exits, scaled_base)
+    _WORKER_STATE = (gen, contexts)
+
+
+def _characterize_task(point):
+    """Characterize one ``((variant, pruned_exits), rate)`` work unit."""
+    variant_key, rate = point
+    gen, contexts = _WORKER_STATE
+    timer = PhaseTimer()
+    entries = gen._characterize(contexts[variant_key], rate, timer=timer)
+    return entries, timer.as_dict()
 
 
 def accel_label(variant: str, pruned_exits: bool) -> str:

@@ -1,0 +1,109 @@
+"""Scoped-timer instrumentation for the expensive phases.
+
+A :class:`PhaseTimer` accumulates wall time per named phase (``train``,
+``prune``, ``retrain``, ``compile``, ``characterize``, ``simulate``, ...)
+across the design-time flow and the edge evaluation. Timers are cheap,
+mergeable (worker processes time their own work and ship the totals back
+to the parent), and serialize to the ``BENCH_*.json`` reports written
+next to benchmark output so the performance trajectory is trackable
+across PRs.
+
+Usage::
+
+    timer = PhaseTimer()
+    with timer.phase("train"):
+        trainer.fit(...)
+    print(timer.summary())
+    timer.write_json("BENCH_generate.json", extra={"dataset": "cifar10"})
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+
+__all__ = ["PhaseTimer"]
+
+
+class PhaseTimer:
+    """Accumulates wall-clock seconds and call counts per phase."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._phases: dict[str, list] = {}  # name -> [seconds, count]
+
+    @contextmanager
+    def phase(self, name: str):
+        """Time one scoped block under ``name`` (re-entrant per name)."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.add(name, time.perf_counter() - start)
+
+    def add(self, name: str, seconds: float, count: int = 1) -> None:
+        """Record ``seconds`` of wall time (``count`` invocations)."""
+        if seconds < 0:
+            raise ValueError("seconds must be >= 0")
+        with self._lock:
+            bucket = self._phases.setdefault(name, [0.0, 0])
+            bucket[0] += seconds
+            bucket[1] += count
+
+    def merge(self, other) -> "PhaseTimer":
+        """Fold another timer (or its ``as_dict()`` form) into this one."""
+        phases = other.get("phases", other) if isinstance(other, dict) \
+            else other.as_dict()["phases"]
+        for name, rec in phases.items():
+            self.add(name, rec["seconds"], rec.get("count", 1))
+        return self
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def seconds(self, name: str) -> float:
+        with self._lock:
+            return self._phases.get(name, [0.0, 0])[0]
+
+    def count(self, name: str) -> int:
+        with self._lock:
+            return self._phases.get(name, [0.0, 0])[1]
+
+    def total_seconds(self) -> float:
+        with self._lock:
+            return sum(rec[0] for rec in self._phases.values())
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            phases = {name: {"seconds": rec[0], "count": rec[1]}
+                      for name, rec in sorted(self._phases.items())}
+        return {"phases": phases,
+                "total_s": sum(p["seconds"] for p in phases.values())}
+
+    def summary(self, title: str = "phase timings") -> str:
+        """Human-readable per-phase table (sorted by time, descending)."""
+        data = self.as_dict()
+        lines = [f"{title} (total {data['total_s']:.2f} s):"]
+        ordered = sorted(data["phases"].items(),
+                         key=lambda kv: -kv[1]["seconds"])
+        for name, rec in ordered:
+            lines.append(f"  {name:<14} {rec['seconds']:>9.3f} s  "
+                         f"x{rec['count']}")
+        if not ordered:
+            lines.append("  (no phases recorded)")
+        return "\n".join(lines)
+
+    def write_json(self, path, extra: dict | None = None) -> dict:
+        """Write the timing report as JSON (creating parent directories
+        as needed); returns the written payload."""
+        payload = dict(extra or {})
+        payload.update(self.as_dict())
+        parent = os.path.dirname(str(path))
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(path, "w") as f:
+            json.dump(payload, f, indent=1, sort_keys=True)
+        return payload

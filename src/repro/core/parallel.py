@@ -1,0 +1,102 @@
+"""Process-based parallel execution backend.
+
+The design-time sweep and the edge-server evaluation are both
+embarrassingly parallel, but almost every cycle is spent inside NumPy
+Python loops that hold the GIL — a thread pool buys nothing. This module
+wraps :class:`~concurrent.futures.ProcessPoolExecutor` behind one
+ordered-``map`` primitive shared by both layers:
+
+* **Deterministic ordering** — results come back in submission order no
+  matter which worker finishes first, so parallel runs are bit-identical
+  to serial ones.
+* **Progress routing** — per-item completion messages are forwarded to
+  the caller's ``progress`` callback from the parent process (workers
+  cannot print into the caller's log).
+* **Graceful fallback** — serial execution when ``workers <= 1``, when
+  there is at most one item, or when the platform lacks the ``fork``
+  start method (workers rely on cheap address-space inheritance; spawn
+  would re-import the world per worker).
+
+Workers are handed their one-time context (datasets, base model weights)
+through a standard ``initializer`` so per-item task payloads stay small
+and picklable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+
+__all__ = ["fork_available", "resolve_workers", "parallel_map"]
+
+
+def fork_available() -> bool:
+    """Whether the platform supports the ``fork`` start method."""
+    return "fork" in mp.get_all_start_methods()
+
+
+def resolve_workers(workers) -> int:
+    """Normalize a worker-count knob.
+
+    ``True`` means "one per CPU"; ``None``/``False``/``0`` mean serial;
+    an int is taken as-is (minimum 1).
+    """
+    if workers is True:
+        return os.cpu_count() or 1
+    if not workers:
+        return 1
+    return max(1, int(workers))
+
+
+def parallel_map(fn, items, *, workers=1, progress=None, label=None,
+                 initializer=None, initargs=()):
+    """Ordered map over ``items``, optionally across worker processes.
+
+    Parameters
+    ----------
+    fn:
+        Picklable callable applied to each item (module-level function).
+    items:
+        The work units; each must be picklable in the parallel path.
+    workers:
+        Worker-count knob (see :func:`resolve_workers`). The pool size is
+        additionally capped at ``len(items)``.
+    progress:
+        Optional ``callable(str)`` invoked once per completed item.
+    label:
+        Optional ``callable(item) -> str`` used in progress messages;
+        falls back to ``repr(item)``.
+    initializer / initargs:
+        Per-worker one-time setup, as in ``ProcessPoolExecutor``. In the
+        serial path the initializer runs once, in-process, so ``fn``
+        can rely on its side effects either way.
+
+    Returns the list of results in the order of ``items``.
+    """
+    items = list(items)
+    name = label or repr
+    workers = min(resolve_workers(workers), len(items))
+    if workers <= 1 or not fork_available():
+        if initializer is not None:
+            initializer(*initargs)
+        results = []
+        for i, item in enumerate(items):
+            results.append(fn(item))
+            if progress is not None:
+                progress(f"{name(item)} done ({i + 1}/{len(items)})")
+        return results
+
+    ctx = mp.get_context("fork")
+    with ProcessPoolExecutor(max_workers=workers, mp_context=ctx,
+                             initializer=initializer,
+                             initargs=initargs) as pool:
+        futures = [pool.submit(fn, item) for item in items]
+        if progress is not None:
+            index = {f: i for i, f in enumerate(futures)}
+            done = 0
+            for future in as_completed(futures):
+                done += 1
+                progress(f"{name(items[index[future]])} done "
+                         f"({done}/{len(items)})")
+        return [f.result() for f in futures]

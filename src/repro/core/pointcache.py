@@ -1,0 +1,107 @@
+"""Per-design-point on-disk cache for the Library sweep.
+
+The whole-library JSON cache (``AdaPExFramework.build_library``) is
+all-or-nothing: interrupting the sweep, adding one pruning rate, or
+bumping the run count throws away every previously characterized design
+point. This cache stores each point — the list of
+:class:`~repro.runtime.library.LibraryEntry` produced for one
+``(config, variant, pruned_exits, rate)`` — as its own JSON file, so
+incremental or interrupted sweeps only recompute what changed.
+
+Keys are salted with ``AdaPExConfig.cache_key()``, which already folds in
+the flow version and every semantic knob; bumping ``_FLOW_VERSION`` in
+:mod:`repro.core.config` invalidates every point at once. Writes are
+atomic (temp file + ``os.replace``), so concurrent sweeps sharing a
+cache directory never observe half-written points.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from ..runtime.library import LibraryEntry
+
+__all__ = ["PointCache"]
+
+# Bump if the on-disk point format itself changes shape.
+_POINT_FORMAT = 1
+
+
+class PointCache:
+    """Directory of per-design-point JSON files."""
+
+    def __init__(self, root):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # keys
+    # ------------------------------------------------------------------
+    @staticmethod
+    def point_key(config_key: str, variant: str, pruned_exits: bool,
+                  rate: float) -> str:
+        """Stable fingerprint of one design point."""
+        blob = f"{_POINT_FORMAT}:{config_key}:{variant}:" \
+               f"{int(bool(pruned_exits))}:{rate!r}"
+        return hashlib.sha256(blob.encode()).hexdigest()[:20]
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"point_{key}.json"
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def get(self, key: str):
+        """Entries for ``key``, or ``None`` on a miss (or corrupt file)."""
+        path = self.path_for(key)
+        try:
+            with open(path) as f:
+                raw = json.load(f)
+            entries = [LibraryEntry.from_dict(d) for d in raw["entries"]]
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entries
+
+    def put(self, key: str, entries) -> None:
+        """Atomically store the entries for ``key``."""
+        path = self.path_for(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w") as f:
+            json.dump({"entries": [e.to_dict() for e in entries]}, f)
+        os.replace(tmp, path)
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        return len(list(self.root.glob("point_*.json")))
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def clear(self) -> int:
+        """Delete every cached point; returns how many were removed."""
+        removed = 0
+        for path in self.root.glob("point_*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def evict(self, keep_latest: int) -> int:
+        """Keep only the ``keep_latest`` most recently touched points."""
+        if keep_latest < 0:
+            raise ValueError("keep_latest must be >= 0")
+        paths = sorted(self.root.glob("point_*.json"),
+                       key=lambda p: p.stat().st_mtime, reverse=True)
+        removed = 0
+        for path in paths[keep_latest:]:
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed

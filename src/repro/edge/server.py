@@ -186,17 +186,65 @@ class EdgeServerSimulator:
         )
 
 
+# Per-worker simulation context, set by the pool initializer so each of
+# the ``runs`` task payloads is just a seed (the policy carries the whole
+# Library — pickling it once per worker instead of once per run matters
+# at the paper's 100-run scale).
+_SIM_CONTEXT: tuple | None = None
+
+
+def _sim_worker_init(policy, workload, config) -> None:
+    global _SIM_CONTEXT
+    _SIM_CONTEXT = (policy, workload, config)
+
+
+def _sim_task(seed: int) -> RunMetrics:
+    policy, workload, config = _SIM_CONTEXT
+    return EdgeServerSimulator(policy, workload=workload, config=config,
+                               seed=seed).run()
+
+
 def simulate_policy(policy, runs: int = 100,
                     workload: WorkloadSpec | None = None,
                     config: ServerConfig | None = None,
-                    base_seed: int = 0):
+                    base_seed: int = 0,
+                    parallel: bool | int = False,
+                    progress=None):
     """Run a policy over ``runs`` workload realizations; returns
-    ``(aggregate, run_list)``."""
+    ``(aggregate, run_list)``.
+
+    ``parallel`` fans the runs out over worker processes (``True`` = one
+    per CPU, an int = that many workers; see :mod:`repro.core.parallel`).
+    Each run keeps its exact serial seed ``base_seed + r`` and results
+    are collected in run order, so the aggregate (and every per-run
+    metric) is bit-identical to a serial execution. Falls back to serial
+    when the platform lacks ``fork`` or the policy isn't picklable.
+    """
     if runs < 1:
         raise ValueError("runs must be >= 1")
+    seeds = [base_seed + r for r in range(runs)]
+
+    # Imported lazily: repro.core imports repro.edge at package-init
+    # time, so a top-level import here would be circular.
+    from ..core.parallel import fork_available, parallel_map, resolve_workers
+
+    workers = min(resolve_workers(parallel), runs)
+    if workers > 1 and fork_available():
+        try:
+            results = parallel_map(
+                _sim_task, seeds, workers=workers, progress=progress,
+                label=lambda seed: f"run seed={seed}",
+                initializer=_sim_worker_init,
+                initargs=(policy, workload, config))
+            return aggregate_runs(results), results
+        except (TypeError, AttributeError, ImportError):
+            pass  # unpicklable policy (e.g. a local class): run serially
+
     results = []
-    for r in range(runs):
+    for r, seed in enumerate(seeds):
         sim = EdgeServerSimulator(policy, workload=workload, config=config,
-                                  seed=base_seed + r)
+                                  seed=seed)
         results.append(sim.run())
+        if progress is not None:
+            progress(f"run seed={seed} done ({r + 1}/{runs})")
     return aggregate_runs(results), results

@@ -22,7 +22,7 @@ from .layers import (
 from .loss import CrossEntropyLoss, JointLoss, cross_entropy
 from .optim import SGD, Adam, ConstantLR, StepDecay
 from .quant import QuantSpec, quantize_activations, quantize_weights
-from .serialize import load_model, save_model
+from .serialize import load_model, load_state_arrays, save_model, state_arrays
 from .trainer import (
     TrainConfig,
     TrainHistory,
@@ -39,7 +39,7 @@ __all__ = [
     "CrossEntropyLoss", "JointLoss", "cross_entropy",
     "SGD", "Adam", "ConstantLR", "StepDecay",
     "QuantSpec", "quantize_activations", "quantize_weights",
-    "load_model", "save_model",
+    "load_model", "save_model", "state_arrays", "load_state_arrays",
     "TrainConfig", "TrainHistory", "Trainer", "evaluate_cascade",
     "evaluate_exits",
 ]

@@ -14,7 +14,7 @@ import numpy as np
 from .graph import BranchedModel
 from .layers import BatchNorm
 
-__all__ = ["save_model", "load_model"]
+__all__ = ["state_arrays", "load_state_arrays", "save_model", "load_model"]
 
 _BN_PREFIX = "__bnstat__"
 
@@ -30,23 +30,27 @@ def _bn_entries(model: BranchedModel):
                 yield f"exit{ei}.l{li}", layer
 
 
-def save_model(model: BranchedModel, path: str) -> None:
-    """Write all parameters and BN running stats to ``path`` (.npz)."""
-    arrays = dict(model.state_dict())
+def state_arrays(model: BranchedModel) -> dict:
+    """Full in-memory snapshot: parameters plus BN running statistics.
+
+    The returned dict of NumPy arrays is picklable and, restored via
+    :func:`load_state_arrays` into an identically built model, makes it
+    bit-identical to the source — the contract the parallel design-time
+    backend relies on when shipping trained base weights to workers.
+    """
+    arrays = {k: v.copy() for k, v in model.state_dict().items()}
     for key, bn in _bn_entries(model):
-        arrays[f"{_BN_PREFIX}{key}.running_mean"] = bn.running_mean
-        arrays[f"{_BN_PREFIX}{key}.running_var"] = bn.running_var
-    np.savez_compressed(path, **arrays)
+        arrays[f"{_BN_PREFIX}{key}.running_mean"] = bn.running_mean.copy()
+        arrays[f"{_BN_PREFIX}{key}.running_var"] = bn.running_var.copy()
+    return arrays
 
 
-def load_model(model: BranchedModel, path: str) -> BranchedModel:
-    """Load weights saved by :func:`save_model` into ``model`` (in place).
+def load_state_arrays(model: BranchedModel, arrays: dict) -> BranchedModel:
+    """Restore a :func:`state_arrays` snapshot into ``model`` (in place).
 
     The model must have been built with the identical architecture;
-    mismatched shapes raise ``ValueError``.
+    missing parameters or mismatched shapes raise ``ValueError``.
     """
-    with np.load(path) as data:
-        arrays = {k: data[k] for k in data.files}
     state = {k: v for k, v in arrays.items()
              if not k.startswith(_BN_PREFIX)}
     expected = model.state_dict()
@@ -68,3 +72,19 @@ def load_model(model: BranchedModel, path: str) -> BranchedModel:
         if var is not None:
             bn.running_var = var.copy()
     return model
+
+
+def save_model(model: BranchedModel, path: str) -> None:
+    """Write all parameters and BN running stats to ``path`` (.npz)."""
+    np.savez_compressed(path, **state_arrays(model))
+
+
+def load_model(model: BranchedModel, path: str) -> BranchedModel:
+    """Load weights saved by :func:`save_model` into ``model`` (in place).
+
+    The model must have been built with the identical architecture;
+    mismatched shapes raise ``ValueError``.
+    """
+    with np.load(path) as data:
+        arrays = {k: data[k] for k in data.files}
+    return load_state_arrays(model, arrays)

@@ -174,3 +174,58 @@ class TestSimulatePolicy:
         assert a.processed == b.processed
         assert a.lost == b.lost
         assert a.energy_j == pytest.approx(b.energy_j)
+
+
+class TestParallelSimulation:
+    def _matches_serial(self, policy, runs=4, base_seed=5):
+        w = small_workload(ips=60.0)
+        agg_s, runs_s = simulate_policy(policy, runs=runs, workload=w,
+                                        base_seed=base_seed)
+        agg_p, runs_p = simulate_policy(policy, runs=runs, workload=w,
+                                        base_seed=base_seed, parallel=2)
+        # Bit-for-bit: every per-run metric and the aggregate.
+        assert agg_s == agg_p
+        for a, b in zip(runs_s, runs_p):
+            assert a.processed == b.processed
+            assert a.lost == b.lost
+            assert a.total_requests == b.total_requests
+            assert a.accuracy == b.accuracy
+            assert a.avg_latency_s == b.avg_latency_s
+            assert a.energy_j == b.energy_j
+            assert a.reconfigurations == b.reconfigurations
+            assert a.trace == b.trace
+
+    def test_static_policy_parallel_matches_serial(self):
+        lib = single_entry_library(ips=100.0)
+        self._matches_serial(StaticPolicy(lib.entries[0]))
+
+    def test_manager_parallel_matches_serial(self):
+        lib = Library()
+        lib.add(make_entry(rate=0.0, ct=0.9, acc=0.90, ips=40.0,
+                           exit_lats=(1 / 40,) * 3, rates=(0, 0, 1.0)))
+        lib.add(make_entry(rate=0.8, ct=0.1, acc=0.82, ips=200.0,
+                           exit_lats=(1 / 200,) * 3, rates=(1.0, 0, 0)))
+        self._matches_serial(RuntimeManager(lib))
+
+    def test_parallel_true_means_cpu_count(self):
+        lib = single_entry_library(ips=100.0)
+        agg, runs = simulate_policy(StaticPolicy(lib.entries[0]), runs=2,
+                                    workload=small_workload(),
+                                    parallel=True)
+        assert agg.runs == 2 and len(runs) == 2
+
+    def test_progress_reported(self):
+        lib = single_entry_library(ips=100.0)
+        messages = []
+        simulate_policy(StaticPolicy(lib.entries[0]), runs=3,
+                        workload=small_workload(), parallel=2,
+                        progress=messages.append)
+        assert len(messages) == 3
+
+    def test_progress_reported_serial(self):
+        lib = single_entry_library(ips=100.0)
+        messages = []
+        simulate_policy(StaticPolicy(lib.entries[0]), runs=3,
+                        workload=small_workload(),
+                        progress=messages.append)
+        assert len(messages) == 3
