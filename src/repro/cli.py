@@ -21,6 +21,7 @@ from .core.config import AdaPExConfig
 from .core.instrument import PhaseTimer
 from .edge.server import simulate_policy
 from .runtime.baselines import make_policy
+from .runtime.faults import FaultSpec
 from .runtime.library import Library
 
 __all__ = ["main", "build_parser"]
@@ -74,6 +75,14 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--parallel", type=int, default=0, metavar="N",
                     help="simulate runs on N worker processes (0 = serial; "
                          "aggregates are seed-exact either way)")
+    ev.add_argument("--faults", metavar="SPEC",
+                    help="inject faults: a preset (light/heavy/chaos) "
+                         "and/or comma-separated key=value overrides, "
+                         "e.g. 'heavy' or "
+                         "'reconfig_failure_prob=0.3,drop_prob=0.01'")
+    ev.add_argument("--fault-seed", type=int, default=0,
+                    help="seed of the fault campaign; identical seeds "
+                         "give byte-identical campaigns")
     ev.add_argument("--timing-json", metavar="PATH",
                     help="write the per-phase timing report to PATH")
 
@@ -151,6 +160,7 @@ def _cmd_select(args) -> int:
 
 def _cmd_evaluate(args) -> int:
     library = _load_library(args.library)
+    faults = FaultSpec.parse(args.faults) if args.faults else None
     timer = PhaseTimer()
     rows = []
     for name in args.policies.split(","):
@@ -158,14 +168,24 @@ def _cmd_evaluate(args) -> int:
         with timer.phase("simulate"):
             aggregate, _ = simulate_policy(policy, runs=args.runs,
                                            base_seed=args.seed,
-                                           parallel=args.parallel)
-        rows.append(aggregate.as_row())
-    print(format_table(rows, title=f"edge serving ({args.runs} runs)"))
+                                           parallel=args.parallel,
+                                           faults=faults,
+                                           fault_seed=args.fault_seed)
+        row = aggregate.as_row()
+        if faults is not None:
+            row.update(aggregate.fault_row())
+        rows.append(row)
+    title = f"edge serving ({args.runs} runs)"
+    if faults is not None:
+        title += (f" under faults [{args.faults}] "
+                  f"fault-seed={args.fault_seed}")
+    print(format_table(rows, title=title))
     print(timer.summary())
     if args.timing_json:
         timer.write_json(args.timing_json, extra={
             "command": "evaluate", "runs": args.runs,
-            "policies": args.policies, "parallel": args.parallel})
+            "policies": args.policies, "parallel": args.parallel,
+            "faults": args.faults, "fault_seed": args.fault_seed})
         print(f"timing report written to {args.timing_json}")
     return 0
 

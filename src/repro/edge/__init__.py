@@ -1,5 +1,7 @@
 """Edge-server simulation: DES core, camera workloads, custom traces,
-server, metrics, and a fluid-flow fast path."""
+server, metrics, and a fluid-flow fast path. Fault injection lives in
+:mod:`repro.runtime.faults` and plugs into :class:`EdgeServerSimulator`
+via its ``faults``/``fault_seed`` parameters."""
 
 from .cameras import CameraFleet, WorkloadSpec
 from .events import Event, EventLoop

@@ -30,7 +30,18 @@ def edp(energy_per_inference_j: float, latency_s: float) -> float:
 
 @dataclass
 class RunMetrics:
-    """Outcome of one simulated serving run."""
+    """Outcome of one simulated serving run.
+
+    Request accounting distinguishes four terminal states: ``processed``
+    (served successfully), ``lost`` (queue overflow or still queued at
+    the end of the run), ``dropped`` (fault-injected ingress/network
+    loss — the request never reached the server), and ``failed``
+    (transient inference errors that exhausted the retry budget).
+    ``retries`` counts inference retry attempts; reconfiguration faults
+    surface as ``reconfig_failures``/``reconfig_retries`` with their
+    wasted time in ``fault_dead_time_s`` (``reconfig_dead_time_s`` only
+    covers successful swaps).
+    """
 
     policy: str
     duration_s: float
@@ -42,17 +53,34 @@ class RunMetrics:
     energy_j: float
     reconfigurations: int
     reconfig_dead_time_s: float
+    dropped: int = 0
+    failed: int = 0
+    retries: int = 0
+    reconfig_failures: int = 0
+    reconfig_retries: int = 0
+    fault_dead_time_s: float = 0.0
     trace: dict = field(default_factory=dict, repr=False)
 
     def __post_init__(self):
-        if self.processed + self.lost > self.total_requests:
-            raise ValueError("processed + lost cannot exceed total requests")
+        if min(self.processed, self.lost, self.dropped, self.failed,
+               self.retries) < 0:
+            raise ValueError("request counters must be >= 0")
+        if self.processed + self.lost + self.dropped + self.failed \
+                > self.total_requests:
+            raise ValueError(
+                "processed + lost + dropped + failed cannot exceed "
+                "total requests")
+
+    @property
+    def unserved(self) -> int:
+        """Requests that never completed successfully."""
+        return self.lost + self.dropped + self.failed
 
     @property
     def inference_loss(self) -> float:
         if self.total_requests == 0:
             return 0.0
-        return self.lost / self.total_requests
+        return self.unserved / self.total_requests
 
     @property
     def processed_fraction(self) -> float:
@@ -91,6 +119,11 @@ class AggregateMetrics:
     edp: float
     reconfigurations: float
     processed_per_run: float
+    dropped_per_run: float = 0.0
+    failed_per_run: float = 0.0
+    retries_per_run: float = 0.0
+    reconfig_failures: float = 0.0
+    fault_dead_time_s: float = 0.0
 
     def as_row(self) -> dict:
         """Table-I-style row."""
@@ -102,6 +135,16 @@ class AggregateMetrics:
             "latency_ms": 1000.0 * self.avg_latency_s,
             "qoe": self.qoe,
             "edp": self.edp,
+        }
+
+    def fault_row(self) -> dict:
+        """Extra columns for fault-campaign tables."""
+        return {
+            "dropped": self.dropped_per_run,
+            "failed": self.failed_per_run,
+            "retries": self.retries_per_run,
+            "reconf_fail": self.reconfig_failures,
+            "fault_dead_ms": 1000.0 * self.fault_dead_time_s,
         }
 
 
@@ -123,4 +166,11 @@ def aggregate_runs(runs: list) -> AggregateMetrics:
         edp=float(np.mean([r.edp for r in runs])),
         reconfigurations=float(np.mean([r.reconfigurations for r in runs])),
         processed_per_run=float(np.mean([r.processed for r in runs])),
+        dropped_per_run=float(np.mean([r.dropped for r in runs])),
+        failed_per_run=float(np.mean([r.failed for r in runs])),
+        retries_per_run=float(np.mean([r.retries for r in runs])),
+        reconfig_failures=float(np.mean([r.reconfig_failures
+                                         for r in runs])),
+        fault_dead_time_s=float(np.mean([r.fault_dead_time_s
+                                         for r in runs])),
     )

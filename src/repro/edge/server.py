@@ -12,6 +12,16 @@ accelerators, the server is dead for the reconfiguration time.
 Per-frame service latency is the exit-path latency of the exit that
 frame takes (sampled from the entry's exit distribution); per-frame
 correctness is sampled at the entry's measured cascade accuracy.
+
+Fault injection: pass a :class:`~repro.runtime.faults.FaultSpec` (plus a
+``fault_seed``) to overlay reconfiguration failures, reconfiguration
+latency jitter, transient inference errors, ingress request drops, and
+workload spikes on the run. Reconfiguration failures are retried with
+exponential backoff up to the spec's budget, then the server degrades to
+the best entry on the currently loaded accelerator
+(``policy.select_without_reconfig``) until the next decision tick.
+Without a spec the simulation is bit-identical to the fault-free code
+path.
 """
 
 from __future__ import annotations
@@ -21,6 +31,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..runtime.faults import FaultPlan, FaultSpec
 from ..runtime.library import LibraryEntry
 from ..runtime.monitor import WorkloadMonitor
 from ..runtime.reconfig import ReconfigurationController
@@ -54,11 +65,14 @@ class EdgeServerSimulator:
     """One serving run of one policy over one workload realization."""
 
     def __init__(self, policy, workload: WorkloadSpec | None = None,
-                 config: ServerConfig | None = None, seed: int = 0):
+                 config: ServerConfig | None = None, seed: int = 0,
+                 faults: FaultSpec | None = None, fault_seed: int = 0):
         self.policy = policy
         self.workload = workload or WorkloadSpec()
         self.config = config or ServerConfig()
         self.seed = seed
+        self.faults = faults
+        self.fault_seed = fault_seed
 
     def _arrival_times(self) -> np.ndarray:
         """Arrivals for this run: camera-fleet spec or a custom trace
@@ -67,10 +81,25 @@ class EdgeServerSimulator:
             return self.workload.arrival_times(seed=self.seed)
         return CameraFleet(self.workload, seed=self.seed).arrival_times()
 
+    def _fault_plan(self) -> FaultPlan | None:
+        """Per-run fault realization: deterministic in ``(fault_seed,
+        seed)`` so repeated campaigns are byte-identical while every run
+        of a campaign still draws distinct faults."""
+        if self.faults is None:
+            return None
+        return FaultPlan(self.faults, seed=(self.fault_seed, self.seed))
+
     def run(self) -> RunMetrics:
         cfg = self.config
         rng = np.random.default_rng(self.seed + 777)
+        plan = self._fault_plan()
+        spec = self.faults
         arrivals = self._arrival_times()
+        if plan is not None:
+            extra = plan.spike_arrivals(self.workload.duration_s,
+                                        self.workload.nominal_ips)
+            if len(extra):
+                arrivals = np.sort(np.concatenate([arrivals, extra]))
         loop = EventLoop()
         monitor = WorkloadMonitor(window_s=cfg.monitor_window_s)
         controller = ReconfigurationController(
@@ -82,13 +111,20 @@ class EdgeServerSimulator:
         controller.switch(entry.accelerator, now_s=0.0)
         initial_events = controller.count
 
-        queue: deque = deque()
+        queue: deque = deque()  # of (arrival_time, attempts_so_far)
         state = {
             "entry": entry,
             "busy": False,
             "reconfig_until": 0.0,
+            "reconfig_inflight": False,
             "processed": 0,
             "lost": 0,
+            "dropped": 0,
+            "failed": 0,
+            "retries": 0,
+            "reconfig_failures": 0,
+            "reconfig_retries": 0,
+            "fault_dead_time_s": 0.0,
             "latency_sum": 0.0,
             "accuracy_sum": 0.0,
             "energy_j": 0.0,
@@ -109,7 +145,7 @@ class EdgeServerSimulator:
                 return
             if loop_.now < state["reconfig_until"]:
                 return
-            queue.popleft()
+            arrival_t, attempts = queue.popleft()
             entry_ = state["entry"]
             exit_idx = int(rng.choice(len(entry_.exit_rates),
                                       p=np.asarray(entry_.exit_rates)))
@@ -118,21 +154,75 @@ class EdgeServerSimulator:
 
             def complete(loop2: EventLoop) -> None:
                 state["busy"] = False
-                state["processed"] += 1
-                state["latency_sum"] += service
-                state["accuracy_sum"] += float(
-                    rng.random() < entry_.accuracy)
+                if plan is not None and plan.inference_fails(loop2.now):
+                    # Transient accelerator error: the service time is
+                    # burned; retry at the head of the queue until the
+                    # budget runs out, then count the request as failed.
+                    if attempts < spec.inference_retries:
+                        state["retries"] += 1
+                        queue.appendleft((arrival_t, attempts + 1))
+                    else:
+                        state["failed"] += 1
+                else:
+                    state["processed"] += 1
+                    state["latency_sum"] += service
+                    state["accuracy_sum"] += float(
+                        rng.random() < entry_.accuracy)
                 try_start_service(loop2)
 
             loop_.schedule(service, complete)
 
         def on_arrival(loop_: EventLoop) -> None:
+            if plan is not None and plan.drop_request(loop_.now):
+                # Network loss upstream of the server: the monitor never
+                # sees the request either.
+                state["dropped"] += 1
+                return
             monitor.record_arrival(loop_.now)
             if len(queue) >= cfg.queue_capacity:
                 state["lost"] += 1
                 return
-            queue.append(loop_.now)
+            queue.append((loop_.now, 0))
             try_start_service(loop_)
+
+        def degrade_in_place(current: LibraryEntry) -> LibraryEntry:
+            """Fallback after exhausted reconfiguration retries: the best
+            entry the policy can reach without a bitstream swap."""
+            pick = getattr(self.policy, "select_without_reconfig", None)
+            if pick is None:
+                return current
+            return pick(current) or current
+
+        def attempt_reconfig(selected: LibraryEntry, attempt: int,
+                             loop_: EventLoop) -> None:
+            now = loop_.now
+            fails, duration = plan.reconfig_outcome(now,
+                                                    cfg.reconfig_time_s)
+            success, dead = controller.attempt_switch(
+                selected.accelerator, now_s=now, duration_s=duration,
+                fails=fails)
+            state["reconfig_until"] = max(state["reconfig_until"],
+                                          now + dead)
+            if success:
+                state["reconfig_inflight"] = False
+                state["entry"] = selected
+                loop_.schedule(dead, try_start_service)
+                return
+            state["reconfig_failures"] += 1
+            state["fault_dead_time_s"] += dead
+            if attempt < spec.reconfig_retries:
+                # Retry with exponential backoff; the old accelerator
+                # keeps serving between attempts.
+                state["reconfig_inflight"] = True
+                state["reconfig_retries"] += 1
+                backoff = spec.retry_backoff_s * (2 ** attempt)
+                loop_.schedule(
+                    dead + backoff,
+                    lambda l: attempt_reconfig(selected, attempt + 1, l))
+            else:
+                state["reconfig_inflight"] = False
+                state["entry"] = degrade_in_place(state["entry"])
+            loop_.schedule(dead, try_start_service)
 
         def on_decision(loop_: EventLoop) -> None:
             now = loop_.now
@@ -140,22 +230,30 @@ class EdgeServerSimulator:
             integrate_power(now, ips)
             selected = self.policy.select(ips, current=state["entry"])
             if controller.needs_switch(selected.accelerator):
-                dead = controller.switch(selected.accelerator, now_s=now)
-                state["reconfig_until"] = now + dead
-                state["entry"] = selected
-                loop_.schedule(dead, try_start_service)
+                if plan is None:
+                    dead = controller.switch(selected.accelerator,
+                                             now_s=now)
+                    state["reconfig_until"] = now + dead
+                    state["entry"] = selected
+                    loop_.schedule(dead, try_start_service)
+                elif not state["reconfig_inflight"]:
+                    attempt_reconfig(selected, 0, loop_)
             else:
                 state["entry"] = selected
             monitor.acknowledge(now)
             if cfg.record_trace:
+                # The *deployed* operating point: under fault injection
+                # a failed reconfiguration can leave it behind the
+                # policy's selection.
+                deployed = state["entry"]
                 trace["t"].append(now)
                 trace["workload_ips"].append(ips)
                 trace["pruning_rate"].append(
-                    selected.accelerator.pruning_rate)
+                    deployed.accelerator.pruning_rate)
                 trace["confidence_threshold"].append(
-                    selected.confidence_threshold)
-                trace["accuracy"].append(selected.accuracy)
-                trace["serving_ips"].append(selected.serving_ips)
+                    deployed.confidence_threshold)
+                trace["accuracy"].append(deployed.accuracy)
+                trace["serving_ips"].append(deployed.serving_ips)
             if now + cfg.decision_interval_s < self.workload.duration_s:
                 loop_.schedule(cfg.decision_interval_s, on_decision)
 
@@ -170,6 +268,7 @@ class EdgeServerSimulator:
                         monitor.sampled_ips(self.workload.duration_s))
 
         processed = state["processed"]
+        post = controller.events[initial_events:]
         return RunMetrics(
             policy=getattr(self.policy, "name", type(self.policy).__name__),
             duration_s=self.workload.duration_s,
@@ -179,9 +278,15 @@ class EdgeServerSimulator:
             accuracy=state["accuracy_sum"] / processed if processed else 0.0,
             avg_latency_s=state["latency_sum"] / processed if processed else 0.0,
             energy_j=state["energy_j"],
-            reconfigurations=controller.count - initial_events,
+            reconfigurations=sum(1 for e in post if e.success),
             reconfig_dead_time_s=sum(
-                e.duration_s for e in controller.events[initial_events:]),
+                e.duration_s for e in post if e.success),
+            dropped=state["dropped"],
+            failed=state["failed"],
+            retries=state["retries"],
+            reconfig_failures=state["reconfig_failures"],
+            reconfig_retries=state["reconfig_retries"],
+            fault_dead_time_s=state["fault_dead_time_s"],
             trace=trace if cfg.record_trace else {},
         )
 
@@ -193,15 +298,16 @@ class EdgeServerSimulator:
 _SIM_CONTEXT: tuple | None = None
 
 
-def _sim_worker_init(policy, workload, config) -> None:
+def _sim_worker_init(policy, workload, config, faults, fault_seed) -> None:
     global _SIM_CONTEXT
-    _SIM_CONTEXT = (policy, workload, config)
+    _SIM_CONTEXT = (policy, workload, config, faults, fault_seed)
 
 
 def _sim_task(seed: int) -> RunMetrics:
-    policy, workload, config = _SIM_CONTEXT
+    policy, workload, config, faults, fault_seed = _SIM_CONTEXT
     return EdgeServerSimulator(policy, workload=workload, config=config,
-                               seed=seed).run()
+                               seed=seed, faults=faults,
+                               fault_seed=fault_seed).run()
 
 
 def simulate_policy(policy, runs: int = 100,
@@ -209,6 +315,8 @@ def simulate_policy(policy, runs: int = 100,
                     config: ServerConfig | None = None,
                     base_seed: int = 0,
                     parallel: bool | int = False,
+                    faults: FaultSpec | None = None,
+                    fault_seed: int = 0,
                     progress=None):
     """Run a policy over ``runs`` workload realizations; returns
     ``(aggregate, run_list)``.
@@ -219,6 +327,10 @@ def simulate_policy(policy, runs: int = 100,
     are collected in run order, so the aggregate (and every per-run
     metric) is bit-identical to a serial execution. Falls back to serial
     when the platform lacks ``fork`` or the policy isn't picklable.
+
+    ``faults``/``fault_seed`` overlay a deterministic fault campaign
+    (:mod:`repro.runtime.faults`) on every run; campaigns with the same
+    spec and seeds are byte-identical, serial or parallel.
     """
     if runs < 1:
         raise ValueError("runs must be >= 1")
@@ -235,7 +347,7 @@ def simulate_policy(policy, runs: int = 100,
                 _sim_task, seeds, workers=workers, progress=progress,
                 label=lambda seed: f"run seed={seed}",
                 initializer=_sim_worker_init,
-                initargs=(policy, workload, config))
+                initargs=(policy, workload, config, faults, fault_seed))
             return aggregate_runs(results), results
         except (TypeError, AttributeError, ImportError):
             pass  # unpicklable policy (e.g. a local class): run serially
@@ -243,7 +355,8 @@ def simulate_policy(policy, runs: int = 100,
     results = []
     for r, seed in enumerate(seeds):
         sim = EdgeServerSimulator(policy, workload=workload, config=config,
-                                  seed=seed)
+                                  seed=seed, faults=faults,
+                                  fault_seed=fault_seed)
         results.append(sim.run())
         if progress is not None:
             progress(f"run seed={seed} done ({r + 1}/{runs})")

@@ -3,6 +3,7 @@ reconfiguration machinery."""
 
 from .baselines import AdaPEx, CTOnly, FINNStatic, PROnly, make_policy
 from .extra_policies import OraclePolicy, RandomPolicy
+from .faults import FAULT_PRESETS, FaultPlan, FaultSpec
 from .library import AcceleratorId, Library, LibraryEntry
 from .manager import RuntimeManager, SelectionPolicy
 from .monitor import WorkloadMonitor
@@ -11,6 +12,7 @@ from .reconfig import ReconfigEvent, ReconfigurationController
 __all__ = [
     "AdaPEx", "CTOnly", "FINNStatic", "PROnly", "make_policy",
     "OraclePolicy", "RandomPolicy",
+    "FAULT_PRESETS", "FaultPlan", "FaultSpec",
     "AcceleratorId", "Library", "LibraryEntry",
     "RuntimeManager", "SelectionPolicy",
     "WorkloadMonitor",

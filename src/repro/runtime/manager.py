@@ -82,6 +82,25 @@ class RuntimeManager:
             -e.energy_per_inference_j,
         ))
 
+    def select_without_reconfig(self, current: LibraryEntry | None):
+        """Best entry reachable without swapping the loaded bitstream.
+
+        Graceful degradation after repeated reconfiguration failures:
+        only the confidence threshold can still move (a free host-side
+        change), so pick the highest-accuracy entry on ``current``'s
+        accelerator that honours the accuracy floor — or the most
+        accurate one at all if none does. Returns ``None`` when there is
+        no deployed accelerator to stay on.
+        """
+        if current is None:
+            return None
+        pool = [e for e in self.library
+                if e.accelerator == current.accelerator]
+        if not pool:
+            return None
+        acc_ok = [e for e in pool if e.accuracy >= self.min_accuracy]
+        return max(acc_ok or pool, key=lambda e: e.accuracy)
+
     @staticmethod
     def _stability_bonus(entry: LibraryEntry,
                          current: LibraryEntry | None) -> int:

@@ -5,6 +5,11 @@ reconfiguration dead time whenever the runtime manager switches pruning
 rates. The paper measured 4 reconfigurations totalling 580 ms on the
 ZCU104 (~145 ms each); while a swap is in progress the accelerator
 serves nothing.
+
+Under fault injection (:mod:`repro.runtime.faults`) an attempt may fail:
+the dead time is burned but the previously loaded bitstream stays
+active. Failed attempts are recorded as events with ``success=False`` so
+degraded-mode accounting can separate useful swaps from wasted ones.
 """
 
 from __future__ import annotations
@@ -19,12 +24,13 @@ __all__ = ["ReconfigurationController", "ReconfigEvent"]
 
 @dataclass(frozen=True)
 class ReconfigEvent:
-    """One bitstream swap."""
+    """One bitstream swap attempt."""
 
     time_s: float
     from_accelerator: AcceleratorId | None
     to_accelerator: AcceleratorId
     duration_s: float
+    success: bool = True
 
 
 @dataclass
@@ -38,28 +44,60 @@ class ReconfigurationController:
     def needs_switch(self, target: AcceleratorId) -> bool:
         return self.current != target
 
+    def attempt_switch(self, target: AcceleratorId, now_s: float = 0.0,
+                       duration_s: float | None = None,
+                       fails: bool = False) -> tuple[bool, float]:
+        """Attempt to load ``target``; returns ``(success, dead_time_s)``.
+
+        ``duration_s`` overrides the nominal swap time (latency jitter);
+        ``fails`` marks the attempt as a failure — the dead time is still
+        charged (the board was busy with the aborted transfer) but the
+        loaded bitstream does not change. A no-op attempt (``target``
+        already loaded) succeeds instantly and records nothing.
+        """
+        if not self.needs_switch(target):
+            return True, 0.0
+        dead = self.reconfig_time_s if duration_s is None else duration_s
+        if dead < 0:
+            raise ValueError("reconfiguration duration must be >= 0")
+        self.events.append(ReconfigEvent(now_s, self.current, target,
+                                         dead, success=not fails))
+        if not fails:
+            self.current = target
+        return not fails, dead
+
     def switch(self, target: AcceleratorId, now_s: float = 0.0) -> float:
         """Load ``target``; returns the dead time incurred (0 if loaded).
 
         The first load at deployment is also charged (the board must be
         configured once before serving).
         """
-        if not self.needs_switch(target):
-            return 0.0
-        self.events.append(ReconfigEvent(now_s, self.current, target,
-                                         self.reconfig_time_s))
-        self.current = target
-        return self.reconfig_time_s
+        _, dead = self.attempt_switch(target, now_s=now_s)
+        return dead
 
     @property
     def count(self) -> int:
-        """Number of swaps performed (including the initial load)."""
+        """Number of swap attempts (including the initial load)."""
         return len(self.events)
 
     @property
+    def failed_count(self) -> int:
+        return sum(1 for e in self.events if not e.success)
+
+    @property
     def total_dead_time_s(self) -> float:
+        """Dead time over all attempts, successful or not."""
         return sum(e.duration_s for e in self.events)
 
+    @property
+    def failed_dead_time_s(self) -> float:
+        """Dead time wasted on failed attempts."""
+        return sum(e.duration_s for e in self.events if not e.success)
+
     def runtime_swaps(self) -> list:
-        """Swaps excluding the initial deployment load."""
-        return [e for e in self.events if e.from_accelerator is not None]
+        """Successful swaps excluding the initial deployment load."""
+        return [e for e in self.events
+                if e.from_accelerator is not None and e.success]
+
+    def failed_attempts(self) -> list:
+        return [e for e in self.events if not e.success]

@@ -1,0 +1,222 @@
+"""Chaos campaigns as regression tests.
+
+The fault-injection framework doubles as correctness tooling: these
+campaigns assert the serving stack survives reconfiguration failures,
+transient inference errors, drops, and spikes without crashing, keeps
+its accounting consistent, stays byte-reproducible per fault seed
+(serial and parallel), and converges back to the optimal operating
+point once faults clear.
+"""
+
+import pytest
+
+from repro.edge import EdgeServerSimulator, ServerConfig, WorkloadSpec, simulate_policy
+from repro.runtime import FaultSpec, Library, RuntimeManager, SelectionPolicy
+from tests.conftest import make_entry
+
+
+def chaos_workload(ips=230.0, duration=10.0):
+    """Oscillates across the 220-IPS capacity of the unpruned
+    accelerator, so the policy must swap bitstreams at runtime."""
+    return WorkloadSpec(num_cameras=4, ips_per_camera=ips / 4,
+                        duration_s=duration, deviation=0.3,
+                        deviation_interval_s=2.0)
+
+
+def adaptive_library():
+    """Two accelerators; on each, at least one entry above a 0.70 floor."""
+    lib = Library()
+    lib.add(make_entry(rate=0.0, ct=0.9, acc=0.90, ips=101.0,
+                       exit_lats=(1 / 101,) * 3, rates=(0, 0, 1.0)))
+    lib.add(make_entry(rate=0.0, ct=0.1, acc=0.84, ips=220.0,
+                       exit_lats=(1 / 220,) * 3, rates=(0.9, 0.05, 0.05)))
+    lib.add(make_entry(rate=0.8, ct=0.9, acc=0.80, ips=250.0,
+                       exit_lats=(1 / 250,) * 3, rates=(0.1, 0.1, 0.8)))
+    lib.add(make_entry(rate=0.8, ct=0.1, acc=0.72, ips=400.0,
+                       exit_lats=(1 / 400,) * 3, rates=(1.0, 0, 0)))
+    return lib
+
+
+def manager(lib=None, threshold=0.20):
+    return RuntimeManager(lib or adaptive_library(),
+                          SelectionPolicy(accuracy_loss_threshold=threshold))
+
+
+CHAOS = FaultSpec(reconfig_failure_prob=0.5, reconfig_jitter=0.4,
+                  inference_error_prob=0.05, drop_prob=0.05,
+                  spike_prob=0.3, spike_factor=3.0)
+
+
+class TestDeterminism:
+    def test_identical_campaigns_byte_identical(self):
+        """Same --fault-seed => identical metrics, field by field."""
+        w = chaos_workload()
+        runs = []
+        for _ in range(2):
+            agg, rs = simulate_policy(manager(), runs=3, workload=w,
+                                      faults=CHAOS, fault_seed=42)
+            runs.append((agg, rs))
+        assert runs[0][0] == runs[1][0]
+        assert runs[0][1] == runs[1][1]  # RunMetrics equality incl. trace
+
+    def test_serial_parallel_identical_under_faults(self):
+        w = chaos_workload()
+        agg_s, runs_s = simulate_policy(manager(), runs=4, workload=w,
+                                        faults=CHAOS, fault_seed=7)
+        agg_p, runs_p = simulate_policy(manager(), runs=4, workload=w,
+                                        faults=CHAOS, fault_seed=7,
+                                        parallel=2)
+        assert agg_s == agg_p
+        assert runs_s == runs_p
+
+    def test_fault_seed_changes_campaign(self):
+        w = chaos_workload()
+        a = EdgeServerSimulator(manager(), workload=w, seed=0,
+                                faults=CHAOS, fault_seed=1).run()
+        b = EdgeServerSimulator(manager(), workload=w, seed=0,
+                                faults=CHAOS, fault_seed=2).run()
+        assert a != b
+
+    def test_no_faults_identical_to_fault_free_path(self):
+        """faults=None and an all-zero spec produce the same serving
+        outcome (the zero spec draws no randomness)."""
+        w = chaos_workload()
+        base = EdgeServerSimulator(manager(), workload=w, seed=3).run()
+        zero = EdgeServerSimulator(manager(), workload=w, seed=3,
+                                   faults=FaultSpec(),
+                                   fault_seed=99).run()
+        assert base == zero
+
+
+class TestChaosSurvival:
+    def test_survives_50pct_reconfig_failures(self):
+        """>= 30% reconfiguration failures: the run completes, serves
+        requests, and ends within the user accuracy threshold."""
+        mgr = manager()
+        result = EdgeServerSimulator(
+            mgr, workload=chaos_workload(duration=12.0), seed=5,
+            faults=CHAOS, fault_seed=11).run()
+        assert result.processed > 0
+        assert result.reconfig_failures + result.reconfigurations > 0
+        # Every deployed operating point honours the accuracy floor
+        # (the library offers a floor-honouring entry per accelerator).
+        assert all(a >= mgr.min_accuracy
+                   for a in result.trace["accuracy"])
+        # Final operating point is within the user threshold.
+        assert result.trace["accuracy"][-1] >= mgr.min_accuracy
+
+    def test_survives_every_reconfig_failing(self):
+        """Even prob=1.0 (no swap ever lands) must not crash or stall."""
+        mgr = manager()
+        spec = FaultSpec(reconfig_failure_prob=1.0, reconfig_retries=1)
+        result = EdgeServerSimulator(
+            mgr, workload=chaos_workload(), seed=1,
+            faults=spec, fault_seed=3).run()
+        assert result.processed > 0
+        assert result.reconfigurations == 0 or result.processed > 0
+        assert result.fault_dead_time_s > 0
+
+    def test_accounting_consistent_under_chaos(self):
+        result = EdgeServerSimulator(
+            manager(), workload=chaos_workload(), seed=2,
+            faults=CHAOS, fault_seed=8).run()
+        assert result.processed + result.lost + result.dropped \
+            + result.failed <= result.total_requests
+        assert result.unserved == result.lost + result.dropped \
+            + result.failed
+        assert 0.0 <= result.inference_loss <= 1.0
+        assert result.fault_dead_time_s >= 0.0
+        # Successful-swap dead time excludes failed-attempt dead time.
+        assert result.reconfig_dead_time_s >= 0.0
+
+    def test_converges_after_faults_clear(self):
+        """Once the fault window closes, the server returns to the same
+        operating point a fault-free run ends on."""
+        w = chaos_workload(duration=16.0)
+        windowed = FaultSpec(reconfig_failure_prob=0.8,
+                             reconfig_jitter=0.4, drop_prob=0.05,
+                             spike_prob=0.5, active_until_s=8.0)
+        mgr_f = manager()
+        mgr_c = manager()
+        faulty = EdgeServerSimulator(mgr_f, workload=w, seed=4,
+                                     faults=windowed,
+                                     fault_seed=21).run()
+        clean = EdgeServerSimulator(mgr_c, workload=w, seed=4).run()
+        assert faulty.trace["pruning_rate"][-1] == \
+            clean.trace["pruning_rate"][-1]
+        assert faulty.trace["confidence_threshold"][-1] == \
+            clean.trace["confidence_threshold"][-1]
+
+    def test_retry_recovers_before_degrading(self):
+        """With a generous retry budget the swap eventually lands even
+        at a high per-attempt failure probability."""
+        spec = FaultSpec(reconfig_failure_prob=0.6, reconfig_retries=8,
+                         retry_backoff_s=0.01)
+        result = EdgeServerSimulator(
+            manager(), workload=chaos_workload(duration=12.0), seed=6,
+            faults=spec, fault_seed=13).run()
+        if result.reconfig_failures:
+            assert result.reconfig_retries > 0
+        # The manager must still have adapted to the load at some point.
+        assert result.processed > 0
+
+    def test_spikes_increase_offered_load(self):
+        w = chaos_workload()
+        spec = FaultSpec(spike_prob=1.0, spike_factor=3.0)
+        spiked = EdgeServerSimulator(manager(), workload=w, seed=7,
+                                     faults=spec, fault_seed=1).run()
+        base = EdgeServerSimulator(manager(), workload=w, seed=7).run()
+        assert spiked.total_requests > 1.5 * base.total_requests
+
+    def test_drops_never_reach_queue(self):
+        lib = adaptive_library()
+        policy = manager(lib)
+        spec = FaultSpec(drop_prob=1.0)
+        result = EdgeServerSimulator(
+            policy, workload=chaos_workload(), seed=8,
+            faults=spec, fault_seed=2,
+            config=ServerConfig(queue_capacity=4)).run()
+        assert result.dropped == result.total_requests
+        assert result.processed == 0 and result.lost == 0
+        assert result.inference_loss == 1.0
+
+    def test_inference_errors_failed_vs_retried(self):
+        spec = FaultSpec(inference_error_prob=0.3, inference_retries=0)
+        no_retry = EdgeServerSimulator(
+            manager(), workload=chaos_workload(), seed=9,
+            faults=spec, fault_seed=5).run()
+        assert no_retry.failed > 0
+        assert no_retry.retries == 0
+        spec2 = FaultSpec(inference_error_prob=0.3, inference_retries=3)
+        with_retry = EdgeServerSimulator(
+            manager(), workload=chaos_workload(), seed=9,
+            faults=spec2, fault_seed=5).run()
+        assert with_retry.retries > 0
+        assert with_retry.failed < no_retry.failed
+
+
+class TestCLIFaults:
+    def test_evaluate_with_faults(self, tmp_path, capsys):
+        from repro.cli import main
+
+        lib = adaptive_library()
+        path = tmp_path / "lib.json"
+        lib.save(path)
+        assert main(["evaluate", "--library", str(path),
+                     "--policies", "adapex", "--runs", "2",
+                     "--faults", "heavy,drop_prob=0.05",
+                     "--fault-seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "under faults" in out
+        assert "dropped" in out and "reconf_fail" in out
+
+    def test_evaluate_bad_faults_rejected(self, tmp_path):
+        from repro.cli import main
+
+        lib = adaptive_library()
+        path = tmp_path / "lib.json"
+        lib.save(path)
+        with pytest.raises(ValueError):
+            main(["evaluate", "--library", str(path),
+                  "--policies", "adapex", "--runs", "1",
+                  "--faults", "bogus"])

@@ -48,6 +48,71 @@ class TestRunMetrics:
                        reconfigurations=0, reconfig_dead_time_s=0.0)
 
 
+class TestDroppedVsCompletedSemantics:
+    """Pin the accounting contract: dropped and failed requests are
+    never folded into throughput — they count as unserved alongside
+    queue losses, while ``processed`` covers successful completions
+    only."""
+
+    def _run(self, processed=700, lost=100, dropped=150, failed=50):
+        return RunMetrics(
+            policy="X", duration_s=25.0,
+            total_requests=processed + lost + dropped + failed,
+            processed=processed, lost=lost, accuracy=0.8,
+            avg_latency_s=0.004, energy_j=25.0, reconfigurations=1,
+            reconfig_dead_time_s=0.145, dropped=dropped, failed=failed,
+            retries=30, reconfig_failures=2, reconfig_retries=2,
+            fault_dead_time_s=0.3)
+
+    def test_unserved_is_lost_plus_dropped_plus_failed(self):
+        r = self._run()
+        assert r.unserved == 100 + 150 + 50
+
+    def test_inference_loss_counts_every_unserved_request(self):
+        r = self._run()
+        assert r.inference_loss == pytest.approx(300 / 1000)
+
+    def test_processed_fraction_counts_completions_only(self):
+        r = self._run()
+        assert r.processed_fraction == pytest.approx(700 / 1000)
+        # QoE degrades with drops even at constant accuracy.
+        assert r.qoe == pytest.approx(0.8 * 0.7)
+
+    def test_defaults_preserve_fault_free_semantics(self):
+        r = run()  # module-level factory: no fault counters
+        assert r.dropped == 0 and r.failed == 0 and r.retries == 0
+        assert r.unserved == r.lost
+        assert r.inference_loss == pytest.approx(0.1)
+
+    def test_counts_exceeding_total_rejected(self):
+        with pytest.raises(ValueError):
+            RunMetrics(policy="x", duration_s=1.0, total_requests=10,
+                       processed=5, lost=3, accuracy=0.5,
+                       avg_latency_s=0.001, energy_j=1.0,
+                       reconfigurations=0, reconfig_dead_time_s=0.0,
+                       dropped=2, failed=1)
+
+    def test_negative_counters_rejected(self):
+        with pytest.raises(ValueError):
+            RunMetrics(policy="x", duration_s=1.0, total_requests=10,
+                       processed=5, lost=0, accuracy=0.5,
+                       avg_latency_s=0.001, energy_j=1.0,
+                       reconfigurations=0, reconfig_dead_time_s=0.0,
+                       dropped=-1)
+
+    def test_aggregate_fault_means(self):
+        runs = [self._run(dropped=100), self._run(dropped=200)]
+        agg = aggregate_runs(runs)
+        assert agg.dropped_per_run == pytest.approx(150.0)
+        assert agg.failed_per_run == pytest.approx(50.0)
+        assert agg.retries_per_run == pytest.approx(30.0)
+        assert agg.reconfig_failures == pytest.approx(2.0)
+        assert agg.fault_dead_time_s == pytest.approx(0.3)
+        row = agg.fault_row()
+        assert row["dropped"] == pytest.approx(150.0)
+        assert row["fault_dead_ms"] == pytest.approx(300.0)
+
+
 class TestAggregate:
     def test_means(self):
         runs = [run(accuracy=0.8), run(accuracy=0.6)]

@@ -113,3 +113,88 @@ class TestAchievableRates:
         for rate in achievable_rates(48, c):
             remaining = round(48 * (1 - rate))
             assert remaining % 4 == 0 and remaining % 6 == 0
+
+
+FOLDS = st.sampled_from([1, 2, 3, 4, 6, 8, 16])
+
+
+class TestDivisibilityProperties:
+    """Property-based guarantee of the paper's Sec. IV-A2 invariant:
+    whatever rate is requested, the surviving channel count divides both
+    the layer's PE count and the next layer's SIMD width."""
+
+    @given(pe=FOLDS, simd=FOLDS, groups=st.integers(1, 12),
+           rate=st.floats(0.0, 0.999))
+    @settings(max_examples=80, deadline=None)
+    def test_remaining_channels_divide_pe_and_simd(self, pe, simd,
+                                                   groups, rate):
+        ch_out = math.lcm(pe, simd) * groups
+        c = LayerFoldConstraint(pe=pe, simd_next=simd)
+        r = adjust_removal(ch_out, requested_removal(ch_out, rate), c)
+        remaining = ch_out - r
+        assert remaining >= max(pe, simd)  # one full group survives
+        assert remaining % pe == 0
+        assert remaining % simd == 0
+
+    @given(pe=FOLDS, simd=FOLDS, groups=st.integers(1, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_achievable_rates_round_trip(self, pe, simd, groups):
+        """Requesting an achievable rate realizes that rate up to the
+        folding granularity (float flooring in ``requested_removal`` can
+        land one filter short of a group boundary, never more)."""
+        ch_out = math.lcm(pe, simd) * groups
+        group = math.lcm(pe, simd)
+        c = LayerFoldConstraint(pe=pe, simd_next=simd)
+        for rate in achievable_rates(ch_out, c):
+            requested = requested_removal(ch_out, rate)
+            achieved = adjust_removal(ch_out, requested, c)
+            assert abs(achieved - ch_out * rate) < group
+            assert (ch_out - achieved) % group == 0
+
+    @given(pe=FOLDS, simd=FOLDS, groups=st.integers(1, 8),
+           r1=st.floats(0.0, 0.999), r2=st.floats(0.0, 0.999))
+    @settings(max_examples=60, deadline=None)
+    def test_adjustment_monotone_in_request(self, pe, simd, groups,
+                                            r1, r2):
+        ch_out = math.lcm(pe, simd) * groups
+        c = LayerFoldConstraint(pe=pe, simd_next=simd)
+        lo, hi = sorted((r1, r2))
+        a_lo = adjust_removal(ch_out, requested_removal(ch_out, lo), c)
+        a_hi = adjust_removal(ch_out, requested_removal(ch_out, hi), c)
+        assert a_hi >= a_lo
+
+
+class TestModelLevelDivisibility:
+    """Seeded random configurations through the full pruning pass: every
+    pruned CONV layer of a real model keeps its surviving channel count
+    divisible by its PE count and its consumer's SIMD width."""
+
+    @pytest.fixture(scope="class")
+    def folded_model(self):
+        from repro.finn import cnv_reference_fold, fold_constraints
+        from repro.models import CNVConfig, ExitsConfiguration, build_cnv
+
+        model = build_cnv(CNVConfig(width_scale=0.25, seed=0),
+                          ExitsConfiguration.paper_default())
+        cons = fold_constraints(model, cnv_reference_fold(model))
+        return model, cons
+
+    def test_random_rates_respect_fold_constraints(self, folded_model):
+        import numpy as np
+
+        from repro.pruning import prune_model
+
+        model, cons = folded_model
+        rng = np.random.default_rng(2024)
+        for rate in rng.uniform(0.05, 0.85, size=6):
+            for prune_exits in (True, False):
+                _, report = prune_model(model, float(rate),
+                                        constraints=cons,
+                                        prune_exits=prune_exits)
+                assert report.decisions
+                for d in report.decisions:
+                    c = cons.get(d.layer_name, LayerFoldConstraint())
+                    assert d.channels_after % c.pe == 0, d.layer_name
+                    assert d.channels_after % c.simd_next == 0, \
+                        d.layer_name
+                    assert d.achieved_removal <= d.requested_removal

@@ -1,0 +1,118 @@
+"""Golden-trace regression test.
+
+A checked-in fixture pins (a) every field of every entry of the
+quick-profile Library for a fixed seed and (b) the ``simulate_policy``
+aggregates of the AdaPEx policy over that Library for fixed simulation
+and fault-free conditions. Any drift in the design-time flow (training,
+pruning, compilation, characterization) or the serving simulator shows
+up as a field-level diff instead of a silent behavior change.
+
+Regenerate intentionally with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/test_golden_trace.py
+
+and commit the updated ``tests/fixtures/golden_trace.json`` together
+with the change that explains it.
+"""
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.edge import ServerConfig, WorkloadSpec, simulate_policy
+from repro.runtime import make_policy
+
+FIXTURE = Path(__file__).parent / "fixtures" / "golden_trace.json"
+
+#: Simulation conditions pinned by the fixture.
+GOLDEN_RUNS = 3
+GOLDEN_BASE_SEED = 0
+GOLDEN_WORKLOAD = dict(num_cameras=6, ips_per_camera=40.0,
+                       duration_s=10.0, deviation=0.3,
+                       deviation_interval_s=2.0)
+
+
+def _golden_payload(quick_library) -> dict:
+    policy = make_policy("adapex", quick_library)
+    aggregate, runs = simulate_policy(
+        policy, runs=GOLDEN_RUNS,
+        workload=WorkloadSpec(**GOLDEN_WORKLOAD),
+        config=ServerConfig(record_trace=False),
+        base_seed=GOLDEN_BASE_SEED)
+    return {
+        "library": {
+            "metadata": {k: v for k, v in
+                         sorted(quick_library.metadata.items())},
+            "entries": [e.to_dict() for e in quick_library],
+        },
+        "evaluate": {
+            "aggregate": dataclasses.asdict(aggregate),
+            "runs": [
+                {"total_requests": r.total_requests,
+                 "processed": r.processed, "lost": r.lost,
+                 "dropped": r.dropped, "failed": r.failed,
+                 "accuracy": r.accuracy,
+                 "avg_latency_s": r.avg_latency_s,
+                 "energy_j": r.energy_j,
+                 "reconfigurations": r.reconfigurations,
+                 "reconfig_dead_time_s": r.reconfig_dead_time_s}
+                for r in runs
+            ],
+        },
+    }
+
+
+def _assert_matches(actual, expected, path="$"):
+    """Field-by-field comparison: exact for ints/strings/bools, tight
+    relative tolerance for floats (library values travel through JSON)."""
+    if isinstance(expected, dict):
+        assert isinstance(actual, dict), f"{path}: type mismatch"
+        assert set(actual) == set(expected), (
+            f"{path}: keys differ: {set(actual) ^ set(expected)}")
+        for k in expected:
+            _assert_matches(actual[k], expected[k], f"{path}.{k}")
+    elif isinstance(expected, (list, tuple)):
+        actual = list(actual)
+        expected = list(expected)
+        assert len(actual) == len(expected), f"{path}: length differs"
+        for i, (a, e) in enumerate(zip(actual, expected)):
+            _assert_matches(a, e, f"{path}[{i}]")
+    elif isinstance(expected, bool) or expected is None \
+            or isinstance(expected, str):
+        assert actual == expected, f"{path}: {actual!r} != {expected!r}"
+    elif isinstance(expected, (int, float)):
+        assert actual == pytest.approx(expected, rel=1e-6, abs=1e-9), (
+            f"{path}: {actual!r} != {expected!r}")
+    else:  # pragma: no cover - fixture only holds JSON types
+        assert actual == expected, path
+
+
+class TestGoldenTrace:
+    def test_fixture_exists(self):
+        if os.environ.get("REPRO_REGEN_GOLDEN"):
+            pytest.skip("regenerating")
+        assert FIXTURE.exists(), (
+            "golden fixture missing; regenerate with "
+            "REPRO_REGEN_GOLDEN=1")
+
+    def test_library_and_aggregates_match_fixture(self, quick_library):
+        payload = _golden_payload(quick_library)
+        if os.environ.get("REPRO_REGEN_GOLDEN"):
+            FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+            FIXTURE.write_text(json.dumps(payload, indent=1,
+                                          sort_keys=True))
+            pytest.skip("golden fixture regenerated")
+        expected = json.loads(FIXTURE.read_text())
+        _assert_matches(json.loads(json.dumps(payload)), expected)
+
+    def test_golden_conditions_are_fault_free(self):
+        """The fixture pins the fault-free baseline: any future change
+        to default fault behavior must not disturb it."""
+        expected = json.loads(FIXTURE.read_text())
+        for run in expected["evaluate"]["runs"]:
+            assert run["dropped"] == 0
+            assert run["failed"] == 0
