@@ -13,18 +13,101 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from .analysis.experiments import fig4_design_space
 from .analysis.report import format_table, write_csv
 from .core.adapex import AdaPExFramework
+from .core.checkpoint import SweepManifest
 from .core.config import AdaPExConfig
 from .core.instrument import PhaseTimer
+from .core.supervise import SuperviseConfig
 from .edge.server import simulate_policy
 from .runtime.baselines import make_policy
 from .runtime.faults import FaultSpec
 from .runtime.library import Library
 
 __all__ = ["main", "build_parser"]
+
+
+# ----------------------------------------------------------------------
+# argument types — validate up front, fail with an actionable message
+# instead of a traceback minutes into a sweep
+# ----------------------------------------------------------------------
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 1 (got {value})")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (got {value})")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if not value > 0:
+        raise argparse.ArgumentTypeError(
+            f"must be > 0 (got {value})")
+    return value
+
+
+def _rate_sweep(text: str) -> list[float]:
+    rates = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            rate = float(token)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"{token!r} is not a number (expected comma-separated "
+                f"pruning rates, e.g. '0.0,0.4,0.8')")
+        if not 0.0 <= rate < 1.0:
+            raise argparse.ArgumentTypeError(
+                f"pruning rate {rate} is out of range — rates must be "
+                f"in [0, 1) (1.0 would prune the whole layer)")
+        rates.append(rate)
+    if not rates:
+        raise argparse.ArgumentTypeError(
+            "expected at least one pruning rate, e.g. '0.0,0.4,0.8'")
+    return rates
+
+
+def _validate_args(parser: argparse.ArgumentParser, args) -> None:
+    """Cross-argument checks that individual ``type=`` hooks can't see."""
+    if args.command == "generate":
+        if args.resume and not args.point_cache:
+            parser.error("--resume needs --point-cache: the checkpoint "
+                         "manifest lives in the point-cache directory")
+        if args.resume:
+            manifest = Path(args.point_cache) / "manifest.json"
+            if not manifest.exists():
+                parser.error(
+                    f"--resume: no checkpoint manifest at {manifest} — "
+                    f"nothing to resume (run once without --resume first)")
+    elif args.command == "evaluate":
+        if args.faults is not None:
+            try:
+                FaultSpec.parse(args.faults)
+            except ValueError as exc:
+                parser.error(f"argument --faults: {exc}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -45,19 +128,39 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--seed", type=int, default=0)
     gen.add_argument("-o", "--output", required=True,
                      help="output JSON path")
-    gen.add_argument("--workers", type=int, default=1,
+    gen.add_argument("--workers", type=_positive_int, default=1,
                      help="design points characterized in parallel worker "
                           "processes (1 = serial; results are identical "
                           "either way)")
+    gen.add_argument("--rates", type=_rate_sweep, metavar="R,R,...",
+                     help="override the profile's pruning-rate sweep with "
+                          "comma-separated rates in [0, 1), "
+                          "e.g. '0.0,0.4,0.8'")
     gen.add_argument("--point-cache", metavar="DIR",
                      help="per-design-point cache directory; reruns and "
                           "interrupted sweeps only recompute changed points")
+    gen.add_argument("--resume", action="store_true",
+                     help="resume an interrupted sweep from the checkpoint "
+                          "manifest in --point-cache (completed points are "
+                          "not recomputed; quarantined points stay skipped)")
+    gen.add_argument("--point-timeout", type=_positive_float,
+                     metavar="SECONDS",
+                     help="wall-clock budget per design point; points that "
+                          "exceed it are retried and eventually quarantined")
+    gen.add_argument("--point-retries", type=_nonnegative_int, default=2,
+                     metavar="N",
+                     help="retries per design point on transient failures "
+                          "(crash/timeout/divergence) before quarantine")
     gen.add_argument("--timing-json", metavar="PATH",
                      help="write the per-phase timing report (BENCH-style "
                           "JSON) to PATH")
 
     info = sub.add_parser("info", help="summarize a Library file")
     info.add_argument("--library", required=True)
+    info.add_argument("--salvage", action="store_true",
+                      help="load a truncated or corrupt library leniently, "
+                          "keeping the entries that still validate, and "
+                          "print what was dropped")
 
     sel = sub.add_parser("select", help="ask the Runtime Manager for an "
                                         "operating point")
@@ -70,9 +173,10 @@ def build_parser() -> argparse.ArgumentParser:
     ev = sub.add_parser("evaluate", help="simulate the edge scenario")
     ev.add_argument("--library", required=True)
     ev.add_argument("--policies", default="adapex,pr-only,ct-only,finn")
-    ev.add_argument("--runs", type=int, default=10)
+    ev.add_argument("--runs", type=_positive_int, default=10)
     ev.add_argument("--seed", type=int, default=0)
-    ev.add_argument("--parallel", type=int, default=0, metavar="N",
+    ev.add_argument("--parallel", type=_nonnegative_int, default=0,
+                    metavar="N",
                     help="simulate runs on N worker processes (0 = serial; "
                          "aggregates are seed-exact either way)")
     ev.add_argument("--faults", metavar="SPEC",
@@ -106,12 +210,35 @@ def _cmd_generate(args) -> int:
         config = AdaPExConfig.quick(dataset=args.dataset, seed=args.seed)
     else:
         config = AdaPExConfig.paper(dataset=args.dataset, seed=args.seed)
-    config.parallel_workers = max(1, args.workers)
+    config.parallel_workers = args.workers
+    if args.rates:
+        config.pruning_rates = args.rates
+    if args.resume:
+        manifest = SweepManifest.open(
+            Path(args.point_cache) / "manifest.json",
+            config.point_cache_key())
+        if len(manifest) == 0:
+            print("resume: manifest does not match this configuration "
+                  "(or is empty) — running the sweep from scratch")
+        else:
+            print(f"resuming sweep: {manifest.summary()}")
+    supervise = SuperviseConfig(timeout_s=args.point_timeout,
+                                retries=args.point_retries)
     framework = AdaPExFramework(config)
     timer = PhaseTimer()
     library = framework.build_library(progress=print, timer=timer,
-                                      point_cache=args.point_cache)
+                                      point_cache=args.point_cache,
+                                      supervise=supervise)
     library.save(args.output)
+    quarantined = library.metadata.get("quarantined") or []
+    if quarantined:
+        print(f"WARNING: library is partial — {len(quarantined)} design "
+              f"point(s) quarantined:")
+        for gap in quarantined:
+            print(f"  - {gap.get('variant', '?')} "
+                  f"pruned_exits={gap.get('pruned_exits', '?')} "
+                  f"rate={gap.get('rate', '?')}: "
+                  f"{gap.get('kind', '?')}: {gap.get('message', '')}")
     print(f"saved {len(library)} entries to {args.output}")
     print(timer.summary())
     if args.timing_json:
@@ -123,7 +250,18 @@ def _cmd_generate(args) -> int:
 
 
 def _cmd_info(args) -> int:
-    library = _load_library(args.library)
+    if args.salvage:
+        library = Library.load(args.library, strict=False)
+        report = library.load_report
+        if report is not None:
+            print(f"salvage: {report.summary()}")
+            for index, reason in report.dropped:
+                print(f"  dropped entry {index}: {reason}")
+        if len(library) == 0:
+            raise SystemExit(
+                f"library {args.library!r} has no salvageable entries")
+    else:
+        library = _load_library(args.library)
     print(f"library: {args.library}")
     for key, value in sorted(library.metadata.items()):
         print(f"  {key}: {value}")
@@ -213,7 +351,9 @@ _COMMANDS = {
 
 
 def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    _validate_args(parser, args)
     return _COMMANDS[args.command](args)
 
 

@@ -39,7 +39,8 @@ class AdaPExFramework:
     def build_library(self, progress=None,
                       cache_dir: str | None = None,
                       point_cache=None,
-                      timer: PhaseTimer | None = None) -> Library:
+                      timer: PhaseTimer | None = None,
+                      supervise=None) -> Library:
         """Generate (or load from cache) the design-time Library.
 
         ``cache_dir`` enables a JSON disk cache keyed by the config
@@ -50,7 +51,9 @@ class AdaPExFramework:
         ``True`` to place it under ``cache_dir/points``) lets interrupted
         or incremental sweeps reuse every already-characterized point.
         ``timer`` (a :class:`~repro.core.instrument.PhaseTimer`) collects
-        per-phase wall time for the run.
+        per-phase wall time for the run. ``supervise`` (a
+        :class:`~repro.core.supervise.SuperviseConfig`) tunes per-point
+        timeouts/retries/quarantine for the sweep.
         """
         if self._library is not None:
             return self._library
@@ -70,8 +73,13 @@ class AdaPExFramework:
         generator = LibraryGenerator(self.config)
         self._library = generator.generate(progress=progress,
                                            point_cache=point_cache,
-                                           timer=timer)
-        if cache_path is not None:
+                                           timer=timer,
+                                           supervise=supervise)
+        # A partial library (quarantined design points) must not poison
+        # the whole-library cache: a later run could otherwise mistake
+        # it for the complete sweep.
+        if cache_path is not None \
+                and "quarantined" not in self._library.metadata:
             self._library.save(cache_path)
         return self._library
 

@@ -51,10 +51,12 @@ from ..nn.serialize import load_state_arrays, state_arrays
 from ..nn.trainer import Trainer, cascade_sweep, evaluate_exits
 from ..pruning.pruner import prune_model
 from ..runtime.library import AcceleratorId, Library, LibraryEntry
+from .checkpoint import SweepManifest
 from .config import AdaPExConfig
 from .instrument import PhaseTimer
-from .parallel import fork_available, parallel_map
+from .parallel import fork_available
 from .pointcache import PointCache
+from .supervise import SuperviseConfig, SupervisedPool
 
 __all__ = ["LibraryGenerator", "accel_label"]
 
@@ -256,7 +258,8 @@ class LibraryGenerator:
         return variants
 
     def generate(self, progress=None, point_cache=None,
-                 timer: PhaseTimer | None = None) -> Library:
+                 timer: PhaseTimer | None = None,
+                 supervise: SuperviseConfig | None = None) -> Library:
         """Run the full design-time flow; returns the populated Library.
 
         Parameters
@@ -267,15 +270,27 @@ class LibraryGenerator:
         point_cache:
             Optional :class:`~repro.core.pointcache.PointCache` (or a
             directory path) of previously characterized design points;
-            hits skip prune/retrain/compile entirely.
+            hits skip prune/retrain/compile entirely. Enables the sweep
+            checkpoint manifest (``manifest.json`` next to the cache):
+            every completed point is persisted the moment it finishes, so
+            a killed sweep resumes with zero recomputation, and
+            quarantined points stay quarantined across resumes.
         timer:
             Optional :class:`PhaseTimer` accumulating per-phase wall time
             (train / prune / retrain / compile / characterize), including
             time spent inside worker processes.
+        supervise:
+            Optional :class:`~repro.core.supervise.SuperviseConfig`
+            controlling per-point timeouts, retries, and backoff. The
+            default retries transient failures and quarantines
+            persistently failing points (recorded in the returned
+            library's ``metadata["quarantined"]``) instead of aborting
+            the sweep.
         """
         cfg = self.config
         log = progress or (lambda msg: None)
         timer = timer or PhaseTimer()
+        supervise = supervise or SuperviseConfig()
         if isinstance(point_cache, (str, os.PathLike)):
             point_cache = PointCache(point_cache)
         library = Library(metadata={
@@ -294,21 +309,43 @@ class LibraryGenerator:
         points = [(key, rate) for key in variants
                   for rate in cfg.pruning_rates]
 
-        results: dict = {}
-        pending = []
+        manifest = None
+        point_keys: dict = {}
         if point_cache is not None:
             config_key = cfg.point_cache_key()
-            for key, rate in points:
-                cached = point_cache.get(
-                    PointCache.point_key(config_key, key[0], key[1], rate))
-                if cached is not None:
-                    results[(key, rate)] = cached
-                    log(f"[{cfg.dataset}] {accel_label(*key)}: pruning "
-                        f"rate {rate:.0%} (cached)")
-                else:
-                    pending.append((key, rate))
-        else:
-            pending = list(points)
+            point_keys = {
+                (key, rate): PointCache.point_key(config_key, key[0],
+                                                  key[1], rate)
+                for key, rate in points}
+            manifest = SweepManifest.open(
+                point_cache.root / "manifest.json", config_key)
+
+        results: dict = {}
+        failures: dict = {}  # point -> FailedPoint (this run or resumed)
+        pending = []
+        for key, rate in points:
+            pkey = point_keys.get((key, rate))
+            if manifest is not None:
+                manifest.ensure(pkey, key[0], key[1], rate)
+            cached = point_cache.get(pkey) if point_cache is not None \
+                else None
+            if cached is not None:
+                results[(key, rate)] = cached
+                if manifest.status(pkey) != "done":
+                    manifest.mark(pkey, "done")
+                log(f"[{cfg.dataset}] {accel_label(*key)}: pruning "
+                    f"rate {rate:.0%} (cached)")
+            elif manifest is not None \
+                    and manifest.status(pkey) == "quarantined":
+                failed = manifest.failure(pkey)
+                failures[(key, rate)] = failed
+                log(f"[{cfg.dataset}] {accel_label(*key)}: pruning "
+                    f"rate {rate:.0%} skipped "
+                    f"(quarantined: {failed.reason()})")
+            else:
+                pending.append((key, rate))
+        if manifest is not None:
+            manifest.save()
 
         # Base models (the expensive training) are only needed for
         # variants that still have uncached points — a fully warm cache
@@ -323,42 +360,70 @@ class LibraryGenerator:
                 contexts[key] = self._variant_context(
                     key[0], variants[key], key[1], scaled_base)
 
+        def point_label(point):
+            (variant, pruned), rate = point
+            return (f"[{cfg.dataset}] {accel_label(variant, pruned)}: "
+                    f"pruning rate {rate:.0%}")
+
+        # Checkpoint every completion immediately: a sweep killed at any
+        # instant loses at most the points that were in flight.
+        def on_point_done(index, point, entries):
+            results[point] = entries
+            if point_cache is not None:
+                point_cache.put(point_keys[point], entries)
+                manifest.mark(point_keys[point], "done")
+                manifest.save()
+
+        def on_point_failed(index, point, failed):
+            failures[point] = failed
+            if manifest is not None:
+                # Permanent failures stay quarantined across resumes;
+                # exhausted transient/timeout/crash budgets are retried
+                # by the next resume.
+                status = "quarantined" if failed.kind == "permanent" \
+                    else "failed"
+                manifest.mark(point_keys[point], status, failed)
+                manifest.save()
+
         workers = min(cfg.parallel_workers, len(pending))
         if workers > 1 and fork_available():
             base_states = {topo: state_arrays(model)
                            for topo, model in self._base_cache.items()}
-
-            def point_label(point):
-                (variant, pruned), rate = point
-                return (f"[{cfg.dataset}] {accel_label(variant, pruned)}: "
-                        f"pruning rate {rate:.0%}")
-
-            outs = parallel_map(
-                _characterize_task, pending, workers=workers,
-                progress=log, label=point_label,
-                initializer=_parallel_worker_init,
+            pool = SupervisedPool(
+                workers=workers, config=supervise, progress=log,
+                label=point_label, initializer=_parallel_worker_init,
                 initargs=(cfg, base_states))
-            for point, (entries, worker_timings) in zip(pending, outs):
-                timer.merge(worker_timings)
-                results[point] = entries
+            pool.run(
+                _characterize_task, pending,
+                on_result=lambda i, point, out: (
+                    timer.merge(out[1]),
+                    on_point_done(i, point, out[0])),
+                on_failure=on_point_failed)
         else:
-            for key, rate in pending:
-                log(f"[{cfg.dataset}] {contexts[key].label}: "
-                    f"pruning rate {rate:.0%}")
-                results[(key, rate)] = self._characterize(
-                    contexts[key], rate, timer=timer)
+            pool = SupervisedPool(workers=1, config=supervise,
+                                  progress=log, label=point_label)
 
-        if point_cache is not None:
-            config_key = cfg.point_cache_key()
-            for key, rate in pending:
-                point_cache.put(
-                    PointCache.point_key(config_key, key[0], key[1], rate),
-                    results[(key, rate)])
+            def characterize_point(point):
+                key, rate = point
+                return self._characterize(contexts[key], rate, timer=timer)
+
+            pool.run(characterize_point, pending,
+                     on_result=on_point_done,
+                     on_failure=on_point_failed)
 
         for point in points:
-            for entry in results[point]:
+            for entry in results.get(point, ()):
                 library.add(entry)
-        log(f"[{cfg.dataset}] library complete: {len(library)} entries")
+        if failures:
+            library.metadata["quarantined"] = [
+                {"variant": key[0], "pruned_exits": key[1], "rate": rate,
+                 **failures[(key, rate)].to_dict()}
+                for key, rate in points if (key, rate) in failures]
+            log(f"[{cfg.dataset}] library partial: {len(library)} entries,"
+                f" {len(failures)} design point(s) quarantined")
+        else:
+            log(f"[{cfg.dataset}] library complete: {len(library)} "
+                f"entries")
         return library
 
 
@@ -388,8 +453,13 @@ def _parallel_worker_init(config: AdaPExConfig, base_states: dict) -> None:
                 load_state_arrays(model, arrays)
                 gen._base_cache[topo] = model
                 break
+    # Only variants whose trained base was shipped get a context: on a
+    # partial resume the parent trains (and ships) just the variants
+    # with pending points, and workers must not retrain the others.
     contexts = {}
     for variant, exits_cfg, pruned_exits in gen._variants():
+        if gen._topology_key(exits_cfg) not in gen._base_cache:
+            continue
         scaled_base = gen.train_base_model(exits_cfg)  # cache hit, no fit
         contexts[(variant, pruned_exits)] = gen._variant_context(
             variant, exits_cfg, pruned_exits, scaled_base)

@@ -1,0 +1,75 @@
+"""Typed error taxonomy for the design-time pipeline.
+
+Supervision (:mod:`repro.core.supervise`) needs to tell *retryable*
+failures apart from *fatal* ones: a worker that was OOM-killed or a
+training run that diverged may succeed on a clean retry, while an
+infeasible pruning rate or an accelerator that exceeds the device will
+fail identically every time. Library/point-cache corruption is its own
+category — no retry fixes bad bytes on disk.
+
+The taxonomy deliberately lives in a dependency-free module so every
+layer (``pruning``, ``finn``, ``nn``, ``runtime``) can raise through it
+without import cycles. Domain errors keep their historical base classes
+(e.g. ``CompileError`` is still a ``ValueError``) so existing ``except``
+clauses continue to work.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ReproError", "TransientError", "PermanentError",
+           "IntegrityError", "TrainingDivergedError", "WorkerCrashError",
+           "WorkTimeoutError", "classify_error"]
+
+
+class ReproError(Exception):
+    """Base class of every typed error the pipeline raises."""
+
+
+class TransientError(ReproError):
+    """A failure that may disappear on retry (flaky environment, diverged
+    stochastic training, a killed worker). Supervision retries these with
+    capped backoff before quarantining the work unit."""
+
+
+class PermanentError(ReproError):
+    """A deterministic failure: the same inputs will fail the same way
+    (infeasible constraints, unmappable ops, device overflow).
+    Supervision quarantines the work unit without burning retries."""
+
+
+class IntegrityError(PermanentError, ValueError):
+    """Persisted state (library file, cache entry, manifest) is corrupt,
+    truncated, or fails validation. Also a ``ValueError`` so pre-taxonomy
+    callers catching ``ValueError`` keep working."""
+
+
+class TrainingDivergedError(TransientError):
+    """Training produced a non-finite loss. Deterministic for a fixed
+    seed, but transient in the general case (data order, initialization),
+    so supervision is allowed to retry it."""
+
+
+class WorkerCrashError(TransientError):
+    """A pool worker died (segfault, OOM kill, ``os._exit``) while work
+    was in flight. Raised by supervision on the affected work unit."""
+
+
+class WorkTimeoutError(TransientError):
+    """A work unit exceeded its wall-clock budget and its worker was
+    terminated."""
+
+
+def classify_error(exc: BaseException) -> str:
+    """Map an exception to ``"transient"``, ``"permanent"``, or
+    ``"unknown"``.
+
+    Unknown errors are retried like transient ones (a genuine bug will
+    exhaust its retry budget and quarantine anyway), but the distinction
+    is preserved in the :class:`~repro.core.supervise.FailedPoint`
+    record so quarantine reasons stay diagnosable.
+    """
+    if isinstance(exc, TransientError):
+        return "transient"
+    if isinstance(exc, PermanentError):
+        return "permanent"
+    return "unknown"

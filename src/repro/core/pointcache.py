@@ -19,12 +19,15 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 from pathlib import Path
 
 from ..runtime.library import LibraryEntry
 
 __all__ = ["PointCache"]
+
+log = logging.getLogger(__name__)
 
 # Bump if the on-disk point format itself changes shape.
 _POINT_FORMAT = 1
@@ -57,13 +60,26 @@ class PointCache:
     # access
     # ------------------------------------------------------------------
     def get(self, key: str):
-        """Entries for ``key``, or ``None`` on a miss (or corrupt file)."""
+        """Entries for ``key``, or ``None`` on a miss.
+
+        A file that exists but no longer parses or validates is also a
+        miss (the point is simply recomputed), but — unlike a clean miss
+        — it is loudly logged with the cache key so silent corruption
+        does not masquerade as a cold cache. ``purge_corrupt()`` removes
+        such files wholesale.
+        """
         path = self.path_for(key)
         try:
             with open(path) as f:
                 raw = json.load(f)
             entries = [LibraryEntry.from_dict(d) for d in raw["entries"]]
-        except (OSError, ValueError, KeyError, TypeError):
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            log.warning("point cache entry %s (%s) is corrupt — "
+                        "%s: %s — treating as a miss", key, path,
+                        type(exc).__name__, exc)
             self.misses += 1
             return None
         self.hits += 1
@@ -92,6 +108,23 @@ class PointCache:
         for path in self.root.glob("point_*.json"):
             path.unlink(missing_ok=True)
             removed += 1
+        return removed
+
+    def purge_corrupt(self) -> int:
+        """Delete every cached point that no longer parses or validates;
+        returns how many files were removed."""
+        removed = 0
+        for path in sorted(self.root.glob("point_*.json")):
+            try:
+                with open(path) as f:
+                    raw = json.load(f)
+                for d in raw["entries"]:
+                    LibraryEntry.from_dict(d)
+            except (OSError, ValueError, KeyError, TypeError) as exc:
+                log.warning("purging corrupt point cache file %s "
+                            "(%s: %s)", path, type(exc).__name__, exc)
+                path.unlink(missing_ok=True)
+                removed += 1
         return removed
 
     def evict(self, keep_latest: int) -> int:

@@ -28,12 +28,18 @@ from .hls import (
     ThresholdUnit,
 )
 from .resources import ResourceEstimate
+from ..core.errors import PermanentError
 
 __all__ = ["DataflowAccelerator", "compile_accelerator", "CompileError"]
 
 
-class CompileError(ValueError):
-    """Raised when a graph cannot be mapped to a dataflow accelerator."""
+class CompileError(PermanentError, ValueError):
+    """Raised when a graph cannot be mapped to a dataflow accelerator.
+
+    A :class:`~repro.core.errors.PermanentError`: the same graph fails
+    the same way on every attempt, so supervision quarantines the design
+    point instead of retrying it.
+    """
 
 
 def _bare_name(node_name: str) -> str:

@@ -11,12 +11,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .resources import ResourceEstimate
+from ..core.errors import PermanentError
 
 __all__ = ["FPGADevice", "ZCU104", "PYNQ_Z1", "UtilizationError"]
 
 
-class UtilizationError(ValueError):
-    """An accelerator exceeds the device's resources."""
+class UtilizationError(PermanentError, ValueError):
+    """An accelerator exceeds the device's resources.
+
+    Permanent by nature — a design point that overflows the part will
+    overflow it on every retry — so supervision quarantines rather than
+    retries it.
+    """
 
 
 @dataclass(frozen=True)

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.errors import TrainingDivergedError
 from .graph import BranchedModel
 from .loss import JointLoss
 
@@ -111,6 +112,10 @@ class Trainer:
                 opt.zero_grad()
                 outputs = self.model.forward(xb)
                 loss, grads, per_exit = self.joint_loss(outputs, yb)
+                if not np.isfinite(loss):
+                    raise TrainingDivergedError(
+                        f"non-finite joint loss ({loss!r}) at epoch "
+                        f"{epoch}, batch {batches} — training diverged")
                 self.model.backward(grads)
                 opt.step()
                 epoch_loss += loss

@@ -6,7 +6,7 @@ from .dataflow import (
     adjust_removal,
     requested_removal,
 )
-from .pruner import PruneDecision, PruneReport, prune_model
+from .pruner import PruneDecision, PruneReport, PruningError, prune_model
 from .ranking import filter_l1_norms, select_keep_filters
 from .schedule import (
     PruneRetrainResult,
@@ -18,7 +18,7 @@ from .schedule import (
 __all__ = [
     "LayerFoldConstraint", "achievable_rates", "adjust_removal",
     "requested_removal",
-    "PruneDecision", "PruneReport", "prune_model",
+    "PruneDecision", "PruneReport", "PruningError", "prune_model",
     "filter_l1_norms", "select_keep_filters",
     "PruneRetrainResult", "paper_rate_sweep", "prune_and_retrain",
     "sweep_prune_retrain",

@@ -22,12 +22,20 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.errors import PermanentError
 from ..nn.graph import BranchedModel, Sequential
 from ..nn.layers import BatchNorm, Conv2D, Flatten, Linear
 from .dataflow import LayerFoldConstraint, adjust_removal, requested_removal
 from .ranking import select_keep_filters
 
-__all__ = ["PruneDecision", "PruneReport", "prune_model"]
+__all__ = ["PruneDecision", "PruneReport", "PruningError", "prune_model"]
+
+
+class PruningError(PermanentError, ValueError):
+    """The model cannot be pruned as requested (structural or folding
+    infeasibility). Deterministic, so supervision quarantines the design
+    point instead of retrying it. Also a ``ValueError`` for pre-taxonomy
+    callers."""
 
 
 @dataclass(frozen=True)
@@ -112,7 +120,7 @@ def _slice_linear_in_channels(linear: Linear, keep: np.ndarray,
     out_f, in_f = linear.params["weight"].shape
     c = in_f // (h * w)
     if c * h * w != in_f:
-        raise ValueError(
+        raise PruningError(
             f"{linear.name}: in_features={in_f} not divisible by "
             f"spatial {h}x{w}"
         )
@@ -171,7 +179,7 @@ def _apply_downstream(seq: Sequential, conv_pos: int, keep: np.ndarray,
         elif isinstance(layer, Flatten):
             lin_pos = _find_next(layers, j + 1, Linear)
             if lin_pos is None:
-                raise ValueError(
+                raise PruningError(
                     f"{seq.name}: Flatten without a following Linear"
                 )
             _, h, w = shapes[j]
@@ -265,7 +273,7 @@ def prune_model(
                     handled = True
                     break
             if not handled:
-                raise ValueError(f"segment {si}: no consumer for pruned channels")
+                raise PruningError(f"segment {si}: no consumer for pruned channels")
             pending = None
 
         escaping = _prune_sequential_convs(seg, shape, rate, constraints, report)
@@ -275,12 +283,12 @@ def prune_model(
         if si in new.exits and escaping is not None:
             first = new.exits[si].layers[0]
             if not isinstance(first, Conv2D):
-                raise ValueError("exit branches must start with a CONV layer")
+                raise PruningError("exit branches must start with a CONV layer")
             _slice_conv_in(first, escaping)
         if si + 1 < len(new.segments):
             pending = escaping
         elif escaping is not None:
-            raise ValueError("final backbone conv has no consumer")
+            raise PruningError("final backbone conv has no consumer")
         shape = seg.output_shape(shape)
 
     # Prune exit conv layers (out channels) if requested.

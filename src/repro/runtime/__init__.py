@@ -4,7 +4,8 @@ reconfiguration machinery."""
 from .baselines import AdaPEx, CTOnly, FINNStatic, PROnly, make_policy
 from .extra_policies import OraclePolicy, RandomPolicy
 from .faults import FAULT_PRESETS, FaultPlan, FaultSpec
-from .library import AcceleratorId, Library, LibraryEntry
+from .library import (AcceleratorId, Library, LibraryEntry, LoadReport,
+                      SCHEMA_VERSION)
 from .manager import RuntimeManager, SelectionPolicy
 from .monitor import WorkloadMonitor
 from .reconfig import ReconfigEvent, ReconfigurationController
@@ -13,7 +14,8 @@ __all__ = [
     "AdaPEx", "CTOnly", "FINNStatic", "PROnly", "make_policy",
     "OraclePolicy", "RandomPolicy",
     "FAULT_PRESETS", "FaultPlan", "FaultSpec",
-    "AcceleratorId", "Library", "LibraryEntry",
+    "AcceleratorId", "Library", "LibraryEntry", "LoadReport",
+    "SCHEMA_VERSION",
     "RuntimeManager", "SelectionPolicy",
     "WorkloadMonitor",
     "ReconfigEvent", "ReconfigurationController",

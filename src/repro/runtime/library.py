@@ -7,14 +7,31 @@ One :class:`LibraryEntry` describes one operating point: a concrete
 accelerator (identified by pruning rate and exit-pruning mode — switching
 accelerators costs an FPGA reconfiguration) at one confidence threshold
 (free to change at runtime).
+
+Persistence is integrity-checked: the JSON carries a schema version and
+a content checksum, every entry field is validated on load, and
+:meth:`Library.load` can either fail closed (``strict=True``, the
+default — raises :class:`~repro.core.errors.IntegrityError`) or salvage
+what survives from a truncated/corrupt file (``strict=False``), with the
+damage itemized in the attached :class:`LoadReport`.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import re
 from dataclasses import asdict, dataclass, field
 
-__all__ = ["AcceleratorId", "LibraryEntry", "Library"]
+from ..core.errors import IntegrityError
+
+__all__ = ["AcceleratorId", "LibraryEntry", "Library", "LoadReport",
+           "SCHEMA_VERSION"]
+
+# On-disk library format. 1 = the original {metadata, entries} shape
+# (still readable); 2 adds the schema/checksum envelope.
+SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True, order=True)
@@ -73,11 +90,115 @@ class LibraryEntry:
 
     @classmethod
     def from_dict(cls, d: dict) -> "LibraryEntry":
+        """Rebuild an entry from its dict form.
+
+        Raises :class:`~repro.core.errors.IntegrityError` (never a bare
+        ``KeyError``/``TypeError``) when a field is missing, mistyped,
+        or unknown, naming the offending field.
+        """
+        _validate_entry_dict(d)
         d = dict(d)
         d["accelerator"] = AcceleratorId(**d["accelerator"])
         d["exit_rates"] = tuple(d["exit_rates"])
         d["exit_latencies_s"] = tuple(d.get("exit_latencies_s", ()))
         return cls(**d)
+
+
+# ----------------------------------------------------------------------
+# entry validation
+# ----------------------------------------------------------------------
+_ENTRY_REQUIRED = {
+    "accelerator": "object",
+    "confidence_threshold": "number",
+    "accuracy": "number",
+    "exit_rates": "number list",
+    "latency_s": "number",
+    "serving_ips": "number",
+    "energy_per_inference_j": "number",
+    "power_idle_w": "number",
+    "power_busy_w": "number",
+}
+_ENTRY_OPTIONAL = {
+    "achieved_pruning_rate": "number",
+    "exit_latencies_s": "number list",
+    "resources": "object",
+    "extra": "object",
+}
+_ACCEL_REQUIRED = {"pruning_rate": "number"}
+_ACCEL_OPTIONAL = {"pruned_exits": "bool", "variant": "str"}
+
+
+def _is_number(v) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+_TYPE_CHECKS = {
+    "number": _is_number,
+    "bool": lambda v: isinstance(v, bool),
+    "str": lambda v: isinstance(v, str),
+    "object": lambda v: isinstance(v, dict),
+    "number list": lambda v: isinstance(v, (list, tuple))
+    and all(_is_number(x) for x in v),
+}
+
+
+def _check_fields(d: dict, required: dict, optional: dict,
+                  where: str = "") -> None:
+    for name, kind in required.items():
+        if name not in d:
+            raise IntegrityError(f"missing field {where}{name!r}")
+        if not _TYPE_CHECKS[kind](d[name]):
+            raise IntegrityError(
+                f"field {where}{name!r} must be a {kind}, got "
+                f"{type(d[name]).__name__} ({d[name]!r})")
+    for name, kind in optional.items():
+        if name in d and not _TYPE_CHECKS[kind](d[name]):
+            raise IntegrityError(
+                f"field {where}{name!r} must be a {kind}, got "
+                f"{type(d[name]).__name__} ({d[name]!r})")
+    unknown = set(d) - set(required) - set(optional)
+    if unknown:
+        raise IntegrityError(
+            f"unknown field(s) {sorted(unknown)}"
+            + (f" in {where.rstrip('.')}" if where else ""))
+
+
+def _validate_entry_dict(d) -> None:
+    """Field-level validation of one serialized LibraryEntry."""
+    if not isinstance(d, dict):
+        raise IntegrityError(
+            f"entry must be an object, got {type(d).__name__}")
+    _check_fields(d, _ENTRY_REQUIRED, _ENTRY_OPTIONAL)
+    _check_fields(d["accelerator"], _ACCEL_REQUIRED, _ACCEL_OPTIONAL,
+                  where="accelerator.")
+
+
+@dataclass
+class LoadReport:
+    """What :meth:`Library.from_json` found while reading a file."""
+
+    schema: int | None = None
+    checksum_ok: bool | None = None  # None = no checksum to verify
+    salvaged: bool = False           # file was not even valid JSON
+    dropped: list = field(default_factory=list)  # (entry_index, reason)
+    loaded: int = 0
+
+    @property
+    def intact(self) -> bool:
+        return (not self.salvaged and not self.dropped
+                and self.checksum_ok is not False)
+
+    def summary(self) -> str:
+        if self.intact:
+            return f"library intact: {self.loaded} entries"
+        bits = [f"{self.loaded} entries loaded"]
+        if self.salvaged:
+            bits.append("salvaged from unparseable JSON")
+        if self.checksum_ok is False:
+            bits.append("checksum mismatch")
+        if self.dropped:
+            bits.append(f"{len(self.dropped)} entries dropped")
+        return "library damaged: " + ", ".join(bits)
 
 
 class Library:
@@ -86,6 +207,8 @@ class Library:
     def __init__(self, entries: list | None = None, metadata: dict | None = None):
         self.entries: list[LibraryEntry] = list(entries or [])
         self.metadata: dict = dict(metadata or {})
+        # Populated by from_json()/load(); None for in-memory libraries.
+        self.load_report: LoadReport | None = None
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -129,23 +252,142 @@ class Library:
     # ------------------------------------------------------------------
     # persistence
     # ------------------------------------------------------------------
+    @staticmethod
+    def _content_checksum(metadata: dict, entry_dicts: list) -> str:
+        """Checksum of the canonical content (key-sorted, no whitespace,
+        so it is stable across save/load cycles and indentation)."""
+        blob = json.dumps({"metadata": metadata, "entries": entry_dicts},
+                          sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
     def to_json(self) -> str:
+        entries = [e.to_dict() for e in self.entries]
         return json.dumps({
+            "schema": SCHEMA_VERSION,
+            "checksum": self._content_checksum(self.metadata, entries),
             "metadata": self.metadata,
-            "entries": [e.to_dict() for e in self.entries],
+            "entries": entries,
         }, indent=1)
 
     @classmethod
-    def from_json(cls, text: str) -> "Library":
-        raw = json.loads(text)
-        return cls([LibraryEntry.from_dict(d) for d in raw["entries"]],
-                   raw.get("metadata", {}))
+    def from_json(cls, text: str, strict: bool = True) -> "Library":
+        """Parse a serialized library.
 
-    def save(self, path) -> None:
-        with open(path, "w") as f:
-            f.write(self.to_json())
+        ``strict=True`` (default) fails closed: any damage — unparseable
+        JSON, unsupported schema, checksum mismatch, or an invalid entry
+        — raises :class:`~repro.core.errors.IntegrityError`.
+        ``strict=False`` salvages: every intact entry is loaded, the
+        damage is itemized in the returned library's ``load_report``.
+        """
+        try:
+            raw = json.loads(text)
+        except ValueError as exc:
+            if strict:
+                raise IntegrityError(
+                    "library JSON is unparseable (truncated or corrupt):"
+                    f" {exc}") from exc
+            return cls._salvage(text)
+        return cls._from_raw(raw, strict)
 
     @classmethod
-    def load(cls, path) -> "Library":
+    def _from_raw(cls, raw, strict: bool) -> "Library":
+        if not isinstance(raw, dict) \
+                or not isinstance(raw.get("entries"), list):
+            raise IntegrityError(
+                "library JSON must be an object with an 'entries' list")
+        report = LoadReport()
+        schema = raw.get("schema", 1)  # pre-envelope files are schema 1
+        if not isinstance(schema, int) or isinstance(schema, bool) \
+                or not 1 <= schema <= SCHEMA_VERSION:
+            raise IntegrityError(
+                f"unsupported library schema {schema!r} "
+                f"(this build reads versions 1..{SCHEMA_VERSION})")
+        report.schema = schema
+        metadata = raw.get("metadata", {})
+        if not isinstance(metadata, dict):
+            raise IntegrityError("'metadata' must be an object")
+        checksum = raw.get("checksum")
+        if checksum is not None:
+            report.checksum_ok = \
+                checksum == cls._content_checksum(metadata, raw["entries"])
+            if strict and not report.checksum_ok:
+                raise IntegrityError(
+                    "library checksum mismatch — the file was modified "
+                    "or corrupted after it was written")
+        entries = []
+        for i, d in enumerate(raw["entries"]):
+            try:
+                entries.append(LibraryEntry.from_dict(d))
+            except IntegrityError as exc:
+                if strict:
+                    raise IntegrityError(f"entry {i}: {exc}") from exc
+                report.dropped.append((i, str(exc)))
+        report.loaded = len(entries)
+        library = cls(entries, metadata)
+        library.load_report = report
+        return library
+
+    @classmethod
+    def _salvage(cls, text: str) -> "Library":
+        """Recover what survives from JSON that no longer parses (e.g.
+        a file truncated by a crash mid-write): decode entry objects one
+        by one until the broken region, dropping the rest."""
+        report = LoadReport(salvaged=True)
+        decoder = json.JSONDecoder()
+        schema = re.search(r'"schema"\s*:\s*(\d+)', text)
+        if schema:
+            report.schema = int(schema.group(1))
+
+        def skip_separators(pos: int) -> int:
+            while pos < len(text) and text[pos] in " \t\r\n,":
+                pos += 1
+            return pos
+
+        metadata = {}
+        meta = re.search(r'"metadata"\s*:', text)
+        if meta:
+            try:
+                obj, _ = decoder.raw_decode(text,
+                                            skip_separators(meta.end()))
+                if isinstance(obj, dict):
+                    metadata = obj
+            except ValueError:
+                pass
+
+        entries = []
+        index = 0
+        array = re.search(r'"entries"\s*:\s*\[', text)
+        pos = array.end() if array else None
+        while pos is not None:
+            pos = skip_separators(pos)
+            if pos >= len(text) or text[pos] == "]":
+                break
+            try:
+                d, pos = decoder.raw_decode(text, pos)
+            except ValueError:
+                report.dropped.append(
+                    (index, "truncated or malformed JSON"))
+                break
+            try:
+                entries.append(LibraryEntry.from_dict(d))
+            except IntegrityError as exc:
+                report.dropped.append((index, str(exc)))
+            index += 1
+        report.loaded = len(entries)
+        library = cls(entries, metadata)
+        library.load_report = report
+        return library
+
+    def save(self, path) -> None:
+        """Atomically persist (write temp + rename): a crash mid-save
+        never leaves a half-written library behind."""
+        path = str(path)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as f:
+            f.write(self.to_json())
+        os.replace(tmp, path)
+
+    @classmethod
+    def load(cls, path, strict: bool = True) -> "Library":
         with open(path) as f:
-            return cls.from_json(f.read())
+            return cls.from_json(f.read(), strict=strict)

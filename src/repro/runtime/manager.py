@@ -18,11 +18,14 @@ Two practical refinements the paper implies:
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 from .library import AcceleratorId, Library, LibraryEntry
 
 __all__ = ["SelectionPolicy", "RuntimeManager"]
+
+log = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -49,6 +52,18 @@ class RuntimeManager:
         self.library = library
         self.policy = policy or SelectionPolicy()
         self._reference_accuracy = library.best_accuracy()
+        # A partial library (design points quarantined by the sweep
+        # supervisor) is servable — selection simply runs over the
+        # entries that exist — but the gaps deserve a visible record.
+        gaps = library.metadata.get("quarantined") or []
+        if gaps:
+            labels = ", ".join(
+                f"{g.get('variant', '?')}@{g.get('rate', '?')}"
+                for g in gaps)
+            log.warning(
+                "library is partial: %d design point(s) quarantined at "
+                "generation time (%s); selecting over the %d entries "
+                "that exist", len(gaps), labels, len(library))
 
     @property
     def min_accuracy(self) -> float:

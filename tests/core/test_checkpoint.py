@@ -1,0 +1,124 @@
+"""Sweep manifest tests: roundtrip, atomic persistence, and the
+discard-never-trust rules for corrupt or differently-keyed files."""
+
+import json
+
+import pytest
+
+from repro.core.checkpoint import STATUSES, SweepManifest
+from repro.core.supervise import FailedPoint
+
+
+def manifest_with_points(tmp_path, key="cfg1"):
+    manifest = SweepManifest(tmp_path / "manifest.json", key)
+    manifest.ensure("p1", "early-exit", True, 0.0)
+    manifest.ensure("p2", "early-exit", True, 0.4)
+    manifest.ensure("p3", "backbone", False, 0.8)
+    return manifest
+
+
+class TestRoundtrip:
+    def test_fresh_when_missing(self, tmp_path):
+        manifest = SweepManifest.open(tmp_path / "manifest.json", "cfg1")
+        assert len(manifest) == 0
+        assert manifest.status("p1") is None
+
+    def test_save_and_reopen(self, tmp_path):
+        manifest = manifest_with_points(tmp_path)
+        manifest.mark("p1", "done")
+        failed = FailedPoint(label="ee@0.4", kind="crash",
+                             error_type="WorkerCrashError",
+                             message="worker died", attempts=3)
+        manifest.mark("p2", "failed", failed)
+        manifest.save()
+
+        reopened = SweepManifest.open(tmp_path / "manifest.json", "cfg1")
+        assert len(reopened) == 3
+        assert reopened.status("p1") == "done"
+        assert reopened.status("p2") == "failed"
+        assert reopened.status("p3") == "pending"
+        assert reopened.failure("p2") == failed
+        assert reopened.failure("p1") is None
+
+    def test_ensure_is_idempotent(self, tmp_path):
+        manifest = manifest_with_points(tmp_path)
+        manifest.mark("p1", "done")
+        manifest.ensure("p1", "early-exit", True, 0.0)
+        assert manifest.status("p1") == "done"  # not reset to pending
+
+    def test_mark_validates_status(self, tmp_path):
+        manifest = manifest_with_points(tmp_path)
+        with pytest.raises(ValueError):
+            manifest.mark("p1", "finished")
+
+    def test_counts_and_summary(self, tmp_path):
+        manifest = manifest_with_points(tmp_path)
+        manifest.mark("p1", "done")
+        manifest.mark("p2", "quarantined")
+        counts = manifest.counts()
+        assert counts == {"pending": 1, "done": 1, "failed": 0,
+                          "quarantined": 1}
+        assert set(counts) == set(STATUSES)
+        summary = manifest.summary()
+        assert "3 point(s)" in summary
+        assert "1 quarantined" in summary and "failed" not in summary
+
+    def test_keys_with_status(self, tmp_path):
+        manifest = manifest_with_points(tmp_path)
+        manifest.mark("p1", "done")
+        manifest.mark("p2", "failed")
+        assert manifest.keys_with_status("done") == ["p1"]
+        assert sorted(manifest.keys_with_status("failed", "pending")) \
+            == ["p2", "p3"]
+
+
+class TestDiscardRules:
+    def test_corrupt_file_starts_fresh(self, tmp_path, caplog):
+        path = tmp_path / "manifest.json"
+        path.write_text("{truncated")
+        with caplog.at_level("WARNING"):
+            manifest = SweepManifest.open(path, "cfg1")
+        assert len(manifest) == 0
+        assert "unreadable" in caplog.text
+
+    def test_different_config_key_starts_fresh(self, tmp_path):
+        manifest = manifest_with_points(tmp_path, key="cfg1")
+        manifest.mark("p1", "done")
+        manifest.save()
+        other = SweepManifest.open(tmp_path / "manifest.json", "cfg2")
+        assert len(other) == 0
+
+    def test_unknown_format_starts_fresh(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps(
+            {"format": 999, "config_key": "cfg1", "points": {}}))
+        assert len(SweepManifest.open(path, "cfg1")) == 0
+
+    def test_bad_status_starts_fresh(self, tmp_path):
+        manifest = manifest_with_points(tmp_path)
+        manifest.save()
+        raw = json.loads((tmp_path / "manifest.json").read_text())
+        raw["points"]["p1"]["status"] = "finished"
+        (tmp_path / "manifest.json").write_text(json.dumps(raw))
+        assert len(SweepManifest.open(tmp_path / "manifest.json",
+                                      "cfg1")) == 0
+
+
+class TestAtomicity:
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        manifest = manifest_with_points(tmp_path)
+        manifest.save()
+        manifest.mark("p1", "done")
+        manifest.save()
+        leftovers = [p for p in tmp_path.iterdir()
+                     if p.name != "manifest.json"]
+        assert leftovers == []
+
+    def test_save_replaces_not_appends(self, tmp_path):
+        manifest = manifest_with_points(tmp_path)
+        manifest.save()
+        manifest.mark("p1", "done")
+        manifest.save()
+        raw = json.loads((tmp_path / "manifest.json").read_text())
+        assert raw["points"]["p1"]["status"] == "done"
+        assert json.loads((tmp_path / "manifest.json").read_text()) == raw

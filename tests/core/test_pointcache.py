@@ -47,6 +47,43 @@ class TestPointCacheBasics:
         cache.path_for(key).write_text("{not json")
         assert cache.get(key) is None
 
+    def test_corrupt_file_logs_warning_with_key(self, tmp_path, caplog):
+        cache = PointCache(tmp_path)
+        key = PointCache.point_key("abc", "ee", True, 0.0)
+        cache.path_for(key).write_text("{not json")
+        with caplog.at_level("WARNING", logger="repro.core.pointcache"):
+            assert cache.get(key) is None
+        assert key in caplog.text and "corrupt" in caplog.text
+
+    def test_clean_miss_is_silent(self, tmp_path, caplog):
+        cache = PointCache(tmp_path)
+        key = PointCache.point_key("abc", "ee", True, 0.0)
+        with caplog.at_level("WARNING", logger="repro.core.pointcache"):
+            assert cache.get(key) is None
+        assert caplog.text == ""
+
+    def test_purge_corrupt_removes_only_bad_files(self, tmp_path):
+        cache = PointCache(tmp_path)
+        good = PointCache.point_key("abc", "ee", True, 0.0)
+        cache.put(good, [make_entry(rate=0.0, ct=0.5, acc=0.8,
+                                    ips=100.0)])
+        unparseable = PointCache.point_key("abc", "ee", True, 0.2)
+        cache.path_for(unparseable).write_text("{not json")
+        # Parses, but the entry no longer validates.
+        invalid = PointCache.point_key("abc", "ee", True, 0.4)
+        cache.path_for(invalid).write_text(
+            '{"entries": [{"accuracy": "high"}]}')
+        assert cache.purge_corrupt() == 2
+        assert good in cache
+        assert unparseable not in cache and invalid not in cache
+        assert cache.get(good) is not None
+
+    def test_purge_corrupt_on_clean_cache(self, tmp_path):
+        cache = PointCache(tmp_path)
+        cache.put(PointCache.point_key("abc", "ee", True, 0.0), [])
+        assert cache.purge_corrupt() == 0
+        assert len(cache) == 1
+
     def test_clear_and_len(self, tmp_path):
         cache = PointCache(tmp_path)
         for rate in (0.0, 0.2, 0.4):

@@ -216,7 +216,10 @@ class TestCLIFaults:
         lib = adaptive_library()
         path = tmp_path / "lib.json"
         lib.save(path)
-        with pytest.raises(ValueError):
+        # Rejected up front by CLI validation (before any simulation),
+        # with argparse's usage-error exit code.
+        with pytest.raises(SystemExit) as err:
             main(["evaluate", "--library", str(path),
                   "--policies", "adapex", "--runs", "1",
                   "--faults", "bogus"])
+        assert err.value.code == 2

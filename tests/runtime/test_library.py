@@ -1,9 +1,13 @@
 """Library container tests."""
 
+import json
+
 import numpy as np
 import pytest
 
-from repro.runtime import AcceleratorId, Library, LibraryEntry
+from repro.core.errors import IntegrityError
+from repro.runtime import (AcceleratorId, Library, LibraryEntry,
+                           SCHEMA_VERSION)
 from tests.conftest import make_entry
 
 
@@ -89,3 +93,139 @@ class TestLibrary:
         assert loaded.metadata == toy_library.metadata
         for a, b in zip(loaded, toy_library):
             assert a == b
+
+
+def legacy_payload(toy_library) -> dict:
+    """Schema-1 (pre-envelope) dict form: no schema, no checksum."""
+    return {"metadata": dict(toy_library.metadata),
+            "entries": [e.to_dict() for e in toy_library]}
+
+
+class TestSchemaAndChecksum:
+    def test_saved_file_carries_envelope(self, toy_library, tmp_path):
+        path = tmp_path / "lib.json"
+        toy_library.save(path)
+        raw = json.loads(path.read_text())
+        assert raw["schema"] == SCHEMA_VERSION
+        assert isinstance(raw["checksum"], str)
+        loaded = Library.load(path)
+        assert loaded.load_report.schema == SCHEMA_VERSION
+        assert loaded.load_report.checksum_ok is True
+        assert loaded.load_report.intact
+
+    def test_legacy_schema1_still_loads(self, toy_library):
+        text = json.dumps(legacy_payload(toy_library))
+        loaded = Library.from_json(text)
+        assert len(loaded) == len(toy_library)
+        assert loaded.load_report.schema == 1
+        assert loaded.load_report.checksum_ok is None  # nothing to check
+        assert loaded.load_report.intact
+
+    def test_unsupported_schema_rejected(self, toy_library):
+        raw = json.loads(toy_library.to_json())
+        raw["schema"] = SCHEMA_VERSION + 1
+        with pytest.raises(IntegrityError, match="unsupported"):
+            Library.from_json(json.dumps(raw))
+
+    def test_tampered_file_fails_checksum(self, toy_library):
+        raw = json.loads(toy_library.to_json())
+        raw["entries"][0]["accuracy"] = 0.999  # checksum not updated
+        with pytest.raises(IntegrityError, match="checksum mismatch"):
+            Library.from_json(json.dumps(raw))
+
+    def test_tampered_file_loads_leniently(self, toy_library):
+        raw = json.loads(toy_library.to_json())
+        raw["entries"][0]["accuracy"] = 0.999
+        loaded = Library.from_json(json.dumps(raw), strict=False)
+        assert len(loaded) == len(toy_library)
+        assert loaded.load_report.checksum_ok is False
+        assert not loaded.load_report.intact
+        assert "checksum mismatch" in loaded.load_report.summary()
+
+
+class TestEntryValidation:
+    def test_missing_field_names_the_field(self, toy_library):
+        payload = legacy_payload(toy_library)
+        del payload["entries"][0]["accuracy"]
+        with pytest.raises(IntegrityError) as err:
+            Library.from_json(json.dumps(payload))
+        assert "entry 0" in str(err.value)
+        assert "'accuracy'" in str(err.value)
+
+    def test_mistyped_field_names_type_and_value(self, toy_library):
+        payload = legacy_payload(toy_library)
+        payload["entries"][1]["serving_ips"] = "fast"
+        with pytest.raises(IntegrityError) as err:
+            Library.from_json(json.dumps(payload))
+        assert "entry 1" in str(err.value)
+        assert "must be a number" in str(err.value)
+
+    def test_unknown_field_rejected(self, toy_library):
+        payload = legacy_payload(toy_library)
+        payload["entries"][0]["surprise"] = 1
+        with pytest.raises(IntegrityError, match="unknown field"):
+            Library.from_json(json.dumps(payload))
+
+    def test_bad_accelerator_rejected(self, toy_library):
+        payload = legacy_payload(toy_library)
+        del payload["entries"][0]["accelerator"]["pruning_rate"]
+        with pytest.raises(IntegrityError,
+                           match="accelerator.*pruning_rate"):
+            Library.from_json(json.dumps(payload))
+
+    def test_from_dict_never_raises_bare_keyerror(self):
+        with pytest.raises(IntegrityError):
+            LibraryEntry.from_dict({})
+        with pytest.raises(IntegrityError):
+            LibraryEntry.from_dict("not a dict")
+        # IntegrityError is a ValueError, so pre-existing callers that
+        # caught ValueError keep working.
+        assert issubclass(IntegrityError, ValueError)
+
+    def test_lenient_load_drops_only_bad_entries(self, toy_library):
+        payload = legacy_payload(toy_library)
+        del payload["entries"][0]["accuracy"]
+        payload["entries"][3]["latency_s"] = None
+        loaded = Library.from_json(json.dumps(payload), strict=False)
+        assert len(loaded) == len(toy_library) - 2
+        assert [i for i, _ in loaded.load_report.dropped] == [0, 3]
+        assert "2 entries dropped" in loaded.load_report.summary()
+
+
+class TestTruncationAndSalvage:
+    def test_truncated_file_fails_closed(self, toy_library):
+        text = toy_library.to_json()[:len(toy_library.to_json()) // 2]
+        with pytest.raises(IntegrityError, match="unparseable"):
+            Library.from_json(text)
+
+    def test_truncated_file_salvages_the_prefix(self, toy_library):
+        text = toy_library.to_json()
+        loaded = Library.from_json(text[:int(len(text) * 0.6)],
+                                   strict=False)
+        report = loaded.load_report
+        assert report.salvaged
+        assert 0 < len(loaded) < len(toy_library)
+        assert report.dropped  # the broken tail is itemized
+        assert "salvaged" in report.summary()
+        # What survived is bona fide data from the original library.
+        originals = [e.to_dict() for e in toy_library]
+        for entry in loaded:
+            assert entry.to_dict() in originals
+
+    def test_salvage_recovers_metadata(self, toy_library):
+        text = toy_library.to_json()
+        cut = text.rfind("}", 0, int(len(text) * 0.9))
+        loaded = Library.from_json(text[:cut], strict=False)
+        assert loaded.metadata == toy_library.metadata
+
+    def test_salvage_of_garbage_is_empty(self):
+        loaded = Library.from_json("complete garbage", strict=False)
+        assert len(loaded) == 0
+        assert loaded.load_report.salvaged
+
+    def test_atomic_save_leaves_no_temp_files(self, toy_library,
+                                              tmp_path):
+        path = tmp_path / "lib.json"
+        toy_library.save(path)
+        toy_library.save(path)
+        assert [p.name for p in tmp_path.iterdir()] == ["lib.json"]

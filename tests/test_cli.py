@@ -28,6 +28,70 @@ class TestParser:
             build_parser().parse_args(["frobnicate"])
 
 
+class TestValidation:
+    def error_text(self, capsys, argv) -> str:
+        with pytest.raises(SystemExit) as err:
+            main(argv)
+        assert err.value.code == 2
+        return capsys.readouterr().err
+
+    def test_workers_must_be_positive(self, capsys):
+        err = self.error_text(capsys, ["generate", "-o", "x.json",
+                                       "--workers", "0"])
+        assert "--workers" in err and "must be >= 1" in err
+
+    def test_workers_must_be_integer(self, capsys):
+        err = self.error_text(capsys, ["generate", "-o", "x.json",
+                                       "--workers", "two"])
+        assert "not an integer" in err
+
+    def test_rates_bounds(self, capsys):
+        err = self.error_text(capsys, ["generate", "-o", "x.json",
+                                       "--rates", "0.2,1.0"])
+        assert "in [0, 1)" in err
+
+    def test_rates_must_be_numbers(self, capsys):
+        err = self.error_text(capsys, ["generate", "-o", "x.json",
+                                       "--rates", "0.2,high"])
+        assert "'high' is not a number" in err
+
+    def test_rates_must_be_nonempty(self, capsys):
+        err = self.error_text(capsys, ["generate", "-o", "x.json",
+                                       "--rates", ","])
+        assert "at least one pruning rate" in err
+
+    def test_point_timeout_must_be_positive(self, capsys):
+        err = self.error_text(capsys, ["generate", "-o", "x.json",
+                                       "--point-timeout", "0"])
+        assert "must be > 0" in err
+
+    def test_point_retries_must_be_nonnegative(self, capsys):
+        err = self.error_text(capsys, ["generate", "-o", "x.json",
+                                       "--point-retries", "-1"])
+        assert "must be >= 0" in err
+
+    def test_resume_requires_point_cache(self, capsys):
+        err = self.error_text(capsys, ["generate", "-o", "x.json",
+                                       "--resume"])
+        assert "--resume needs --point-cache" in err
+
+    def test_resume_requires_a_manifest(self, capsys, tmp_path):
+        err = self.error_text(capsys, ["generate", "-o", "x.json",
+                                       "--resume",
+                                       "--point-cache", str(tmp_path)])
+        assert "nothing to resume" in err
+
+    def test_bad_fault_spec(self, capsys):
+        err = self.error_text(capsys, ["evaluate", "--library", "x.json",
+                                       "--faults", "frobnicate"])
+        assert "--faults" in err and "frobnicate" in err
+
+    def test_evaluate_runs_must_be_positive(self, capsys):
+        err = self.error_text(capsys, ["evaluate", "--library", "x.json",
+                                       "--runs", "0"])
+        assert "--runs" in err and "must be >= 1" in err
+
+
 class TestGenerate:
     def test_quick_generate_writes_library(self, tmp_path, capsys):
         out = tmp_path / "generated.json"
@@ -43,6 +107,20 @@ class TestGenerate:
         # The generated file immediately works with the other commands.
         assert main(["info", "--library", str(out)]) == 0
 
+    def test_resume_reuses_every_checkpoint(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        assert main(["generate", "-o", str(first), "--rates", "0.0",
+                     "--point-cache", str(cache)]) == 0
+        capsys.readouterr()
+        assert main(["generate", "-o", str(second), "--rates", "0.0",
+                     "--point-cache", str(cache), "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resuming sweep" in out and "done)" in out
+        assert "(cached)" in out
+        assert first.read_bytes() == second.read_bytes()
+
 
 class TestInfo:
     def test_prints_summary(self, library_path, capsys):
@@ -54,6 +132,26 @@ class TestInfo:
     def test_missing_file(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             main(["info", "--library", str(tmp_path / "nope.json")])
+
+    def test_strict_load_fails_closed_on_truncation(self, library_path):
+        from pathlib import Path
+
+        from repro.core.errors import IntegrityError
+        text = Path(library_path).read_text()
+        Path(library_path).write_text(text[:len(text) // 2])
+        with pytest.raises(IntegrityError):
+            main(["info", "--library", library_path])
+
+    def test_salvage_reads_a_truncated_library(self, library_path,
+                                               capsys):
+        from pathlib import Path
+        text = Path(library_path).read_text()
+        Path(library_path).write_text(text[:int(len(text) * 0.6)])
+        assert main(["info", "--library", library_path,
+                     "--salvage"]) == 0
+        out = capsys.readouterr().out
+        assert "salvage: library damaged" in out
+        assert "accelerator" in out  # the summary table still renders
 
 
 class TestSelect:
