@@ -20,6 +20,7 @@ from .analysis.report import format_table, write_csv
 from .core.adapex import AdaPExFramework
 from .core.checkpoint import SweepManifest
 from .core.config import AdaPExConfig
+from .core.errors import IntegrityError
 from .core.instrument import PhaseTimer
 from .core.supervise import SuperviseConfig
 from .edge.server import simulate_policy
@@ -261,7 +262,13 @@ def _cmd_info(args) -> int:
             raise SystemExit(
                 f"library {args.library!r} has no salvageable entries")
     else:
-        library = _load_library(args.library)
+        try:
+            library = _load_library(args.library)
+        except IntegrityError as exc:
+            raise SystemExit(
+                f"library {args.library!r} failed integrity checks "
+                f"({exc}); rerun with --salvage to recover what "
+                f"survives") from exc
     print(f"library: {args.library}")
     for key, value in sorted(library.metadata.items()):
         print(f"  {key}: {value}")

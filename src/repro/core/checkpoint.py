@@ -67,6 +67,10 @@ class SweepManifest:
             if not isinstance(points, dict):
                 raise ValueError("manifest points must be an object")
             for key, rec in points.items():
+                if not isinstance(rec, dict):
+                    raise ValueError(
+                        f"point {key}: record must be an object, got "
+                        f"{type(rec).__name__}")
                 if rec.get("status") not in STATUSES:
                     raise ValueError(
                         f"point {key}: bad status {rec.get('status')!r}")

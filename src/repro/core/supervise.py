@@ -7,10 +7,12 @@ sweep needs:
 * **wall-clock timeouts** — a hung worker cannot be cancelled through
   ``concurrent.futures``, so on deadline the whole pool is terminated
   and the surviving work units are resubmitted on a fresh one; only the
-  timed-out unit is charged an attempt;
+  timed-out unit is charged an attempt, and a unit's clock starts when
+  it is handed to an idle worker, never while it waits for a slot;
 * **crash detection** — a worker that dies (segfault, OOM kill,
-  ``os._exit``) breaks the pool; units that were running at break time
-  are charged a crash attempt, queued units are resubmitted for free;
+  ``os._exit``) breaks the pool; units that completed before the break
+  keep their results, units that were running are charged a crash
+  attempt, queued units are resubmitted for free;
 * **retries with capped backoff** — transient/unknown failures are
   retried up to ``retries`` times with exponentially growing, capped
   sleeps between attempts;
@@ -30,6 +32,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -216,19 +219,35 @@ class SupervisedPool:
         """Run one pool's worth of items; returns indices to rerun."""
         cfg = self.config
         mp_ctx = mp.get_context("fork")
-        pool = ProcessPoolExecutor(max_workers=min(workers, len(wave)),
-                                   mp_context=mp_ctx,
+        cap = min(workers, len(wave))
+        pool = ProcessPoolExecutor(max_workers=cap, mp_context=mp_ctx,
                                    initializer=self._initializer,
                                    initargs=self._initargs)
-        futures = {pool.submit(fn, ctx.items[i]): i for i in wave}
-        deadline = {}
-        if cfg.timeout_s is not None:
-            now = time.monotonic()
-            deadline = {f: now + cfg.timeout_s for f in futures}
+        # Items are handed to the pool at most ``cap`` at a time, so
+        # every submitted unit lands on an idle worker and submission
+        # time is an honest start time for the wall-clock deadline.
+        # Items still waiting in ``queue`` have no deadline — they must
+        # not burn budget (or retry attempts) while waiting for a slot.
+        queue = deque(wave)
+        futures: dict = {}     # future -> item index
+        deadline: dict = {}    # future -> monotonic deadline
+        handled: set = set()   # futures folded into the outcome/requeue
         requeue: list[int] = []
-        not_done = set(futures)
+        not_done: set = set()
         running: set = set()
+
+        def submit_more():
+            now = time.monotonic()
+            while queue and len(not_done) < cap:
+                i = queue.popleft()
+                f = pool.submit(fn, ctx.items[i])
+                futures[f] = i
+                not_done.add(f)
+                if cfg.timeout_s is not None:
+                    deadline[f] = now + cfg.timeout_s
+
         try:
+            submit_more()  # a fresh pool cannot be broken yet
             while not_done:
                 running = {f for f in not_done if f.running()}
                 done, not_done = wait(not_done,
@@ -237,16 +256,23 @@ class SupervisedPool:
                 try:
                     for f in done:
                         self._collect(ctx, futures[f], f, requeue)
+                        handled.add(f)
+                    submit_more()
                 except BrokenProcessPool:
-                    self._handle_broken_pool(ctx, futures, done, not_done,
-                                             running, requeue)
+                    self._handle_broken_pool(
+                        ctx, futures,
+                        [f for f in futures if f not in handled],
+                        running, requeue)
+                    requeue.extend(queue)  # unsubmitted items rerun free
                     return requeue
                 if deadline:
+                    now = time.monotonic()
                     expired = [f for f in not_done
-                               if time.monotonic() >= deadline[f]]
+                               if now >= deadline[f]]
                     if expired:
                         self._handle_timeout(ctx, futures, expired,
                                              not_done, requeue)
+                        requeue.extend(queue)
                         return requeue
             return requeue
         finally:
@@ -266,17 +292,29 @@ class SupervisedPool:
         else:
             ctx.note_result(i, result)
 
-    def _handle_broken_pool(self, ctx: "_RunContext", futures, done,
-                            not_done, running, requeue) -> None:
-        """A worker died. Charge the units that were running; requeue
-        the rest for free."""
-        unfinished = [f for f in (set(done) | set(not_done))
-                      if futures[f] not in ctx.finished]
+    def _handle_broken_pool(self, ctx: "_RunContext", futures, candidates,
+                            running, requeue) -> None:
+        """A worker died. First salvage completed futures that still
+        hold a retrievable outcome (they finished before the pool broke
+        but had not been collected yet), then charge the units that were
+        running; requeue the rest for free."""
+        unresolved = []
+        for f in candidates:
+            i = futures[f]
+            if i in ctx.finished:
+                continue
+            if f.done():
+                try:
+                    self._collect(ctx, i, f, requeue)
+                    continue
+                except BrokenProcessPool:
+                    pass  # this future's "result" is the pool break
+            unresolved.append(f)
         # If nothing was observably running (e.g. the pool initializer
         # itself crashes), charge everyone — otherwise the wave loop
         # could respin forever without making progress.
-        charged = running & set(unfinished) or set(unfinished)
-        for f in unfinished:
+        charged = running & set(unresolved) or set(unresolved)
+        for f in unresolved:
             i = futures[f]
             if f in charged:
                 exc = WorkerCrashError(
@@ -288,8 +326,9 @@ class SupervisedPool:
 
     def _handle_timeout(self, ctx: "_RunContext", futures, expired,
                         not_done, requeue) -> None:
-        """Deadline passed for some units: charge them, requeue the
-        innocent bystanders that were sharing the pool."""
+        """Deadline passed for some started units: charge them, requeue
+        the innocent bystanders sharing the pool — items never handed to
+        the pool carry no deadline at all and ride along for free."""
         cfg = self.config
         for f in expired:
             i = futures[f]

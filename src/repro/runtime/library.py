@@ -179,7 +179,9 @@ class LoadReport:
 
     schema: int | None = None
     checksum_ok: bool | None = None  # None = no checksum to verify
-    salvaged: bool = False           # file was not even valid JSON
+    # True when the entry scanner ran: the file was unparseable or
+    # root-level-damaged JSON, not a normal structured load.
+    salvaged: bool = False
     dropped: list = field(default_factory=list)  # (entry_index, reason)
     loaded: int = 0
 
@@ -276,8 +278,10 @@ class Library:
         ``strict=True`` (default) fails closed: any damage — unparseable
         JSON, unsupported schema, checksum mismatch, or an invalid entry
         — raises :class:`~repro.core.errors.IntegrityError`.
-        ``strict=False`` salvages: every intact entry is loaded, the
-        damage is itemized in the returned library's ``load_report``.
+        ``strict=False`` salvages: every intact entry is loaded (whether
+        the file is unparseable, mis-shaped at the root, or damaged per
+        entry), with the damage itemized in the returned library's
+        ``load_report``.
         """
         try:
             raw = json.loads(text)
@@ -287,7 +291,15 @@ class Library:
                     "library JSON is unparseable (truncated or corrupt):"
                     f" {exc}") from exc
             return cls._salvage(text)
-        return cls._from_raw(raw, strict)
+        try:
+            return cls._from_raw(raw, strict)
+        except IntegrityError:
+            # Non-strict rejections can only be root-level damage (bad
+            # shape, unsupported schema, mistyped metadata); the entry
+            # scanner can still pull intact entries out of the text.
+            if strict:
+                raise
+            return cls._salvage(text)
 
     @classmethod
     def _from_raw(cls, raw, strict: bool) -> "Library":
@@ -329,9 +341,10 @@ class Library:
 
     @classmethod
     def _salvage(cls, text: str) -> "Library":
-        """Recover what survives from JSON that no longer parses (e.g.
-        a file truncated by a crash mid-write): decode entry objects one
-        by one until the broken region, dropping the rest."""
+        """Recover what survives from a file that cannot be read whole —
+        JSON that no longer parses (e.g. truncated by a crash mid-write)
+        or whose root shape is damaged: decode entry objects one by one
+        until the broken region, dropping the rest."""
         report = LoadReport(salvaged=True)
         decoder = json.JSONDecoder()
         schema = re.search(r'"schema"\s*:\s*(\d+)', text)

@@ -94,6 +94,16 @@ class TestDiscardRules:
             {"format": 999, "config_key": "cfg1", "points": {}}))
         assert len(SweepManifest.open(path, "cfg1")) == 0
 
+    def test_non_object_point_record_starts_fresh(self, tmp_path, caplog):
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps(
+            {"format": 1, "config_key": "cfg1",
+             "points": {"p1": "done"}}))  # record is a string, not a dict
+        with caplog.at_level("WARNING"):
+            manifest = SweepManifest.open(path, "cfg1")
+        assert len(manifest) == 0
+        assert "unreadable" in caplog.text
+
     def test_bad_status_starts_fresh(self, tmp_path):
         manifest = manifest_with_points(tmp_path)
         manifest.save()

@@ -39,6 +39,11 @@ def _hang_on_negative(x):
     return x * 2
 
 
+def _slow_double(x):
+    time.sleep(0.4)
+    return x * 2
+
+
 def _permanent_on_negative(x):
     if x < 0:
         raise PermanentError(f"point {x} is structurally infeasible")
@@ -207,6 +212,18 @@ class TestParallelSupervision:
         assert failed.kind == "timeout"
         assert "wall-clock budget" in failed.message
 
+    def test_queued_items_do_not_burn_timeout_while_waiting(self):
+        # 4 items x 0.4s on 2 workers: the wave takes ~0.8s wall clock,
+        # past the 0.6s per-item budget. The deadline must arm when an
+        # item starts running, not at submission — otherwise the queued
+        # half of the wave is charged timeouts it never incurred.
+        cfg = SuperviseConfig(timeout_s=0.6, retries=0,
+                              backoff_s=0.001, poll_interval_s=0.02)
+        out = SupervisedPool(workers=2, config=cfg).run(
+            _slow_double, [1, 2, 3, 4])
+        assert out.ok and out.results == [2, 4, 6, 8]
+        assert out.retries == 0
+
     def test_transient_worker_failure_recovers_on_retry(self, tmp_path):
         marker = str(tmp_path / "marker")
         out = SupervisedPool(workers=2, config=FAST).run(
@@ -227,3 +244,39 @@ class TestParallelSupervision:
         parallel = SupervisedPool(workers=3, config=FAST).run(
             _double, list(range(6)))
         assert serial.results == parallel.results
+
+
+class TestBrokenPoolAccounting:
+    """White-box: when the pool breaks, futures that finished before the
+    break must keep their results, only in-flight units are charged a
+    crash attempt, and queued units ride free."""
+
+    def test_salvages_finished_and_charges_only_running(self):
+        from concurrent.futures import Future
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.core import supervise
+
+        pool = SupervisedPool(workers=2, config=FAST)
+        items = ["done", "crashed", "queued"]
+        outcome = SweepOutcome(results=[None] * 3)
+        state = [supervise._ItemState() for _ in items]
+        ctx = supervise._RunContext(pool, items, outcome, state,
+                                    None, None)
+
+        finished = Future()
+        finished.set_result("salvaged")
+        broke = Future()
+        broke.set_exception(BrokenProcessPool("worker died"))
+        queued = Future()  # never started
+
+        requeue = []
+        pool._handle_broken_pool(
+            ctx, {finished: 0, broke: 1, queued: 2},
+            [finished, broke, queued], {broke}, requeue)
+
+        assert outcome.results[0] == "salvaged"
+        assert state[0].attempts == 0   # a finished unit is not charged
+        assert state[1].attempts == 1   # the in-flight unit is charged
+        assert state[2].attempts == 0   # the queued unit rides free
+        assert sorted(requeue) == [1, 2]

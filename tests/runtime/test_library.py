@@ -223,6 +223,34 @@ class TestTruncationAndSalvage:
         assert len(loaded) == 0
         assert loaded.load_report.salvaged
 
+    def test_root_shape_damage_salvages_entries(self, toy_library):
+        # Parseable JSON whose root is damaged (metadata is a list) must
+        # still surrender its intact entries in non-strict mode.
+        raw = json.loads(toy_library.to_json())
+        raw["metadata"] = ["not", "an", "object"]
+        text = json.dumps(raw)
+        with pytest.raises(IntegrityError, match="metadata"):
+            Library.from_json(text)
+        loaded = Library.from_json(text, strict=False)
+        assert len(loaded) == len(toy_library)
+        assert loaded.load_report.salvaged
+        assert loaded.metadata == {}  # the damaged part is dropped
+
+    def test_unsupported_schema_salvages_entries(self, toy_library):
+        raw = json.loads(toy_library.to_json())
+        raw["schema"] = SCHEMA_VERSION + 1
+        loaded = Library.from_json(json.dumps(raw), strict=False)
+        assert len(loaded) == len(toy_library)
+        assert loaded.load_report.salvaged
+        assert loaded.load_report.schema == SCHEMA_VERSION + 1
+
+    def test_entries_not_a_list_salvages_to_empty(self, toy_library):
+        raw = json.loads(toy_library.to_json())
+        raw["entries"] = "gone"
+        loaded = Library.from_json(json.dumps(raw), strict=False)
+        assert len(loaded) == 0
+        assert loaded.load_report.salvaged
+
     def test_atomic_save_leaves_no_temp_files(self, toy_library,
                                               tmp_path):
         path = tmp_path / "lib.json"

@@ -135,11 +135,10 @@ class TestInfo:
 
     def test_strict_load_fails_closed_on_truncation(self, library_path):
         from pathlib import Path
-
-        from repro.core.errors import IntegrityError
         text = Path(library_path).read_text()
         Path(library_path).write_text(text[:len(text) // 2])
-        with pytest.raises(IntegrityError):
+        # A clean exit with a pointer at --salvage, not a traceback.
+        with pytest.raises(SystemExit, match="--salvage"):
             main(["info", "--library", library_path])
 
     def test_salvage_reads_a_truncated_library(self, library_path,
@@ -152,6 +151,19 @@ class TestInfo:
         out = capsys.readouterr().out
         assert "salvage: library damaged" in out
         assert "accelerator" in out  # the summary table still renders
+
+    def test_salvage_reads_a_root_damaged_library(self, library_path,
+                                                  capsys):
+        import json
+        from pathlib import Path
+        raw = json.loads(Path(library_path).read_text())
+        raw["metadata"] = ["damaged"]  # parseable JSON, broken root
+        Path(library_path).write_text(json.dumps(raw))
+        assert main(["info", "--library", library_path,
+                     "--salvage"]) == 0
+        out = capsys.readouterr().out
+        assert "salvage: library damaged" in out
+        assert "accelerator" in out
 
 
 class TestSelect:
