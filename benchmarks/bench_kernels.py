@@ -1,0 +1,135 @@
+"""Per-kernel microbenchmarks for the compiled inference engine.
+
+Compares, at the kernel level, the fused engine's building blocks
+against the reference executors they replace:
+
+* **MultiThreshold** — the reference broadcast-compare (rank-5 temp,
+  chunked) vs the engine's level-sweep (few levels) and per-channel
+  ``searchsorted`` (many levels) paths; all three must produce identical
+  codes.
+* **im2col** — the allocating :func:`repro.nn.functional.im2col` vs the
+  engine's :func:`~repro.ir.engine._im2col_into` writing into a
+  preallocated buffer.
+* **full forward** — interpreted :meth:`IRGraph.execute` vs the compiled
+  :class:`~repro.ir.engine.ExecutionPlan` on the CNV smoke model.
+
+These run without the heavy library fixtures — a bare
+``pytest benchmarks/bench_kernels.py`` is seconds-scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ir import IRNode, export_model, streamline
+from repro.ir.engine import (
+    _im2col_into,
+    _threshold_matrix,
+    _threshold_tensor,
+)
+from repro.ir.executors import _multithreshold
+from repro.models import CNVConfig, ExitsConfiguration, build_cnv
+from repro.nn.functional import conv_output_size, im2col
+
+_ROUNDS = dict(rounds=3, iterations=1, warmup_rounds=1)
+
+
+def _threshold_case(levels: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    channels = 64
+    x = rng.standard_normal((32, channels, 16, 16))
+    thresholds = np.sort(rng.standard_normal((channels, levels)), axis=1)
+    signs = np.ones(channels)
+    v = np.ascontiguousarray(np.sort(signs[:, None] * thresholds, axis=1))
+    node = IRNode(op_type="MultiThreshold", name="mt", inputs=["x"],
+                  outputs=["y"], attrs={"step": 1.0},
+                  initializers={"thresholds": thresholds, "signs": signs})
+    return x, node, signs, v
+
+
+@pytest.mark.parametrize("levels", [3, 255], ids=["L3", "L255"])
+def test_threshold_reference(benchmark, levels):
+    x, node, _, _ = _threshold_case(levels)
+    benchmark.pedantic(_multithreshold, args=(node, x), **_ROUNDS)
+
+
+@pytest.mark.parametrize("levels", [3, 255], ids=["L3", "L255"])
+def test_threshold_engine_tensor(benchmark, levels):
+    """Engine NCHW path (sweep for few levels, searchsorted for many)."""
+    x, node, signs, v = _threshold_case(levels)
+    ref = _multithreshold(node, x)
+    out = np.empty_like(x)
+    got = benchmark.pedantic(
+        _threshold_tensor, args=(x, v, signs, 1.0, out), **_ROUNDS)
+    np.testing.assert_array_equal(got, ref)
+
+
+@pytest.mark.parametrize("levels", [3, 255], ids=["L3", "L255"])
+def test_threshold_engine_matrix(benchmark, levels):
+    """Engine fused path: channels-last matrix, in place."""
+    x, node, signs, v = _threshold_case(levels)
+    ref = _multithreshold(node, x)
+    m0 = np.ascontiguousarray(
+        x.transpose(0, 2, 3, 1).reshape(-1, x.shape[1]))
+
+    def run():
+        m = m0.copy()
+        _threshold_matrix(m, v, signs, 1.0)
+        return m
+
+    got = benchmark.pedantic(run, **_ROUNDS)
+    np.testing.assert_array_equal(
+        got, ref.transpose(0, 2, 3, 1).reshape(-1, x.shape[1]))
+
+
+def _im2col_case():
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal((32, 16, 32, 32))
+    kernel, stride, padding = 3, 1, 1
+    out_h = conv_output_size(x.shape[2], kernel, stride, padding)
+    out_w = conv_output_size(x.shape[3], kernel, stride, padding)
+    return x, kernel, stride, padding, out_h, out_w
+
+
+def test_im2col_reference(benchmark):
+    x, kernel, stride, padding, _, _ = _im2col_case()
+    benchmark.pedantic(im2col, args=(x, kernel, stride, padding), **_ROUNDS)
+
+
+def test_im2col_engine_preallocated(benchmark):
+    x, kernel, stride, padding, out_h, out_w = _im2col_case()
+    n, c = x.shape[0], x.shape[1]
+    cols = np.empty((n * out_h * out_w, c * kernel * kernel))
+    got = benchmark.pedantic(
+        _im2col_into, args=(x, kernel, stride, padding, out_h, out_w, cols),
+        **_ROUNDS)
+    ref = im2col(x, kernel, stride, padding)
+    np.testing.assert_array_equal(got, ref)
+
+
+@pytest.fixture(scope="module")
+def cnv_graph():
+    model = build_cnv(CNVConfig(width_scale=0.25, seed=0),
+                      ExitsConfiguration.paper_default(pruned=True))
+    graph = export_model(model)
+    streamline(graph)
+    return graph
+
+
+def test_forward_interpreted(benchmark, cnv_graph):
+    x = np.random.default_rng(2).standard_normal((32, 3, 32, 32))
+    benchmark.pedantic(cnv_graph.execute, args=(x,), **_ROUNDS)
+
+
+def test_forward_compiled(benchmark, cnv_graph):
+    x = np.random.default_rng(2).standard_normal((32, 3, 32, 32))
+    plan = cnv_graph.compile()
+    got = benchmark.pedantic(plan.run, args=(x,), **_ROUNDS)
+    ref = cnv_graph.execute(x)
+    for a, b in zip(ref, got):
+        np.testing.assert_array_equal(a, b)
+
+
+def test_forward_compiled_float32(benchmark, cnv_graph):
+    x = np.random.default_rng(2).standard_normal((32, 3, 32, 32))
+    plan = cnv_graph.compile(dtype=np.float32)
+    benchmark.pedantic(plan.run, args=(x,), **_ROUNDS)

@@ -10,7 +10,9 @@ then checks the engine's contracts:
 * a warm point-cache rerun does **zero** prune/compile work;
 * on a multi-core machine, the parallel sweep is at least ``MIN_SPEEDUP``
   (default 2x) faster than serial (skipped when fewer than 4 CPUs are
-  available — there is nothing to speed up with).
+  available — there is nothing to speed up with);
+* the compiled inference engine produces **bit-identical** outputs to
+  the interpreted IR executors on the smoke model, and is not slower.
 
 Writes a ``BENCH_perf_smoke.json`` timing report (next to this script by
 default; ``--out DIR`` to redirect) so CI can archive the trajectory.
@@ -51,6 +53,12 @@ def tiny_config(workers: int = 1) -> AdaPExConfig:
 
 def entries_of(library) -> list:
     return [e.to_dict() for e in library]
+
+
+def _timed(fn, *args) -> float:
+    t0 = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - t0
 
 
 class CallCounter:
@@ -173,6 +181,36 @@ def main(argv=None) -> int:
           agg_serial == agg_parallel and
           [(r.processed, r.lost, r.energy_j) for r in runs_serial] ==
           [(r.processed, r.lost, r.energy_j) for r in runs_parallel])
+
+    # ------------------------------------------------------------------
+    # 5. compiled engine: bit-identity and not-slower vs interpreter
+    # ------------------------------------------------------------------
+    print("compiled engine vs interpreted IR...")
+    import numpy as np
+
+    from repro.ir import export_model, streamline
+    from repro.models import CNVConfig, ExitsConfiguration, build_cnv
+
+    model = build_cnv(CNVConfig(width_scale=0.25, seed=11),
+                      ExitsConfiguration.paper_default(pruned=True))
+    graph = export_model(model)
+    streamline(graph)
+    plan = graph.compile()
+    x = np.random.default_rng(11).standard_normal((32, 3, 32, 32))
+    ref = graph.execute(x)
+    got = plan.run(x)
+    check("engine_bit_identical",
+          len(ref) == len(got) and
+          all(np.array_equal(a, b) for a, b in zip(ref, got)))
+
+    interp_s = min(_timed(graph.execute, x) for _ in range(3))
+    fused_s = min(_timed(plan.run, x) for _ in range(3))
+    engine_speedup = interp_s / fused_s if fused_s > 0 else float("inf")
+    report["engine_interpreted_s"] = interp_s
+    report["engine_fused_s"] = fused_s
+    report["engine_speedup"] = engine_speedup
+    check("engine_not_slower", engine_speedup >= 1.0,
+          f"{engine_speedup:.2f}x vs interpreted (need >= 1.0x)")
 
     # ------------------------------------------------------------------
     # report

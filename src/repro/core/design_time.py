@@ -48,6 +48,7 @@ from ..ir.passes import streamline
 from ..models.cnv import CNVConfig, build_cnv
 from ..models.exits import ExitsConfiguration
 from ..nn.serialize import load_state_arrays, state_arrays
+from ..nn.shmstate import publish_state_arrays, receive_state_arrays
 from ..nn.trainer import Trainer, cascade_sweep, evaluate_exits
 from ..pruning.pruner import prune_model
 from ..runtime.library import AcceleratorId, Library, LibraryEntry
@@ -143,6 +144,8 @@ class LibraryGenerator:
                 return self._base_cache[key]
             train, _ = self.datasets()
             model = self._build(exits_cfg, cfg.width_scale)
+            if cfg.compute_dtype != "float64":
+                model.astype(cfg.np_dtype)
             trainer = Trainer(model, cfg.initial_training)
             augment = standard_augmentation() if cfg.use_augmentation else None
             trainer.fit(train.images, train.labels, augment=augment)
@@ -206,12 +209,19 @@ class LibraryGenerator:
                                  variant=ctx.variant)
 
         with timer.phase("characterize"):
-            if scaled.num_exits == 1:
-                exit_acc = evaluate_exits(scaled, test.images, test.labels)
+            # Accuracy measurement runs on the compiled engine: export
+            # the accuracy twin, streamline, and execute the fused plan
+            # (function-preserving, so the measured accuracies match the
+            # nn-layer forward; ir.executors stays the semantics oracle).
+            scaled_graph = export_model(scaled)
+            streamline(scaled_graph)
+            plan = scaled_graph.compile(dtype=cfg.np_dtype, timer=timer)
+            if plan.num_exits == 1:
+                exit_acc = evaluate_exits(plan, test.images, test.labels)
                 sweep = [{"confidence_threshold": 1.0,
                           "accuracy": exit_acc[0], "exit_rates": (1.0,)}]
             else:
-                sweep = cascade_sweep(scaled, test.images, test.labels,
+                sweep = cascade_sweep(plan, test.images, test.labels,
                                       cfg.confidence_thresholds)
 
             entries = []
@@ -389,16 +399,24 @@ class LibraryGenerator:
         if workers > 1 and fork_available():
             base_states = {topo: state_arrays(model)
                            for topo, model in self._base_cache.items()}
-            pool = SupervisedPool(
-                workers=workers, config=supervise, progress=log,
-                label=point_label, initializer=_parallel_worker_init,
-                initargs=(cfg, base_states))
-            pool.run(
-                _characterize_task, pending,
-                on_result=lambda i, point, out: (
-                    timer.merge(out[1]),
-                    on_point_done(i, point, out[0])),
-                on_failure=on_point_failed)
+            # Weights travel through one shared-memory block instead of
+            # being pickled once per worker; the shipment must outlive
+            # the whole run because the supervisor may recreate pools
+            # (and re-run the initializer) after worker crashes.
+            shipment = publish_state_arrays(base_states)
+            try:
+                pool = SupervisedPool(
+                    workers=workers, config=supervise, progress=log,
+                    label=point_label, initializer=_parallel_worker_init,
+                    initargs=(cfg, shipment.payload))
+                pool.run(
+                    _characterize_task, pending,
+                    on_result=lambda i, point, out: (
+                        timer.merge(out[1]),
+                        on_point_done(i, point, out[0])),
+                    on_failure=on_point_failed)
+            finally:
+                shipment.close()
         else:
             pool = SupervisedPool(workers=1, config=supervise,
                                   progress=log, label=point_label)
@@ -439,20 +457,32 @@ _WORKER_STATE: tuple | None = None
 def _parallel_worker_init(config: AdaPExConfig, base_states: dict) -> None:
     """Rebuild datasets, twins, and fold constraints once per worker.
 
-    ``base_states`` maps each exit-topology key to the trained base's
-    :func:`~repro.nn.serialize.state_arrays` snapshot, so workers never
-    retrain — they rebuild the architecture (deterministic from the
-    config seed) and load the parent's exact weights.
+    ``base_states`` is either a :func:`~repro.nn.shmstate.publish_state_arrays`
+    payload (the usual case: weights read as zero-copy shared-memory
+    views) or a plain ``{topology: state_arrays}`` dict. Either way it
+    maps each exit-topology key to the trained base's snapshot, so
+    workers never retrain — they rebuild the architecture (deterministic
+    from the config seed) and load the parent's exact weights.
     """
     global _WORKER_STATE
+    if isinstance(base_states, dict) \
+            and base_states.get("kind") in ("shm", "pickle"):
+        base_states, release = receive_state_arrays(base_states)
+    else:
+        release = lambda: None  # noqa: E731 - trivial no-op
     gen = LibraryGenerator(config)
     for topo, arrays in base_states.items():
         for variant, exits_cfg, pruned_exits in gen._variants():
             if gen._topology_key(exits_cfg) == topo:
                 model = gen._build(exits_cfg, config.width_scale)
+                if config.compute_dtype != "float64":
+                    model.astype(config.np_dtype)
                 load_state_arrays(model, arrays)
                 gen._base_cache[topo] = model
                 break
+    # Weights are copied into the models above; drop the shared-memory
+    # views before anything long-lived happens in this worker.
+    release()
     # Only variants whose trained base was shipped get a context: on a
     # partial resume the parent trains (and ships) just the variants
     # with pending points, and workers must not retrain the others.

@@ -53,12 +53,17 @@ class PhaseTimer:
             bucket[0] += seconds
             bucket[1] += count
 
-    def merge(self, other) -> "PhaseTimer":
-        """Fold another timer (or its ``as_dict()`` form) into this one."""
+    def merge(self, other, prefix: str = "") -> "PhaseTimer":
+        """Fold another timer (or its ``as_dict()`` form) into this one.
+
+        ``prefix`` namespaces the incoming phases (e.g. ``"engine_"``)
+        so kernel-level timings can be told apart from orchestration
+        phases in the merged report.
+        """
         phases = other.get("phases", other) if isinstance(other, dict) \
             else other.as_dict()["phases"]
         for name, rec in phases.items():
-            self.add(name, rec["seconds"], rec.get("count", 1))
+            self.add(prefix + name, rec["seconds"], rec.get("count", 1))
         return self
 
     # ------------------------------------------------------------------

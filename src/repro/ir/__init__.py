@@ -8,6 +8,7 @@ from .analysis import (
     to_networkx,
     verify_exit_structure,
 )
+from .engine import ExecutionPlan, compile_graph
 from .export import export_model
 from .graph import IRGraph, IRNode, TensorInfo
 from .passes import absorb_batchnorm, count_unabsorbed_batchnorms, streamline
@@ -16,6 +17,7 @@ from .serialize import load_graph, save_graph
 __all__ = [
     "branch_points", "critical_path", "exit_paths", "per_exit_op_counts",
     "to_networkx", "verify_exit_structure",
+    "ExecutionPlan", "compile_graph",
     "export_model",
     "IRGraph", "IRNode", "TensorInfo",
     "absorb_batchnorm", "count_unabsorbed_batchnorms", "streamline",

@@ -40,6 +40,12 @@ def _batchnorm(node: IRNode, x: np.ndarray) -> np.ndarray:
     return x * scale + shift
 
 
+# Cap on the broadcast temp the MultiThreshold oracle materializes: the
+# level axis is processed in chunks so the peak extra memory stays near
+# x.size * chunk doubles instead of x.size * levels.
+_MT_CHUNK_ELEMS = 2_000_000
+
+
 def _multithreshold(node: IRNode, x: np.ndarray) -> np.ndarray:
     """Per-channel threshold counting: out = step * #(sign*x > sign*t_k)."""
     thresholds = node.initializers["thresholds"]  # (C, L)
@@ -56,7 +62,10 @@ def _multithreshold(node: IRNode, x: np.ndarray) -> np.ndarray:
         s = signs.reshape(1, c, 1)
     else:
         raise ValueError(f"MultiThreshold expects 2-D or 4-D input, got {x.ndim}-D")
-    code = (s * xe > s * t).sum(axis=-1)
+    chunk = max(1, _MT_CHUNK_ELEMS // max(x.size, 1))
+    code = np.zeros(x.shape, dtype=np.int64)
+    for lo in range(0, levels, chunk):
+        code += (s * xe > s * t[..., lo:lo + chunk]).sum(axis=-1)
     return step * code.astype(np.float64)
 
 

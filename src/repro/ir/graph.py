@@ -180,6 +180,16 @@ class IRGraph:
                 values[t] = v
         return [values[t] for t in self.output_names]
 
+    def compile(self, dtype=np.float64, timer=None):
+        """Compile into a fused :class:`~repro.ir.engine.ExecutionPlan`.
+
+        Convenience wrapper around :func:`repro.ir.engine.compile_graph`;
+        see there for the numerical contract.
+        """
+        from .engine import compile_graph
+
+        return compile_graph(self, dtype=dtype, timer=timer)
+
     # ------------------------------------------------------------------
     # mutation helpers for passes
     # ------------------------------------------------------------------

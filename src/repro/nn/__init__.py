@@ -27,8 +27,10 @@ from .trainer import (
     TrainConfig,
     TrainHistory,
     Trainer,
+    cascade_sweep,
     evaluate_cascade,
     evaluate_exits,
+    exit_scores,
 )
 
 __all__ = [
@@ -40,6 +42,6 @@ __all__ = [
     "SGD", "Adam", "ConstantLR", "StepDecay",
     "QuantSpec", "quantize_activations", "quantize_weights",
     "load_model", "save_model", "state_arrays", "load_state_arrays",
-    "TrainConfig", "TrainHistory", "Trainer", "evaluate_cascade",
-    "evaluate_exits",
+    "TrainConfig", "TrainHistory", "Trainer", "cascade_sweep",
+    "evaluate_cascade", "evaluate_exits", "exit_scores",
 ]

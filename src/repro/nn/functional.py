@@ -222,13 +222,14 @@ def relu_grad(x: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
     return grad_out * (x > 0)
 
 
-def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+def one_hot(labels: np.ndarray, num_classes: int,
+            dtype=np.float64) -> np.ndarray:
     """Integer labels -> one-hot float matrix."""
     labels = np.asarray(labels)
     if labels.ndim != 1:
         raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
     if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
         raise ValueError("label out of range")
-    out = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    out = np.zeros((labels.shape[0], num_classes), dtype=dtype)
     out[np.arange(labels.shape[0]), labels] = 1.0
     return out

@@ -69,6 +69,21 @@ class Layer:
     def param_count(self) -> int:
         return int(sum(p.size for p in self.params.values()))
 
+    def astype(self, dtype) -> "Layer":
+        """Cast parameters and gradient buffers to ``dtype`` in place."""
+        for k in self.params:
+            self.params[k] = self.params[k].astype(dtype, copy=False)
+        for k in self.grads:
+            self.grads[k] = self.grads[k].astype(dtype, copy=False)
+        return self
+
+    @property
+    def param_dtype(self):
+        """Dtype of the parameters (``float64`` for parameterless layers)."""
+        for p in self.params.values():
+            return p.dtype
+        return np.dtype(np.float64)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}({self.name})"
 
@@ -308,6 +323,12 @@ class BatchNorm(Layer):
 
     def macs(self, input_shape: tuple) -> int:
         return 0
+
+    def astype(self, dtype) -> "Layer":
+        super().astype(dtype)
+        self.running_mean = self.running_mean.astype(dtype, copy=False)
+        self.running_var = self.running_var.astype(dtype, copy=False)
+        return self
 
     def fold_scale_shift(self):
         """Return the affine (scale, shift) this BN applies at inference.

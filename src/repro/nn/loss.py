@@ -20,7 +20,7 @@ def cross_entropy(logits: np.ndarray, labels: np.ndarray):
     Returns ``(loss, grad)`` with ``grad`` already averaged over the batch.
     """
     n, k = logits.shape
-    targets = one_hot(labels, k)
+    targets = one_hot(labels, k, dtype=logits.dtype)
     logp = log_softmax(logits, axis=1)
     loss = -(targets * logp).sum() / n
     grad = (softmax(logits, axis=1) - targets) / n

@@ -1,0 +1,119 @@
+"""Zero-copy shipping of model weights to worker processes.
+
+The parallel design-time backend hands every worker the same trained
+base-model weights (one :func:`~repro.nn.serialize.state_arrays` dict
+per topology). Pickling those dicts through the process-pool initializer
+copies every float through a pipe once per worker; for wide sweeps the
+weights dominate the startup cost. :func:`publish_state_arrays` instead
+packs all arrays into one :class:`multiprocessing.shared_memory.SharedMemory`
+block and ships only a tiny descriptor; workers map the block and read
+the arrays as zero-copy views.
+
+The descriptor (``payload``) is a plain picklable dict, so the transport
+degrades gracefully: when shared memory is unavailable (platform quirks,
+permissions on ``/dev/shm``) the publisher falls back to embedding the
+pickled arrays directly, and :func:`receive_state_arrays` handles either
+kind. Lifecycle: the parent keeps the returned :class:`StateShipment`
+alive for the duration of the pool run and calls :meth:`StateShipment.close`
+(which unlinks) afterwards; workers call the release callable returned
+by :func:`receive_state_arrays` as soon as they have loaded the weights
+into their model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StateShipment", "publish_state_arrays", "receive_state_arrays"]
+
+_ALIGN = 64  # align each array for friendly vectorized access
+
+
+def _shared_memory():
+    from multiprocessing import shared_memory
+
+    return shared_memory
+
+
+class StateShipment:
+    """Handle the parent holds while workers consume the shared block."""
+
+    def __init__(self, payload: dict, shm=None):
+        self.payload = payload
+        self._shm = shm
+
+    @property
+    def via_shared_memory(self) -> bool:
+        return self._shm is not None
+
+    def close(self) -> None:
+        """Release and unlink the shared block (idempotent)."""
+        shm, self._shm = self._shm, None
+        if shm is None:
+            return
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - exported views still alive
+            pass
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+
+def publish_state_arrays(states: dict) -> StateShipment:
+    """Pack ``{key: state_arrays_dict}`` into one shared-memory block.
+
+    ``states`` maps an arbitrary picklable key (e.g. a topology tag) to a
+    dict of NumPy arrays. Returns a :class:`StateShipment` whose
+    ``payload`` is what should be sent to workers (tiny: names, shapes,
+    offsets). Falls back to shipping the arrays by value when shared
+    memory cannot be created.
+    """
+    meta = []  # (key, name, offset, shape, dtype_str)
+    offset = 0
+    for key, arrays in states.items():
+        for name, arr in arrays.items():
+            arr = np.ascontiguousarray(arr)
+            meta.append((key, name, offset, arr.shape, arr.dtype.str))
+            offset += (arr.nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+    total = max(offset, 1)
+    try:
+        shm = _shared_memory().SharedMemory(create=True, size=total)
+    except OSError:
+        return StateShipment({"kind": "pickle", "states": states})
+    for (key, name, off, _shape, _dt) in meta:
+        arr = np.ascontiguousarray(states[key][name])
+        shm.buf[off:off + arr.nbytes] = arr.tobytes()
+    return StateShipment(
+        {"kind": "shm", "name": shm.name, "size": total, "meta": meta}, shm)
+
+
+def receive_state_arrays(payload: dict):
+    """Reconstruct the ``states`` dict from a publisher payload.
+
+    Returns ``(states, release)``. With the shared-memory transport the
+    arrays are read-only zero-copy views into the block and ``release()``
+    must be called once they are no longer referenced (after copying the
+    weights into a model); with the pickle fallback ``release`` is a
+    no-op.
+    """
+    if payload["kind"] == "pickle":
+        return payload["states"], lambda: None
+    shm = _shared_memory().SharedMemory(name=payload["name"])
+    states: dict = {}
+    for key, name, off, shape, dtype_str in payload["meta"]:
+        arr = np.ndarray(shape, dtype=np.dtype(dtype_str),
+                         buffer=shm.buf, offset=off)
+        arr.flags.writeable = False
+        states.setdefault(key, {})[name] = arr
+
+    def release():
+        # Drop our views before closing or CPython raises BufferError.
+        states.clear()
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - caller kept a view alive
+            pass
+
+    return states, release

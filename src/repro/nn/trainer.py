@@ -17,8 +17,8 @@ from ..core.errors import TrainingDivergedError
 from .graph import BranchedModel
 from .loss import JointLoss
 
-__all__ = ["TrainConfig", "TrainHistory", "Trainer", "evaluate_exits",
-           "evaluate_cascade", "cascade_sweep"]
+__all__ = ["TrainConfig", "TrainHistory", "Trainer", "exit_scores",
+           "evaluate_exits", "evaluate_cascade", "cascade_sweep"]
 
 
 @dataclass
@@ -135,29 +135,15 @@ def _batched(images: np.ndarray, batch_size: int):
         yield start, images[start:start + batch_size]
 
 
-def evaluate_exits(model: BranchedModel, images: np.ndarray, labels: np.ndarray,
-                   batch_size: int = 256) -> list[float]:
-    """TOP-1 accuracy of every exit head independently (no cascading)."""
-    model.eval()
-    correct = np.zeros(model.num_exits)
-    for start, xb in _batched(images, batch_size):
-        yb = labels[start:start + xb.shape[0]]
-        outputs = model.forward(xb)
-        for i, logits in enumerate(outputs):
-            correct[i] += (logits.argmax(axis=1) == yb).sum()
-    return list(correct / max(images.shape[0], 1))
+def exit_scores(model, images: np.ndarray, labels: np.ndarray,
+                batch_size: int = 256) -> tuple[np.ndarray, np.ndarray]:
+    """One batched forward sweep shared by every cascade evaluator.
 
-
-def cascade_sweep(model: BranchedModel, images: np.ndarray,
-                  labels: np.ndarray, thresholds,
-                  batch_size: int = 256) -> list[dict]:
-    """Cascade statistics for many confidence thresholds from ONE forward.
-
-    The expensive part of characterizing a model over the paper's 21
-    confidence thresholds is the forward pass; the thresholding itself is
-    pure arithmetic on cached per-exit confidences. Returns one dict per
-    threshold with ``confidence_threshold``, ``accuracy`` and
-    ``exit_rates`` keys (same semantics as :func:`evaluate_cascade`).
+    ``model`` is anything exposing ``eval()``, ``forward(x) -> [logits]``
+    and ``num_exits`` — a :class:`BranchedModel` or a compiled
+    :class:`~repro.ir.engine.ExecutionPlan`. Returns ``(top_probs,
+    correct)``: the ``(N, num_exits)`` top-1 softmax confidence per exit
+    and whether each exit's prediction is correct.
     """
     from .functional import softmax as _softmax
 
@@ -174,16 +160,43 @@ def cascade_sweep(model: BranchedModel, images: np.ndarray,
             top_probs[start:start + xb.shape[0], e] = probs.max(axis=1)
             correct[start:start + xb.shape[0], e] = \
                 probs.argmax(axis=1) == yb
+    return top_probs, correct
 
+
+def _cascade_take(top_probs: np.ndarray, confidence_threshold: float) -> np.ndarray:
+    """Index of the exit each sample takes: the first exit whose
+    confidence reaches the threshold (the final exit accepts
+    unconditionally)."""
+    if not 0.0 <= confidence_threshold <= 1.0:
+        raise ValueError("thresholds must be within [0, 1]")
+    accept = top_probs >= confidence_threshold
+    accept[:, -1] = True
+    return accept.argmax(axis=1)
+
+
+def evaluate_exits(model, images: np.ndarray, labels: np.ndarray,
+                   batch_size: int = 256) -> list[float]:
+    """TOP-1 accuracy of every exit head independently (no cascading)."""
+    _, correct = exit_scores(model, images, labels, batch_size)
+    return list(correct.sum(axis=0) / max(images.shape[0], 1))
+
+
+def cascade_sweep(model, images: np.ndarray,
+                  labels: np.ndarray, thresholds,
+                  batch_size: int = 256) -> list[dict]:
+    """Cascade statistics for many confidence thresholds from ONE forward.
+
+    The expensive part of characterizing a model over the paper's 21
+    confidence thresholds is the forward pass; the thresholding itself is
+    pure arithmetic on the cached :func:`exit_scores`. Returns one dict
+    per threshold with ``confidence_threshold``, ``accuracy`` and
+    ``exit_rates`` keys (same semantics as :func:`evaluate_cascade`).
+    """
+    top_probs, correct = exit_scores(model, images, labels, batch_size)
+    n, num_exits = top_probs.shape
     results = []
     for ct in thresholds:
-        if not 0.0 <= ct <= 1.0:
-            raise ValueError("thresholds must be within [0, 1]")
-        # First exit whose confidence reaches the threshold (final exit
-        # accepts unconditionally).
-        accept = top_probs >= ct
-        accept[:, -1] = True
-        taken = accept.argmax(axis=1)
+        taken = _cascade_take(top_probs, ct)
         hits = correct[np.arange(n), taken]
         rates = np.bincount(taken, minlength=num_exits) / max(n, 1)
         results.append({
@@ -194,7 +207,7 @@ def cascade_sweep(model: BranchedModel, images: np.ndarray,
     return results
 
 
-def evaluate_cascade(model: BranchedModel, images: np.ndarray,
+def evaluate_cascade(model, images: np.ndarray,
                      labels: np.ndarray, confidence_threshold: float,
                      batch_size: int = 256) -> dict:
     """Cascade accuracy and exit statistics under one confidence threshold.
@@ -203,24 +216,16 @@ def evaluate_cascade(model: BranchedModel, images: np.ndarray,
     (fraction classified at each exit), and ``per_exit_accuracy``
     (accuracy of the samples that took each exit; NaN if none did).
     """
-    model.eval()
-    n = images.shape[0]
-    correct = 0
-    exit_counts = np.zeros(model.num_exits)
-    exit_correct = np.zeros(model.num_exits)
-    for start, xb in _batched(images, batch_size):
-        yb = labels[start:start + xb.shape[0]]
-        decision = model.predict(xb, confidence_threshold)
-        hits = decision.predictions == yb
-        correct += int(hits.sum())
-        for e in range(model.num_exits):
-            took = decision.exit_taken == e
-            exit_counts[e] += int(took.sum())
-            exit_correct[e] += int((took & hits).sum())
+    top_probs, correct = exit_scores(model, images, labels, batch_size)
+    n, num_exits = top_probs.shape
+    taken = _cascade_take(top_probs, confidence_threshold)
+    hits = correct[np.arange(n), taken]
+    exit_counts = np.bincount(taken, minlength=num_exits).astype(np.float64)
+    exit_correct = np.bincount(taken[hits], minlength=num_exits).astype(np.float64)
     with np.errstate(invalid="ignore", divide="ignore"):
         per_exit_acc = exit_correct / exit_counts
     return {
-        "accuracy": correct / max(n, 1),
+        "accuracy": float(hits.sum()) / max(n, 1),
         "exit_rates": exit_counts / max(n, 1),
         "per_exit_accuracy": per_exit_acc,
     }

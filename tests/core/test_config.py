@@ -60,3 +60,34 @@ class TestQuickProfile:
         assert cfg.train_samples <= 512
         assert cfg.initial_training.epochs <= 3
         assert len(cfg.pruning_rates) <= 5
+
+
+class TestComputeDtype:
+    def test_default_float64(self):
+        cfg = AdaPExConfig.quick()
+        assert cfg.compute_dtype == "float64"
+        import numpy as np
+        assert cfg.np_dtype == np.float64
+
+    def test_float32_np_dtype(self):
+        import numpy as np
+        cfg = AdaPExConfig.quick()
+        cfg.compute_dtype = "float32"
+        assert cfg.np_dtype == np.float32
+
+    def test_rejects_unknown_dtype(self):
+        with pytest.raises(ValueError):
+            AdaPExConfig(compute_dtype="float16")
+
+    def test_cache_key_unchanged_for_default(self):
+        """float64 must not alter keys minted before the field existed."""
+        a = AdaPExConfig.quick()
+        b = AdaPExConfig.quick()
+        b.compute_dtype = "float64"
+        assert a.cache_key() == b.cache_key()
+
+    def test_cache_key_sensitive_to_float32(self):
+        a = AdaPExConfig.quick()
+        b = AdaPExConfig.quick()
+        b.compute_dtype = "float32"
+        assert a.cache_key() != b.cache_key()

@@ -1,0 +1,270 @@
+"""Compiled execution engine: bit-identity against the interpreted
+executors, fusion/folding bookkeeping, buffer reuse, and dtype policy."""
+
+import numpy as np
+import pytest
+
+from repro.core import PhaseTimer
+from repro.ir import IRGraph, IRNode, compile_graph, export_model, streamline
+from repro.ir.engine import (
+    _SWEEP_MAX_LEVELS,
+    _threshold_matrix,
+    _threshold_tensor,
+)
+from repro.ir.executors import _multithreshold
+from repro.models import CNVConfig, ExitsConfiguration, build_cnv
+from repro.nn import evaluate_exits, exit_scores
+from repro.pruning import prune_model
+
+
+def _cnv(exits=True, seed=0):
+    exits_config = ExitsConfiguration.paper_default(pruned=True) \
+        if exits else None
+    return build_cnv(CNVConfig(width_scale=0.25, seed=seed), exits_config)
+
+
+def _batch(n=4, seed=0):
+    return np.random.default_rng(seed).standard_normal((n, 3, 32, 32))
+
+
+def assert_outputs_equal(ref, got, exact=True):
+    assert len(ref) == len(got)
+    for a, b in zip(ref, got):
+        if exact:
+            np.testing.assert_array_equal(a, b)
+        else:
+            np.testing.assert_allclose(a, b, atol=1e-9)
+
+
+class TestBitIdentity:
+    """The compiled plan is the interpreted graph, bit for bit."""
+
+    @pytest.mark.parametrize("rate", [0.0, 0.4, 0.8])
+    @pytest.mark.parametrize("exits", [False, True],
+                             ids=["backbone", "exits"])
+    def test_streamlined_pruned(self, rate, exits):
+        model = _cnv(exits=exits)
+        if rate > 0:
+            model, _ = prune_model(model, rate)
+        graph = export_model(model)
+        streamline(graph)
+        x = _batch()
+        ref = graph.execute(x)
+        got = graph.compile().run(x)
+        assert_outputs_equal(ref, got)
+
+    def test_raw_export_with_batchnorm(self):
+        """BN folding changes rounding: allclose, and every BN is folded."""
+        graph = export_model(_cnv())
+        assert any(n.op_type == "BatchNorm" for n in graph.nodes)
+        x = _batch()
+        ref = graph.execute(x)
+        plan = graph.compile()
+        assert plan.stats()["folded_batchnorm"] > 0
+        assert_outputs_equal(ref, plan.run(x), exact=False)
+
+    def test_matches_model_forward(self):
+        model = _cnv()
+        model.eval()
+        graph = export_model(model)
+        streamline(graph)
+        plan = graph.compile()
+        x = _batch(n=2, seed=3)
+        ref = model.forward(x)
+        got = plan.run(x)
+        assert_outputs_equal(ref, got, exact=False)
+
+
+class TestBufferReuse:
+    def test_repeated_runs_stable(self):
+        graph = export_model(_cnv())
+        streamline(graph)
+        plan = graph.compile()
+        for seed in range(3):
+            x = _batch(seed=seed)
+            assert_outputs_equal(graph.execute(x), plan.run(x))
+
+    def test_varying_batch_sizes(self):
+        graph = export_model(_cnv())
+        streamline(graph)
+        plan = graph.compile()
+        for n in (4, 1, 6, 2):
+            x = _batch(n=n, seed=n)
+            assert_outputs_equal(graph.execute(x), plan.run(x))
+
+    def test_outputs_survive_next_run(self):
+        graph = export_model(_cnv())
+        streamline(graph)
+        plan = graph.compile()
+        first = plan.run(_batch(seed=0))
+        snapshot = [o.copy() for o in first]
+        plan.run(_batch(seed=1))
+        assert_outputs_equal(snapshot, first)
+
+
+class TestUnfoldableBatchNorm:
+    def test_batchnorm_after_maxpool_stays(self):
+        g = IRGraph("g")
+        g.set_input("input", (2, 8, 8))
+        g.add_tensor("t0", (2, 4, 4))
+        g.add_tensor("t1", (2, 4, 4))
+        g.add_node(IRNode("MaxPool", "mp", ["input"], ["t0"],
+                          attrs={"kernel": 2}))
+        g.add_node(IRNode("BatchNorm", "bn", ["t0"], ["t1"],
+                          initializers={"scale": np.array([2.0, 0.5]),
+                                        "shift": np.array([-1.0, 3.0])}))
+        g.mark_output("t1")
+        plan = g.compile()
+        assert plan.stats()["folded_batchnorm"] == 0
+        x = np.random.default_rng(0).standard_normal((3, 2, 8, 8))
+        assert_outputs_equal(g.execute(x), plan.run(x))
+
+    def test_multiconsumer_conv_keeps_threshold_standalone(self):
+        """A Conv feeding a graph output and an MT must not fuse."""
+        rng = np.random.default_rng(1)
+        g = IRGraph("g")
+        g.set_input("input", (2, 6, 6))
+        g.add_tensor("c0", (3, 6, 6))
+        g.add_tensor("q0", (3, 6, 6))
+        g.add_node(IRNode("Conv", "conv", ["input"], ["c0"],
+                          attrs={"stride": 1, "padding": 1},
+                          initializers={
+                              "weight": rng.standard_normal((3, 2, 3, 3))}))
+        g.add_node(IRNode("MultiThreshold", "mt", ["c0"], ["q0"],
+                          attrs={"step": 1.0},
+                          initializers={
+                              "thresholds": np.tile(
+                                  np.array([-0.5, 0.0, 0.5]), (3, 1)),
+                              "signs": np.ones(3)}))
+        g.mark_output("c0")
+        g.mark_output("q0")
+        plan = g.compile()
+        assert plan.stats()["fused_thresholds"] == 0
+        x = rng.standard_normal((2, 2, 6, 6))
+        assert_outputs_equal(g.execute(x), plan.run(x))
+
+
+class TestThresholdKernels:
+    """Both engine threshold paths against the reference executor."""
+
+    def _node(self, thresholds, signs, step=0.5):
+        return IRNode("MultiThreshold", "mt", ["x"], ["y"],
+                      attrs={"step": step},
+                      initializers={"thresholds": thresholds,
+                                    "signs": signs})
+
+    @pytest.mark.parametrize("levels",
+                             [3, _SWEEP_MAX_LEVELS, _SWEEP_MAX_LEVELS + 1,
+                              255])
+    def test_tensor_path(self, levels):
+        rng = np.random.default_rng(levels)
+        channels = 5
+        # Unsorted thresholds and mixed signs: the sort + sign transform
+        # must reproduce the reference counting exactly.
+        thresholds = rng.standard_normal((channels, levels))
+        signs = np.where(rng.random(channels) < 0.5, -1.0, 1.0)
+        node = self._node(thresholds, signs)
+        x = rng.standard_normal((3, channels, 4, 4))
+        ref = _multithreshold(node, x)
+        v = np.sort(signs[:, None] * thresholds, axis=1)
+        got = _threshold_tensor(x, v, signs, 0.5, np.empty_like(x))
+        np.testing.assert_array_equal(got, ref)
+
+    @pytest.mark.parametrize("levels", [3, _SWEEP_MAX_LEVELS + 1])
+    def test_matrix_path(self, levels):
+        rng = np.random.default_rng(levels + 100)
+        channels = 4
+        thresholds = rng.standard_normal((channels, levels))
+        signs = np.where(rng.random(channels) < 0.5, -1.0, 1.0)
+        node = self._node(thresholds, signs)
+        x = rng.standard_normal((6, channels))
+        ref = _multithreshold(node, x)
+        v = np.sort(signs[:, None] * thresholds, axis=1)
+        m = x.copy()
+        _threshold_matrix(m, v, signs, 0.5)
+        np.testing.assert_array_equal(m, ref)
+
+    def test_exact_threshold_boundary(self):
+        """x == t is NOT counted (strict >): both paths must agree."""
+        thresholds = np.array([[0.0, 1.0]])
+        signs = np.ones(1)
+        node = self._node(thresholds, signs, step=1.0)
+        x = np.array([[[[0.0, 1.0], [-1.0, 2.0]]]])
+        ref = _multithreshold(node, x)
+        v = np.sort(signs[:, None] * thresholds, axis=1)
+        got = _threshold_tensor(x, v, signs, 1.0, np.empty_like(x))
+        np.testing.assert_array_equal(got, ref)
+        np.testing.assert_array_equal(got[0, 0], [[0, 1], [0, 2]])
+
+    def test_searchsorted_path_in_full_plan(self, monkeypatch):
+        """Force the searchsorted branch on a real exported model."""
+        import repro.ir.engine as engine
+
+        graph = export_model(_cnv(exits=False))
+        streamline(graph)
+        x = _batch(n=2)
+        ref = graph.execute(x)
+        monkeypatch.setattr(engine, "_SWEEP_MAX_LEVELS", 0)
+        assert_outputs_equal(ref, graph.compile().run(x))
+
+
+class TestDtypePolicy:
+    def test_float32_outputs(self):
+        graph = export_model(_cnv())
+        streamline(graph)
+        plan = graph.compile(dtype=np.float32)
+        outs = plan.run(_batch(n=2))
+        assert all(o.dtype == np.float32 for o in outs)
+        assert plan.param_dtype == np.float32
+
+    def test_float32_close_to_float64(self):
+        graph = export_model(_cnv())
+        streamline(graph)
+        x = _batch(n=2)
+        outs64 = graph.compile().run(x)
+        outs32 = graph.compile(dtype=np.float32).run(x)
+        for a, b in zip(outs64, outs32):
+            np.testing.assert_allclose(a, b, rtol=1e-3, atol=1e-3)
+
+
+class TestPlanInterface:
+    @pytest.fixture(scope="class")
+    def plan(self):
+        graph = export_model(_cnv())
+        streamline(graph)
+        return graph.compile()
+
+    def test_model_duck_typing(self, plan):
+        assert plan.num_exits == 3  # two early exits + backbone
+        assert plan.eval() is plan
+        with pytest.raises(RuntimeError):
+            plan.train()
+
+    def test_stats(self, plan):
+        stats = plan.stats()
+        assert stats["fused_thresholds"] > 0
+        assert stats["folded_batchnorm"] == 0  # streamline absorbed them
+        assert stats["num_steps"] < stats["nodes"] + stats["fused_thresholds"]
+        plan.run(_batch(n=1))
+        assert plan.stats()["arena_bytes"] > 0
+        assert plan.stats()["dtype"] == "float64"
+
+    def test_evaluation_helpers_accept_plan(self, plan):
+        rng = np.random.default_rng(5)
+        images = rng.standard_normal((8, 3, 32, 32))
+        labels = rng.integers(0, 10, size=8)
+        accs = evaluate_exits(plan, images, labels)
+        assert len(accs) == 3  # two exits + backbone
+        top, correct = exit_scores(plan, images, labels)
+        assert top.shape == (8, 3) and correct.shape == (8, 3)
+
+    def test_timer_phases(self):
+        graph = export_model(_cnv())
+        streamline(graph)
+        timer = PhaseTimer()
+        plan = compile_graph(graph, timer=timer)
+        plan.run(_batch(n=1))
+        phases = timer.as_dict()["phases"]
+        assert "engine_compile" in phases
+        assert "engine_forward" in phases
+        assert "engine_threshold" in phases

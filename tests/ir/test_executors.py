@@ -1,0 +1,60 @@
+"""Reference executor kernels: MultiThreshold chunking equivalence."""
+
+import numpy as np
+import pytest
+
+import repro.ir.executors as executors
+from repro.ir import IRNode
+from repro.ir.executors import _multithreshold
+
+
+def _node(thresholds, signs, step=0.5):
+    return IRNode("MultiThreshold", "mt", ["x"], ["y"],
+                  attrs={"step": step},
+                  initializers={"thresholds": thresholds, "signs": signs})
+
+
+@pytest.mark.parametrize("levels", [1, 3, 7, 64])
+@pytest.mark.parametrize("ndim", [2, 4])
+def test_chunked_matches_unchunked(monkeypatch, levels, ndim):
+    """Chunking over the level axis must not change a single output.
+
+    The chunk size only bounds the broadcast temp; forcing one-level
+    chunks must reproduce the single-shot (all levels at once) result
+    bit for bit.
+    """
+    rng = np.random.default_rng(levels * 10 + ndim)
+    channels = 6
+    thresholds = rng.standard_normal((channels, levels))
+    signs = np.where(rng.random(channels) < 0.5, -1.0, 1.0)
+    node = _node(thresholds, signs)
+    shape = (3, channels) if ndim == 2 else (3, channels, 5, 5)
+    x = rng.standard_normal(shape)
+
+    monkeypatch.setattr(executors, "_MT_CHUNK_ELEMS", x.size * levels)
+    single_shot = _multithreshold(node, x)
+    monkeypatch.setattr(executors, "_MT_CHUNK_ELEMS", 1)
+    fully_chunked = _multithreshold(node, x)
+
+    np.testing.assert_array_equal(single_shot, fully_chunked)
+    assert single_shot.dtype == np.float64
+
+
+def test_chunk_bounds_the_temp():
+    """The rank-5 broadcast temp stays under the chunk budget."""
+    x = np.zeros((2, 4, 8, 8))
+    levels = 40
+    # chunk = _MT_CHUNK_ELEMS // x.size: with the default budget this
+    # caps the temp at ~_MT_CHUNK_ELEMS elements even for huge level
+    # counts (the pre-chunking code materialized x.size * levels).
+    chunk = max(1, executors._MT_CHUNK_ELEMS // x.size)
+    assert chunk * x.size <= max(executors._MT_CHUNK_ELEMS, x.size)
+    node = _node(np.tile(np.linspace(-1, 1, levels), (4, 1)), np.ones(4))
+    out = _multithreshold(node, x)
+    assert out.shape == x.shape
+
+
+def test_rejects_bad_rank():
+    node = _node(np.zeros((2, 3)), np.ones(2))
+    with pytest.raises(ValueError):
+        _multithreshold(node, np.zeros((2, 2, 2)))

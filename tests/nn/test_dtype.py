@@ -1,0 +1,88 @@
+"""Compute-dtype policy: casting models, float32 training/inference."""
+
+import numpy as np
+
+from repro.nn import (
+    BatchNorm,
+    BranchedModel,
+    Linear,
+    ReLU,
+    Sequential,
+    TrainConfig,
+    Trainer,
+    evaluate_exits,
+)
+from repro.nn import functional as F
+
+
+def make_model(seed=0):
+    rng = np.random.default_rng(seed)
+    seg0 = Sequential([Linear(6, 24, rng=rng), BatchNorm(24), ReLU()])
+    seg1 = Sequential([Linear(24, 3, rng=rng)])
+    exit0 = Sequential([Linear(24, 3, rng=rng)])
+    return BranchedModel([seg0, seg1], {0: exit0}, input_shape=(6,))
+
+
+class TestAstype:
+    def test_layer_roundtrip(self):
+        layer = Linear(4, 2, rng=np.random.default_rng(0))
+        assert layer.param_dtype == np.float64
+        layer.astype(np.float32)
+        assert layer.param_dtype == np.float32
+        assert all(p.dtype == np.float32 for p in layer.params.values())
+        assert all(g.dtype == np.float32 for g in layer.grads.values())
+
+    def test_parameterless_layer_reports_float64(self):
+        assert ReLU().param_dtype == np.float64
+
+    def test_batchnorm_casts_running_stats(self):
+        bn = BatchNorm(8).astype(np.float32)
+        assert bn.running_mean.dtype == np.float32
+        assert bn.running_var.dtype == np.float32
+
+    def test_model_astype(self):
+        model = make_model().astype(np.float32)
+        assert model.param_dtype == np.float32
+        for layer in model.all_layers():
+            for p in layer.params.values():
+                assert p.dtype == np.float32
+
+
+class TestFloat32Forward:
+    def test_forward_casts_input(self):
+        model = make_model().astype(np.float32)
+        model.eval()
+        outs = model.forward(np.random.default_rng(1).normal(size=(5, 6)))
+        assert all(o.dtype == np.float32 for o in outs)
+
+    def test_float32_close_to_float64(self):
+        x = np.random.default_rng(2).normal(size=(8, 6))
+        model64 = make_model(seed=3)
+        model32 = make_model(seed=3).astype(np.float32)
+        model64.eval()
+        model32.eval()
+        for a, b in zip(model64.forward(x), model32.forward(x)):
+            np.testing.assert_allclose(a, b, rtol=1e-4, atol=1e-4)
+
+
+class TestFloat32Training:
+    def test_training_preserves_dtype(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(64, 6))
+        y = rng.integers(0, 3, size=64)
+        model = make_model().astype(np.float32)
+        history = Trainer(model, TrainConfig(epochs=2, lr=0.01)).fit(x, y)
+        assert model.param_dtype == np.float32
+        assert np.isfinite(history.joint_loss).all()
+        accs = evaluate_exits(model, x, y)
+        assert all(0.0 <= a <= 1.0 for a in accs)
+
+
+class TestOneHotDtype:
+    def test_default_float64(self):
+        assert F.one_hot(np.array([0, 1]), 2).dtype == np.float64
+
+    def test_explicit_float32(self):
+        oh = F.one_hot(np.array([0, 1]), 2, dtype=np.float32)
+        assert oh.dtype == np.float32
+        np.testing.assert_array_equal(oh, np.eye(2, dtype=np.float32))

@@ -59,6 +59,42 @@ class TestIm2col:
         aty = F.col2im(y, x.shape, kernel=3, stride=2, padding=1)
         np.testing.assert_allclose((ax * y).sum(), (x * aty).sum(), rtol=1e-10)
 
+    def test_stride_with_padding_values(self):
+        # stride 2 + padding 1 on a 3x3 input: the 4 windows are the
+        # zero-padded corners.
+        x = np.arange(1, 10, dtype=float).reshape(1, 1, 3, 3)
+        cols = F.im2col(x, kernel=2, stride=2, padding=1)
+        assert cols.shape == (4, 4)
+        np.testing.assert_allclose(cols[0], [0, 0, 0, 1])
+        np.testing.assert_allclose(cols[1], [0, 0, 2, 3])
+        np.testing.assert_allclose(cols[2], [0, 4, 0, 7])
+        np.testing.assert_allclose(cols[3], [5, 6, 8, 9])
+
+    def test_non_square_input(self):
+        rng = np.random.default_rng(12)
+        x = rng.normal(size=(2, 3, 5, 9))
+        cols = F.im2col(x, kernel=3, stride=1, padding=1)
+        assert cols.shape == (2 * 5 * 9, 3 * 9)
+        # Center pixel of each 3x3 window walks the input in raster order.
+        centers = cols.reshape(2, 5, 9, 3, 3, 3)[:, :, :, :, 1, 1]
+        np.testing.assert_allclose(centers, x.transpose(0, 2, 3, 1))
+
+    @given(st.integers(3, 7), st.integers(3, 9), st.integers(1, 3),
+           st.integers(1, 2), st.integers(0, 1), st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_col2im_im2col_is_overlap_count(self, h, w, kernel, stride,
+                                            padding, seed):
+        """col2im(im2col(x)) == x weighted by each pixel's window count."""
+        if h + 2 * padding < kernel or w + 2 * padding < kernel:
+            return
+        x = np.random.default_rng(seed).normal(size=(2, 2, h, w))
+        back = F.col2im(F.im2col(x, kernel, stride, padding),
+                        x.shape, kernel, stride, padding)
+        counts = F.col2im(F.im2col(np.ones_like(x), kernel, stride, padding),
+                          x.shape, kernel, stride, padding)
+        assert counts.min() >= 0  # padding-only pixels never appear
+        np.testing.assert_allclose(back, x * counts, rtol=1e-10, atol=1e-12)
+
 
 class TestConv2d:
     def test_matches_scipy(self):

@@ -1,0 +1,107 @@
+"""Shared-memory weight shipping: roundtrip, fallback, lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.nn import shmstate
+from repro.nn.shmstate import (
+    StateShipment,
+    publish_state_arrays,
+    receive_state_arrays,
+)
+
+
+@pytest.fixture
+def states():
+    rng = np.random.default_rng(0)
+    return {
+        "cnv-1.0": {
+            "conv0.weight": rng.standard_normal((4, 3, 3, 3)),
+            "conv0.bias": rng.standard_normal(4),
+            "fc.weight": rng.standard_normal((10, 16)).astype(np.float32),
+        },
+        "cnv-0.5": {
+            "conv0.weight": rng.standard_normal((2, 3, 3, 3)),
+            "empty": np.zeros((0, 3)),
+        },
+    }
+
+
+def assert_states_equal(a, b):
+    assert set(a) == set(b)
+    for key in a:
+        assert set(a[key]) == set(b[key])
+        for name in a[key]:
+            assert a[key][name].dtype == b[key][name].dtype
+            np.testing.assert_array_equal(a[key][name], b[key][name])
+
+
+class TestRoundtrip:
+    def test_shared_memory_roundtrip(self, states):
+        shipment = publish_state_arrays(states)
+        try:
+            assert shipment.via_shared_memory
+            assert shipment.payload["kind"] == "shm"
+            received, release = receive_state_arrays(shipment.payload)
+            assert_states_equal(states, received)
+            release()
+        finally:
+            shipment.close()
+
+    def test_views_are_readonly(self, states):
+        shipment = publish_state_arrays(states)
+        try:
+            received, release = receive_state_arrays(shipment.payload)
+            arr = received["cnv-1.0"]["conv0.weight"]
+            assert not arr.flags.writeable
+            with pytest.raises(ValueError):
+                arr[0, 0, 0, 0] = 1.0
+            release()
+        finally:
+            shipment.close()
+
+    def test_payload_is_small(self, states):
+        """The descriptor must not embed the arrays."""
+        import pickle
+
+        shipment = publish_state_arrays(states)
+        try:
+            total = sum(a.nbytes for d in states.values()
+                        for a in d.values())
+            assert len(pickle.dumps(shipment.payload)) < max(total, 2048)
+        finally:
+            shipment.close()
+
+    def test_close_idempotent(self, states):
+        shipment = publish_state_arrays(states)
+        shipment.close()
+        shipment.close()
+        assert not shipment.via_shared_memory
+
+    def test_empty_states(self):
+        shipment = publish_state_arrays({})
+        try:
+            received, release = receive_state_arrays(shipment.payload)
+            assert received == {}
+            release()
+        finally:
+            shipment.close()
+
+
+class TestFallback:
+    def test_pickle_fallback_when_shm_unavailable(self, states, monkeypatch):
+        class _Broken:
+            def SharedMemory(self, *a, **k):
+                raise OSError("no /dev/shm")
+
+        monkeypatch.setattr(shmstate, "_shared_memory", _Broken)
+        shipment = publish_state_arrays(states)
+        assert not shipment.via_shared_memory
+        assert shipment.payload["kind"] == "pickle"
+        received, release = receive_state_arrays(shipment.payload)
+        assert_states_equal(states, received)
+        release()  # no-op
+        shipment.close()  # no-op
+
+    def test_fallback_shipment_close_is_safe(self):
+        StateShipment({"kind": "pickle", "states": {}}).close()

@@ -147,3 +147,65 @@ class TestEvaluation:
         model.eval()
         with pytest.raises(ValueError):
             cascade_sweep(model, x, y, [1.2])
+
+
+class TestExitScores:
+    """The shared forward sweep behind every cascade evaluator."""
+
+    def test_batch_size_invariant(self):
+        from repro.nn import exit_scores
+
+        x, y = make_data(60)
+        model = make_model()
+        model.eval()
+        top_a, correct_a = exit_scores(model, x, y, batch_size=256)
+        top_b, correct_b = exit_scores(model, x, y, batch_size=7)
+        np.testing.assert_array_equal(top_a, top_b)
+        np.testing.assert_array_equal(correct_a, correct_b)
+
+    def test_shapes_and_ranges(self):
+        from repro.nn import exit_scores
+
+        x, y = make_data(30)
+        model = make_model()
+        model.eval()
+        top, correct = exit_scores(model, x, y)
+        assert top.shape == (30, 2) and correct.shape == (30, 2)
+        assert correct.dtype == bool
+        assert ((top >= 0) & (top <= 1.0 + 1e-12)).all()
+
+    def test_evaluate_cascade_matches_manual_reference(self):
+        """evaluate_cascade == the per-sample cascade written out longhand."""
+        x, y = make_data(90, seed=5)
+        model = make_model(seed=5)
+        Trainer(model, TrainConfig(epochs=3, lr=0.01)).fit(x, y)
+        from repro.nn import softmax
+
+        outs = model.forward(x)
+        probs = [softmax(o) for o in outs]
+        for ct in (0.0, 0.5, 0.9):
+            taken = np.empty(len(y), dtype=int)
+            hit = np.empty(len(y), dtype=bool)
+            for i in range(len(y)):
+                for e, p in enumerate(probs):
+                    last = e == len(probs) - 1
+                    if last or p[i].max() >= ct:
+                        taken[i] = e
+                        hit[i] = p[i].argmax() == y[i]
+                        break
+            got = evaluate_cascade(model, x, y, ct)
+            assert np.isclose(got["accuracy"], hit.mean())
+            np.testing.assert_allclose(
+                got["exit_rates"],
+                np.bincount(taken, minlength=len(probs)) / len(y))
+
+    def test_per_exit_accuracy_nan_for_unused_exit(self):
+        x, y = make_data(20)
+        model = make_model()
+        model.eval()
+        # Threshold above any reachable confidence: every sample falls
+        # through to the final exit.
+        r = evaluate_cascade(model, x, y, 1.0 - 1e-12)
+        if r["exit_rates"][0] == 0.0:
+            assert np.isnan(r["per_exit_accuracy"][0])
+        assert not np.isnan(r["per_exit_accuracy"][-1])
