@@ -23,7 +23,7 @@ from .core.config import AdaPExConfig
 from .core.errors import IntegrityError
 from .core.instrument import PhaseTimer
 from .core.supervise import SuperviseConfig
-from .edge.server import simulate_policy
+from .edge.server import ServerConfig, simulate_policy
 from .runtime.baselines import make_policy
 from .runtime.faults import FaultSpec
 from .runtime.library import Library
@@ -194,6 +194,13 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--fault-seed", type=int, default=0,
                     help="seed of the fault campaign; identical seeds "
                          "give byte-identical campaigns")
+    ev.add_argument("--sim-mode", default="auto",
+                    choices=("auto", "event", "vector"),
+                    help="serving-simulator engine: 'auto' (default) "
+                         "uses the vectorized fast path when bit-exact "
+                         "equivalence is provable and falls back to the "
+                         "event loop otherwise; 'event'/'vector' force "
+                         "one engine (metrics are identical either way)")
     ev.add_argument("--timing-json", metavar="PATH",
                     help="write the per-phase timing report to PATH")
 
@@ -320,6 +327,8 @@ def _cmd_evaluate(args) -> int:
         with timer.phase("simulate"):
             aggregate, _ = simulate_policy(policy, runs=args.runs,
                                            base_seed=args.seed,
+                                           config=ServerConfig(
+                                               sim_mode=args.sim_mode),
                                            parallel=args.parallel,
                                            faults=faults,
                                            fault_seed=args.fault_seed)
@@ -337,7 +346,8 @@ def _cmd_evaluate(args) -> int:
         timer.write_json(args.timing_json, extra={
             "command": "evaluate", "runs": args.runs,
             "policies": args.policies, "parallel": args.parallel,
-            "faults": args.faults, "fault_seed": args.fault_seed})
+            "faults": args.faults, "fault_seed": args.fault_seed,
+            "sim_mode": args.sim_mode})
         print(f"timing report written to {args.timing_json}")
     return 0
 

@@ -73,6 +73,11 @@ class AdaPExConfig:
     # results bit-stable with the golden traces; "float32" roughly halves
     # memory traffic and doubles BLAS throughput at a small accuracy delta.
     compute_dtype: str = "float64"
+    # Serving-simulator engine for evaluate_at_edge: "auto" uses the
+    # vectorized fast path when provably bit-identical to the event loop
+    # and falls back otherwise; "event"/"vector" force one engine. Not
+    # part of the cache key — both engines produce identical metrics.
+    sim_mode: str = "auto"
 
     def __post_init__(self):
         if self.train_samples < 1 or self.test_samples < 1:
@@ -89,6 +94,10 @@ class AdaPExConfig:
             raise ValueError(
                 f"compute_dtype must be 'float64' or 'float32', "
                 f"got {self.compute_dtype!r}")
+        if self.sim_mode not in ("auto", "event", "vector"):
+            raise ValueError(
+                f"sim_mode must be one of 'auto', 'event', 'vector', "
+                f"got {self.sim_mode!r}")
 
     @property
     def np_dtype(self):

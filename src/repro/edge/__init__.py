@@ -13,6 +13,7 @@ from .metrics import (
     edp,
     qoe,
 )
+from .fastsim import SIM_MODES
 from .server import EdgeServerSimulator, ServerConfig, simulate_policy
 from .traces import (
     BurstWorkload,
@@ -26,7 +27,7 @@ __all__ = [
     "Event", "EventLoop",
     "FluidSimulator", "fluid_simulate_policy",
     "AggregateMetrics", "RunMetrics", "aggregate_runs", "edp", "qoe",
-    "EdgeServerSimulator", "ServerConfig", "simulate_policy",
+    "EdgeServerSimulator", "ServerConfig", "simulate_policy", "SIM_MODES",
     "BurstWorkload", "DiurnalWorkload", "RampWorkload",
     "arrivals_from_rate",
 ]

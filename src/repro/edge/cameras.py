@@ -61,29 +61,62 @@ class CameraFleet:
         ) * spec.ips_per_camera
         return per_cam.sum(axis=1)
 
+    #: Cap on the elements of one dense (groups, max_count) work matrix
+    #: in :meth:`arrival_times`; larger workloads process in row chunks.
+    _MAX_MATRIX_ELEMS = 16_000_000
+
     def arrival_times(self) -> np.ndarray:
         """Sorted arrival times of every inference request in the run.
 
         Within a window each camera emits periodically at its deviated
         rate with a random phase, which matches the paper's constant-rate
         cameras while avoiding pathological synchronization.
+
+        The per-(window, camera) trains are materialized as one dense
+        matrix instead of per-group ``np.arange`` calls, replicating
+        arange's exact fill rule — element 0 is ``first``, element 1 is
+        ``first + period``, and elements ``k >= 2`` are ``first + k *
+        delta`` with ``delta`` *reconstructed* as ``(first + period) -
+        first`` — so the returned array is byte-identical to the
+        historical per-group loop (pinned by a regression test).
         """
         spec = self.spec
         rng = np.random.default_rng(self.seed)
+        windows = spec.num_windows()
         deviations = rng.uniform(1.0 - spec.deviation, 1.0 + spec.deviation,
-                                 size=(spec.num_windows(), spec.num_cameras))
+                                 size=(windows, spec.num_cameras))
         phases = rng.uniform(0.0, 1.0, size=spec.num_cameras)
-        arrivals = []
-        for w in range(spec.num_windows()):
-            t0 = w * spec.deviation_interval_s
-            t1 = min(t0 + spec.deviation_interval_s, spec.duration_s)
-            for cam in range(spec.num_cameras):
-                rate = spec.ips_per_camera * deviations[w, cam]
-                period = 1.0 / rate
-                first = t0 + phases[cam] * period
-                times = np.arange(first, t1, period)
-                arrivals.append(times)
-        out = np.concatenate(arrivals)
+
+        periods = 1.0 / (spec.ips_per_camera * deviations)
+        t0 = np.arange(windows) * spec.deviation_interval_s
+        t1 = np.minimum(t0 + spec.deviation_interval_s, spec.duration_s)
+        firsts = (t0[:, None] + phases[None, :] * periods).ravel()
+        steps = periods.ravel()
+        delta = np.repeat(t1, spec.num_cameras) - firsts
+        # np.arange(first, stop, step) emits ceil((stop - first) / step)
+        # elements (0 when the range is empty).
+        counts = np.where(delta > 0,
+                          np.ceil(delta / steps), 0.0).astype(np.int64)
+        np.maximum(counts, 0, out=counts)
+        total = int(counts.sum())
+        out = np.empty(total, dtype=np.float64)
+        max_count = int(counts.max()) if counts.size else 0
+        if max_count:
+            seconds = firsts + steps
+            deltas = seconds - firsts
+            chunk = max(1, self._MAX_MATRIX_ELEMS // max_count)
+            col = np.arange(max_count, dtype=np.float64)
+            pos = 0
+            for lo in range(0, len(steps), chunk):
+                hi = min(lo + chunk, len(steps))
+                mat = (firsts[lo:hi, None]
+                       + col[None, :] * deltas[lo:hi, None])
+                if max_count > 1:
+                    mat[:, 1] = seconds[lo:hi]
+                mask = col[None, :] < counts[lo:hi, None]
+                vals = mat[mask]
+                out[pos:pos + vals.size] = vals
+                pos += vals.size
         out.sort()
         return out
 

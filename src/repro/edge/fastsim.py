@@ -1,0 +1,322 @@
+"""Vectorized fast path for the edge serving simulator.
+
+:class:`~repro.edge.server.EdgeServerSimulator` models every frame as a
+pair of :class:`~repro.edge.events.EventLoop` callbacks, which makes
+100-run serving campaigns the dominant wall-clock cost of the paper's
+evaluation. Between policy decision ticks the server's evolution is
+closed-form per segment, so this module replays the exact same dynamics
+as chunked NumPy work:
+
+* all per-frame RNG draws for a run are materialized with **one**
+  ``Generator.random`` call (the event loop's ``rng.choice`` /
+  ``rng.random`` pairs consume one uniform each, in service order, so a
+  flat pre-drawn array indexed by served-frame number reproduces the
+  stream bit-for-bit — over-drawing is harmless because the generator is
+  private to the run);
+* per-segment exit sampling, service-latency lookup and correctness
+  sampling are batched array operations (``searchsorted`` over the exit
+  CDF, ``take`` over the exit latencies, a vectorized threshold compare);
+* arrival-window sampling feeds the :class:`WorkloadMonitor` in one
+  ``observe_many`` call per decision tick;
+* latency accumulation uses ``np.cumsum`` (sequential left-to-right
+  accumulation, bit-identical to the event loop's ``+=`` chain), and
+  power integration stays per-tick scalar work exactly as before.
+
+The only irreducibly sequential part — the bounded-queue admission /
+single-server start-time recursion — runs as a slim scalar kernel over
+plain Python floats using the *same* float operations (``max`` and one
+addition per frame) as the event loop, so completions, queue-full
+losses, and end-of-run in-flight frames are decided identically.
+
+The event loop remains the semantics oracle (the same relationship as
+:mod:`repro.ir.executors` vs :mod:`repro.ir.engine`): ``run_fast``
+returns ``None`` whenever it cannot *prove* equivalence and the caller
+falls back to event mode. That covers
+
+* fault injection (retry loops and fault RNG interleave with the
+  service stream in ways segments cannot batch), and
+* exact event-time ties on a decision tick (a completion, service
+  start, or reconfiguration-resume landing on the tick's timestamp,
+  where the outcome depends on event-loop scheduling order).
+
+``SIM_MODES`` enumerates the ``ServerConfig.sim_mode`` values:
+``"auto"``/``"vector"`` use this fast path when sound, ``"event"``
+forces the oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..runtime.monitor import WorkloadMonitor
+from ..runtime.reconfig import ReconfigurationController
+from .metrics import RunMetrics
+
+__all__ = ["SIM_MODES", "run_fast", "vectorizable"]
+
+#: Accepted ``ServerConfig.sim_mode`` values.
+SIM_MODES = ("auto", "event", "vector")
+
+#: numpy's probability-sum tolerance for ``Generator.choice``.
+_P_ATOL = float(np.sqrt(np.finfo(np.float64).eps))
+
+_NEG_INF = float("-inf")
+
+
+def vectorizable(sim) -> bool:
+    """Whether a run of ``sim`` is eligible for the fast path.
+
+    Fault campaigns route to the event loop: retries and per-event fault
+    decisions interleave with the service RNG stream, which the
+    segment-batched replay cannot reproduce.
+    """
+    return sim.faults is None
+
+
+def _exit_cdf(exit_rates) -> np.ndarray:
+    """The CDF ``Generator.choice(len(p), p=p)`` samples against.
+
+    Mirrors numpy's internal computation (cumsum then normalize by the
+    last element) including its sum-to-one validation, so both paths
+    accept and reject the same entries and map uniforms to identical
+    exit indices.
+    """
+    p = np.ascontiguousarray(exit_rates, dtype=np.float64)
+    if abs(float(p.sum()) - 1.0) > _P_ATOL:
+        raise ValueError("probabilities do not sum to 1")
+    cdf = p.cumsum()
+    cdf /= cdf[-1]
+    return cdf
+
+
+def run_fast(sim):
+    """One serving run, segment-batched; ``None`` = fall back to events.
+
+    Bit-identical to ``EdgeServerSimulator`` event mode: same RNG stream
+    consumed in the same order, same float operations for every queue /
+    clock update, same trace values. See the module docstring for the
+    fallback conditions.
+    """
+    if not vectorizable(sim):
+        return None
+    cfg = sim.config
+    workload = sim.workload
+    duration = workload.duration_s
+    policy = sim.policy
+
+    rng = np.random.default_rng(sim.seed + 777)
+    arrivals = sim._arrival_times()
+    n = len(arrivals)
+    # The event loop draws one uniform at each service start (the exit
+    # choice) and one at each completion (the correctness sample),
+    # strictly alternating in service order; at most ``n`` frames are
+    # ever served, so 2n uniforms cover every draw it can consume.
+    draws = rng.random(2 * n + 2)
+    u_choice = draws[0::2]
+    u_correct = draws[1::2]
+    arr_list = arrivals.tolist()
+
+    monitor = WorkloadMonitor(window_s=cfg.monitor_window_s)
+    controller = ReconfigurationController(
+        reconfig_time_s=cfg.reconfig_time_s)
+
+    entry = policy.select(workload.nominal_ips)
+    controller.switch(entry.accelerator, now_s=0.0)
+    initial_events = controller.count
+
+    # Decision-tick schedule: the event loop reschedules relative to the
+    # current tick, so tick times are a float *accumulation*, not k*dt.
+    ticks: list[float] = []
+    t = 0.0 + cfg.decision_interval_s
+    if t <= duration:
+        while True:
+            ticks.append(t)
+            if t + cfg.decision_interval_s < duration:
+                t = t + cfg.decision_interval_s
+            else:
+                break
+
+    capacity = cfg.queue_capacity
+    record_trace = cfg.record_trace
+    trace: dict = {"t": [], "workload_ips": [], "pruning_rate": [],
+                   "confidence_threshold": [], "accuracy": [],
+                   "serving_ips": []}
+
+    # --- run state (plain Python floats/ints: the scalar kernel below
+    # must use the exact float ops of the event loop) -----------------
+    qlen = 0              # admitted frames waiting (excludes in-service)
+    c_last = _NEG_INF     # completion time of the last *started* frame
+    reconfig_until = 0.0
+    started = 0           # frames started == RNG pairs consumed
+    processed = 0
+    lost = 0
+    correct = 0           # integer-exact accuracy_sum
+    served_latencies: list[float] = []  # in completion (== start) order
+    energy_j = 0.0
+    last_power_t = 0.0
+    ai = 0                # next arrival index to admit
+    fed = 0               # arrivals already fed to the monitor
+
+    # Per-segment batched draw tables, rebuilt whenever the deployed
+    # entry can change (i.e. at decision ticks).
+    seg_base = 0
+    seg_services: list[float] = []
+    seg_correct: list[bool] = []
+
+    def build_tables(hi: int) -> None:
+        """Batch-sample exits / services / correctness for every frame
+        that could start in this segment (current queue + new arrivals).
+        Unused tail entries are recomputed by the next segment with its
+        own entry; the underlying uniforms are position-indexed, so
+        overcomputation has no RNG side effects."""
+        nonlocal seg_base, seg_services, seg_correct
+        seg_base = started
+        m = qlen + (hi - ai)
+        if m <= 0:
+            seg_services = []
+            seg_correct = []
+            return
+        uc = u_choice[seg_base:seg_base + m]
+        if entry.exit_latencies_s:
+            cdf = _exit_cdf(entry.exit_rates)
+            idx = cdf.searchsorted(uc, side="right")
+            latencies = np.asarray(entry.exit_latencies_s,
+                                   dtype=np.float64)
+            seg_services = latencies[idx].tolist()
+        else:
+            _exit_cdf(entry.exit_rates)  # same validation as choice
+            seg_services = [entry.latency_s] * m
+        seg_correct = (u_correct[seg_base:seg_base + m]
+                       < entry.accuracy).tolist()
+
+    def start_frame(sigma: float) -> None:
+        """Start one service at time ``sigma`` (consumes one RNG pair)."""
+        nonlocal c_last, started, processed, correct
+        service = seg_services[started - seg_base]
+        hit = seg_correct[started - seg_base]
+        started += 1
+        c_last = sigma + service
+        if c_last <= duration:
+            # Completion events at or before the horizon always fire.
+            processed += 1
+            served_latencies.append(service)
+            if hit:
+                correct += 1
+        # else: in flight at the end of the run — the exit draw was
+        # consumed at the start but the frame is neither processed nor
+        # lost, exactly like the event loop's still-busy server.
+
+    def serve_segment(t_end: float, is_tick: bool) -> bool:
+        """Admit arrivals and run services with start times <= t_end.
+
+        Returns False when an exact event-time tie on a decision tick
+        makes the event ordering scheduling-dependent (caller falls
+        back to the event loop).
+        """
+        nonlocal qlen, lost, ai
+        hi = int(np.searchsorted(arrivals, t_end, side="right"))
+        build_tables(hi)
+        while ai < hi:
+            t_arr = arr_list[ai]
+            ai += 1
+            # Queued frames whose service begins strictly before this
+            # arrival have left the queue by the time it is admitted
+            # (starts *at* t_arr are triggered by completion events that
+            # fire after the arrival event — still waiting).
+            while qlen:
+                sigma = c_last if c_last >= reconfig_until \
+                    else reconfig_until
+                if sigma >= t_arr:
+                    break
+                qlen -= 1
+                start_frame(sigma)
+            if qlen >= capacity:
+                lost += 1
+            elif qlen == 0 and c_last < t_arr \
+                    and reconfig_until <= t_arr:
+                start_frame(t_arr)  # idle, unblocked: serve immediately
+            else:
+                qlen += 1
+        # Services starting up to the segment boundary. At a decision
+        # tick, a start exactly *on* the boundary comes from a
+        # completion/resume event tied with the decision event; at the
+        # run horizon every event <= duration fires, so the boundary is
+        # inclusive.
+        while qlen:
+            sigma = c_last if c_last >= reconfig_until else reconfig_until
+            if sigma > t_end or (is_tick and sigma == t_end):
+                break
+            qlen -= 1
+            start_frame(sigma)
+        if is_tick and qlen and sigma == t_end:
+            return False  # tie: start ordering depends on event seqs
+        return True
+
+    for tick in ticks:
+        if not serve_segment(tick, is_tick=True):
+            return None
+        if c_last == tick or reconfig_until == tick:
+            # A completion or reconfiguration-resume lands exactly on
+            # the tick: whether it precedes the decision depends on
+            # event scheduling order. Let the oracle decide.
+            return None
+        hi = int(np.searchsorted(arrivals, tick, side="right"))
+        if hi > fed:
+            monitor.observe_many(arr_list[fed:hi])
+            fed = hi
+        ips = monitor.sampled_ips(tick)
+        dt = tick - last_power_t
+        if dt > 0:
+            energy_j += entry.power_at(ips) * dt
+            last_power_t = tick
+        selected = policy.select(ips, current=entry)
+        if controller.needs_switch(selected.accelerator):
+            dead = controller.switch(selected.accelerator, now_s=tick)
+            reconfig_until = tick + dead
+        entry = selected
+        monitor.acknowledge(tick)
+        if record_trace:
+            trace["t"].append(tick)
+            trace["workload_ips"].append(ips)
+            trace["pruning_rate"].append(entry.accelerator.pruning_rate)
+            trace["confidence_threshold"].append(
+                entry.confidence_threshold)
+            trace["accuracy"].append(entry.accuracy)
+            trace["serving_ips"].append(entry.serving_ips)
+
+    if not serve_segment(duration, is_tick=False):  # pragma: no cover
+        return None
+    lost += qlen  # still queued at the horizon: never served
+
+    # Arrival events past the horizon never fire in the event loop, so
+    # the monitor must not see them either.
+    hi_end = int(np.searchsorted(arrivals, duration, side="right"))
+    if hi_end > fed:
+        monitor.observe_many(arr_list[fed:hi_end])
+    final_ips = monitor.sampled_ips(duration)
+    dt = duration - last_power_t
+    if dt > 0:
+        energy_j += entry.power_at(final_ips) * dt
+
+    # cumsum is a sequential left-to-right accumulation, bit-identical
+    # to the event loop's `latency_sum += service` chain.
+    if served_latencies:
+        latency_sum = float(np.cumsum(np.asarray(served_latencies))[-1])
+    else:
+        latency_sum = 0.0
+    accuracy_sum = float(correct)
+
+    post = controller.events[initial_events:]
+    return RunMetrics(
+        policy=getattr(policy, "name", type(policy).__name__),
+        duration_s=duration,
+        total_requests=n,
+        processed=processed,
+        lost=lost,
+        accuracy=accuracy_sum / processed if processed else 0.0,
+        avg_latency_s=latency_sum / processed if processed else 0.0,
+        energy_j=energy_j,
+        reconfigurations=sum(1 for e in post if e.success),
+        reconfig_dead_time_s=sum(e.duration_s for e in post if e.success),
+        trace=trace if record_trace else {},
+    )

@@ -35,22 +35,33 @@ from ..runtime.faults import FaultPlan, FaultSpec
 from ..runtime.library import LibraryEntry
 from ..runtime.monitor import WorkloadMonitor
 from ..runtime.reconfig import ReconfigurationController
+from . import fastsim
 from .cameras import CameraFleet, WorkloadSpec
 from .events import EventLoop
+from .fastsim import SIM_MODES
 from .metrics import RunMetrics, aggregate_runs
 
-__all__ = ["ServerConfig", "EdgeServerSimulator", "simulate_policy"]
+__all__ = ["ServerConfig", "EdgeServerSimulator", "simulate_policy",
+           "SIM_MODES"]
 
 
 @dataclass(frozen=True)
 class ServerConfig:
-    """Serving parameters."""
+    """Serving parameters.
+
+    ``sim_mode`` picks the simulation engine: ``"event"`` is the
+    discrete-event oracle, ``"vector"`` the segment-batched fast path
+    (:mod:`repro.edge.fastsim`, bit-identical, ~10-50x faster, falling
+    back to events whenever vectorization would be unsound), and
+    ``"auto"`` (default) uses the fast path when eligible.
+    """
 
     queue_capacity: int = 32
     decision_interval_s: float = 1.0
     monitor_window_s: float = 1.0
     reconfig_time_s: float = 0.145
     record_trace: bool = True
+    sim_mode: str = "auto"
 
     def __post_init__(self):
         if self.queue_capacity < 1:
@@ -59,6 +70,10 @@ class ServerConfig:
             raise ValueError("intervals must be positive")
         if self.reconfig_time_s < 0:
             raise ValueError("reconfig_time_s must be >= 0")
+        if self.sim_mode not in SIM_MODES:
+            raise ValueError(
+                f"sim_mode must be one of {SIM_MODES}, "
+                f"got {self.sim_mode!r}")
 
 
 class EdgeServerSimulator:
@@ -90,6 +105,22 @@ class EdgeServerSimulator:
         return FaultPlan(self.faults, seed=(self.fault_seed, self.seed))
 
     def run(self) -> RunMetrics:
+        """Simulate one run, dispatching on ``config.sim_mode``.
+
+        ``auto``/``vector`` use the segment-batched fast path
+        (:mod:`repro.edge.fastsim`) when the run is eligible; fault
+        campaigns and exact event-time ties fall back to the event
+        loop, which remains the semantics oracle. Results are
+        bit-identical either way.
+        """
+        if self.config.sim_mode in ("auto", "vector"):
+            metrics = fastsim.run_fast(self)
+            if metrics is not None:
+                return metrics
+        return self._run_event()
+
+    def _run_event(self) -> RunMetrics:
+        """The discrete-event reference simulation (semantics oracle)."""
         cfg = self.config
         rng = np.random.default_rng(self.seed + 777)
         plan = self._fault_plan()
@@ -133,6 +164,15 @@ class EdgeServerSimulator:
         trace: dict = {"t": [], "workload_ips": [], "pruning_rate": [],
                        "confidence_threshold": [], "accuracy": [],
                        "serving_ips": []}
+        # Arrivals the monitor has not seen yet: flushed in one
+        # observe_many call per decision tick instead of a per-frame
+        # record_arrival (the monitor is only *read* at ticks).
+        monitor_backlog: list = []
+
+        def flush_monitor() -> None:
+            if monitor_backlog:
+                monitor.observe_many(monitor_backlog)
+                monitor_backlog.clear()
 
         def integrate_power(now: float, arrival_rate: float) -> None:
             dt = now - state["last_power_t"]
@@ -178,7 +218,7 @@ class EdgeServerSimulator:
                 # sees the request either.
                 state["dropped"] += 1
                 return
-            monitor.record_arrival(loop_.now)
+            monitor_backlog.append(loop_.now)
             if len(queue) >= cfg.queue_capacity:
                 state["lost"] += 1
                 return
@@ -226,6 +266,7 @@ class EdgeServerSimulator:
 
         def on_decision(loop_: EventLoop) -> None:
             now = loop_.now
+            flush_monitor()
             ips = monitor.sampled_ips(now)
             integrate_power(now, ips)
             selected = self.policy.select(ips, current=state["entry"])
@@ -264,6 +305,7 @@ class EdgeServerSimulator:
 
         # Requests still queued at the end of the run were never served.
         state["lost"] += len(queue)
+        flush_monitor()
         integrate_power(self.workload.duration_s,
                         monitor.sampled_ips(self.workload.duration_s))
 

@@ -211,6 +211,10 @@ class Library:
         self.metadata: dict = dict(metadata or {})
         # Populated by from_json()/load(); None for in-memory libraries.
         self.load_report: LoadReport | None = None
+        # Bumped on every mutation; consumers holding derived structures
+        # (e.g. RuntimeManager's selection index) use it to detect
+        # staleness cheaply.
+        self._version = 0
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -220,6 +224,7 @@ class Library:
 
     def add(self, entry: LibraryEntry) -> None:
         self.entries.append(entry)
+        self._version += 1
 
     # ------------------------------------------------------------------
     # queries
@@ -242,7 +247,14 @@ class Library:
         return max(e.accuracy for e in self.entries)
 
     def feasible(self, min_accuracy: float, required_ips: float) -> list:
-        """Entries meeting both the accuracy bound and the workload."""
+        """Entries meeting both the accuracy bound and the workload.
+
+        Linear scan allocating a fresh list per call — fine for tests
+        and offline analysis, but **do not use on hot paths**: the
+        per-decision-tick selection goes through ``RuntimeManager``'s
+        throughput-sorted index (rebuilt only when the library changes),
+        which answers the same query with a binary search.
+        """
         return [e for e in self.entries
                 if e.accuracy >= min_accuracy and e.serving_ips >= required_ips]
 

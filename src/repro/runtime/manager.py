@@ -19,7 +19,10 @@ Two practical refinements the paper implies:
 from __future__ import annotations
 
 import logging
+from bisect import bisect_left
 from dataclasses import dataclass
+
+import numpy as np
 
 from .library import AcceleratorId, Library, LibraryEntry
 
@@ -42,6 +45,72 @@ class SelectionPolicy:
             raise ValueError("headroom must be positive")
 
 
+class _SelectionIndex:
+    """Precomputed search structure behind :meth:`RuntimeManager.select`.
+
+    ``select`` runs every decision tick of every simulated run, and a
+    linear rescan of ``Library.feasible`` per tick dominated selection
+    cost. This index makes a query a ``searchsorted`` plus a scan of
+    one accuracy-tie group:
+
+    * accuracy-qualified entries sorted by ``serving_ips`` (stable, so
+      library order is preserved within equal throughput) — feasibility
+      for a required rate is the suffix starting at the binary-search
+      position;
+    * the suffix maximum of rounded accuracy — the winning accuracy
+      level of any suffix in O(1);
+    * slots grouped by rounded accuracy — only the (typically tiny)
+      group at the winning level is scanned for the stability/energy
+      tie-break, reproducing ``max(candidates, key=...)`` exactly,
+      including its first-maximal-in-library-order behaviour;
+    * precomputed tie lists for both degraded-mode pools (accuracy-ok
+      and whole-library).
+
+    Instances are immutable snapshots; :meth:`RuntimeManager._index`
+    rebuilds one when ``Library._version`` moves.
+    """
+
+    def __init__(self, library: Library, min_accuracy: float):
+        self.version = library._version
+        self.size = len(library.entries)
+        entries = library.entries
+        order = sorted(
+            (i for i, e in enumerate(entries)
+             if e.accuracy >= min_accuracy),
+            key=lambda i: entries[i].serving_ips)
+        self.entries = entries
+        self.order = order
+        self.ips = np.array([entries[i].serving_ips for i in order],
+                            dtype=np.float64)
+        acc_r = [round(entries[i].accuracy, 6) for i in order]
+        self.acc_r = acc_r
+        suffix = [0.0] * len(acc_r)
+        best = float("-inf")
+        for k in range(len(acc_r) - 1, -1, -1):
+            if acc_r[k] > best:
+                best = acc_r[k]
+            suffix[k] = best
+        self.suffix_max_acc = suffix
+        groups: dict[float, list[int]] = {}
+        for k, a in enumerate(acc_r):
+            groups.setdefault(a, []).append(k)
+        self.groups = groups
+        acc_ok = [e for e in entries if e.accuracy >= min_accuracy]
+        self.degraded_acc_ok = self._degraded_ties(acc_ok)
+        self.degraded_all = self._degraded_ties(entries)
+
+    @staticmethod
+    def _degraded_ties(pool: list) -> list:
+        """Entries achieving the pool's best (serving_ips, accuracy), in
+        library order — the only possible winners of degraded-mode
+        selection (the stability bonus just arbitrates between them)."""
+        if not pool:
+            return []
+        best = max((e.serving_ips, e.accuracy) for e in pool)
+        return [e for e in pool
+                if (e.serving_ips, e.accuracy) == best]
+
+
 class RuntimeManager:
     """Selects Library entries to match the current edge conditions."""
 
@@ -52,6 +121,8 @@ class RuntimeManager:
         self.library = library
         self.policy = policy or SelectionPolicy()
         self._reference_accuracy = library.best_accuracy()
+        self._selection_index: _SelectionIndex | None = None
+        self._no_reconfig_cache: dict[AcceleratorId, LibraryEntry | None] = {}
         # A partial library (design points quarantined by the sweep
         # supervisor) is servable — selection simply runs over the
         # entries that exist — but the gaps deserve a visible record.
@@ -70,32 +141,66 @@ class RuntimeManager:
         """Lowest acceptable accuracy (reference minus allowed loss)."""
         return self._reference_accuracy - self.policy.accuracy_loss_threshold
 
+    def _index(self) -> _SelectionIndex:
+        """The current selection index, rebuilt if the library changed
+        (detected via ``Library._version``); also invalidates the
+        :meth:`select_without_reconfig` memo on rebuild."""
+        idx = self._selection_index
+        lib = self.library
+        if idx is None or idx.version != lib._version \
+                or idx.size != len(lib.entries):
+            idx = _SelectionIndex(lib, self.min_accuracy)
+            self._selection_index = idx
+            self._no_reconfig_cache.clear()
+        return idx
+
     def select(self, workload_ips: float,
                current: LibraryEntry | None = None) -> LibraryEntry:
         """Pick the entry for the sampled workload.
 
         ``current`` is the currently deployed entry (used to break ties in
         favour of avoiding a reconfiguration).
+
+        Equivalent to filtering ``Library.feasible(min_accuracy,
+        required)`` and taking ``max`` by ``(rounded accuracy, stability,
+        -energy)`` — with degraded-mode fallback to the fastest
+        accuracy-honouring entry when nothing covers the workload — but
+        answered from the precomputed throughput-sorted index in
+        O(log n) plus a scan of the winning accuracy-tie group.
         """
         if workload_ips < 0:
             raise ValueError("workload must be >= 0")
         required = workload_ips * self.policy.headroom
-        candidates = self.library.feasible(self.min_accuracy, required)
-        if not candidates:
+        idx = self._index()
+        pos = int(idx.ips.searchsorted(required, side="left"))
+        cur_accel = current.accelerator if current is not None else None
+        if pos >= len(idx.order):
             # Degraded mode: fastest entry that still honours accuracy.
-            acc_ok = [e for e in self.library
-                      if e.accuracy >= self.min_accuracy]
-            pool = acc_ok or list(self.library)
-            return max(pool, key=lambda e: (
-                e.serving_ips,
-                e.accuracy,
-                self._stability_bonus(e, current),
-            ))
-        return max(candidates, key=lambda e: (
-            round(e.accuracy, 6),
-            self._stability_bonus(e, current),
-            -e.energy_per_inference_j,
-        ))
+            ties = idx.degraded_acc_ok or idx.degraded_all
+            if cur_accel is not None:
+                for e in ties:
+                    if e.accelerator == cur_accel:
+                        return e
+            return ties[0]
+        # Feasible set = sorted slots [pos:]; the winner carries the
+        # suffix's best rounded accuracy, so only that tie group needs
+        # the (stability, energy, library-order) tie-break.
+        group = idx.groups[idx.suffix_max_acc[pos]]
+        best_bonus = None
+        best_plain = None
+        for k in group[bisect_left(group, pos):]:
+            lib_i = idx.order[k]
+            e = idx.entries[lib_i]
+            # max key, ties to the smallest library index — exactly the
+            # first-maximal element Python's max() would return when
+            # iterating candidates in library order.
+            key = (-e.energy_per_inference_j, -lib_i)
+            if best_plain is None or key > best_plain[0]:
+                best_plain = (key, e)
+            if cur_accel is not None and e.accelerator == cur_accel:
+                if best_bonus is None or key > best_bonus[0]:
+                    best_bonus = (key, e)
+        return (best_bonus or best_plain)[1]
 
     def select_without_reconfig(self, current: LibraryEntry | None):
         """Best entry reachable without swapping the loaded bitstream.
@@ -109,12 +214,20 @@ class RuntimeManager:
         """
         if current is None:
             return None
-        pool = [e for e in self.library
-                if e.accelerator == current.accelerator]
+        self._index()  # refresh the memo against library changes
+        accel = current.accelerator
+        try:
+            return self._no_reconfig_cache[accel]
+        except KeyError:
+            pass
+        pool = [e for e in self.library if e.accelerator == accel]
         if not pool:
-            return None
-        acc_ok = [e for e in pool if e.accuracy >= self.min_accuracy]
-        return max(acc_ok or pool, key=lambda e: e.accuracy)
+            result = None
+        else:
+            acc_ok = [e for e in pool if e.accuracy >= self.min_accuracy]
+            result = max(acc_ok or pool, key=lambda e: e.accuracy)
+        self._no_reconfig_cache[accel] = result
+        return result
 
     @staticmethod
     def _stability_bonus(entry: LibraryEntry,

@@ -104,3 +104,96 @@ class TestRuntimeManager:
         w = 500.0
         assert tight.select(w).serving_ips >= 1.5 * w - 1e-9
         assert loose.select(w).serving_ips >= w - 1e-9
+
+
+def _linear_select(mgr, workload_ips, current=None):
+    """The pre-index selection algorithm, kept verbatim as the pin."""
+    required = workload_ips * mgr.policy.headroom
+    candidates = mgr.library.feasible(mgr.min_accuracy, required)
+    if not candidates:
+        acc_ok = [e for e in mgr.library if e.accuracy >= mgr.min_accuracy]
+        pool = acc_ok or list(mgr.library)
+        return max(pool, key=lambda e: (
+            e.serving_ips, e.accuracy, mgr._stability_bonus(e, current)))
+    return max(candidates, key=lambda e: (
+        round(e.accuracy, 6),
+        mgr._stability_bonus(e, current),
+        -e.energy_per_inference_j))
+
+
+class TestSelectionIndex:
+    """select() answers from a throughput-sorted index; it must return
+    the *same object* the historical linear rescan would pick, for any
+    library (including ties on accuracy, throughput, and energy)."""
+
+    @staticmethod
+    def _random_library(rng, n):
+        lib = Library()
+        ips_pool = rng.choice([100.0, 200.0, 300.0, 400.0, 500.0], size=n)
+        acc_pool = rng.choice([0.70, 0.80, 0.85, 0.8500001, 0.90], size=n)
+        energy_pool = rng.choice([1e-3, 2e-3, 3e-3], size=n)
+        for i in range(n):
+            lib.add(make_entry(
+                rate=float(rng.choice([0.0, 0.4, 0.8])),
+                ct=float(rng.choice([0.1, 0.5, 0.9])),
+                acc=float(acc_pool[i]), ips=float(ips_pool[i]),
+                energy=float(energy_pool[i]),
+                variant=str(rng.choice(["ee", "backbone"]))))
+        return lib
+
+    def test_matches_linear_algorithm_with_ties(self):
+        import numpy as np
+        rng = np.random.default_rng(3)
+        for _ in range(25):
+            lib = self._random_library(rng, int(rng.integers(1, 30)))
+            mgr = RuntimeManager(lib, SelectionPolicy(
+                accuracy_loss_threshold=float(
+                    rng.choice([0.0, 0.05, 0.10, 0.30])),
+                headroom=float(rng.choice([0.8, 1.0, 1.2]))))
+            entries = list(lib)
+            for _ in range(20):
+                w = float(rng.uniform(0, 700))
+                cur = entries[int(rng.integers(0, len(entries)))] \
+                    if rng.random() < 0.7 else None
+                assert mgr.select(w, current=cur) \
+                    is _linear_select(mgr, w, current=cur)
+
+    def test_index_invalidated_on_library_add(self, toy_library):
+        mgr = RuntimeManager(toy_library)
+        before = mgr.select(100.0)
+        assert before is _linear_select(mgr, 100.0)
+        toy_library.add(make_entry(rate=0.4, ct=0.42, acc=0.95,
+                                   ips=2000.0, energy=1e-4))
+        after = mgr.select(100.0)
+        assert after is _linear_select(mgr, 100.0)
+        assert after is not before
+
+    def test_index_reused_between_queries(self, toy_library):
+        mgr = RuntimeManager(toy_library)
+        mgr.select(100.0)
+        idx = mgr._selection_index
+        mgr.select(500.0, current=mgr.select(100.0))
+        assert mgr._selection_index is idx
+
+    def test_select_without_reconfig_memoized(self, toy_library):
+        mgr = RuntimeManager(toy_library)
+        cur = mgr.select(100.0)
+        first = mgr.select_without_reconfig(cur)
+        assert mgr.select_without_reconfig(cur) is first
+        assert cur.accelerator in mgr._no_reconfig_cache
+        # library mutation drops the memo
+        toy_library.add(make_entry(rate=cur.accelerator.pruning_rate,
+                                   ct=0.33, acc=0.95, ips=300.0))
+        refreshed = mgr.select_without_reconfig(cur)
+        assert refreshed.accuracy == 0.95
+
+    def test_degraded_mode_matches_linear(self):
+        lib = Library()
+        # nothing can carry 10k IPS -> degraded mode, incl. ties
+        lib.add(make_entry(rate=0.0, ct=0.5, acc=0.85, ips=500.0))
+        lib.add(make_entry(rate=0.4, ct=0.5, acc=0.85, ips=500.0))
+        lib.add(make_entry(rate=0.8, ct=0.5, acc=0.60, ips=400.0))
+        mgr = RuntimeManager(lib)
+        for cur in [None, *lib]:
+            assert mgr.select(10_000.0, current=cur) \
+                is _linear_select(mgr, 10_000.0, current=cur)

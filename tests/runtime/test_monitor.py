@@ -64,3 +64,45 @@ class TestWorkloadMonitor:
             WorkloadMonitor(window_s=0.0)
         with pytest.raises(ValueError):
             WorkloadMonitor(change_threshold=-0.1)
+
+
+class TestObserveMany:
+    def test_equivalent_to_per_frame_recording(self):
+        times = [0.1, 0.2, 0.2, 0.35, 0.9, 1.4, 2.0]
+        one = WorkloadMonitor(window_s=1.0)
+        for t in times:
+            one.record_arrival(t)
+        batch = WorkloadMonitor(window_s=1.0)
+        batch.observe_many(times)
+        assert list(one._arrivals) == list(batch._arrivals)
+        assert one.sampled_ips(2.0) == batch.sampled_ips(2.0)
+
+    def test_split_batches_equivalent(self):
+        times = [i * 0.07 for i in range(50)]
+        one = WorkloadMonitor(window_s=0.5)
+        one.observe_many(times)
+        split = WorkloadMonitor(window_s=0.5)
+        split.observe_many(times[:20])
+        split.observe_many(times[20:])
+        assert list(one._arrivals) == list(split._arrivals)
+
+    def test_empty_batch_is_noop(self):
+        mon = WorkloadMonitor()
+        mon.observe_many([])
+        assert mon.sampled_ips(1.0) == 0.0
+
+    def test_rejects_unsorted_batch(self):
+        mon = WorkloadMonitor()
+        with pytest.raises(ValueError):
+            mon.observe_many([0.2, 0.1])
+
+    def test_rejects_batch_before_recorded_tail(self):
+        mon = WorkloadMonitor()
+        mon.record_arrival(1.0)
+        with pytest.raises(ValueError):
+            mon.observe_many([0.5, 1.5])
+
+    def test_rejects_non_1d(self):
+        mon = WorkloadMonitor()
+        with pytest.raises(ValueError):
+            mon.observe_many([[0.1, 0.2]])
