@@ -96,7 +96,9 @@ def selection_library(n: int = 200) -> Library:
 def linear_select(mgr, workload_ips, current=None):
     """The pre-index selection algorithm (linear feasible rescan)."""
     required = workload_ips * mgr.policy.headroom
-    candidates = mgr.library.feasible(mgr.min_accuracy, required)
+    candidates = [e for e in mgr.library.entries
+                  if e.accuracy >= mgr.min_accuracy
+                  and e.serving_ips >= required]
     if not candidates:
         acc_ok = [e for e in mgr.library
                   if e.accuracy >= mgr.min_accuracy]

@@ -183,6 +183,26 @@ def main(argv=None) -> int:
           [(r.processed, r.lost, r.energy_j) for r in runs_parallel])
 
     # ------------------------------------------------------------------
+    # 4b. compiled policy table: same winners as the indexed select
+    # ------------------------------------------------------------------
+    print("policy table vs indexed select...")
+    import numpy as _np_ptable
+    indexed = RuntimeManager(serial_lib)
+    tabled = RuntimeManager(serial_lib)
+    tabled.compile_policy_table()
+    _rng = _np_ptable.random.default_rng(17)
+    top_ips = max(e.serving_ips for e in serial_lib.entries)
+    queries = _rng.uniform(0.0, top_ips * 1.3, 2000).tolist()
+    queries += [e.serving_ips for e in serial_lib.entries]
+    currents = [None] + list(serial_lib.entries)
+    table_mismatch = sum(
+        1 for w in queries
+        for cur in (None, currents[int(_rng.integers(len(currents)))])
+        if indexed.select(w, cur) is not tabled.select(w, cur))
+    check("policy_table_equivalent", table_mismatch == 0,
+          f"{2 * len(queries)} queries, {table_mismatch} mismatches")
+
+    # ------------------------------------------------------------------
     # 5. compiled engine: bit-identity and not-slower vs interpreter
     # ------------------------------------------------------------------
     print("compiled engine vs interpreted IR...")

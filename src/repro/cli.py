@@ -27,6 +27,7 @@ from .edge.server import ServerConfig, simulate_policy
 from .runtime.baselines import make_policy
 from .runtime.faults import FaultSpec
 from .runtime.library import Library
+from .runtime.reconfig import PartialReconfigModel
 
 __all__ = ["main", "build_parser"]
 
@@ -65,6 +66,17 @@ def _positive_float(text: str) -> float:
     if not value > 0:
         raise argparse.ArgumentTypeError(
             f"must be > 0 (got {value})")
+    return value
+
+
+def _nonnegative_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if not value >= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (got {value})")
     return value
 
 
@@ -109,6 +121,11 @@ def _validate_args(parser: argparse.ArgumentParser, args) -> None:
                 FaultSpec.parse(args.faults)
             except ValueError as exc:
                 parser.error(f"argument --faults: {exc}")
+        if args.partial_reconfig is not None:
+            try:
+                PartialReconfigModel.parse(args.partial_reconfig)
+            except ValueError as exc:
+                parser.error(f"argument --partial-reconfig: {exc}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -172,6 +189,10 @@ def build_parser() -> argparse.ArgumentParser:
     sel = sub.add_parser("select", help="ask the Runtime Manager for an "
                                         "operating point")
     sel.add_argument("--library", required=True)
+    sel.add_argument("--policy-table", action="store_true",
+                     help="compile the policy's decision function into "
+                          "an O(1) lookup table before selecting "
+                          "(exactly equivalent; reports table shape)")
     sel.add_argument("--workload", type=float, required=True,
                      help="incoming inferences per second")
     sel.add_argument("--policy", default="adapex",
@@ -194,6 +215,28 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--fault-seed", type=int, default=0,
                     help="seed of the fault campaign; identical seeds "
                          "give byte-identical campaigns")
+    ev.add_argument("--policy-table", action="store_true",
+                    help="compile each policy's selection into an O(1) "
+                         "lookup table (bit-identical results, faster "
+                         "decision ticks at campaign scale)")
+    ev.add_argument("--batch-window", type=_nonnegative_float,
+                    metavar="MS", default=0.0,
+                    help="micro-batched admission: queued frames "
+                         "arriving within this window (milliseconds) of "
+                         "the head frame share one plan invocation "
+                         "(default 0 = off)")
+    ev.add_argument("--dispatch-overhead", type=_nonnegative_float,
+                    metavar="MS", default=0.0,
+                    help="fixed per-invocation dispatch cost in "
+                         "milliseconds, amortized over each micro-batch "
+                         "(default 0)")
+    ev.add_argument("--partial-reconfig", metavar="SPEC",
+                    help="price bitstream swaps with the per-region "
+                         "partial-reconfiguration model: 'on' for "
+                         "defaults or e.g. "
+                         "'regions=8,exit_regions=2,overhead_ms=10'; "
+                         "also installs the model as the policies' "
+                         "switch-cost calculus")
     ev.add_argument("--sim-mode", default="auto",
                     choices=("auto", "event", "vector"),
                     help="serving-simulator engine: 'auto' (default) "
@@ -305,6 +348,17 @@ def _cmd_info(args) -> int:
 def _cmd_select(args) -> int:
     library = _load_library(args.library)
     policy = make_policy(args.policy, library)
+    if args.policy_table:
+        compile_table = getattr(policy, "compile_policy_table", None)
+        if compile_table is None:
+            print(f"note: policy {args.policy} has no runtime manager; "
+                  f"--policy-table ignored")
+        else:
+            table = compile_table()
+            stats = table.stats()
+            print(f"policy table: {stats['grid_cells']} cells x "
+                  f"{stats['slots']} slots over {stats['entries']} "
+                  f"entries ({stats['shared_rows']} distinct rows)")
     entry = policy.select(args.workload)
     print(f"policy {args.policy} @ workload {args.workload:.0f} IPS ->")
     print(f"  accelerator:          {entry.accelerator.label()}")
@@ -320,15 +374,33 @@ def _cmd_select(args) -> int:
 def _cmd_evaluate(args) -> int:
     library = _load_library(args.library)
     faults = FaultSpec.parse(args.faults) if args.faults else None
+    partial = (PartialReconfigModel.parse(args.partial_reconfig)
+               if args.partial_reconfig is not None else None)
+    config = ServerConfig(sim_mode=args.sim_mode,
+                          batch_window_s=args.batch_window / 1000.0,
+                          dispatch_overhead_s=args.dispatch_overhead
+                          / 1000.0,
+                          partial_reconfig=partial)
     timer = PhaseTimer()
     rows = []
     for name in args.policies.split(","):
         policy = make_policy(name.strip(), library)
+        if partial is not None:
+            # Policies built on the RuntimeManager optimize the same
+            # switch-cost calculus the simulator charges; static
+            # baselines (FINN) have nothing to install it on.
+            install = getattr(policy, "set_reconfig_model", None)
+            if install is not None:
+                install(partial)
+        if args.policy_table:
+            compile_table = getattr(policy, "compile_policy_table", None)
+            if compile_table is not None:
+                with timer.phase("compile_policy_table"):
+                    compile_table()
         with timer.phase("simulate"):
             aggregate, _ = simulate_policy(policy, runs=args.runs,
                                            base_seed=args.seed,
-                                           config=ServerConfig(
-                                               sim_mode=args.sim_mode),
+                                           config=config,
                                            parallel=args.parallel,
                                            faults=faults,
                                            fault_seed=args.fault_seed)
@@ -347,7 +419,11 @@ def _cmd_evaluate(args) -> int:
             "command": "evaluate", "runs": args.runs,
             "policies": args.policies, "parallel": args.parallel,
             "faults": args.faults, "fault_seed": args.fault_seed,
-            "sim_mode": args.sim_mode})
+            "sim_mode": args.sim_mode,
+            "policy_table": args.policy_table,
+            "batch_window_ms": args.batch_window,
+            "dispatch_overhead_ms": args.dispatch_overhead,
+            "partial_reconfig": args.partial_reconfig})
         print(f"timing report written to {args.timing_json}")
     return 0
 

@@ -46,6 +46,8 @@ forces the oracle.
 
 from __future__ import annotations
 
+from collections import deque
+
 import numpy as np
 
 from ..runtime.monitor import WorkloadMonitor
@@ -100,6 +102,11 @@ def run_fast(sim):
     if not vectorizable(sim):
         return None
     cfg = sim.config
+    if cfg.batching:
+        # Micro-batched admission changes the dequeue/RNG structure:
+        # a parallel kernel (same segment framework, batch-granular
+        # draws) replays the batched event path bit-for-bit.
+        return _run_fast_batched(sim)
     workload = sim.workload
     duration = workload.duration_s
     policy = sim.policy
@@ -118,7 +125,8 @@ def run_fast(sim):
 
     monitor = WorkloadMonitor(window_s=cfg.monitor_window_s)
     controller = ReconfigurationController(
-        reconfig_time_s=cfg.reconfig_time_s)
+        reconfig_time_s=cfg.reconfig_time_s,
+        cost_model=cfg.partial_reconfig)
 
     entry = policy.select(workload.nominal_ips)
     controller.switch(entry.accelerator, now_s=0.0)
@@ -318,5 +326,225 @@ def run_fast(sim):
         energy_j=energy_j,
         reconfigurations=sum(1 for e in post if e.success),
         reconfig_dead_time_s=sum(e.duration_s for e in post if e.success),
+        trace=trace if record_trace else {},
+    )
+
+
+def _run_fast_batched(sim):
+    """Fast path for micro-batched admission; ``None`` = use events.
+
+    Same segment framework as :func:`run_fast`, but the queue keeps
+    arrival *times* (batch membership is an arrival-window condition)
+    and the RNG stream is consumed batch-granularly: a batch of ``k``
+    frames draws ``k`` exit uniforms at its start and — only if its
+    completion event fires within the horizon — ``k`` correctness
+    uniforms at its completion, exactly the order the batched event
+    path consumes them (no other draw interleaves between a batch's
+    start and its completion, because the single server starts the next
+    batch only from the completion callback).
+    """
+    cfg = sim.config
+    workload = sim.workload
+    duration = workload.duration_s
+    policy = sim.policy
+
+    rng = np.random.default_rng(sim.seed + 777)
+    arrivals = sim._arrival_times()
+    n = len(arrivals)
+    draws = rng.random(2 * n + 2)
+    arr_list = arrivals.tolist()
+
+    monitor = WorkloadMonitor(window_s=cfg.monitor_window_s)
+    controller = ReconfigurationController(
+        reconfig_time_s=cfg.reconfig_time_s,
+        cost_model=cfg.partial_reconfig)
+
+    entry = policy.select(workload.nominal_ips)
+    controller.switch(entry.accelerator, now_s=0.0)
+    initial_events = controller.count
+
+    ticks: list[float] = []
+    t = 0.0 + cfg.decision_interval_s
+    if t <= duration:
+        while True:
+            ticks.append(t)
+            if t + cfg.decision_interval_s < duration:
+                t = t + cfg.decision_interval_s
+            else:
+                break
+
+    capacity = cfg.queue_capacity
+    batch_window = cfg.batch_window_s
+    overhead = cfg.dispatch_overhead_s
+    record_trace = cfg.record_trace
+    trace: dict = {"t": [], "workload_ips": [], "pruning_rate": [],
+                   "confidence_threshold": [], "accuracy": [],
+                   "serving_ips": []}
+
+    pend: deque = deque()  # arrival times of queued frames
+    c_last = _NEG_INF     # completion time of the last *started* batch
+    reconfig_until = 0.0
+    p = 0                 # next unconsumed position in the draw stream
+    processed = 0
+    lost = 0
+    correct = 0
+    batches = 0
+    served_latencies: list[float] = []
+    energy_j = 0.0
+    last_power_t = 0.0
+    ai = 0
+    fed = 0
+
+    # Per-segment sampling tables for the deployed entry, built lazily
+    # at the first batch start of the segment — the same moment the
+    # event path first validates the entry's exit distribution.
+    seg_cdf = None
+    seg_lat = None
+    seg_const = 0.0
+    seg_acc = 0.0
+    tables_ready = False
+
+    def ensure_tables() -> None:
+        nonlocal seg_cdf, seg_lat, seg_const, seg_acc, tables_ready
+        if tables_ready:
+            return
+        if entry.exit_latencies_s:
+            seg_cdf = _exit_cdf(entry.exit_rates)
+            seg_lat = np.asarray(entry.exit_latencies_s, dtype=np.float64)
+        else:
+            _exit_cdf(entry.exit_rates)  # same validation as choice
+            seg_cdf = None
+            seg_const = entry.latency_s
+        seg_acc = entry.accuracy
+        tables_ready = True
+
+    def start_batch(sigma: float) -> None:
+        """Start one plan invocation at ``sigma``: the queue head plus
+        every queued frame within ``batch_window`` of its arrival."""
+        nonlocal c_last, p, processed, correct, batches
+        ensure_tables()
+        head = pend.popleft()
+        window_end = head + batch_window
+        k = 1
+        while pend and pend[0] <= window_end:
+            pend.popleft()
+            k += 1
+        uc = draws[p:p + k]
+        p += k
+        if seg_cdf is not None:
+            idx = seg_cdf.searchsorted(uc, side="right")
+            services = seg_lat[idx].tolist()
+        else:
+            services = [seg_const] * k
+        total = overhead
+        for service in services:
+            total += service
+        c_last = sigma + total
+        if c_last <= duration:
+            # The completion event fires: count the whole batch. The
+            # correctness draws sit right after the exit draws in the
+            # stream, as the event path's completion callback consumes
+            # them.
+            batches += 1
+            share = overhead / k
+            ur = draws[p:p + k]
+            p += k
+            for i in range(k):
+                processed += 1
+                served_latencies.append(services[i] + share)
+                if ur[i] < seg_acc:
+                    correct += 1
+        # else: in flight at the horizon — exit draws consumed, no
+        # completion, frames neither processed nor lost.
+
+    def serve_segment(t_end: float, is_tick: bool) -> bool:
+        nonlocal lost, ai
+        hi = int(np.searchsorted(arrivals, t_end, side="right"))
+        while ai < hi:
+            t_arr = arr_list[ai]
+            ai += 1
+            while pend:
+                sigma = c_last if c_last >= reconfig_until \
+                    else reconfig_until
+                if sigma >= t_arr:
+                    break
+                start_batch(sigma)
+            if len(pend) >= capacity:
+                lost += 1
+            elif not pend and c_last < t_arr \
+                    and reconfig_until <= t_arr:
+                pend.append(t_arr)
+                start_batch(t_arr)  # idle, unblocked: a batch of itself
+            else:
+                pend.append(t_arr)
+        while pend:
+            sigma = c_last if c_last >= reconfig_until else reconfig_until
+            if sigma > t_end or (is_tick and sigma == t_end):
+                break
+            start_batch(sigma)
+        if is_tick and pend and sigma == t_end:
+            return False  # tie: start ordering depends on event seqs
+        return True
+
+    for tick in ticks:
+        if not serve_segment(tick, is_tick=True):
+            return None
+        if c_last == tick or reconfig_until == tick:
+            return None  # completion/resume tied with the decision
+        hi = int(np.searchsorted(arrivals, tick, side="right"))
+        if hi > fed:
+            monitor.observe_many(arr_list[fed:hi])
+            fed = hi
+        ips = monitor.sampled_ips(tick)
+        dt = tick - last_power_t
+        if dt > 0:
+            energy_j += entry.power_at(ips) * dt
+            last_power_t = tick
+        selected = policy.select(ips, current=entry)
+        if controller.needs_switch(selected.accelerator):
+            dead = controller.switch(selected.accelerator, now_s=tick)
+            reconfig_until = tick + dead
+        entry = selected
+        tables_ready = False
+        monitor.acknowledge(tick)
+        if record_trace:
+            trace["t"].append(tick)
+            trace["workload_ips"].append(ips)
+            trace["pruning_rate"].append(entry.accelerator.pruning_rate)
+            trace["confidence_threshold"].append(
+                entry.confidence_threshold)
+            trace["accuracy"].append(entry.accuracy)
+            trace["serving_ips"].append(entry.serving_ips)
+
+    if not serve_segment(duration, is_tick=False):  # pragma: no cover
+        return None
+    lost += len(pend)
+
+    hi_end = int(np.searchsorted(arrivals, duration, side="right"))
+    if hi_end > fed:
+        monitor.observe_many(arr_list[fed:hi_end])
+    final_ips = monitor.sampled_ips(duration)
+    dt = duration - last_power_t
+    if dt > 0:
+        energy_j += entry.power_at(final_ips) * dt
+
+    if served_latencies:
+        latency_sum = float(np.cumsum(np.asarray(served_latencies))[-1])
+    else:
+        latency_sum = 0.0
+
+    post = controller.events[initial_events:]
+    return RunMetrics(
+        policy=getattr(policy, "name", type(policy).__name__),
+        duration_s=duration,
+        total_requests=n,
+        processed=processed,
+        lost=lost,
+        accuracy=float(correct) / processed if processed else 0.0,
+        avg_latency_s=latency_sum / processed if processed else 0.0,
+        energy_j=energy_j,
+        reconfigurations=sum(1 for e in post if e.success),
+        reconfig_dead_time_s=sum(e.duration_s for e in post if e.success),
+        batches=batches,
         trace=trace if record_trace else {},
     )

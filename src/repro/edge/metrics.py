@@ -40,7 +40,9 @@ class RunMetrics:
     ``retries`` counts inference retry attempts; reconfiguration faults
     surface as ``reconfig_failures``/``reconfig_retries`` with their
     wasted time in ``fault_dead_time_s`` (``reconfig_dead_time_s`` only
-    covers successful swaps).
+    covers successful swaps). ``batches`` counts completed micro-batched
+    plan invocations (0 when batching is off — each frame is then its
+    own invocation and the count carries no extra information).
     """
 
     policy: str
@@ -59,6 +61,7 @@ class RunMetrics:
     reconfig_failures: int = 0
     reconfig_retries: int = 0
     fault_dead_time_s: float = 0.0
+    batches: int = 0
     trace: dict = field(default_factory=dict, repr=False)
 
     def __post_init__(self):

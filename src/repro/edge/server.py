@@ -34,7 +34,8 @@ import numpy as np
 from ..runtime.faults import FaultPlan, FaultSpec
 from ..runtime.library import LibraryEntry
 from ..runtime.monitor import WorkloadMonitor
-from ..runtime.reconfig import ReconfigurationController
+from ..runtime.reconfig import (PartialReconfigModel,
+                                ReconfigurationController)
 from . import fastsim
 from .cameras import CameraFleet, WorkloadSpec
 from .events import EventLoop
@@ -54,6 +55,20 @@ class ServerConfig:
     (:mod:`repro.edge.fastsim`, bit-identical, ~10-50x faster, falling
     back to events whenever vectorization would be unsound), and
     ``"auto"`` (default) uses the fast path when eligible.
+
+    ``batch_window_s``/``dispatch_overhead_s`` enable micro-batched
+    admission: when the server picks up the head of the queue, every
+    queued frame that arrived within ``batch_window_s`` of it shares the
+    same plan invocation — one ``dispatch_overhead_s`` charge amortized
+    over the batch (each frame's recorded latency is its own exit-path
+    service time plus ``overhead / batch_size``). Both default to 0,
+    which keeps the historical one-frame-per-invocation path
+    bit-identical.
+
+    ``partial_reconfig`` installs a
+    :class:`~repro.runtime.reconfig.PartialReconfigModel`: swap dead
+    time is then the per-region partial-reconfiguration cost instead of
+    the flat ``reconfig_time_s``, in both simulation engines.
     """
 
     queue_capacity: int = 32
@@ -62,6 +77,9 @@ class ServerConfig:
     reconfig_time_s: float = 0.145
     record_trace: bool = True
     sim_mode: str = "auto"
+    batch_window_s: float = 0.0
+    dispatch_overhead_s: float = 0.0
+    partial_reconfig: PartialReconfigModel | None = None
 
     def __post_init__(self):
         if self.queue_capacity < 1:
@@ -70,10 +88,18 @@ class ServerConfig:
             raise ValueError("intervals must be positive")
         if self.reconfig_time_s < 0:
             raise ValueError("reconfig_time_s must be >= 0")
+        if self.batch_window_s < 0 or self.dispatch_overhead_s < 0:
+            raise ValueError(
+                "batch_window_s and dispatch_overhead_s must be >= 0")
         if self.sim_mode not in SIM_MODES:
             raise ValueError(
                 f"sim_mode must be one of {SIM_MODES}, "
                 f"got {self.sim_mode!r}")
+
+    @property
+    def batching(self) -> bool:
+        """Whether micro-batched admission is active."""
+        return self.batch_window_s > 0.0 or self.dispatch_overhead_s > 0.0
 
 
 class EdgeServerSimulator:
@@ -134,7 +160,8 @@ class EdgeServerSimulator:
         loop = EventLoop()
         monitor = WorkloadMonitor(window_s=cfg.monitor_window_s)
         controller = ReconfigurationController(
-            reconfig_time_s=cfg.reconfig_time_s)
+            reconfig_time_s=cfg.reconfig_time_s,
+            cost_model=cfg.partial_reconfig)
 
         # Deploy the initial selection before serving starts (the initial
         # board configuration is not charged against the run).
@@ -156,6 +183,7 @@ class EdgeServerSimulator:
             "reconfig_failures": 0,
             "reconfig_retries": 0,
             "fault_dead_time_s": 0.0,
+            "batches": 0,
             "latency_sum": 0.0,
             "accuracy_sum": 0.0,
             "energy_j": 0.0,
@@ -180,10 +208,63 @@ class EdgeServerSimulator:
                 state["energy_j"] += state["entry"].power_at(arrival_rate) * dt
                 state["last_power_t"] = now
 
+        batching = cfg.batching
+
+        def start_batched(loop_: EventLoop) -> None:
+            """Micro-batched admission: the head of the queue plus every
+            queued frame that arrived within ``batch_window_s`` of it
+            share one plan invocation. The invocation costs one
+            ``dispatch_overhead_s`` plus the frames' exit-path service
+            times back to back; each frame's recorded latency is its own
+            service time plus the amortized overhead share."""
+            entry_ = state["entry"]
+            batch = [queue.popleft()]
+            window_end = batch[0][0] + cfg.batch_window_s
+            while queue and queue[0][0] <= window_end:
+                batch.append(queue.popleft())
+            k = len(batch)
+            pvec = np.asarray(entry_.exit_rates)
+            services = []
+            total = cfg.dispatch_overhead_s
+            for _ in batch:
+                exit_idx = int(rng.choice(len(entry_.exit_rates), p=pvec))
+                services.append(entry_.service_latency_s(exit_idx))
+            for service in services:
+                total += service
+            share = cfg.dispatch_overhead_s / k
+            state["busy"] = True
+
+            def complete(loop2: EventLoop) -> None:
+                state["busy"] = False
+                state["batches"] += 1
+                retry = []
+                for (arrival_t, attempts), service in zip(batch, services):
+                    if plan is not None and plan.inference_fails(loop2.now):
+                        if attempts < spec.inference_retries:
+                            state["retries"] += 1
+                            retry.append((arrival_t, attempts + 1))
+                        else:
+                            state["failed"] += 1
+                    else:
+                        state["processed"] += 1
+                        state["latency_sum"] += service + share
+                        state["accuracy_sum"] += float(
+                            rng.random() < entry_.accuracy)
+                if retry:
+                    # Retries go back to the head in arrival order, as
+                    # the unbatched path's appendleft does for one frame.
+                    queue.extendleft(reversed(retry))
+                try_start_service(loop2)
+
+            loop_.schedule(total, complete)
+
         def try_start_service(loop_: EventLoop) -> None:
             if state["busy"] or not queue:
                 return
             if loop_.now < state["reconfig_until"]:
+                return
+            if batching:
+                start_batched(loop_)
                 return
             arrival_t, attempts = queue.popleft()
             entry_ = state["entry"]
@@ -236,8 +317,11 @@ class EdgeServerSimulator:
         def attempt_reconfig(selected: LibraryEntry, attempt: int,
                              loop_: EventLoop) -> None:
             now = loop_.now
-            fails, duration = plan.reconfig_outcome(now,
-                                                    cfg.reconfig_time_s)
+            # Nominal dead time comes from the controller so a partial
+            # reconfiguration model (cfg.partial_reconfig) prices the
+            # attempt; fault jitter then scales that nominal cost.
+            nominal = controller.planned_duration_s(selected.accelerator)
+            fails, duration = plan.reconfig_outcome(now, nominal)
             success, dead = controller.attempt_switch(
                 selected.accelerator, now_s=now, duration_s=duration,
                 fails=fails)
@@ -329,6 +413,7 @@ class EdgeServerSimulator:
             reconfig_failures=state["reconfig_failures"],
             reconfig_retries=state["reconfig_retries"],
             fault_dead_time_s=state["fault_dead_time_s"],
+            batches=state["batches"],
             trace=trace if cfg.record_trace else {},
         )
 

@@ -608,6 +608,31 @@ class ExecutionPlan:
 
     forward = run
 
+    def run_many(self, xs) -> list[list[np.ndarray]]:
+        """Run several inputs through one fused invocation.
+
+        The serving-side analogue of micro-batched admission
+        (:mod:`repro.edge.server`): the inputs are stacked along the
+        batch axis, pushed through the plan once — amortizing the
+        per-invocation step dispatch over the whole batch — and the
+        outputs are split back per input (one freshly-owned array per
+        output). Every step in a plan is batch-elementwise, so
+        ``result[i]`` is exactly the ``xs[i]`` rows of the stacked run;
+        it matches a standalone ``self.run(xs[i])`` to the last ulp
+        (BLAS reduction order inside matmul may differ with the batch
+        size, so bit-identity to per-input runs is not guaranteed).
+        """
+        xs = [np.asarray(x, dtype=self.dtype) for x in xs]
+        if not xs:
+            return []
+        sizes = [x.shape[0] for x in xs]
+        stacked = np.concatenate(xs, axis=0)
+        outs = self.run(stacked)
+        bounds = np.cumsum(sizes[:-1])
+        per_output = [np.split(o, bounds, axis=0) for o in outs]
+        return [[piece[i].copy() for piece in per_output]
+                for i in range(len(xs))]
+
     def stats(self) -> dict:
         """Fusion/fold counts and arena footprint of the compiled plan."""
         return dict(self._stats, num_steps=len(self.steps),

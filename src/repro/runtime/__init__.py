@@ -8,7 +8,9 @@ from .library import (AcceleratorId, Library, LibraryEntry, LoadReport,
                       SCHEMA_VERSION)
 from .manager import RuntimeManager, SelectionPolicy
 from .monitor import WorkloadMonitor
-from .reconfig import ReconfigEvent, ReconfigurationController
+from .policytable import PolicyTable
+from .reconfig import (PartialReconfigModel, ReconfigEvent,
+                       ReconfigurationController)
 
 __all__ = [
     "AdaPEx", "CTOnly", "FINNStatic", "PROnly", "make_policy",
@@ -16,7 +18,7 @@ __all__ = [
     "FAULT_PRESETS", "FaultPlan", "FaultSpec",
     "AcceleratorId", "Library", "LibraryEntry", "LoadReport",
     "SCHEMA_VERSION",
-    "RuntimeManager", "SelectionPolicy",
+    "RuntimeManager", "SelectionPolicy", "PolicyTable",
     "WorkloadMonitor",
-    "ReconfigEvent", "ReconfigurationController",
+    "PartialReconfigModel", "ReconfigEvent", "ReconfigurationController",
 ]

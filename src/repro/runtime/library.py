@@ -22,6 +22,7 @@ import hashlib
 import json
 import os
 import re
+import warnings
 from dataclasses import asdict, dataclass, field
 
 from ..core.errors import IntegrityError
@@ -249,14 +250,47 @@ class Library:
     def feasible(self, min_accuracy: float, required_ips: float) -> list:
         """Entries meeting both the accuracy bound and the workload.
 
-        Linear scan allocating a fresh list per call — fine for tests
-        and offline analysis, but **do not use on hot paths**: the
-        per-decision-tick selection goes through ``RuntimeManager``'s
-        throughput-sorted index (rebuilt only when the library changes),
-        which answers the same query with a binary search.
+        .. deprecated::
+            Linear scan allocating a fresh list per call. Selection
+            answers the same query from ``RuntimeManager``'s
+            throughput-sorted index (or its compiled policy table);
+            callers that want the raw candidate set should filter
+            ``library.entries`` directly.
         """
+        warnings.warn(
+            "Library.feasible is deprecated: selection goes through "
+            "RuntimeManager's throughput-sorted index / compiled policy "
+            "table; filter library.entries directly for offline analysis",
+            DeprecationWarning, stacklevel=2)
         return [e for e in self.entries
                 if e.accuracy >= min_accuracy and e.serving_ips >= required_ips]
+
+    def quarantine(self, predicate, reason: str = "quarantined") -> int:
+        """Remove entries matching ``predicate``, recording the gaps.
+
+        Mirrors the sweep supervisor's metadata format (one dict per
+        removed design point under ``metadata["quarantined"]``) so a
+        mid-campaign quarantine looks exactly like a generation-time one.
+        Bumps ``_version`` when anything was removed, so derived
+        structures (selection index, policy tables) rebuild. Returns the
+        number of entries removed.
+        """
+        keep, gone = [], []
+        for e in self.entries:
+            (gone if predicate(e) else keep).append(e)
+        if not gone:
+            return 0
+        self.entries = keep
+        record = self.metadata.setdefault("quarantined", [])
+        for e in gone:
+            record.append({
+                "variant": e.accelerator.variant,
+                "rate": e.accelerator.pruning_rate,
+                "kind": "runtime_quarantine",
+                "message": reason,
+            })
+        self._version += 1
+        return len(gone)
 
     def filtered(self, predicate) -> "Library":
         """New library view with only entries matching ``predicate``."""

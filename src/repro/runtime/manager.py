@@ -14,6 +14,16 @@ Two practical refinements the paper implies:
   uncontrolled frame loss);
 * ties on accuracy prefer (1) the currently loaded accelerator (avoids a
   145 ms reconfiguration) and (2) lower energy per inference.
+
+With a partial-reconfiguration cost model installed
+(:meth:`RuntimeManager.set_reconfig_model`), the binary stay-put bonus
+generalizes to a graded one: accuracy ties break by the actual switch
+dead time (0 for the loaded accelerator, the per-region partial cost for
+the rest), then energy. For campaign-scale serving the whole decision
+function can be compiled into an O(1) lookup table
+(:meth:`RuntimeManager.compile_policy_table`,
+:mod:`repro.runtime.policytable`) that is exactly equivalent to the
+indexed path and auto-recompiles when the library or policy mutates.
 """
 
 from __future__ import annotations
@@ -73,6 +83,7 @@ class _SelectionIndex:
     def __init__(self, library: Library, min_accuracy: float):
         self.version = library._version
         self.size = len(library.entries)
+        self.min_accuracy = min_accuracy
         entries = library.entries
         order = sorted(
             (i for i, e in enumerate(entries)
@@ -115,13 +126,21 @@ class RuntimeManager:
     """Selects Library entries to match the current edge conditions."""
 
     def __init__(self, library: Library,
-                 policy: SelectionPolicy | None = None):
+                 policy: SelectionPolicy | None = None,
+                 reconfig_model=None):
         if len(library) == 0:
             raise ValueError("cannot manage an empty library")
         self.library = library
         self.policy = policy or SelectionPolicy()
+        # Optional switch-cost model (PartialReconfigModel duck type:
+        # ``switch_time_s(current, target)``). When set, accuracy ties
+        # break by *graded* switch cost instead of the binary
+        # same-accelerator stability bonus.
+        self.reconfig_model = reconfig_model
         self._reference_accuracy = library.best_accuracy()
         self._selection_index: _SelectionIndex | None = None
+        self._policy_table = None  # set by compile_policy_table()
+        self._table_spec = None  # (cells, extra_levels) once compiled
         self._no_reconfig_cache: dict[AcceleratorId, LibraryEntry | None] = {}
         # A partial library (design points quarantined by the sweep
         # supervisor) is servable — selection simply runs over the
@@ -143,16 +162,74 @@ class RuntimeManager:
 
     def _index(self) -> _SelectionIndex:
         """The current selection index, rebuilt if the library changed
-        (detected via ``Library._version``); also invalidates the
+        (detected via ``Library._version``) or the accuracy floor moved
+        (a replaced ``policy``); also invalidates the
         :meth:`select_without_reconfig` memo on rebuild."""
         idx = self._selection_index
         lib = self.library
         if idx is None or idx.version != lib._version \
-                or idx.size != len(lib.entries):
+                or idx.size != len(lib.entries) \
+                or idx.min_accuracy != self.min_accuracy:
             idx = _SelectionIndex(lib, self.min_accuracy)
             self._selection_index = idx
             self._no_reconfig_cache.clear()
         return idx
+
+    def set_reconfig_model(self, model) -> None:
+        """Install (or clear, with ``None``) the switch-cost model.
+
+        Drops any compiled policy table (and its installed fast-select
+        closure): the tabulated tie-breaks were computed against the
+        previous cost calculus. If a table was compiled, the next
+        :meth:`select` recompiles it against the new model.
+        """
+        self.reconfig_model = model
+        self._policy_table = None
+        self.__dict__.pop("select", None)
+
+    def compile_policy_table(self, cells: int = 4096,
+                             extra_accuracy_levels=()):
+        """Compile selection into an O(1) lookup table.
+
+        Quantizes the workload axis onto a ``cells``-cell grid and
+        tabulates the winning entry at every (grid cell, loaded
+        accelerator) point — :meth:`select` then answers with one array
+        lookup instead of a searchsorted plus tie-break scan, falling
+        back to the index for off-grid or grid-edge queries. The table
+        auto-recompiles when the library or policy changes.
+        ``extra_accuracy_levels`` precompiles additional min-accuracy
+        floors (for multi-tenant queries via
+        :meth:`PolicyTable.lookup_at <repro.runtime.policytable.PolicyTable.lookup_at>`).
+        """
+        from .policytable import PolicyTable
+        table = PolicyTable(
+            self, cells=cells,
+            extra_accuracy_levels=tuple(extra_accuracy_levels))
+        self._policy_table = table
+        self._table_spec = (cells, tuple(extra_accuracy_levels))
+        # Install the closure form as the per-instance ``select`` —
+        # unless a subclass overrides select (e.g. OraclePolicy), where
+        # shadowing the override would change its semantics.
+        if type(self).select is RuntimeManager.select:
+            self.select = table.install_fast_select(self)
+        return table
+
+    def drop_policy_table(self) -> None:
+        """Opt back out of table-backed selection (index path only)."""
+        self._policy_table = None
+        self._table_spec = None
+        self.__dict__.pop("select", None)
+
+    def __getstate__(self):
+        # The compiled table and its installed fast-select closure hold
+        # id()-keyed structures that are meaningless (and unpicklable)
+        # across processes. ``_table_spec`` survives, so unpickled
+        # copies — e.g. parallel campaign workers — recompile lazily on
+        # their first select().
+        state = dict(self.__dict__)
+        state.pop("select", None)
+        state["_policy_table"] = None
+        return state
 
     def select(self, workload_ips: float,
                current: LibraryEntry | None = None) -> LibraryEntry:
@@ -170,25 +247,67 @@ class RuntimeManager:
         """
         if workload_ips < 0:
             raise ValueError("workload must be >= 0")
+        spec = self._table_spec
+        if spec is not None:
+            table = self._policy_table
+            lib = self.library
+            if table is None or table.version != lib._version \
+                    or table.size != len(lib.entries) \
+                    or table.policy is not self.policy:
+                # Stale (library/policy mutated) or absent (unpickled
+                # in a worker, or the cost model changed): recompile in
+                # place — compiling was an explicit opt-in, so the
+                # table stays live across mutations. This also
+                # refreshes the installed fast-select closure.
+                table = self.compile_policy_table(*spec)
+            hit = table.lookup(workload_ips, current)
+            if hit is not None:
+                return hit
+            # off-grid / unsafe-cell query: answer from the index
         required = workload_ips * self.policy.headroom
         idx = self._index()
         pos = int(idx.ips.searchsorted(required, side="left"))
         cur_accel = current.accelerator if current is not None else None
+        model = self.reconfig_model
         if pos >= len(idx.order):
             # Degraded mode: fastest entry that still honours accuracy.
             ties = idx.degraded_acc_ok or idx.degraded_all
             if cur_accel is not None:
-                for e in ties:
-                    if e.accelerator == cur_accel:
-                        return e
+                if model is None:
+                    for e in ties:
+                        if e.accelerator == cur_accel:
+                            return e
+                else:
+                    # Graded cost: the cheapest switch wins, ties to the
+                    # earliest tie-list (= library-order) candidate.
+                    best = None
+                    for e in ties:
+                        c = model.switch_time_s(cur_accel, e.accelerator)
+                        if best is None or c < best[0]:
+                            best = (c, e)
+                    return best[1]
             return ties[0]
         # Feasible set = sorted slots [pos:]; the winner carries the
         # suffix's best rounded accuracy, so only that tie group needs
-        # the (stability, energy, library-order) tie-break.
+        # the (switch-cost, energy, library-order) tie-break.
         group = idx.groups[idx.suffix_max_acc[pos]]
+        start = bisect_left(group, pos)
+        if model is not None and cur_accel is not None:
+            # Graded switch cost generalizes the stability bonus: a
+            # same-accelerator candidate costs 0, others cost their
+            # partial-reconfiguration time.
+            best = None
+            for k in group[start:]:
+                lib_i = idx.order[k]
+                e = idx.entries[lib_i]
+                key = (-model.switch_time_s(cur_accel, e.accelerator),
+                       -e.energy_per_inference_j, -lib_i)
+                if best is None or key > best[0]:
+                    best = (key, e)
+            return best[1]
         best_bonus = None
         best_plain = None
-        for k in group[bisect_left(group, pos):]:
+        for k in group[start:]:
             lib_i = idx.order[k]
             e = idx.entries[lib_i]
             # max key, ties to the smallest library index — exactly the

@@ -1,0 +1,316 @@
+"""Compiled O(1) policy lookup tables for the Runtime Manager.
+
+:meth:`RuntimeManager.select` is exact but still computed per decision
+tick: a ``searchsorted`` over the throughput-sorted index plus a
+tie-break scan. For a *frozen* Library the decision is a pure function
+of (workload, loaded accelerator, accuracy floor), and the workload
+enters only through ``pos = searchsorted(ips, workload * headroom)`` —
+a monotone step function with at most ``len(index)`` breakpoints. This
+module compiles that function onto a uniform workload grid:
+
+* the cell width is a **power of two**, so ``workload / h`` (computed
+  as ``workload * (1/h)``) is an exact float operation and
+  ``int(workload * inv)`` lands every workload in exactly the cell that
+  contains it — no rounding guards on the hot path;
+* a cell is *safe* exactly when ``pos`` agrees at both of its edges
+  (multiplying by a positive headroom and ``searchsorted`` are both
+  monotone, so edge agreement proves constancy inside); unsafe cells —
+  at most one per distinct serving-IPS value — defer to the index;
+* for every reachable ``pos`` (plus the degraded-mode row beyond the
+  fastest entry) the winning entry is tabulated per *slot* — one slot
+  per library accelerator plus a "nothing loaded" slot — reproducing
+  the full tie-break semantics: rounded-accuracy groups, the stability
+  bonus (or the graded partial-reconfiguration switch cost when a
+  model is installed), energy, and library order.
+
+Exactness is preserved the same way :mod:`repro.edge.fastsim` preserves
+it against the event loop: whenever the table cannot *prove* it gives
+the indexed answer — an unsafe cell, a NaN workload, an unknown
+``current`` entry — the lookup falls through to the index path.
+Staleness is detected via ``Library._version`` (plus entry count and
+policy identity) and ``RuntimeManager.select`` recompiles
+automatically, so library mutations mid-campaign stay correct.
+
+:meth:`RuntimeManager.compile_policy_table` additionally *installs* the
+compiled decision as a per-instance ``select`` closure over plain
+Python lists (see :meth:`PolicyTable.install_fast_select`), which is
+what makes a table-backed selection a genuine single array lookup.
+Tables are cheap to share: compiling once and reusing across thousands
+of simulated edge servers is the point (see ROADMAP's fleet-scale
+sharding item).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+
+import numpy as np
+
+from .manager import RuntimeManager, _SelectionIndex
+
+__all__ = ["PolicyTable"]
+
+
+def _winner_row(idx: _SelectionIndex, pos: int, accels: list,
+                model) -> list:
+    """Winning entry at ``pos`` for the no-current slot then each
+    accelerator slot, mirroring ``RuntimeManager.select`` exactly."""
+    group = idx.groups[idx.suffix_max_acc[pos]]
+    best_plain = None
+    reps: dict = {}  # accelerator -> (key, entry): best member per accel
+    for k in group[bisect_left(group, pos):]:
+        lib_i = idx.order[k]
+        e = idx.entries[lib_i]
+        key = (-e.energy_per_inference_j, -lib_i)
+        if best_plain is None or key > best_plain[0]:
+            best_plain = (key, e)
+        r = reps.get(e.accelerator)
+        if r is None or key > r[0]:
+            reps[e.accelerator] = (key, e)
+    # Slot 0: nothing loaded. Without a model the bonus never fires;
+    # with one, the switch cost from None is the full bitstream load for
+    # every candidate — constant, so the plain winner is exact there too.
+    row = [best_plain[1]]
+    for a in accels:
+        if model is None:
+            r = reps.get(a)
+            row.append((r or best_plain)[1])
+        else:
+            best = None
+            for b, (key, e) in reps.items():
+                full = (-model.switch_time_s(a, b),) + key
+                if best is None or full > best[0]:
+                    best = (full, e)
+            row.append(best[1])
+    return row
+
+
+def _degraded_row(idx: _SelectionIndex, accels: list, model) -> list:
+    """Degraded-mode winners (workload beyond every qualified entry)."""
+    ties = idx.degraded_acc_ok or idx.degraded_all
+    row = [ties[0]]
+    for a in accels:
+        if model is None:
+            pick = ties[0]
+            for e in ties:
+                if e.accelerator == a:
+                    pick = e
+                    break
+            row.append(pick)
+        else:
+            best = None
+            for e in ties:
+                c = model.switch_time_s(a, e.accelerator)
+                if best is None or c < best[0]:
+                    best = (c, e)
+            row.append(best[1])
+    return row
+
+
+class _Level:
+    """One compiled accuracy level: exact grid + winner rows."""
+
+    __slots__ = ("m", "ncells", "wtop", "inv", "cell_pos", "posrows",
+                 "unsafe")
+
+    def __init__(self, idx: _SelectionIndex, accels: list, model,
+                 headroom: float, cells: int):
+        m = len(idx.order)
+        self.m = m
+        # posrows[p][slot] = winner at searchsorted position p; the
+        # degraded-mode row sits at p == m.
+        posrows = [_winner_row(idx, pos, accels, model)
+                   for pos in range(m)]
+        posrows.append(_degraded_row(idx, accels, model))
+        self.posrows = posrows
+        if m == 0:
+            # Nothing qualifies: every workload is degraded-mode.
+            self.ncells, self.wtop, self.inv = 0, 0.0, 0.0
+            self.cell_pos, self.unsafe = [], 0
+            return
+        # Grid top: any workload >= wtop must be degraded (pos == m),
+        # i.e. wtop * headroom must exceed the fastest qualified entry.
+        # The cell width h is a power of two, so j*h, wtop = ncells*h
+        # and workload*(1/h) are all exact float arithmetic: a lookup
+        # provably lands in the cell containing its workload.
+        top_ips = float(idx.ips[-1])
+        span = top_ips / headroom * 1.125 + 1.0
+        h = 2.0 ** math.ceil(math.log2(span / cells))
+        ncells = int(math.ceil(span / h))
+        wtop = ncells * h
+        while int(idx.ips.searchsorted(wtop * headroom,
+                                       side="left")) < m:
+            ncells += 1  # float-safety net; never taken in practice
+            wtop = ncells * h
+        # pos at every edge, under the same float ops select() performs
+        # (multiply by headroom, then searchsorted side="left").
+        edges = np.arange(ncells + 1, dtype=np.float64) * h
+        ps = idx.ips.searchsorted(edges * headroom, side="left")
+        cell_pos = [int(ps[j]) if ps[j] == ps[j + 1] else -1
+                    for j in range(ncells)]
+        self.ncells = ncells
+        self.wtop = wtop
+        self.inv = 1.0 / h  # exact: h is a power of two
+        self.cell_pos = cell_pos
+        self.unsafe = sum(1 for p in cell_pos if p < 0)
+
+    def lookup_slot(self, workload_ips: float, slot: int):
+        """Winner for a slot, or ``None`` = defer to the index."""
+        if workload_ips >= self.wtop:
+            return self.posrows[self.m][slot]
+        if not workload_ips >= 0.0:
+            return None  # negative or NaN: the index path handles it
+        pos = self.cell_pos[int(workload_ips * self.inv)]
+        if pos < 0:
+            return None  # unsafe cell: a pos breakpoint inside
+        return self.posrows[pos][slot]
+
+
+class PolicyTable:
+    """The compiled decision function of one :class:`RuntimeManager`.
+
+    Built by :meth:`RuntimeManager.compile_policy_table`. ``lookup``
+    answers a query in O(1) or returns ``None`` when falling back to
+    the index is required for exactness (see module docstring);
+    ``install_fast_select`` returns the flattened closure form of the
+    same function.
+    """
+
+    def __init__(self, manager: RuntimeManager, cells: int = 8192,
+                 extra_accuracy_levels: tuple = ()):
+        if cells < 1:
+            raise ValueError("cells must be >= 1")
+        lib = manager.library
+        self.policy = manager.policy
+        self.version = lib._version
+        self.size = len(lib.entries)
+        self.cells = cells
+        self.extra_accuracy_levels = tuple(extra_accuracy_levels)
+        model = manager.reconfig_model
+        self._graded = model is not None
+        accels = lib.accelerators()
+        self._slot = {a: i + 1 for i, a in enumerate(accels)}
+        self._stride = len(accels) + 1
+        headroom = self.policy.headroom
+        primary = manager.min_accuracy
+        self._levels: dict = {}
+        for floor in dict.fromkeys((primary, *self.extra_accuracy_levels)):
+            idx = manager._index() if floor == primary \
+                else _SelectionIndex(lib, floor)
+            self._levels[floor] = _Level(idx, accels, model, headroom,
+                                         cells)
+        active = self._levels[primary]
+        self._active = active
+        # Expanded per-entry cell rows for the fast-select closure:
+        # row[cell] = winner (None = unsafe), row[-1] = degraded winner.
+        # Slots whose winner column is identical share one row, so the
+        # expansion is small for the common case of few tie groups.
+        lvl = active
+        ncells = lvl.ncells
+        by_sig: dict = {}
+        slot_rows = []
+        for s in range(self._stride):
+            col = [lvl.posrows[p][s] for p in range(lvl.m + 1)]
+            sig = tuple(map(id, col))
+            row = by_sig.get(sig)
+            if row is None:
+                row = [col[p] if p >= 0 else None
+                       for p in lvl.cell_pos]
+                row.append(col[lvl.m])  # degraded at row[-1]
+                by_sig[sig] = row
+            slot_rows.append(row)
+        # Library entries are the usual ``current`` values: an id-keyed
+        # row map skips hashing AcceleratorId per query. Entries are
+        # kept alive by the winner rows / library, so ids are stable for
+        # the table's lifetime (a stale table is never consulted).
+        rows = {id(None): slot_rows[0]}
+        for e in lib.entries:
+            rows[id(e)] = slot_rows[self._slot[e.accelerator]]
+        self._rows = rows
+        self._shared_rows = len(by_sig)
+
+    def lookup(self, workload_ips: float, current=None):
+        """The tabulated selection, or ``None`` = ask the index."""
+        if current is None:
+            slot = 0
+        else:
+            slot = self._slot.get(current.accelerator)
+            if slot is None:
+                if self._graded:
+                    return None  # unknown accel: graded cost unknown
+                slot = 0  # binary bonus can never fire: plain winner
+        return self._active.lookup_slot(workload_ips, slot)
+
+    def lookup_at(self, min_accuracy: float, workload_ips: float,
+                  current=None):
+        """Lookup against a precompiled extra accuracy level.
+
+        Returns ``None`` when the level was not compiled or the query
+        needs the index (callers keep an index path for exactness).
+        """
+        lvl = self._levels.get(min_accuracy)
+        if lvl is None:
+            return None
+        if current is None:
+            slot = 0
+        else:
+            slot = self._slot.get(current.accelerator)
+            if slot is None:
+                if self._graded:
+                    return None
+                slot = 0
+        return lvl.lookup_slot(workload_ips, slot)
+
+    def install_fast_select(self, manager: RuntimeManager):
+        """Build the flattened closure form of this table's decision.
+
+        The closure shadows ``manager.select`` (the caller assigns it):
+        one dict probe on ``id(current)`` plus one list index answer the
+        query; anything it cannot prove — staleness, unknown ``current``,
+        an unsafe cell, a degenerate workload — defers to the unbound
+        :meth:`RuntimeManager.select`, which recompiles or falls back to
+        the index as needed.
+        """
+        lib = manager.library
+        version = self.version
+        size = self.size
+        policy = self.policy
+        wtop = self._active.wtop
+        inv = self._active.inv
+        rows = self._rows
+        slow = RuntimeManager.select
+        _id, _int, _len = id, int, len
+
+        def fast_select(workload_ips, current=None):
+            if lib._version != version or policy is not manager.policy \
+                    or _len(lib.entries) != size:
+                return slow(manager, workload_ips, current)
+            row = rows.get(_id(current))
+            if row is None:
+                return slow(manager, workload_ips, current)
+            if workload_ips >= wtop:
+                return row[-1]
+            if not workload_ips >= 0.0:
+                return slow(manager, workload_ips, current)
+            e = row[_int(workload_ips * inv)]
+            if e is None:
+                return slow(manager, workload_ips, current)
+            return e
+
+        return fast_select
+
+    def stats(self) -> dict:
+        """Compile-time shape facts (for benchmarks and debugging)."""
+        return {
+            "cells": self.cells,
+            "grid_cells": self._active.ncells,
+            "levels": len(self._levels),
+            "slots": self._stride,
+            "entries": self.size,
+            "positions": self._active.m + 1,
+            "shared_rows": self._shared_rows,
+            "unsafe_cells": {f"{floor:.6f}": lvl.unsafe
+                             for floor, lvl in self._levels.items()},
+            "graded_cost_model": self._graded,
+        }

@@ -1,10 +1,20 @@
-"""FPGA reconfiguration controller.
+"""FPGA reconfiguration controller and switch-cost models.
 
 Tracks which accelerator (bitstream) is loaded and charges the
 reconfiguration dead time whenever the runtime manager switches pruning
 rates. The paper measured 4 reconfigurations totalling 580 ms on the
 ZCU104 (~145 ms each); while a swap is in progress the accelerator
 serves nothing.
+
+:class:`PartialReconfigModel` refines the flat 145 ms: the floorplan is
+split into reconfigurable regions and a switch rewrites only the regions
+whose contents differ between the outgoing and incoming design, so
+switches between related variants (e.g. the early-exit and backbone
+builds of the same pruning rate) cost a fraction of a full swap. Both
+the :class:`ReconfigurationController` (what a swap actually costs) and
+:class:`~repro.runtime.manager.RuntimeManager` (how switch cost breaks
+selection ties) accept the model, so the serving simulators and the
+policy optimize the same calculus.
 
 Under fault injection (:mod:`repro.runtime.faults`) an attempt may fail:
 the dead time is burned but the previously loaded bitstream stays
@@ -19,7 +29,135 @@ from dataclasses import dataclass, field
 from ..finn.bitstream import RECONFIG_MS_ZCU104
 from .library import AcceleratorId
 
-__all__ = ["ReconfigurationController", "ReconfigEvent"]
+__all__ = ["ReconfigurationController", "ReconfigEvent",
+           "PartialReconfigModel"]
+
+
+@dataclass(frozen=True)
+class PartialReconfigModel:
+    """Per-region partial reconfiguration costing.
+
+    The accelerator floorplan is modeled as ``regions`` reconfigurable
+    regions: ``regions - exit_regions`` backbone pipeline stages plus
+    ``exit_regions`` early-exit classifier regions. Two designs share a
+    region when its contents are identical — a backbone stage when
+    uniform pruning leaves that stage's channel count unchanged, an exit
+    region when both designs carry the same exit configuration (both
+    absent, or both present with the same exit-pruning state and rate).
+    A switch rewrites only the differing regions::
+
+        cost = overhead_s + changed/regions * (full_time_s - overhead_s)
+
+    capped at ``full_time_s`` — partial reconfiguration is never worse
+    than reloading the full bitstream. ``overhead_s`` is the fixed
+    ICAP/PCAP setup cost every non-trivial swap pays.
+    """
+
+    regions: int = 8
+    exit_regions: int = 2
+    overhead_s: float = 0.010
+    full_time_s: float = RECONFIG_MS_ZCU104 / 1000.0
+    stage_widths: tuple = (64, 64, 128, 128, 256, 256)
+
+    def __post_init__(self):
+        if self.regions < 1:
+            raise ValueError("regions must be >= 1")
+        if not 0 <= self.exit_regions < self.regions:
+            raise ValueError("exit_regions must be in [0, regions)")
+        if len(self.stage_widths) != self.regions - self.exit_regions:
+            raise ValueError(
+                f"stage_widths must name {self.regions - self.exit_regions}"
+                f" backbone stages (one per non-exit region), got "
+                f"{len(self.stage_widths)}")
+        if self.overhead_s < 0:
+            raise ValueError("overhead_s must be >= 0")
+        if self.full_time_s < self.overhead_s:
+            raise ValueError("full_time_s must be >= overhead_s")
+
+    def signature(self, accelerator: AcceleratorId) -> tuple:
+        """Per-region content signature of one design."""
+        rate = accelerator.pruning_rate
+        stages = tuple(max(1, round(w * (1.0 - rate)))
+                       for w in self.stage_widths)
+        if accelerator.variant == "ee":
+            exit_rate = rate if accelerator.pruned_exits else 0.0
+            exits = tuple(("exit", k, round(exit_rate, 6))
+                          for k in range(self.exit_regions))
+        else:
+            exits = tuple(("blank", k) for k in range(self.exit_regions))
+        return stages + exits
+
+    def changed_regions(self, a: AcceleratorId, b: AcceleratorId) -> int:
+        """Regions that must be rewritten to go from ``a`` to ``b``."""
+        if a == b:
+            return 0
+        return sum(ra != rb for ra, rb
+                   in zip(self.signature(a), self.signature(b)))
+
+    def switch_time_s(self, current: AcceleratorId | None,
+                      target: AcceleratorId) -> float:
+        """Dead time of loading ``target`` over ``current``.
+
+        ``current=None`` (nothing deployed yet) is a full configuration;
+        identical designs cost nothing.
+        """
+        if current is None:
+            return self.full_time_s
+        changed = self.changed_regions(current, target)
+        if changed == 0:
+            return 0.0
+        frac = changed / self.regions
+        return min(self.full_time_s,
+                   self.overhead_s
+                   + frac * (self.full_time_s - self.overhead_s))
+
+    @classmethod
+    def parse(cls, text: str) -> "PartialReconfigModel":
+        """Build a model from a CLI spec.
+
+        ``"on"``/``"default"`` give the defaults; otherwise a
+        comma-separated ``key=value`` list with keys ``regions``,
+        ``exit_regions``, ``overhead_ms``, ``full_ms``.
+        """
+        text = (text or "").strip().lower()
+        if text in ("", "on", "default", "true", "1"):
+            return cls()
+        kwargs: dict = {}
+        for token in text.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            if "=" not in token:
+                raise ValueError(
+                    f"bad partial-reconfig token {token!r} (expected "
+                    f"key=value, e.g. 'regions=8,overhead_ms=10')")
+            key, _, value = token.partition("=")
+            key = key.strip().replace("-", "_")
+            try:
+                if key in ("regions", "exit_regions"):
+                    kwargs[key] = int(value)
+                elif key == "overhead_ms":
+                    kwargs["overhead_s"] = float(value) / 1000.0
+                elif key == "full_ms":
+                    kwargs["full_time_s"] = float(value) / 1000.0
+                else:
+                    raise ValueError(
+                        f"unknown partial-reconfig key {key!r} (options:"
+                        f" regions, exit_regions, overhead_ms, full_ms)")
+            except ValueError as exc:
+                if "unknown partial-reconfig" in str(exc):
+                    raise
+                raise ValueError(
+                    f"bad partial-reconfig value {value!r} for "
+                    f"{key!r}") from exc
+        if "regions" in kwargs:
+            backbone = kwargs["regions"] - kwargs.get("exit_regions", 2)
+            if backbone < 1:
+                raise ValueError("regions must exceed exit_regions")
+            widths = PartialReconfigModel.stage_widths
+            kwargs["stage_widths"] = tuple(
+                widths[i % len(widths)] for i in range(backbone))
+        return cls(**kwargs)
 
 
 @dataclass(frozen=True)
@@ -35,14 +173,29 @@ class ReconfigEvent:
 
 @dataclass
 class ReconfigurationController:
-    """Bitstream state machine with measured swap cost."""
+    """Bitstream state machine with measured swap cost.
+
+    ``cost_model`` switches the controller from the flat
+    ``reconfig_time_s`` per swap to per-region partial-reconfiguration
+    costing (:class:`PartialReconfigModel`): the dead time of each
+    attempt depends on how much of the floorplan actually changes.
+    """
 
     reconfig_time_s: float = RECONFIG_MS_ZCU104 / 1000.0
     current: AcceleratorId | None = None
     events: list = field(default_factory=list)
+    cost_model: PartialReconfigModel | None = None
 
     def needs_switch(self, target: AcceleratorId) -> bool:
         return self.current != target
+
+    def planned_duration_s(self, target: AcceleratorId) -> float:
+        """Nominal dead time a switch to ``target`` would cost now."""
+        if not self.needs_switch(target):
+            return 0.0
+        if self.cost_model is not None:
+            return self.cost_model.switch_time_s(self.current, target)
+        return self.reconfig_time_s
 
     def attempt_switch(self, target: AcceleratorId, now_s: float = 0.0,
                        duration_s: float | None = None,
@@ -57,7 +210,8 @@ class ReconfigurationController:
         """
         if not self.needs_switch(target):
             return True, 0.0
-        dead = self.reconfig_time_s if duration_s is None else duration_s
+        dead = self.planned_duration_s(target) if duration_s is None \
+            else duration_s
         if dead < 0:
             raise ValueError("reconfiguration duration must be >= 0")
         self.events.append(ReconfigEvent(now_s, self.current, target,

@@ -268,3 +268,46 @@ class TestPlanInterface:
         assert "engine_compile" in phases
         assert "engine_forward" in phases
         assert "engine_threshold" in phases
+
+
+class TestRunMany:
+    """run_many stacks inputs into one fused pass and re-splits: the
+    per-input results are exactly the input's rows of the stacked run,
+    and match standalone run() calls to the last ulp (BLAS reduction
+    order inside matmul may shift with the batch size)."""
+
+    @pytest.fixture(scope="class")
+    def plan(self):
+        graph = export_model(_cnv())
+        streamline(graph)
+        return graph.compile()
+
+    def test_rows_of_stacked_run(self, plan):
+        xs = [_batch(n=k, seed=k) for k in (1, 3, 2)]
+        many = plan.run_many(xs)
+        assert len(many) == len(xs)
+        stacked_outs = plan.run(np.concatenate(xs, axis=0))
+        row = 0
+        for x, outs in zip(xs, many):
+            n = x.shape[0]
+            ref = [o[row:row + n] for o in stacked_outs]
+            assert_outputs_equal(ref, outs)
+            row += n
+
+    def test_close_to_individual_runs(self, plan):
+        xs = [_batch(n=k, seed=k) for k in (1, 3, 2)]
+        for x, outs in zip(xs, plan.run_many(xs)):
+            assert_outputs_equal(plan.run(x), outs, exact=False)
+
+    def test_empty_input_list(self, plan):
+        assert plan.run_many([]) == []
+
+    def test_outputs_are_owned(self, plan):
+        """Each split output must survive later plan invocations (the
+        arena is reused; views into it would be clobbered)."""
+        xs = [_batch(n=2, seed=9), _batch(n=2, seed=10)]
+        many = plan.run_many(xs)
+        snapshots = [[o.copy() for o in outs] for outs in many]
+        plan.run(_batch(n=5, seed=11))  # stomp the arena
+        for outs, snap in zip(many, snapshots):
+            assert_outputs_equal(snap, outs)

@@ -71,14 +71,37 @@ class TestLibrary:
             Library().best_accuracy()
 
     def test_feasible(self, toy_library):
-        feasible = toy_library.feasible(min_accuracy=0.80,
-                                        required_ips=700.0)
+        with pytest.warns(DeprecationWarning, match="feasible"):
+            feasible = toy_library.feasible(min_accuracy=0.80,
+                                            required_ips=700.0)
         assert feasible
         assert all(e.accuracy >= 0.80 and e.serving_ips >= 700.0
                    for e in feasible)
 
     def test_feasible_empty(self, toy_library):
-        assert toy_library.feasible(0.99, 1e5) == []
+        with pytest.warns(DeprecationWarning, match="feasible"):
+            assert toy_library.feasible(0.99, 1e5) == []
+
+    def test_quarantine_removes_and_records(self, toy_library):
+        n = len(toy_library)
+        version = toy_library._version
+        removed = toy_library.quarantine(
+            lambda e: e.accelerator.variant == "backbone",
+            reason="thermal recall")
+        assert removed == 3
+        assert len(toy_library) == n - 3
+        assert all(e.accelerator.variant == "ee" for e in toy_library)
+        assert toy_library._version > version
+        gaps = toy_library.metadata["quarantined"]
+        assert len(gaps) == 3
+        assert all(g["kind"] == "runtime_quarantine"
+                   and g["message"] == "thermal recall" for g in gaps)
+
+    def test_quarantine_no_match_is_noop(self, toy_library):
+        version = toy_library._version
+        assert toy_library.quarantine(lambda e: False) == 0
+        assert toy_library._version == version
+        assert "quarantined" not in toy_library.metadata
 
     def test_filtered_view(self, toy_library):
         ee = toy_library.filtered(lambda e: e.accelerator.variant == "ee")

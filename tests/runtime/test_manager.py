@@ -107,9 +107,14 @@ class TestRuntimeManager:
 
 
 def _linear_select(mgr, workload_ips, current=None):
-    """The pre-index selection algorithm, kept verbatim as the pin."""
+    """The pre-index selection algorithm, kept verbatim as the pin.
+
+    The feasible scan is inlined (rather than calling the deprecated
+    ``Library.feasible``) so the pin stays warning-free."""
     required = workload_ips * mgr.policy.headroom
-    candidates = mgr.library.feasible(mgr.min_accuracy, required)
+    candidates = [e for e in mgr.library.entries
+                  if e.accuracy >= mgr.min_accuracy
+                  and e.serving_ips >= required]
     if not candidates:
         acc_ok = [e for e in mgr.library if e.accuracy >= mgr.min_accuracy]
         pool = acc_ok or list(mgr.library)
@@ -197,3 +202,60 @@ class TestSelectionIndex:
         for cur in [None, *lib]:
             assert mgr.select(10_000.0, current=cur) \
                 is _linear_select(mgr, 10_000.0, current=cur)
+
+    def test_no_reconfig_memo_invalidated_on_policy_change(self,
+                                                           toy_library):
+        """Tightening the accuracy floor must drop the stay-put memo —
+        a cached answer computed against the old ``min_accuracy`` would
+        otherwise leak through ``select_without_reconfig``."""
+        mgr = RuntimeManager(
+            toy_library, SelectionPolicy(accuracy_loss_threshold=0.30))
+        cur = mgr.select(900.0)
+        loose = mgr.select_without_reconfig(cur)
+        assert loose is mgr.select_without_reconfig(cur)  # memo hit
+        mgr.policy = SelectionPolicy(accuracy_loss_threshold=0.0)
+        tight = mgr.select_without_reconfig(cur)
+        assert tight is not None
+        assert tight.accuracy >= mgr.min_accuracy \
+            or all(e.accuracy < mgr.min_accuracy
+                   for e in toy_library
+                   if e.accelerator == cur.accelerator)
+        # And the fresh answer is itself memoized under the new floor.
+        assert mgr.select_without_reconfig(cur) is tight
+
+    def test_index_rebuilt_on_policy_change(self, toy_library):
+        mgr = RuntimeManager(toy_library)
+        mgr.select(100.0)
+        idx = mgr._selection_index
+        mgr.policy = SelectionPolicy(accuracy_loss_threshold=0.02)
+        assert mgr.select(100.0) is _linear_select(mgr, 100.0)
+        assert mgr._selection_index is not idx
+
+    def test_mutation_agreement_index_table_linear(self):
+        """Append and quarantine mid-campaign: the index, the compiled
+        policy table, and the linear rescan must keep agreeing."""
+        import numpy as np
+        rng = np.random.default_rng(11)
+        lib = self._random_library(rng, 12)
+        indexed = RuntimeManager(lib)
+        tabled = RuntimeManager(lib)
+        tabled.compile_policy_table(cells=512)
+
+        def agree():
+            entries = list(lib)
+            for w in [0.0, 90.0, 250.0, 480.0, 5_000.0,
+                      *rng.uniform(0, 700, 10)]:
+                for cur in [None,
+                            entries[int(rng.integers(len(entries)))]]:
+                    pin = _linear_select(indexed, float(w), current=cur)
+                    assert indexed.select(float(w), current=cur) is pin
+                    assert tabled.select(float(w), current=cur) is pin
+
+        agree()
+        lib.add(make_entry(rate=0.3, ct=0.42, acc=0.93, ips=620.0,
+                           energy=1.5e-3))
+        agree()
+        removed = lib.quarantine(
+            lambda e: e.serving_ips >= 450.0, reason="mid-campaign")
+        assert removed > 0
+        agree()

@@ -113,3 +113,104 @@ class TestDeadTimeUnderJitter:
         assert a.total_dead_time_s == b.total_dead_time_s
         assert [e.duration_s for e in a.events] == \
             [e.duration_s for e in b.events]
+
+
+class TestPartialReconfigModel:
+    def _model(self, **kw):
+        from repro.runtime import PartialReconfigModel
+        return PartialReconfigModel(**kw)
+
+    def test_validation(self):
+        from repro.runtime import PartialReconfigModel
+        with pytest.raises(ValueError):
+            PartialReconfigModel(regions=0, stage_widths=())
+        with pytest.raises(ValueError):
+            PartialReconfigModel(exit_regions=8)
+        with pytest.raises(ValueError):
+            PartialReconfigModel(stage_widths=(64,))
+        with pytest.raises(ValueError):
+            PartialReconfigModel(overhead_s=0.2)  # > full_time_s
+
+    def test_signature_distinguishes_designs(self):
+        m = self._model()
+        assert m.signature(aid(0.0)) != m.signature(aid(0.4))
+        backbone = AcceleratorId(pruning_rate=0.0, variant="backbone")
+        assert m.signature(aid(0.0)) != m.signature(backbone)
+        # The backbone stages of rate-matched ee/backbone builds agree.
+        n = len(m.stage_widths)
+        assert m.signature(aid(0.0))[:n] == m.signature(backbone)[:n]
+
+    def test_changed_regions(self):
+        m = self._model()
+        assert m.changed_regions(aid(0.4), aid(0.4)) == 0
+        backbone = AcceleratorId(pruning_rate=0.4, variant="backbone")
+        # Same rate, ee vs backbone: only the exit regions differ.
+        assert m.changed_regions(aid(0.4), backbone) == m.exit_regions
+        # A rate change rewrites every stage plus the exits.
+        assert m.changed_regions(aid(0.0), aid(0.8)) == m.regions
+
+    def test_switch_time_below_full(self):
+        m = self._model()
+        full = m.full_time_s
+        assert m.switch_time_s(None, aid(0.4)) == pytest.approx(full)
+        assert m.switch_time_s(aid(0.4), aid(0.4)) == 0.0
+        backbone = AcceleratorId(pruning_rate=0.4, variant="backbone")
+        partial = m.switch_time_s(aid(0.4), backbone)
+        assert 0.0 < partial < full
+        expected = m.overhead_s + (m.exit_regions / m.regions) \
+            * (full - m.overhead_s)
+        assert partial == pytest.approx(expected)
+        # Worst case (every region differs) is capped at a full swap.
+        assert m.switch_time_s(aid(0.0), aid(0.8)) <= full
+
+    def test_parse(self):
+        from repro.runtime import PartialReconfigModel
+        assert PartialReconfigModel.parse("on") == PartialReconfigModel()
+        assert PartialReconfigModel.parse("") == PartialReconfigModel()
+        m = PartialReconfigModel.parse(
+            "regions=4,exit_regions=1,overhead_ms=5,full_ms=100")
+        assert m.regions == 4 and m.exit_regions == 1
+        assert m.overhead_s == pytest.approx(0.005)
+        assert m.full_time_s == pytest.approx(0.100)
+        assert len(m.stage_widths) == 3
+        with pytest.raises(ValueError):
+            PartialReconfigModel.parse("bogus")
+        with pytest.raises(ValueError):
+            PartialReconfigModel.parse("turbo=9")
+        with pytest.raises(ValueError):
+            PartialReconfigModel.parse("regions=two")
+        with pytest.raises(ValueError):
+            PartialReconfigModel.parse("regions=2,exit_regions=2")
+
+
+class TestControllerWithCostModel:
+    def test_planned_duration(self):
+        from repro.runtime import PartialReconfigModel
+
+        model = PartialReconfigModel()
+        ctrl = ReconfigurationController(cost_model=model)
+        assert ctrl.planned_duration_s(aid(0.4)) == pytest.approx(
+            model.full_time_s)  # nothing loaded yet: full config
+        ctrl.switch(aid(0.4))
+        assert ctrl.planned_duration_s(aid(0.4)) == 0.0
+        backbone = AcceleratorId(pruning_rate=0.4, variant="backbone")
+        assert ctrl.planned_duration_s(backbone) == pytest.approx(
+            model.switch_time_s(aid(0.4), backbone))
+
+    def test_attempt_switch_charges_partial_cost(self):
+        from repro.runtime import PartialReconfigModel
+
+        model = PartialReconfigModel()
+        ctrl = ReconfigurationController(cost_model=model)
+        ctrl.switch(aid(0.4), now_s=0.0)
+        backbone = AcceleratorId(pruning_rate=0.4, variant="backbone")
+        ok, dead = ctrl.attempt_switch(backbone, now_s=1.0)
+        assert ok
+        assert dead == pytest.approx(
+            model.switch_time_s(aid(0.4), backbone))
+        assert 0.0 < dead < model.full_time_s
+        # Flat controller charges the full 145 ms for the same swap.
+        flat = ReconfigurationController()
+        flat.switch(aid(0.4))
+        _, flat_dead = flat.attempt_switch(backbone, now_s=1.0)
+        assert dead < flat_dead

@@ -58,7 +58,9 @@ class TestManagerProperties:
                                acc=acc, ips=ips))
         mgr = RuntimeManager(lib)
         chosen = mgr.select(workload)
-        feasible = lib.feasible(mgr.min_accuracy, workload)
+        feasible = [e for e in lib.entries
+                    if e.accuracy >= mgr.min_accuracy
+                    and e.serving_ips >= workload]
         if feasible:
             # Must pick the most accurate feasible entry.
             assert chosen in feasible
