@@ -1,0 +1,230 @@
+#!/usr/bin/env python
+"""Fleet-serving benchmark: million-user sharded campaigns.
+
+Runs an 8-server fleet campaign (64 tenants x 4 cameras at 40 IPS for
+120 simulated seconds — ~1.2M simulated users) through
+``repro.fleet.simulate_fleet`` and checks the fleet stack's contracts:
+
+1. **Scale floor** — the campaign offers at least
+   ``REPRO_BENCH_MIN_FLEET_USERS`` (default 1,000,000) simulated users.
+2. **Throughput floor** — simulated users per wall-clock second is at
+   least ``REPRO_BENCH_MIN_FLEET_THROUGHPUT`` (default 200,000), taking
+   the best of the serial and sharded runs.
+3. **Worker invariance** — the campaign is field-for-field identical
+   (exact float equality, per-server metrics included) across
+   ``workers=1`` and ``workers=4``.
+4. **Conservation** — fault-free, every generated request is offered to
+   exactly one server; under a rack-loss + thundering-herd chaos
+   campaign, offered + failover-dropped still equals generated, and a
+   reseeded rerun is exact.
+
+Writes ``BENCH_fleet.json`` (default: this directory; ``--out`` to
+redirect) with timings and every check's verdict, and exits non-zero if
+any check fails — CI runs this as a perf-regression guard and archives
+the report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.edge.cameras import CameraFleet                    # noqa: E402
+from repro.fleet import (                                     # noqa: E402
+    FleetConfig,
+    FleetFaultSpec,
+    make_tenants,
+    simulate_fleet,
+)
+from repro.runtime import AcceleratorId, Library, LibraryEntry  # noqa: E402
+
+MIN_FLEET_USERS = int(
+    os.environ.get("REPRO_BENCH_MIN_FLEET_USERS", "1000000"))
+MIN_FLEET_THROUGHPUT = float(
+    os.environ.get("REPRO_BENCH_MIN_FLEET_THROUGHPUT", "200000"))
+
+
+def _entry(rate, ct, acc, ips, variant="ee", energy=2e-3,
+           rates=(0.3, 0.3, 0.4), exit_lats=(0.001, 0.0015, 0.0025)):
+    if variant == "backbone":
+        rates = (1.0,)
+        exit_lats = (exit_lats[-1],)
+    return LibraryEntry(
+        accelerator=AcceleratorId(pruning_rate=rate, variant=variant),
+        confidence_threshold=ct,
+        accuracy=acc,
+        exit_rates=tuple(rates),
+        latency_s=float(np.dot(rates, exit_lats)),
+        serving_ips=ips,
+        energy_per_inference_j=energy,
+        power_idle_w=0.8,
+        power_busy_w=1.2,
+        achieved_pruning_rate=rate,
+        exit_latencies_s=tuple(exit_lats),
+    )
+
+
+def campaign_library() -> Library:
+    lib = Library(metadata={"dataset": "bench-fleet"})
+    grid = [(0.0, 0.90, 400.0), (0.4, 0.84, 650.0), (0.8, 0.74, 1100.0)]
+    for rate, acc, ips in grid:
+        for ct, dacc, dips, rates in [
+            (0.1, -0.06, +250.0, (0.8, 0.15, 0.05)),
+            (0.5, -0.02, +120.0, (0.45, 0.30, 0.25)),
+            (0.9, 0.0, 0.0, (0.05, 0.15, 0.80)),
+        ]:
+            lib.add(_entry(rate, ct, acc + dacc, ips + dips, rates=rates))
+        lib.add(_entry(rate, 1.0, acc - 0.01, ips - 20.0,
+                       variant="backbone"))
+    return lib
+
+
+def generated_users(tenants, duration_s: float, seed: int) -> int:
+    """Independently regenerate the per-tenant arrival totals."""
+    return sum(
+        len(CameraFleet(t.workload(duration_s),
+                        seed=(seed, i)).arrival_times())
+        for i, t in enumerate(tenants))
+
+
+def best_of(fn, repeats: int):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=str(Path(__file__).parent),
+                        help="directory for BENCH_fleet.json")
+    parser.add_argument("--servers", type=int, default=8,
+                        help="fleet size")
+    parser.add_argument("--tenants", type=int, default=64,
+                        help="tenants routed across the fleet")
+    parser.add_argument("--duration", type=float, default=120.0,
+                        help="simulated seconds per campaign")
+    parser.add_argument("--workers", type=int,
+                        default=max(2, min(4, os.cpu_count() or 1)),
+                        help="shard workers for the parallel campaign")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="repetitions per measurement (best-of)")
+    args = parser.parse_args(argv)
+
+    report = {
+        "servers": args.servers,
+        "tenants": args.tenants,
+        "duration_s": args.duration,
+        "workers": args.workers,
+        "repeats": args.repeats,
+        "min_fleet_users": MIN_FLEET_USERS,
+        "min_fleet_throughput": MIN_FLEET_THROUGHPUT,
+        "checks": {},
+    }
+    failures = []
+
+    def check(name: str, ok: bool, detail: str = "") -> None:
+        report["checks"][name] = {"ok": bool(ok), "detail": detail}
+        print(f"  [{'ok' if ok else 'FAIL'}] {name}" +
+              (f" — {detail}" if detail else ""))
+        if not ok:
+            failures.append(name)
+
+    lib = campaign_library()
+    cfg = FleetConfig(num_servers=args.servers, rack_size=2,
+                      duration_s=args.duration, slo_tiers=(0.05, 0.10))
+    tenants = make_tenants(args.tenants, cameras=4, ips_per_camera=40.0,
+                           slo_tiers=(0.0, 0.80))
+
+    # ------------------------------------------------------------------
+    # 1. million-user campaign: serial vs sharded, byte-identical
+    # ------------------------------------------------------------------
+    print(f"fleet campaign ({args.servers} servers, {args.tenants} "
+          f"tenants, {args.duration:g}s simulated)...")
+    serial_s, serial = best_of(
+        lambda: simulate_fleet(lib, tenants, cfg, seed=0, workers=1),
+        args.repeats)
+    sharded_s, sharded = best_of(
+        lambda: simulate_fleet(lib, tenants, cfg, seed=0,
+                               workers=args.workers),
+        args.repeats)
+    users = serial.fleet.total_requests
+    best_s = min(serial_s, sharded_s)
+    throughput = users / best_s if best_s > 0 else float("inf")
+    report["campaign_serial_s"] = serial_s
+    report["campaign_sharded_s"] = sharded_s
+    report["campaign_users"] = users
+    report["campaign_users_per_s"] = throughput
+    report["fleet"] = serial.fleet.as_row()
+    print(f"  serial {serial_s * 1e3:.0f} ms, "
+          f"sharded({args.workers}) {sharded_s * 1e3:.0f} ms, "
+          f"{users:,} users")
+
+    check("fleet_users", users >= MIN_FLEET_USERS,
+          f"{users:,} simulated users (need >= {MIN_FLEET_USERS:,})")
+    check("fleet_throughput", throughput >= MIN_FLEET_THROUGHPUT,
+          f"{throughput:,.0f} users/s (need >= "
+          f"{MIN_FLEET_THROUGHPUT:,.0f})")
+    check("fleet_worker_identical",
+          serial.fleet == sharded.fleet
+          and serial.servers == sharded.servers
+          and serial.assignment == sharded.assignment
+          and serial.offsets == sharded.offsets,
+          f"workers=1 vs workers={args.workers}, exact field equality")
+    check("fleet_conservation",
+          users == generated_users(tenants, args.duration, 0)
+          and serial.fleet.failover_dropped == 0,
+          "every generated request offered to exactly one server")
+
+    # ------------------------------------------------------------------
+    # 2. chaos campaign: rack loss + thundering herd, seed-exact
+    # ------------------------------------------------------------------
+    print("chaos campaign (thundering-herd rack loss)...")
+    spec = FleetFaultSpec.parse("thundering-herd")
+    chaos_s, chaos = best_of(
+        lambda: simulate_fleet(lib, tenants, cfg, seed=0, faults=spec,
+                               fault_seed=1, workers=args.workers),
+        args.repeats)
+    again = simulate_fleet(lib, tenants, cfg, seed=0, faults=spec,
+                           fault_seed=1, workers=1)
+    report["chaos_s"] = chaos_s
+    report["chaos_fleet"] = chaos.fleet.as_row()
+    print(f"  {chaos_s * 1e3:.0f} ms, "
+          f"{chaos.fleet.dead_servers} server(s) lost, "
+          f"{chaos.fleet.herd_delayed:,} herd-delayed")
+    check("chaos_rack_actually_lost", chaos.fleet.dead_servers > 0,
+          f"{chaos.fleet.dead_servers} dead servers")
+    check("chaos_conservation",
+          chaos.fleet.total_requests + chaos.fleet.failover_dropped
+          == generated_users(tenants, args.duration, 0),
+          "offered + failover-dropped == generated under failover")
+    check("chaos_seed_exact",
+          again.fleet == chaos.fleet and again.servers == chaos.servers,
+          "faulted campaign reruns field-for-field identical")
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out_path = out_dir / "BENCH_fleet.json"
+    with open(out_path, "w") as f:
+        json.dump(report, f, indent=1, sort_keys=True, default=float)
+    print(f"report written to {out_path}")
+
+    if failures:
+        print(f"FAILED checks: {failures}")
+        return 1
+    print("fleet benchmark passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

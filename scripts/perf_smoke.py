@@ -36,6 +36,7 @@ from repro.core import (AdaPExConfig, LibraryGenerator, PhaseTimer,
                         PointCache, fork_available)
 from repro.core import design_time
 from repro.edge import WorkloadSpec, simulate_policy
+from repro.fleet import FleetConfig, make_tenants, simulate_fleet
 from repro.runtime import RuntimeManager
 
 MIN_SPEEDUP = float(os.environ.get("REPRO_SMOKE_MIN_SPEEDUP", "2.0"))
@@ -201,6 +202,29 @@ def main(argv=None) -> int:
         if indexed.select(w, cur) is not tabled.select(w, cur))
     check("policy_table_equivalent", table_mismatch == 0,
           f"{2 * len(queries)} queries, {table_mismatch} mismatches")
+
+    # ------------------------------------------------------------------
+    # 4c. fleet campaign: sharded run matches serial bit-for-bit
+    # ------------------------------------------------------------------
+    print("fleet campaign determinism (4 servers, serial vs sharded)...")
+    fleet_cfg = FleetConfig(num_servers=4, rack_size=2, duration_s=4.0,
+                            slo_tiers=(0.05, 0.10))
+    fleet_tenants = make_tenants(8, cameras=2, ips_per_camera=15.0,
+                                 slo_tiers=(0.0, 0.80))
+    with sim_timer.phase("fleet"):
+        fleet_serial = simulate_fleet(serial_lib, fleet_tenants,
+                                      fleet_cfg, seed=3, workers=1)
+        fleet_sharded = simulate_fleet(serial_lib, fleet_tenants,
+                                       fleet_cfg, seed=3, workers=2)
+    report["fleet_users"] = fleet_serial.fleet.total_requests
+    report["simulate_phases"] = sim_timer.as_dict()  # now incl. fleet
+    check("fleet_campaign_deterministic",
+          fleet_serial.fleet == fleet_sharded.fleet
+          and fleet_serial.servers == fleet_sharded.servers
+          and fleet_serial.assignment == fleet_sharded.assignment
+          and fleet_serial.offsets == fleet_sharded.offsets,
+          f"{fleet_serial.fleet.total_requests} users, "
+          "workers=1 vs workers=2 exact")
 
     # ------------------------------------------------------------------
     # 5. compiled engine: bit-identity and not-slower vs interpreter

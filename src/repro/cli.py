@@ -6,6 +6,7 @@ Subcommands mirror the framework's two phases plus inspection helpers::
     repro-adapex info       --library lib.json
     repro-adapex select     --library lib.json --workload 450
     repro-adapex evaluate   --library lib.json --runs 10
+    repro-adapex fleet      --library lib.json --servers 8 --tenants 64
     repro-adapex design-space --library lib.json --csv space.csv
 """
 
@@ -24,6 +25,8 @@ from .core.errors import IntegrityError
 from .core.instrument import PhaseTimer
 from .core.supervise import SuperviseConfig
 from .edge.server import ServerConfig, simulate_policy
+from .fleet import (CoordinationError, FleetConfig, FleetFaultSpec,
+                    ReconfigCoordinator, make_tenants, simulate_fleet)
 from .runtime.baselines import make_policy
 from .runtime.faults import FaultSpec
 from .runtime.library import Library
@@ -103,6 +106,29 @@ def _rate_sweep(text: str) -> list[float]:
     return rates
 
 
+def _fraction_list(text: str) -> list[float]:
+    """Comma-separated floats in [0, 1] (SLO tiers, tenant SLOs)."""
+    values = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            value = float(token)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"{token!r} is not a number (expected comma-separated "
+                f"fractions, e.g. '0.05,0.10')")
+        if not 0.0 <= value <= 1.0:
+            raise argparse.ArgumentTypeError(
+                f"{value} is out of range — fractions must be in [0, 1]")
+        values.append(value)
+    if not values:
+        raise argparse.ArgumentTypeError(
+            "expected at least one fraction, e.g. '0.05,0.10'")
+    return values
+
+
 def _validate_args(parser: argparse.ArgumentParser, args) -> None:
     """Cross-argument checks that individual ``type=`` hooks can't see."""
     if args.command == "generate":
@@ -126,6 +152,20 @@ def _validate_args(parser: argparse.ArgumentParser, args) -> None:
                 PartialReconfigModel.parse(args.partial_reconfig)
             except ValueError as exc:
                 parser.error(f"argument --partial-reconfig: {exc}")
+    elif args.command == "fleet":
+        if args.fleet_faults is not None:
+            try:
+                FleetFaultSpec.parse(args.fleet_faults)
+            except ValueError as exc:
+                parser.error(f"argument --fleet-faults: {exc}")
+        if not args.no_coordinate:
+            # Fail an infeasible stagger layout before loading anything.
+            try:
+                ReconfigCoordinator(
+                    capacity_fraction=args.capacity_fraction,
+                ).schedule(args.servers)
+            except CoordinationError as exc:
+                parser.error(str(exc))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -245,6 +285,61 @@ def build_parser() -> argparse.ArgumentParser:
                          "event loop otherwise; 'event'/'vector' force "
                          "one engine (metrics are identical either way)")
     ev.add_argument("--timing-json", metavar="PATH",
+                    help="write the per-phase timing report to PATH")
+
+    fl = sub.add_parser("fleet", help="simulate a multi-server fleet "
+                                      "campaign")
+    fl.add_argument("--library", required=True)
+    fl.add_argument("--servers", type=_positive_int, default=4,
+                    help="fleet size (default 4)")
+    fl.add_argument("--rack-size", type=_positive_int, default=2,
+                    help="servers per rack — the correlated-failure "
+                         "domain (default 2)")
+    fl.add_argument("--tenants", type=_positive_int, default=32,
+                    help="tenant camera fleets to route (default 32)")
+    fl.add_argument("--cameras", type=_positive_int, default=4,
+                    help="cameras per tenant (default 4)")
+    fl.add_argument("--ips-per-camera", type=_positive_float, default=2.0,
+                    help="per-camera request rate (default 2.0)")
+    fl.add_argument("--tenant-slos", type=_fraction_list, default=[0.0],
+                    metavar="A,A,...",
+                    help="tenant accuracy SLOs assigned round-robin "
+                         "(default '0.0' = best effort)")
+    fl.add_argument("--router", default="hash",
+                    choices=("hash", "least-loaded"),
+                    help="stream placement discipline (default hash = "
+                         "consistent hashing)")
+    fl.add_argument("--policy", default="adapex",
+                    choices=["adapex", "pr-only", "ct-only", "finn"])
+    fl.add_argument("--slo-tiers", type=_fraction_list, default=[0.10],
+                    metavar="L,L,...",
+                    help="accuracy-loss thresholds assigned round-robin "
+                         "over servers; one shared policy per tier "
+                         "(default '0.10')")
+    fl.add_argument("--duration", type=_positive_float, default=10.0,
+                    help="campaign length in seconds (default 10)")
+    fl.add_argument("--capacity-fraction", type=_positive_float,
+                    default=0.25,
+                    help="largest fleet fraction allowed mid-"
+                         "reconfiguration at once (default 0.25)")
+    fl.add_argument("--no-coordinate", action="store_true",
+                    help="disable the reconfiguration coordinator "
+                         "(all decision offsets zero)")
+    fl.add_argument("--fleet-faults", metavar="SPEC",
+                    help="correlated fault campaign: a preset "
+                         "(rack-loss/thundering-herd/fleet-chaos) and/or "
+                         "key=value overrides, e.g. "
+                         "'rack-loss,racks_lost=2'")
+    fl.add_argument("--fault-seed", type=int, default=0)
+    fl.add_argument("--seed", type=int, default=0)
+    fl.add_argument("--workers", type=_nonnegative_int, default=0,
+                    metavar="N",
+                    help="shard servers over N worker processes "
+                         "(0 = serial; campaigns are byte-identical "
+                         "either way)")
+    fl.add_argument("--sim-mode", default="auto",
+                    choices=("auto", "event", "vector"))
+    fl.add_argument("--timing-json", metavar="PATH",
                     help="write the per-phase timing report to PATH")
 
     ds = sub.add_parser("design-space", help="dump the Fig.-4 design space")
@@ -428,6 +523,62 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
+def _cmd_fleet(args) -> int:
+    library = _load_library(args.library)
+    faults = (FleetFaultSpec.parse(args.fleet_faults)
+              if args.fleet_faults else None)
+    config = FleetConfig(
+        num_servers=args.servers, rack_size=args.rack_size,
+        router=args.router, policy=args.policy,
+        slo_tiers=tuple(args.slo_tiers),
+        capacity_fraction=args.capacity_fraction,
+        coordinate=not args.no_coordinate, duration_s=args.duration,
+        sim_mode=args.sim_mode)
+    tenants = make_tenants(args.tenants, cameras=args.cameras,
+                           ips_per_camera=args.ips_per_camera,
+                           slo_tiers=tuple(args.tenant_slos))
+    timer = PhaseTimer()
+    with timer.phase("simulate_fleet"):
+        result = simulate_fleet(library, tenants, config, seed=args.seed,
+                                faults=faults, fault_seed=args.fault_seed,
+                                workers=args.workers)
+    rows = []
+    for run in result.servers:
+        m = run.metrics
+        rows.append({
+            "server": run.server_id,
+            "rack": run.rack,
+            "tier": run.tier,
+            "state": ("dead@%.2fs" % run.killed_at_s
+                      if run.killed_at_s is not None else "alive"),
+            "requests": m.total_requests,
+            "processed": m.processed,
+            "accuracy_pct": 100.0 * m.accuracy,
+            "reconfigs": m.reconfigurations,
+        })
+    title = (f"fleet campaign: {args.servers} servers, "
+             f"{args.tenants} tenants, {args.duration:.0f}s")
+    if faults is not None:
+        title += f" under [{args.fleet_faults}]"
+    print(format_table(rows, title=title))
+    print(format_table([result.fleet.as_row()], title="\nfleet aggregate"))
+    if result.slo_violations:
+        shown = ", ".join(result.slo_violations[:8])
+        more = len(result.slo_violations) - 8
+        print(f"SLO violations: {shown}" + (f" (+{more} more)"
+                                            if more > 0 else ""))
+    print(timer.summary())
+    if args.timing_json:
+        timer.write_json(args.timing_json, extra={
+            "command": "fleet", "servers": args.servers,
+            "tenants": args.tenants, "workers": args.workers,
+            "router": args.router, "policy": args.policy,
+            "fleet_faults": args.fleet_faults,
+            "fault_seed": args.fault_seed, "seed": args.seed})
+        print(f"timing report written to {args.timing_json}")
+    return 0
+
+
 def _cmd_design_space(args) -> int:
     library = _load_library(args.library)
     rows = fig4_design_space(library)
@@ -446,6 +597,7 @@ _COMMANDS = {
     "info": _cmd_info,
     "select": _cmd_select,
     "evaluate": _cmd_evaluate,
+    "fleet": _cmd_fleet,
     "design-space": _cmd_design_space,
 }
 

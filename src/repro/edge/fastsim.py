@@ -134,8 +134,10 @@ def run_fast(sim):
 
     # Decision-tick schedule: the event loop reschedules relative to the
     # current tick, so tick times are a float *accumulation*, not k*dt.
+    # The first tick carries the coordinator's stagger offset, with the
+    # event loop's exact float ops (now=0.0 plus the combined delay).
     ticks: list[float] = []
-    t = 0.0 + cfg.decision_interval_s
+    t = 0.0 + (cfg.decision_offset_s + cfg.decision_interval_s)
     if t <= duration:
         while True:
             ticks.append(t)
@@ -364,7 +366,7 @@ def _run_fast_batched(sim):
     initial_events = controller.count
 
     ticks: list[float] = []
-    t = 0.0 + cfg.decision_interval_s
+    t = 0.0 + (cfg.decision_offset_s + cfg.decision_interval_s)
     if t <= duration:
         while True:
             ticks.append(t)

@@ -69,10 +69,19 @@ class ServerConfig:
     :class:`~repro.runtime.reconfig.PartialReconfigModel`: swap dead
     time is then the per-region partial-reconfiguration cost instead of
     the flat ``reconfig_time_s``, in both simulation engines.
+
+    ``decision_offset_s`` phase-shifts the decision-tick train: ticks
+    fire at ``offset + k * decision_interval_s`` instead of
+    ``k * decision_interval_s``. The fleet reconfiguration coordinator
+    (:mod:`repro.fleet.coordinator`) staggers servers' offsets so their
+    reconfiguration windows never overlap beyond the fleet's capacity
+    cap. The default 0.0 is bit-identical to the historical schedule in
+    both simulation engines.
     """
 
     queue_capacity: int = 32
     decision_interval_s: float = 1.0
+    decision_offset_s: float = 0.0
     monitor_window_s: float = 1.0
     reconfig_time_s: float = 0.145
     record_trace: bool = True
@@ -86,6 +95,8 @@ class ServerConfig:
             raise ValueError("queue_capacity must be >= 1")
         if self.decision_interval_s <= 0 or self.monitor_window_s <= 0:
             raise ValueError("intervals must be positive")
+        if self.decision_offset_s < 0:
+            raise ValueError("decision_offset_s must be >= 0")
         if self.reconfig_time_s < 0:
             raise ValueError("reconfig_time_s must be >= 0")
         if self.batch_window_s < 0 or self.dispatch_overhead_s < 0:
@@ -384,7 +395,8 @@ class EdgeServerSimulator:
 
         for t in arrivals:
             loop.schedule_at(float(t), on_arrival)
-        loop.schedule(cfg.decision_interval_s, on_decision)
+        loop.schedule(cfg.decision_offset_s + cfg.decision_interval_s,
+                      on_decision)
         loop.run_until(self.workload.duration_s)
 
         # Requests still queued at the end of the run were never served.

@@ -1,0 +1,44 @@
+"""Fleet-scale serving: multi-server campaigns over one accelerator
+library.
+
+The package scales the single-server evaluation of :mod:`repro.edge` to
+a whole fleet: a workload router places per-tenant camera streams
+(:mod:`~repro.fleet.router`), a global coordinator staggers the servers'
+reconfiguration windows under a capacity cap
+(:mod:`~repro.fleet.coordinator`), correlated fault presets kill racks
+and model failover herds (:mod:`~repro.fleet.faults`), and the cluster
+simulator shards the per-server runs across processes with a
+deterministic, seed-exact merge (:mod:`~repro.fleet.cluster`,
+:mod:`~repro.fleet.metrics`).
+"""
+
+from .cluster import (FleetConfig, FleetResult, ShardWorkload,
+                      simulate_fleet)
+from .coordinator import (CoordinationError, ReconfigCoordinator,
+                          StaggerSchedule, max_concurrent_swaps)
+from .faults import FLEET_FAULT_PRESETS, FleetFaultPlan, FleetFaultSpec
+from .metrics import FleetMetrics, ServerRun, merge_fleet
+from .router import (ROUTER_POLICIES, ServerSlot, TenantSpec,
+                     WorkloadRouter, make_tenants)
+
+__all__ = [
+    "CoordinationError",
+    "FLEET_FAULT_PRESETS",
+    "FleetConfig",
+    "FleetFaultPlan",
+    "FleetFaultSpec",
+    "FleetMetrics",
+    "FleetResult",
+    "ROUTER_POLICIES",
+    "ReconfigCoordinator",
+    "ServerRun",
+    "ServerSlot",
+    "ShardWorkload",
+    "StaggerSchedule",
+    "TenantSpec",
+    "WorkloadRouter",
+    "make_tenants",
+    "max_concurrent_swaps",
+    "merge_fleet",
+    "simulate_fleet",
+]

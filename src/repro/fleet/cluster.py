@@ -1,0 +1,353 @@
+"""Fleet campaign simulator: N edge servers sharded across processes.
+
+One campaign simulates a whole fleet — each server its own FPGA,
+:class:`~repro.runtime.RuntimeManager` and fastsim path — serving the
+camera streams of many tenants at once. The design rule that makes the
+campaign byte-identical across ``--workers 1/2/4`` is **all randomness
+and all cross-server coupling happen in the parent**:
+
+1. the reconfiguration coordinator computes every server's decision-tick
+   offset (:mod:`repro.fleet.coordinator`);
+2. the correlated fault plan decides which racks die and when
+   (:mod:`repro.fleet.faults`);
+3. the router places every tenant, and re-places the stranded ones
+   (:mod:`repro.fleet.router`);
+4. each tenant's arrival trace is generated from ``(seed, tenant_idx)``
+   and cut/merged into per-server :class:`ShardWorkload` traces —
+   including the failover transformation (thundering-herd burst or
+   clean drop).
+
+What remains is embarrassingly parallel: one independent
+:class:`~repro.edge.server.EdgeServerSimulator` run per server, fanned
+out through :func:`repro.core.parallel.parallel_map` (ordered results).
+Policies are built once per SLO tier in the parent with their O(1)
+policy tables compiled (:meth:`RuntimeManager.ensure_policy_table`);
+under the ``fork`` start method the pool's ``initargs`` are inherited,
+not pickled, so every worker shares those compiled tables for free.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.parallel import parallel_map
+from ..edge.cameras import CameraFleet
+from ..edge.server import EdgeServerSimulator, ServerConfig
+from ..runtime.baselines import make_policy
+from ..runtime.manager import SelectionPolicy
+from .coordinator import ReconfigCoordinator
+from .faults import FleetFaultPlan, FleetFaultSpec
+from .metrics import FleetMetrics, ServerRun, merge_fleet
+from .router import (ROUTER_POLICIES, ServerSlot, TenantSpec,
+                     WorkloadRouter, make_tenants)
+
+__all__ = ["FleetConfig", "FleetResult", "ShardWorkload", "simulate_fleet"]
+
+#: Per-server seed spacing: wide enough that no two servers' derived
+#: streams (arrivals use (seed, tenant), sims use seed + 777) collide.
+_SERVER_SEED_STRIDE = 1_000_003
+
+
+@dataclass(frozen=True, eq=False)
+class ShardWorkload:
+    """One server's precomputed arrival trace.
+
+    Duck-types the workload protocol of
+    :class:`~repro.edge.server.EdgeServerSimulator` (``duration_s``,
+    ``nominal_ips``, ``arrival_times(seed)``) — the seed is ignored
+    because the parent already realized the arrivals. ``duration_s`` is
+    the server's *lifetime*: a killed server's shard ends at its kill
+    time, so it draws no power and makes no decisions afterwards.
+    """
+
+    arrivals: np.ndarray
+    duration_s: float
+    nominal_ips: float
+
+    def arrival_times(self, seed=0) -> np.ndarray:
+        return self.arrivals
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Shape and serving parameters of one fleet campaign.
+
+    Servers are numbered ``0..num_servers-1`` and grouped into racks of
+    ``rack_size`` consecutive ids (the correlated-failure domain).
+    ``slo_tiers`` are accuracy-loss thresholds assigned round-robin over
+    servers — each tier gets one shared policy instance, so a fleet of
+    thousands of servers still compiles each policy table exactly once.
+    ``capacity_fraction`` caps the fleet share that may be mid-
+    reconfiguration at once; ``coordinate=False`` disables staggering
+    (all offsets zero) for A/B experiments against the coordinator.
+    """
+
+    num_servers: int = 4
+    rack_size: int = 2
+    router: str = "hash"
+    vnodes: int = 64
+    policy: str = "adapex"
+    slo_tiers: tuple = (0.10,)
+    capacity_fraction: float = 0.25
+    coordinate: bool = True
+    duration_s: float = 10.0
+    decision_interval_s: float = 1.0
+    queue_capacity: int = 64
+    monitor_window_s: float = 1.0
+    reconfig_time_s: float = 0.145
+    sim_mode: str = "auto"
+    policy_table: bool = True
+    record_trace: bool = False
+
+    def __post_init__(self):
+        if self.num_servers < 1:
+            raise ValueError("num_servers must be >= 1")
+        if self.rack_size < 1:
+            raise ValueError("rack_size must be >= 1")
+        if self.router not in ROUTER_POLICIES:
+            raise ValueError(
+                f"router must be one of {ROUTER_POLICIES}, "
+                f"got {self.router!r}")
+        tiers = tuple(self.slo_tiers)
+        if not tiers:
+            raise ValueError("slo_tiers must be non-empty")
+        for t in tiers:
+            if not 0.0 <= t <= 1.0:
+                raise ValueError("slo_tiers entries must be in [0, 1]")
+        object.__setattr__(self, "slo_tiers", tiers)
+        if not 0.0 < self.capacity_fraction <= 1.0:
+            raise ValueError("capacity_fraction must be in (0, 1]")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+
+    @property
+    def num_racks(self) -> int:
+        return math.ceil(self.num_servers / self.rack_size)
+
+    def rack_of(self, server_id: int) -> int:
+        return server_id // self.rack_size
+
+    def tier_of(self, server_id: int) -> float:
+        return self.slo_tiers[server_id % len(self.slo_tiers)]
+
+
+@dataclass
+class FleetResult:
+    """Everything one fleet campaign produced."""
+
+    fleet: FleetMetrics
+    servers: list = field(default_factory=list)  # of ServerRun
+    assignment: dict = field(default_factory=dict)  # tenant -> server
+    reroutes: dict = field(default_factory=dict)  # moved tenants only
+    dead_servers: dict = field(default_factory=dict)  # server -> kill t
+    slo_violations: list = field(default_factory=list)  # tenant ids
+    offsets: list = field(default_factory=list)  # decision offsets
+
+
+def _build_policies(library, cfg: FleetConfig) -> dict:
+    """One shared policy instance per distinct SLO tier, tables
+    precompiled in the parent so forked workers inherit them."""
+    out = {}
+    for tier in sorted(set(cfg.slo_tiers)):
+        policy = make_policy(cfg.policy, library,
+                             SelectionPolicy(accuracy_loss_threshold=tier))
+        if cfg.policy_table:
+            ensure = getattr(policy, "ensure_policy_table", None)
+            if ensure is not None:
+                ensure()
+        out[tier] = policy
+    return out
+
+
+def _accuracy_floor(policy) -> float:
+    """The accuracy a server running ``policy`` promises its tenants."""
+    floor = getattr(policy, "min_accuracy", None)
+    if floor is not None:
+        return floor
+    # Static baselines (FINN) serve one fixed entry; its accuracy is
+    # simultaneously the floor and the ceiling.
+    return policy.select(0.0).accuracy
+
+
+# ----------------------------------------------------------------------
+# Per-worker shard context. Installed by the pool initializer; under the
+# fork start method the whole tuple — compiled policy tables included —
+# is inherited by address space, never pickled.
+# ----------------------------------------------------------------------
+_FLEET_CONTEXT: tuple | None = None
+
+
+def _fleet_worker_init(policies, workloads, configs, seeds, server_faults,
+                       fault_seed) -> None:
+    global _FLEET_CONTEXT
+    _FLEET_CONTEXT = (policies, workloads, configs, seeds, server_faults,
+                      fault_seed)
+
+
+def _fleet_task(server_id: int):
+    policies, workloads, configs, seeds, server_faults, fault_seed = \
+        _FLEET_CONTEXT
+    sim = EdgeServerSimulator(
+        policies[server_id], workload=workloads[server_id],
+        config=configs[server_id], seed=seeds[server_id],
+        faults=server_faults, fault_seed=fault_seed)
+    return sim.run()
+
+
+def simulate_fleet(library, tenants, config: FleetConfig | None = None, *,
+                   seed: int = 0, faults: FleetFaultSpec | None = None,
+                   fault_seed: int = 0, workers=0,
+                   progress=None) -> FleetResult:
+    """Simulate one fleet campaign; byte-identical for any ``workers``.
+
+    ``tenants`` is a list of :class:`~repro.fleet.router.TenantSpec` (or
+    an int, shorthand for :func:`~repro.fleet.router.make_tenants`).
+    ``faults`` overlays a correlated :class:`FleetFaultSpec`; its
+    realization, the failover routing and the stream transformations all
+    happen here in the parent, so the worker count can never change
+    which servers die or where a stream lands.
+    """
+    cfg = config or FleetConfig()
+    if isinstance(tenants, int):
+        tenants = make_tenants(tenants)
+    tenants = list(tenants)
+    if not tenants:
+        raise ValueError("need at least one tenant")
+    ids = [t.tenant_id for t in tenants]
+    if len(set(ids)) != len(ids):
+        raise ValueError("duplicate tenant ids")
+    n = cfg.num_servers
+
+    # 1. Stagger schedule: one decision-tick offset per server.
+    offsets = [0.0] * n
+    if cfg.coordinate:
+        coordinator = ReconfigCoordinator(
+            capacity_fraction=cfg.capacity_fraction,
+            decision_interval_s=cfg.decision_interval_s,
+            max_swap_s=cfg.reconfig_time_s)
+        offsets = list(coordinator.schedule(n).offsets)
+
+    # 2. Policies (one per tier) and the routing view of each server.
+    policies_by_tier = _build_policies(library, cfg)
+    floors = {tier: _accuracy_floor(p)
+              for tier, p in policies_by_tier.items()}
+    slots = [ServerSlot(sid, floors[cfg.tier_of(sid)]) for sid in range(n)]
+
+    # 3. Correlated fault realization: which servers die, and when.
+    dead: dict = {}
+    if faults is not None and faults.racks_lost > 0:
+        plan = FleetFaultPlan(faults, seed=(fault_seed, seed))
+        killed_racks = plan.realize(cfg.num_racks, cfg.duration_s)
+        for sid in range(n):
+            if cfg.rack_of(sid) in killed_racks:
+                dead[sid] = killed_racks[cfg.rack_of(sid)]
+
+    # 4. Routing: initial placement, then failover for the stranded.
+    router = WorkloadRouter(cfg.router, vnodes=cfg.vnodes)
+    assignment = router.assign(tenants, slots)
+    reroutes = router.reroute(tenants, assignment, slots, set(dead)) \
+        if dead else {}
+
+    # 5. Per-tenant arrivals, cut and merged into per-server shards.
+    reroute_delay = faults.reroute_delay_s if faults is not None else 0.0
+    herd = faults.herd if faults is not None else True
+    chunks: dict = {sid: [] for sid in range(n)}
+    nominal = {sid: 0.0 for sid in range(n)}
+    failover_dropped = 0
+    herd_delayed = 0
+    for i, tenant in enumerate(tenants):
+        arrivals = CameraFleet(tenant.workload(cfg.duration_s),
+                               seed=(seed, i)).arrival_times()
+        sid = assignment[tenant.tenant_id]
+        nominal[sid] += tenant.nominal_ips
+        kill = dead.get(sid)
+        if kill is None:
+            chunks[sid].append(arrivals)
+            continue
+        cut = int(np.searchsorted(arrivals, kill, side="left"))
+        chunks[sid].append(arrivals[:cut])  # served before the rack died
+        tail = arrivals[cut:]
+        if not len(tail):
+            continue
+        new_sid = reroutes.get(tenant.tenant_id)
+        rejoin = kill + reroute_delay
+        if new_sid is None or rejoin >= cfg.duration_s:
+            # No survivor to take the stream (or the outage outlasts the
+            # campaign): the tail is lost at the fleet level.
+            failover_dropped += len(tail)
+            continue
+        late = int(np.searchsorted(tail, rejoin, side="left"))
+        if herd:
+            # Thundering herd: the outage backlog slams the new server
+            # as one burst at the rejoin instant.
+            moved = tail.copy()
+            moved[:late] = rejoin
+            herd_delayed += late
+        else:
+            # Clean failover: the backlog is lost, the live stream
+            # resumes on the survivor.
+            failover_dropped += late
+            moved = tail[late:]
+        if len(moved):
+            chunks[new_sid].append(moved)
+
+    workloads = {}
+    configs = {}
+    seeds = {}
+    policies = {}
+    for sid in range(n):
+        parts = [c for c in chunks[sid] if len(c)]
+        merged = np.sort(np.concatenate(parts)) if parts \
+            else np.empty(0, dtype=np.float64)
+        workloads[sid] = ShardWorkload(
+            arrivals=merged,
+            duration_s=dead.get(sid, cfg.duration_s),
+            nominal_ips=nominal[sid])
+        configs[sid] = ServerConfig(
+            queue_capacity=cfg.queue_capacity,
+            decision_interval_s=cfg.decision_interval_s,
+            decision_offset_s=offsets[sid],
+            monitor_window_s=cfg.monitor_window_s,
+            reconfig_time_s=cfg.reconfig_time_s,
+            record_trace=cfg.record_trace,
+            sim_mode=cfg.sim_mode)
+        seeds[sid] = seed + _SERVER_SEED_STRIDE * (sid + 1)
+        policies[sid] = policies_by_tier[cfg.tier_of(sid)]
+
+    # 6. Fan the independent per-server runs out over worker processes.
+    server_faults = faults.server_faults if faults is not None else None
+    results = parallel_map(
+        _fleet_task, range(n), workers=workers, progress=progress,
+        label=lambda sid: f"server {sid}",
+        initializer=_fleet_worker_init,
+        initargs=(policies, workloads, configs, seeds, server_faults,
+                  fault_seed))
+
+    # 7. SLO audit + deterministic merge.
+    runs = [ServerRun(server_id=sid, rack=cfg.rack_of(sid),
+                      tier=cfg.tier_of(sid), killed_at_s=dead.get(sid),
+                      metrics=results[sid])
+            for sid in range(n)]
+    by_sid = {r.server_id: r for r in runs}
+    violated = []
+    for tenant in tenants:
+        serving = [assignment[tenant.tenant_id]]
+        moved_to = reroutes.get(tenant.tenant_id)
+        if moved_to is not None:
+            serving.append(moved_to)
+        stranded = serving[0] in dead and moved_to is None
+        delivered = min(by_sid[s].metrics.accuracy for s in serving)
+        if (stranded and tenant.slo_accuracy > 0.0) \
+                or delivered + 1e-9 < tenant.slo_accuracy:
+            violated.append(tenant.tenant_id)
+
+    fleet = merge_fleet(
+        runs, tenants=len(tenants), rerouted=len(reroutes),
+        failover_dropped=failover_dropped, herd_delayed=herd_delayed,
+        slo_violations=len(violated), duration_s=cfg.duration_s)
+    return FleetResult(fleet=fleet, servers=runs, assignment=assignment,
+                       reroutes=reroutes, dead_servers=dead,
+                       slo_violations=violated, offsets=offsets)

@@ -1,0 +1,164 @@
+"""Fleet-wide reconfiguration coordination.
+
+Every server in a fleet campaign makes its runtime decisions on the same
+cadence (``decision_interval_s``). Left unsynchronized — all offsets at
+zero — a workload shift that moves the whole fleet to a new operating
+point makes every server reconfigure *simultaneously*, taking the entire
+fleet off the air for the ~145 ms swap window. The coordinator prevents
+that by staggering the servers' decision-tick phases: servers are
+partitioned into ``waves``, each wave's ticks are shifted by one
+``slot``, and a server can only start a swap at its own tick, so at most
+one wave — at most ``max_concurrent`` servers, i.e. at most the
+configured ``capacity_fraction`` of the fleet — can be mid-swap at any
+instant.
+
+The guarantee is structural, not probabilistic:
+
+* wave ``w`` holds the servers ``{i : i % waves == w}`` — at most
+  ``ceil(n / waves) <= max_concurrent`` of them;
+* consecutive waves' tick trains are ``slot = interval / waves`` apart
+  (including across the period wrap), and ``schedule`` refuses any
+  layout where the slot does not exceed ``max_swap_s`` by at least a
+  nanosecond guard band (float tick realization can shave a few ulps
+  off a gap) — so a wave's swap window closes before the next wave's
+  ticks fire.
+
+:func:`max_concurrent_swaps` is the brute-force oracle for that claim
+(used by the invariant tests): it sweeps the actual swap windows of a
+schedule and reports the peak overlap.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["CoordinationError", "StaggerSchedule", "ReconfigCoordinator",
+           "max_concurrent_swaps"]
+
+
+class CoordinationError(ValueError):
+    """The fleet cannot honour the capacity cap with these parameters."""
+
+
+#: A slot must exceed the swap by this much to be feasible — a margin
+#: far above float tick-realization noise (~1e-15 s) and far below any
+#: physically meaningful schedule distinction.
+_GUARD_BAND_S = 1e-9
+
+
+@dataclass(frozen=True)
+class StaggerSchedule:
+    """One feasible stagger layout for a fleet of ``len(offsets)`` servers.
+
+    ``offsets[i]`` is server *i*'s ``decision_offset_s``
+    (:class:`~repro.edge.server.ServerConfig`); its decision ticks — the
+    only instants it may start a reconfiguration — fire at
+    ``offsets[i] + k * decision_interval_s``.
+    """
+
+    offsets: tuple
+    slot_s: float
+    waves: int
+    max_concurrent: int
+    decision_interval_s: float
+    max_swap_s: float
+
+    @property
+    def num_servers(self) -> int:
+        return len(self.offsets)
+
+    def wave_of(self, server_id: int) -> int:
+        return server_id % self.waves
+
+
+class ReconfigCoordinator:
+    """Computes stagger schedules bounding concurrent reconfigurations.
+
+    ``capacity_fraction`` is the largest fraction of the fleet that may
+    be mid-swap (serving nothing) at once; ``max_swap_s`` is the worst
+    single-swap dead time the schedule must absorb (inflate it when a
+    fault spec adds reconfiguration jitter).
+    """
+
+    def __init__(self, capacity_fraction: float = 0.25,
+                 decision_interval_s: float = 1.0,
+                 max_swap_s: float = 0.145):
+        if not 0.0 < capacity_fraction <= 1.0:
+            raise ValueError("capacity_fraction must be in (0, 1]")
+        if decision_interval_s <= 0:
+            raise ValueError("decision_interval_s must be positive")
+        if max_swap_s < 0:
+            raise ValueError("max_swap_s must be >= 0")
+        self.capacity_fraction = capacity_fraction
+        self.decision_interval_s = decision_interval_s
+        self.max_swap_s = max_swap_s
+
+    def max_concurrent(self, num_servers: int) -> int:
+        """Largest number of servers allowed mid-swap at once (>= 1:
+        a cap below one server could never reconfigure anything)."""
+        if num_servers < 1:
+            raise ValueError("num_servers must be >= 1")
+        return max(1, math.floor(self.capacity_fraction * num_servers
+                                 + 1e-9))
+
+    def schedule(self, num_servers: int) -> StaggerSchedule:
+        """Stagger offsets for ``num_servers`` servers.
+
+        Wave assignment interleaves (``i % waves``) rather than chunks
+        (``i // per_wave``) so that consecutively numbered servers — in
+        fleet campaigns, servers of the same rack — land in *different*
+        waves: a rack never reconfigures as one block.
+
+        Raises :class:`CoordinationError` when the slot between waves is
+        shorter than ``max_swap_s`` — no phase layout can honour the cap
+        then, and silently violating it would defeat the point.
+        """
+        mc = self.max_concurrent(num_servers)
+        waves = math.ceil(num_servers / mc)
+        slot = self.decision_interval_s / waves
+        # The guard band absorbs float realization error: ticks are
+        # computed as ``offset + k * interval`` with ``offset = wave *
+        # slot``, so a realized gap can fall a few ulps short of the
+        # ideal slot. A swap within 1 ns of the slot would ride that
+        # noise across the next wave's tick, so it is refused too.
+        if slot < self.max_swap_s + _GUARD_BAND_S:
+            raise CoordinationError(
+                f"cannot stagger {num_servers} servers at capacity "
+                f"fraction {self.capacity_fraction}: {waves} waves leave "
+                f"{slot:.4f}s per wave but a swap takes up to "
+                f"{self.max_swap_s:.4f}s; raise capacity_fraction or "
+                f"decision_interval_s")
+        offsets = tuple((i % waves) * slot for i in range(num_servers))
+        return StaggerSchedule(
+            offsets=offsets, slot_s=slot, waves=waves, max_concurrent=mc,
+            decision_interval_s=self.decision_interval_s,
+            max_swap_s=self.max_swap_s)
+
+
+def max_concurrent_swaps(offsets, swap_s: float, interval_s: float,
+                         periods: int = 3) -> int:
+    """Peak number of simultaneously open swap windows — the oracle.
+
+    Assumes the worst case the coordinator must defend against: *every*
+    server starts a full-length swap at *every* decision tick for
+    ``periods`` intervals. Windows are half-open ``[tick, tick +
+    swap_s)``, so a wave ending exactly when the next begins does not
+    count as overlap (the server is back on the air at the boundary).
+    """
+    if swap_s <= 0:
+        return 0
+    events = []
+    for off in offsets:
+        for k in range(1, periods + 1):
+            start = off + k * interval_s
+            events.append((start, 1))
+            events.append((start + swap_s, -1))
+    # At equal times, close windows before opening new ones (half-open).
+    events.sort(key=lambda e: (e[0], e[1]))
+    peak = current = 0
+    for _, delta in events:
+        current += delta
+        if current > peak:
+            peak = current
+    return peak

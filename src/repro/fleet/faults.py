@@ -1,0 +1,178 @@
+"""Correlated fleet-level fault model.
+
+PR 2's :mod:`repro.runtime.faults` injects *independent* per-server
+faults (reconfiguration failures, transient inference errors, frame
+drops). Real fleet outages are correlated: a rack loses power and every
+server in it dies at the same instant, and the router's failover then
+slams the survivors with the dead servers' re-routed streams all at once
+(a thundering herd). This module models exactly those two correlations:
+
+* :class:`FleetFaultSpec` — declarative: how many racks die, when, how
+  long the router takes to re-route, whether the outage backlog is
+  replayed as a burst (``herd=True``) or cleanly dropped, and an
+  optional per-server :class:`~repro.runtime.faults.FaultSpec` preset
+  overlaid on every server of the fleet.
+* :class:`FleetFaultPlan` — one seeded realization: *which* racks die
+  and *when*. Rack choice and kill times draw from independent PCG64
+  streams (same discipline as ``FaultPlan``), so two plans built from
+  the same ``(spec, seed)`` agree forever and campaigns stay
+  byte-reproducible.
+
+The cluster simulator (:mod:`repro.fleet.cluster`) realizes the plan in
+the *parent* process — before any shard is dispatched — so worker count
+never changes which servers die.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+from ..runtime.faults import FAULT_PRESETS, FaultSpec, _category_rng
+
+__all__ = ["FleetFaultSpec", "FleetFaultPlan", "FLEET_FAULT_PRESETS"]
+
+
+@dataclass(frozen=True)
+class FleetFaultSpec:
+    """Declarative correlated-fault model for one fleet campaign.
+
+    ``racks_lost`` racks (server groups of ``FleetConfig.rack_size``)
+    die mid-campaign, each at ``kill_time_s`` — or, when ``None``, at an
+    independently drawn instant in the middle 40 % of the run.
+    Tenants stranded on dead servers re-route after ``reroute_delay_s``;
+    with ``herd=True`` their outage-window backlog arrives at the new
+    server as one burst at the rejoin instant, with ``herd=False`` it is
+    counted as failover-dropped and only the post-rejoin stream moves.
+    ``server_preset`` names a per-server fault preset
+    (:data:`~repro.runtime.faults.FAULT_PRESETS`) overlaid on every
+    server, dead or alive.
+    """
+
+    racks_lost: int = 0
+    kill_time_s: float | None = None
+    reroute_delay_s: float = 0.5
+    herd: bool = True
+    server_preset: str = ""
+
+    def __post_init__(self):
+        if self.racks_lost < 0:
+            raise ValueError("racks_lost must be >= 0")
+        if self.kill_time_s is not None and self.kill_time_s <= 0:
+            raise ValueError("kill_time_s must be positive (or None)")
+        if self.reroute_delay_s < 0:
+            raise ValueError("reroute_delay_s must be >= 0")
+        if self.server_preset and self.server_preset not in FAULT_PRESETS:
+            raise ValueError(
+                f"unknown per-server preset {self.server_preset!r}; "
+                f"options: {sorted(FAULT_PRESETS)}")
+
+    @property
+    def any_faults(self) -> bool:
+        return self.racks_lost > 0 or bool(self.server_preset)
+
+    @property
+    def server_faults(self) -> FaultSpec | None:
+        """The per-server overlay spec, or ``None`` when not configured."""
+        if not self.server_preset:
+            return None
+        return FAULT_PRESETS[self.server_preset]
+
+    @classmethod
+    def parse(cls, text: str) -> "FleetFaultSpec":
+        """Build a spec from a CLI string.
+
+        Accepts a preset name (``rack-loss``/``thundering-herd``/
+        ``fleet-chaos``), a comma-separated ``key=value`` list, or a
+        preset followed by overrides: ``"rack-loss,racks_lost=2"``.
+        """
+        spec = cls()
+        known = {f.name: f for f in fields(cls)}
+        for i, token in enumerate(t.strip() for t in text.split(",")):
+            if not token:
+                continue
+            if "=" not in token:
+                if i != 0:
+                    raise ValueError(
+                        f"preset name {token!r} must come first")
+                if token not in FLEET_FAULT_PRESETS:
+                    raise ValueError(
+                        f"unknown fleet fault preset {token!r}; options: "
+                        f"{sorted(FLEET_FAULT_PRESETS)}")
+                spec = FLEET_FAULT_PRESETS[token]
+                continue
+            key, _, raw = token.partition("=")
+            key = key.strip()
+            if key not in known:
+                raise ValueError(
+                    f"unknown fleet fault parameter {key!r}; options: "
+                    f"{sorted(known)}")
+            raw = raw.strip()
+            if key == "kill_time_s":
+                value = None if raw.lower() == "none" else float(raw)
+            elif key == "herd":
+                value = raw.lower() in ("1", "true", "yes", "on")
+            elif key == "server_preset":
+                value = raw
+            elif key == "racks_lost":
+                value = int(raw)
+            else:
+                value = float(raw)
+            spec = replace(spec, **{key: value})
+        return spec
+
+    def plan(self, seed=0) -> "FleetFaultPlan":
+        return FleetFaultPlan(self, seed)
+
+
+#: Named correlated-failure campaigns for the CLI (``--fleet-faults``).
+FLEET_FAULT_PRESETS = {
+    # One rack browns out; its streams are cleanly failed over (the
+    # outage backlog is lost, the live stream resumes on survivors).
+    "rack-loss": FleetFaultSpec(racks_lost=1, herd=False),
+    # One rack dies and the router replays the whole outage backlog at
+    # the survivors as a single burst — the classic thundering herd.
+    "thundering-herd": FleetFaultSpec(racks_lost=1, herd=True,
+                                      reroute_delay_s=1.0),
+    # Two racks die while every server also runs the heavy per-server
+    # fault overlay (reconfig failures, inference errors, spikes).
+    "fleet-chaos": FleetFaultSpec(racks_lost=2, herd=True,
+                                  server_preset="heavy"),
+}
+
+
+class FleetFaultPlan:
+    """One seeded, deterministic realization of a :class:`FleetFaultSpec`.
+
+    Fault categories use streams 100+ so a fleet plan never collides
+    with the per-server categories 0-3 of
+    :class:`~repro.runtime.faults.FaultPlan` even under equal seeds.
+    """
+
+    def __init__(self, spec: FleetFaultSpec, seed=0):
+        self.spec = spec
+        self.seed = seed
+        self._rack_rng = _category_rng(seed, 100)
+        self._time_rng = _category_rng(seed, 101)
+
+    def realize(self, num_racks: int, duration_s: float) -> dict:
+        """Map of ``rack -> kill_time_s`` for this campaign.
+
+        At most ``num_racks`` racks die; kill times are clamped into the
+        run. Iteration order is ascending rack id (sorted), so consumers
+        accumulate in a deterministic order.
+        """
+        s = self.spec
+        if s.racks_lost <= 0 or num_racks <= 0:
+            return {}
+        k = min(s.racks_lost, num_racks)
+        racks = sorted(int(r) for r in
+                       self._rack_rng.choice(num_racks, size=k,
+                                             replace=False))
+        killed = {}
+        for rack in racks:
+            if s.kill_time_s is not None:
+                t = float(s.kill_time_s)
+            else:
+                t = float(self._time_rng.uniform(0.3, 0.7)) * duration_s
+            killed[rack] = min(t, duration_s)
+        return killed

@@ -1,0 +1,184 @@
+"""Fleet-level metric aggregation with a deterministic, seed-exact merge.
+
+A fleet campaign produces one :class:`~repro.edge.metrics.RunMetrics`
+per server, computed in whatever process the shard landed on. The merge
+must be *order-independent to the bit*: the parallel path hands results
+back in submission order, but nothing else may matter — so
+:func:`merge_fleet` sorts by ``server_id`` before any float touches an
+accumulator, making every permutation of the same runs produce a
+byte-identical :class:`FleetMetrics` (pinned by a hypothesis test).
+
+Fleet QoE/EDP follow the per-server definitions
+(:mod:`repro.edge.metrics`) over the *offered* load: requests a dead
+server's failover never delivered (``failover_dropped``) count against
+``processed_fraction``, so killing a rack visibly dents fleet QoE even
+though the surviving servers' own metrics look healthy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..edge.metrics import RunMetrics
+
+__all__ = ["ServerRun", "FleetMetrics", "merge_fleet"]
+
+
+@dataclass(frozen=True)
+class ServerRun:
+    """One server's outcome inside a fleet campaign."""
+
+    server_id: int
+    rack: int
+    tier: float  # accuracy_loss_threshold of the server's policy
+    killed_at_s: float | None
+    metrics: RunMetrics
+
+
+@dataclass(frozen=True)
+class FleetMetrics:
+    """Campaign-level aggregate over every server of the fleet."""
+
+    servers: int
+    dead_servers: int
+    tenants: int
+    rerouted_tenants: int
+    duration_s: float
+    total_requests: int
+    processed: int
+    lost: int
+    dropped: int
+    failed: int
+    failover_dropped: int
+    herd_delayed: int
+    accuracy: float
+    avg_latency_s: float
+    energy_j: float
+    reconfigurations: int
+    reconfig_dead_time_s: float
+    fault_dead_time_s: float
+    slo_violations: int
+
+    def __post_init__(self):
+        if min(self.servers, self.tenants, self.total_requests,
+               self.processed, self.lost, self.dropped, self.failed,
+               self.failover_dropped, self.herd_delayed,
+               self.slo_violations) < 0:
+            raise ValueError("fleet counters must be >= 0")
+
+    @property
+    def offered(self) -> int:
+        """Requests the fleet was asked to serve, including the ones a
+        failed failover never delivered to any server."""
+        return self.total_requests + self.failover_dropped
+
+    @property
+    def unserved(self) -> int:
+        return (self.lost + self.dropped + self.failed
+                + self.failover_dropped)
+
+    @property
+    def inference_loss(self) -> float:
+        return self.unserved / self.offered if self.offered else 0.0
+
+    @property
+    def processed_fraction(self) -> float:
+        return self.processed / self.offered if self.offered else 1.0
+
+    @property
+    def qoe(self) -> float:
+        return self.accuracy * self.processed_fraction
+
+    @property
+    def energy_per_inference_j(self) -> float:
+        return self.energy_j / self.processed if self.processed else 0.0
+
+    @property
+    def edp(self) -> float:
+        return self.energy_per_inference_j * self.avg_latency_s
+
+    @property
+    def fleet_power_w(self) -> float:
+        """Total fleet power draw (sum over servers, not per server)."""
+        return self.energy_j / self.duration_s if self.duration_s else 0.0
+
+    def as_row(self) -> dict:
+        """Flat summary row for the CLI / benchmark reports."""
+        return {
+            "servers": self.servers,
+            "dead": self.dead_servers,
+            "tenants": self.tenants,
+            "rerouted": self.rerouted_tenants,
+            "offered": self.offered,
+            "processed": self.processed,
+            "infer_loss_pct": 100.0 * self.inference_loss,
+            "accuracy_pct": 100.0 * self.accuracy,
+            "latency_ms": 1000.0 * self.avg_latency_s,
+            "fleet_power_w": self.fleet_power_w,
+            "qoe": self.qoe,
+            "edp": self.edp,
+            "reconfigs": self.reconfigurations,
+            "slo_violations": self.slo_violations,
+        }
+
+
+def merge_fleet(runs, *, tenants: int, rerouted: int = 0,
+                failover_dropped: int = 0, herd_delayed: int = 0,
+                slo_violations: int = 0,
+                duration_s: float) -> FleetMetrics:
+    """Merge per-server :class:`ServerRun` results into fleet metrics.
+
+    Runs are sorted by ``server_id`` before any float accumulation, so
+    the merge is permutation-invariant to the bit. Fleet accuracy and
+    latency are processed-weighted means (each server's sums are
+    recovered as ``mean * processed``, which is exact: that is how the
+    per-server means were formed).
+    """
+    runs = list(runs)
+    if not runs:
+        raise ValueError("no server runs to merge")
+    ids = [r.server_id for r in runs]
+    if len(set(ids)) != len(ids):
+        raise ValueError("duplicate server_id in fleet merge")
+    runs.sort(key=lambda r: r.server_id)
+
+    total = processed = lost = dropped = failed = reconfigs = 0
+    latency_sum = accuracy_sum = energy = rdead = fdead = 0.0
+    dead = 0
+    for run in runs:
+        m = run.metrics
+        total += m.total_requests
+        processed += m.processed
+        lost += m.lost
+        dropped += m.dropped
+        failed += m.failed
+        reconfigs += m.reconfigurations
+        latency_sum += m.avg_latency_s * m.processed
+        accuracy_sum += m.accuracy * m.processed
+        energy += m.energy_j
+        rdead += m.reconfig_dead_time_s
+        fdead += m.fault_dead_time_s
+        if run.killed_at_s is not None:
+            dead += 1
+
+    return FleetMetrics(
+        servers=len(runs),
+        dead_servers=dead,
+        tenants=tenants,
+        rerouted_tenants=rerouted,
+        duration_s=duration_s,
+        total_requests=total,
+        processed=processed,
+        lost=lost,
+        dropped=dropped,
+        failed=failed,
+        failover_dropped=failover_dropped,
+        herd_delayed=herd_delayed,
+        accuracy=accuracy_sum / processed if processed else 0.0,
+        avg_latency_s=latency_sum / processed if processed else 0.0,
+        energy_j=energy,
+        reconfigurations=reconfigs,
+        reconfig_dead_time_s=rdead,
+        fault_dead_time_s=fdead,
+        slo_violations=slo_violations,
+    )

@@ -1,0 +1,214 @@
+"""Tenant workload routing across a fleet of edge servers.
+
+Each tenant is one camera fleet (a :class:`TenantSpec`) whose whole
+stream must land on exactly one server — splitting a stream would break
+the per-server workload monitor's rate estimate. The router supports the
+two classic placement disciplines:
+
+* ``hash`` — consistent hashing on a vnode ring keyed by a *stable*
+  64-bit hash (Python's builtin ``hash`` is salted per process and would
+  destroy reproducibility). Minimal movement under failure: when a
+  server dies, only its own tenants walk to the next live ring point.
+* ``least-loaded`` — greedy balancing: tenants placed heaviest-first
+  onto the currently lightest qualified server.
+
+Both disciplines are SLO-aware: a tenant with ``slo_accuracy > 0`` is
+only placed on servers whose accuracy floor covers it
+(:class:`ServerSlot.min_accuracy`), falling back to the full fleet when
+no server qualifies (degraded placement beats dropping the stream).
+
+Every method is a pure function of its arguments — no hidden RNG, no
+process state — so routing is byte-identical across runs, worker counts
+and platforms, and the property tests can drive it directly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_left
+from dataclasses import dataclass
+
+from ..edge.cameras import WorkloadSpec
+
+__all__ = ["ROUTER_POLICIES", "TenantSpec", "ServerSlot",
+           "WorkloadRouter", "make_tenants"]
+
+ROUTER_POLICIES = ("hash", "least-loaded")
+
+
+def _stable_hash(key: str) -> int:
+    """Process-stable 64-bit hash (``hash()`` is salted per process)."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant: a camera fleet with an accuracy SLO.
+
+    ``slo_accuracy`` is the minimum delivered accuracy the tenant
+    accepts (0.0 = best effort). The camera parameters mirror
+    :class:`~repro.edge.cameras.WorkloadSpec` per tenant.
+    """
+
+    tenant_id: str
+    cameras: int = 1
+    ips_per_camera: float = 1.0
+    slo_accuracy: float = 0.0
+    deviation: float = 0.30
+    deviation_interval_s: float = 5.0
+
+    def __post_init__(self):
+        if not self.tenant_id:
+            raise ValueError("tenant_id must be non-empty")
+        if self.cameras < 1:
+            raise ValueError("cameras must be >= 1")
+        if self.ips_per_camera <= 0:
+            raise ValueError("ips_per_camera must be positive")
+        if not 0.0 <= self.slo_accuracy <= 1.0:
+            raise ValueError("slo_accuracy must be in [0, 1]")
+
+    @property
+    def nominal_ips(self) -> float:
+        return self.cameras * self.ips_per_camera
+
+    def workload(self, duration_s: float) -> WorkloadSpec:
+        """The tenant's camera-fleet spec over one campaign."""
+        return WorkloadSpec(
+            num_cameras=self.cameras,
+            ips_per_camera=self.ips_per_camera,
+            duration_s=duration_s,
+            deviation=self.deviation,
+            deviation_interval_s=self.deviation_interval_s)
+
+
+@dataclass(frozen=True)
+class ServerSlot:
+    """Routing view of one server: identity plus its accuracy floor."""
+
+    server_id: int
+    min_accuracy: float = 0.0
+
+
+def make_tenants(count: int, *, cameras: int = 4,
+                 ips_per_camera: float = 2.0, slo_tiers=(0.0,),
+                 deviation: float = 0.30,
+                 deviation_interval_s: float = 5.0) -> list:
+    """Deterministic tenant population with round-robin SLO tiers."""
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    tiers = tuple(slo_tiers) or (0.0,)
+    return [TenantSpec(tenant_id=f"tenant-{i:05d}", cameras=cameras,
+                       ips_per_camera=ips_per_camera,
+                       slo_accuracy=tiers[i % len(tiers)],
+                       deviation=deviation,
+                       deviation_interval_s=deviation_interval_s)
+            for i in range(count)]
+
+
+class WorkloadRouter:
+    """Assigns each tenant's stream to exactly one server."""
+
+    def __init__(self, policy: str = "hash", vnodes: int = 64):
+        if policy not in ROUTER_POLICIES:
+            raise ValueError(
+                f"router policy must be one of {ROUTER_POLICIES}, "
+                f"got {policy!r}")
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.policy = policy
+        self.vnodes = vnodes
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    def assign(self, tenants, servers) -> dict:
+        """Initial placement: ``{tenant_id: server_id}``, every tenant
+        routed exactly once."""
+        self._check_servers(servers)
+        if self.policy == "hash":
+            return self._assign_hash(tenants, servers)
+        return self._assign_least_loaded(
+            tenants, servers, {s.server_id: 0.0 for s in servers})
+
+    def reroute(self, tenants, assignment, servers, dead) -> dict:
+        """Failover: new homes for tenants stranded on ``dead`` servers.
+
+        Returns ``{tenant_id: new_server_id}`` for the *moved* tenants
+        only; surviving tenants keep their assignment untouched (the
+        consistent-hash minimal-movement property, enforced for both
+        disciplines). Returns ``{}`` when no server survives — the
+        cluster then counts those streams as failover-dropped.
+        """
+        self._check_servers(servers)
+        dead = set(dead)
+        survivors = [s for s in servers if s.server_id not in dead]
+        if not survivors:
+            return {}
+        by_id = {t.tenant_id: t for t in tenants}
+        stranded = sorted(
+            (by_id[tid] for tid, sid in assignment.items() if sid in dead),
+            key=lambda t: t.tenant_id)
+        if not stranded:
+            return {}
+        if self.policy == "hash":
+            return self._assign_hash(stranded, survivors)
+        loads = {s.server_id: 0.0 for s in survivors}
+        for tid, sid in assignment.items():
+            if sid not in dead:
+                loads[sid] += by_id[tid].nominal_ips
+        return self._assign_least_loaded(stranded, survivors, loads)
+
+    # ------------------------------------------------------------------
+    # disciplines
+    # ------------------------------------------------------------------
+    def _assign_hash(self, tenants, servers) -> dict:
+        ring = []
+        for s in servers:
+            for v in range(self.vnodes):
+                ring.append((_stable_hash(f"server-{s.server_id}#{v}"),
+                             s.server_id))
+        ring.sort()
+        n = len(ring)
+        out = {}
+        for t in tenants:
+            allowed = {s.server_id
+                       for s in self._qualified(t, servers)}
+            # First ring point at or after the tenant's hash, walking
+            # clockwise (with wrap) until a qualified server appears.
+            pos = bisect_left(ring, (_stable_hash(t.tenant_id), -1))
+            for k in range(n):
+                _, sid = ring[(pos + k) % n]
+                if sid in allowed:
+                    out[t.tenant_id] = sid
+                    break
+        return out
+
+    def _assign_least_loaded(self, tenants, servers, loads) -> dict:
+        # Heaviest tenants placed first (ties by id): the classic greedy
+        # makespan heuristic, and a deterministic total order.
+        order = sorted(tenants, key=lambda t: (-t.nominal_ips, t.tenant_id))
+        out = {}
+        for t in order:
+            candidates = self._qualified(t, servers)
+            target = min(candidates,
+                         key=lambda s: (loads[s.server_id], s.server_id))
+            out[t.tenant_id] = target.server_id
+            loads[target.server_id] += t.nominal_ips
+        return {t.tenant_id: out[t.tenant_id] for t in tenants}
+
+    @staticmethod
+    def _qualified(tenant, servers) -> list:
+        """Servers whose accuracy floor covers the tenant's SLO; the
+        whole pool when none does (degraded placement, never a drop)."""
+        ok = [s for s in servers
+              if s.min_accuracy + 1e-9 >= tenant.slo_accuracy]
+        return ok or list(servers)
+
+    @staticmethod
+    def _check_servers(servers) -> None:
+        if not servers:
+            raise ValueError("no servers to route to")
+        ids = [s.server_id for s in servers]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate server ids in routing pool")

@@ -214,6 +214,19 @@ class RuntimeManager:
             self.select = table.install_fast_select(self)
         return table
 
+    def ensure_policy_table(self, cells: int = 4096,
+                            extra_accuracy_levels=()) -> None:
+        """Idempotent table opt-in: compile once, then no-op.
+
+        Fleet campaigns build one shared policy per SLO tier and call
+        this from the parent process so every forked worker inherits the
+        compiled table instead of recompiling it per process. Unlike
+        :meth:`compile_policy_table` this never rebuilds an existing
+        table (staleness is already handled lazily by :meth:`select`).
+        """
+        if self._table_spec is None:
+            self.compile_policy_table(cells, extra_accuracy_levels)
+
     def drop_policy_table(self) -> None:
         """Opt back out of table-backed selection (index path only)."""
         self._policy_table = None

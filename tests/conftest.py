@@ -8,6 +8,8 @@ integration tests use the real generated ``quick_library``.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -15,6 +17,26 @@ from repro.core import AdaPExConfig, AdaPExFramework
 from repro.data import make_dataset
 from repro.models import CNVConfig, ExitsConfiguration, build_cnv
 from repro.runtime import AcceleratorId, Library, LibraryEntry
+
+
+@pytest.fixture(autouse=True)
+def _repro_deprecations_are_errors():
+    """The suite must run warning-clean for repro APIs: any use of a
+    deprecated repro API fails the offending test instead of scrolling
+    past as noise (``-W error::DeprecationWarning`` scoped to repro).
+
+    ``Library.feasible`` warns with ``stacklevel=2``, so the warning is
+    attributed to the *caller's* module — a module-scoped filter alone
+    would miss test callers; the message-based filter catches them
+    wherever they live. Sanctioned callers assert the warning inside
+    ``pytest.warns`` (which installs its own filters) and are unaffected.
+    """
+    with warnings.catch_warnings():
+        warnings.filterwarnings("error", category=DeprecationWarning,
+                                module=r"repro(\..*)?")
+        warnings.filterwarnings("error", category=DeprecationWarning,
+                                message=r"Library\.feasible")
+        yield
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,30 @@
+"""Fleet-suite fixtures: a serving library with real headroom spread."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import Library
+from tests.conftest import make_entry
+
+
+@pytest.fixture()
+def fleet_library():
+    """Hand-built library whose throughput ladder a fleet can climb.
+
+    Three pruning rates (accuracy 0.90 -> 0.80, capacity 400 -> 1000
+    IPS), three confidence thresholds each, plus backbones for the
+    static baselines — enough spread that per-tier accuracy floors
+    differ and reconfigurations actually happen under load shifts.
+    """
+    lib = Library(metadata={"dataset": "fleet-toy"})
+    grid = [(0.0, 0.90, 400.0), (0.3, 0.86, 700.0), (0.6, 0.80, 1000.0)]
+    for rate, acc, ips in grid:
+        for ct, dacc, dips in [(0.2, -0.04, +200.0),
+                               (0.5, -0.02, +100.0),
+                               (0.8, 0.0, 0.0)]:
+            lib.add(make_entry(rate=rate, ct=ct, acc=acc + dacc,
+                               ips=ips + dips))
+        lib.add(make_entry(rate=rate, ct=1.0, acc=acc - 0.01,
+                           ips=ips - 50.0, variant="backbone"))
+    return lib

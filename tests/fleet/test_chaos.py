@@ -1,0 +1,230 @@
+"""Correlated-fault chaos suite: rack loss, thundering herds, and the
+coordinator's capacity-cap invariant under hypothesis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.edge.cameras import CameraFleet
+from repro.fleet import (FLEET_FAULT_PRESETS, CoordinationError,
+                         FleetConfig, FleetFaultPlan, FleetFaultSpec,
+                         ReconfigCoordinator, make_tenants,
+                         max_concurrent_swaps, simulate_fleet)
+
+
+def chaos_config(**kw):
+    defaults = dict(num_servers=4, rack_size=2, duration_s=5.0,
+                    slo_tiers=(0.05, 0.10))
+    defaults.update(kw)
+    return FleetConfig(**defaults)
+
+
+def chaos_tenants(count=12, slo=(0.0, 0.80)):
+    return make_tenants(count, cameras=2, ips_per_camera=20.0,
+                        slo_tiers=slo)
+
+
+def generated(tenants, cfg, seed):
+    return sum(
+        len(CameraFleet(t.workload(cfg.duration_s),
+                        seed=(seed, i)).arrival_times())
+        for i, t in enumerate(tenants))
+
+
+class TestRackLoss:
+    def test_rack_loss_kills_exactly_one_server_group(self, fleet_library):
+        cfg = chaos_config()
+        spec = FleetFaultSpec.parse("rack-loss,kill_time_s=2.0")
+        result = simulate_fleet(fleet_library, chaos_tenants(), cfg,
+                                seed=3, faults=spec, fault_seed=1)
+        assert len(result.dead_servers) == cfg.rack_size
+        racks = {result.servers[sid].rack for sid in result.dead_servers}
+        assert len(racks) == 1  # the failure domain is the whole rack
+        assert result.fleet.dead_servers == cfg.rack_size
+
+    def test_dead_servers_stop_at_the_kill_time(self, fleet_library):
+        cfg = chaos_config()
+        spec = FleetFaultSpec.parse("rack-loss,kill_time_s=2.0")
+        result = simulate_fleet(fleet_library, chaos_tenants(), cfg,
+                                seed=3, faults=spec, fault_seed=1)
+        for sid, kill in result.dead_servers.items():
+            assert kill == 2.0
+            run = result.servers[sid]
+            assert run.killed_at_s == 2.0
+            assert run.metrics.duration_s == 2.0  # no serving afterwards
+
+    def test_clean_failover_conserves_modulo_outage_drops(self,
+                                                          fleet_library):
+        cfg = chaos_config()
+        tenants = chaos_tenants()
+        spec = FleetFaultSpec.parse("rack-loss,kill_time_s=2.0")
+        result = simulate_fleet(fleet_library, tenants, cfg, seed=3,
+                                faults=spec, fault_seed=1)
+        # rack-loss drops the outage backlog: every generated request is
+        # either offered to some server or counted failover-dropped.
+        assert result.fleet.total_requests + result.fleet.failover_dropped \
+            == generated(tenants, cfg, 3)
+        assert result.fleet.failover_dropped > 0
+        assert result.fleet.herd_delayed == 0
+
+    def test_reroute_keeps_slo_violations_bounded(self, fleet_library):
+        cfg = chaos_config()
+        tenants = chaos_tenants(16, slo=(0.0, 0.80))
+        spec = FleetFaultSpec.parse("rack-loss,kill_time_s=2.0")
+        result = simulate_fleet(fleet_library, tenants, cfg, seed=3,
+                                faults=spec, fault_seed=1)
+        # Only tenants that touched a dead server can possibly violate:
+        # survivors keep serving their own streams untouched.
+        touched = {tid for tid, sid in result.assignment.items()
+                   if sid in result.dead_servers}
+        assert set(result.slo_violations) <= touched
+        assert result.fleet.slo_violations <= len(touched)
+        # And the failover actually re-homed the stranded streams.
+        assert set(result.reroutes) == touched
+        assert all(sid not in result.dead_servers
+                   for sid in result.reroutes.values())
+
+    def test_campaign_under_faults_is_worker_invariant(self,
+                                                       fleet_library):
+        cfg = chaos_config()
+        spec = FleetFaultSpec.parse("rack-loss")
+        runs = [simulate_fleet(fleet_library, chaos_tenants(), cfg,
+                               seed=5, faults=spec, fault_seed=2,
+                               workers=w) for w in (1, 3)]
+        assert runs[0].fleet == runs[1].fleet
+        assert runs[0].servers == runs[1].servers
+        assert runs[0].dead_servers == runs[1].dead_servers
+
+
+class TestThunderingHerd:
+    def test_herd_replays_the_backlog_instead_of_dropping(self,
+                                                          fleet_library):
+        cfg = chaos_config()
+        tenants = chaos_tenants()
+        spec = FleetFaultSpec.parse("thundering-herd,kill_time_s=2.0")
+        result = simulate_fleet(fleet_library, tenants, cfg, seed=3,
+                                faults=spec, fault_seed=1)
+        assert result.fleet.herd_delayed > 0
+        assert result.fleet.failover_dropped == 0
+        # Everything generated reaches some server: full conservation.
+        assert result.fleet.total_requests == generated(tenants, cfg, 3)
+
+    def test_herd_spikes_the_survivors(self, fleet_library):
+        cfg = chaos_config()
+        tenants = chaos_tenants()
+        spec = FleetFaultSpec.parse("thundering-herd,kill_time_s=2.0")
+        clean = simulate_fleet(fleet_library, tenants, cfg, seed=3)
+        herd = simulate_fleet(fleet_library, tenants, cfg, seed=3,
+                              faults=spec, fault_seed=1)
+        survivors = [sid for sid in range(cfg.num_servers)
+                     if sid not in herd.dead_servers]
+        extra = sum(herd.servers[s].metrics.total_requests
+                    for s in survivors) \
+            - sum(clean.servers[s].metrics.total_requests
+                  for s in survivors)
+        assert extra > 0  # the survivors absorbed the dead rack's load
+
+    def test_outage_outlasting_the_campaign_drops_everything(
+            self, fleet_library):
+        cfg = chaos_config()
+        tenants = chaos_tenants()
+        spec = FleetFaultSpec(racks_lost=1, kill_time_s=2.0,
+                              reroute_delay_s=100.0)
+        result = simulate_fleet(fleet_library, tenants, cfg, seed=3,
+                                faults=spec, fault_seed=1)
+        assert result.fleet.herd_delayed == 0
+        assert result.fleet.total_requests + result.fleet.failover_dropped \
+            == generated(tenants, cfg, 3)
+
+
+class TestFleetChaosPreset:
+    def test_preset_parsing_and_overrides(self):
+        spec = FleetFaultSpec.parse("fleet-chaos")
+        assert spec.racks_lost == 2
+        assert spec.server_faults is not None
+        assert spec.server_faults.reconfig_failure_prob > 0
+        spec = FleetFaultSpec.parse("rack-loss,racks_lost=3,herd=true")
+        assert spec.racks_lost == 3 and spec.herd is True
+        spec = FleetFaultSpec.parse("kill_time_s=none")
+        assert spec.kill_time_s is None
+        with pytest.raises(ValueError, match="unknown fleet fault preset"):
+            FleetFaultSpec.parse("volcano")
+        with pytest.raises(ValueError, match="must come first"):
+            FleetFaultSpec.parse("racks_lost=1,rack-loss")
+        with pytest.raises(ValueError, match="unknown fleet fault param"):
+            FleetFaultSpec.parse("racks=1")
+        with pytest.raises(ValueError, match="unknown per-server preset"):
+            FleetFaultSpec(server_preset="mega")
+
+    def test_all_presets_are_valid_and_any_faults(self):
+        for name, spec in FLEET_FAULT_PRESETS.items():
+            assert spec.any_faults, name
+
+    def test_plan_realization_is_deterministic(self):
+        spec = FleetFaultSpec(racks_lost=2)
+        a = FleetFaultPlan(spec, seed=(3, 9)).realize(8, 10.0)
+        b = FleetFaultPlan(spec, seed=(3, 9)).realize(8, 10.0)
+        c = FleetFaultPlan(spec, seed=(4, 9)).realize(8, 10.0)
+        assert a == b
+        assert len(a) == 2
+        assert all(0.0 < t <= 10.0 for t in a.values())
+        assert a != c or list(a) != list(c)  # seeds decorrelate
+
+    def test_drawn_kill_times_fall_mid_run(self):
+        spec = FleetFaultSpec(racks_lost=4, kill_time_s=None)
+        killed = FleetFaultPlan(spec, seed=0).realize(4, 10.0)
+        assert all(3.0 <= t <= 7.0 for t in killed.values())
+
+    def test_chaos_campaign_with_server_overlay_runs(self, fleet_library):
+        cfg = chaos_config(num_servers=6, rack_size=2)
+        spec = FleetFaultSpec.parse("fleet-chaos,kill_time_s=2.0")
+        result = simulate_fleet(fleet_library, chaos_tenants(), cfg,
+                                seed=3, faults=spec, fault_seed=1,
+                                workers=2)
+        assert result.fleet.dead_servers == 4  # two racks of two
+        again = simulate_fleet(fleet_library, chaos_tenants(), cfg,
+                               seed=3, faults=spec, fault_seed=1)
+        assert again.fleet == result.fleet  # overlay is seed-exact too
+
+
+class TestCoordinatorInvariant:
+    """Concurrent reconfigurations never exceed the capacity cap —
+    hypothesis over stagger schedules, checked against the brute-force
+    overlap oracle."""
+
+    @given(n=st.integers(1, 48),
+           capacity=st.floats(0.05, 1.0),
+           interval=st.floats(0.5, 4.0),
+           swap=st.floats(0.01, 0.3))
+    @settings(max_examples=120, deadline=None)
+    def test_schedule_never_exceeds_cap(self, n, capacity, interval,
+                                        swap):
+        coord = ReconfigCoordinator(capacity_fraction=capacity,
+                                    decision_interval_s=interval,
+                                    max_swap_s=swap)
+        try:
+            sched = coord.schedule(n)
+        except CoordinationError:
+            return  # infeasible layout: correctly refused
+        assert len(sched.offsets) == n
+        assert all(0.0 <= off < interval for off in sched.offsets)
+        peak = max_concurrent_swaps(sched.offsets, swap, interval)
+        assert peak <= sched.max_concurrent
+        assert sched.max_concurrent <= max(
+            1, int(capacity * n + 1e-9))
+
+    @given(n=st.integers(2, 32), capacity=st.floats(0.02, 0.5))
+    @settings(max_examples=60, deadline=None)
+    def test_infeasible_layouts_refuse_rather_than_violate(self, n,
+                                                           capacity):
+        """Whenever schedule() succeeds the cap holds; it never returns
+        a schedule that merely 'does its best'."""
+        coord = ReconfigCoordinator(capacity_fraction=capacity,
+                                    decision_interval_s=1.0,
+                                    max_swap_s=0.145)
+        try:
+            sched = coord.schedule(n)
+        except CoordinationError:
+            return
+        assert max_concurrent_swaps(sched.offsets, 0.145, 1.0) \
+            <= sched.max_concurrent

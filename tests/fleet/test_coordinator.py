@@ -1,0 +1,94 @@
+"""Reconfiguration-coordinator structure and feasibility tests.
+
+The hypothesis invariant test (the capacity cap holds against the
+brute-force overlap oracle over arbitrary schedules) lives in
+``test_chaos.py`` with the rest of the adversarial suite; this module
+pins the schedule's deterministic structure.
+"""
+
+import math
+
+import pytest
+
+from repro.fleet import (CoordinationError, ReconfigCoordinator,
+                         max_concurrent_swaps)
+
+
+class TestSchedule:
+    def test_paper_defaults_four_waves_of_two(self):
+        sched = ReconfigCoordinator(0.25, 1.0, 0.145).schedule(8)
+        assert sched.max_concurrent == 2
+        assert sched.waves == 4
+        assert sched.slot_s == pytest.approx(0.25)
+        assert sched.offsets == (0.0, 0.25, 0.5, 0.75,
+                                 0.0, 0.25, 0.5, 0.75)
+
+    def test_interleaving_spreads_consecutive_servers(self):
+        """Servers of one rack (consecutive ids) land in different waves
+        whenever there is more than one wave."""
+        sched = ReconfigCoordinator(0.25, 1.0, 0.145).schedule(8)
+        for sid in range(7):
+            assert sched.wave_of(sid) != sched.wave_of(sid + 1)
+
+    def test_single_server_fleet_gets_zero_offset(self):
+        sched = ReconfigCoordinator(0.25, 1.0, 0.145).schedule(1)
+        assert sched.offsets == (0.0,)
+        assert sched.max_concurrent == 1
+
+    def test_full_capacity_means_no_stagger(self):
+        sched = ReconfigCoordinator(1.0, 1.0, 0.145).schedule(6)
+        assert sched.waves == 1
+        assert set(sched.offsets) == {0.0}
+
+    def test_cap_never_below_one_server(self):
+        coord = ReconfigCoordinator(0.05, 1.0, 0.1)
+        assert coord.max_concurrent(3) == 1
+
+    def test_infeasible_layout_raises(self):
+        # 32 servers at 1/32 capacity = 32 waves of 31.25 ms each: a
+        # 145 ms swap cannot fit, and the coordinator must say so
+        # instead of silently violating the cap.
+        coord = ReconfigCoordinator(1 / 32, 1.0, 0.145)
+        with pytest.raises(CoordinationError, match="cannot stagger"):
+            coord.schedule(32)
+
+    def test_longer_interval_restores_feasibility(self):
+        coord = ReconfigCoordinator(1 / 32, 8.0, 0.145)
+        sched = coord.schedule(32)
+        assert sched.waves == 32
+        assert sched.slot_s >= 0.145
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReconfigCoordinator(capacity_fraction=0.0)
+        with pytest.raises(ValueError):
+            ReconfigCoordinator(capacity_fraction=1.5)
+        with pytest.raises(ValueError):
+            ReconfigCoordinator(decision_interval_s=0.0)
+        with pytest.raises(ValueError):
+            ReconfigCoordinator(max_swap_s=-1.0)
+        with pytest.raises(ValueError):
+            ReconfigCoordinator().max_concurrent(0)
+
+
+class TestOverlapOracle:
+    def test_unstaggered_fleet_overlaps_completely(self):
+        assert max_concurrent_swaps([0.0] * 6, 0.145, 1.0) == 6
+
+    def test_staggered_fleet_respects_cap(self):
+        sched = ReconfigCoordinator(0.25, 1.0, 0.145).schedule(8)
+        assert max_concurrent_swaps(sched.offsets, 0.145, 1.0) == 2
+
+    def test_boundary_touch_is_not_overlap(self):
+        # Two waves exactly one swap apart: half-open windows, the first
+        # wave is back on the air the instant the second starts.
+        assert max_concurrent_swaps([0.0, 0.145], 0.145, 1.0) == 1
+
+    def test_zero_swap_time_never_overlaps(self):
+        assert max_concurrent_swaps([0.0, 0.0, 0.0], 0.0, 1.0) == 0
+
+    def test_cap_formula_matches_floor(self):
+        coord = ReconfigCoordinator(0.30, 1.0, 0.01)
+        for n in range(1, 40):
+            assert coord.max_concurrent(n) \
+                == max(1, math.floor(0.30 * n + 1e-9))

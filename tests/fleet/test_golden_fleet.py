@@ -1,0 +1,115 @@
+"""Golden fleet-trace regression test.
+
+Mirrors ``tests/test_golden_trace.py`` at fleet scale: a small 4-server
+campaign over the quick-profile Library — per-server decision traces,
+stagger offsets, routing tables and the fleet aggregate — is frozen in
+``tests/fixtures/golden_fleet_trace.json``, once fault-free and once
+under a pinned rack-loss failover. Any drift in the router, the
+coordinator, the shard construction or the merge shows up as a
+field-level diff.
+
+Regenerate intentionally with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/fleet/test_golden_fleet.py
+
+and commit the updated fixture together with the change explaining it.
+"""
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.fleet import FleetConfig, FleetFaultSpec, make_tenants, \
+    simulate_fleet
+from tests.test_golden_trace import _assert_matches
+
+FIXTURE = Path(__file__).parent.parent / "fixtures" \
+    / "golden_fleet_trace.json"
+
+#: Campaign conditions pinned by the fixture.
+GOLDEN_SEED = 0
+GOLDEN_FAULT_SEED = 1
+GOLDEN_CONFIG = dict(num_servers=4, rack_size=2, duration_s=6.0,
+                     slo_tiers=(0.05, 0.10), record_trace=True)
+GOLDEN_TENANTS = dict(count=8, cameras=2, ips_per_camera=15.0,
+                      slo_tiers=(0.0, 0.80))
+GOLDEN_FAULTS = "rack-loss,kill_time_s=3.0"
+
+
+def _campaign_payload(result) -> dict:
+    return {
+        "fleet": dataclasses.asdict(result.fleet),
+        "assignment": dict(sorted(result.assignment.items())),
+        "reroutes": dict(sorted(result.reroutes.items())),
+        "dead_servers": {str(k): v for k, v in
+                         sorted(result.dead_servers.items())},
+        "offsets": list(result.offsets),
+        "slo_violations": list(result.slo_violations),
+        "servers": [
+            {"server_id": r.server_id, "rack": r.rack, "tier": r.tier,
+             "killed_at_s": r.killed_at_s,
+             "total_requests": r.metrics.total_requests,
+             "processed": r.metrics.processed,
+             "lost": r.metrics.lost,
+             "accuracy": r.metrics.accuracy,
+             "avg_latency_s": r.metrics.avg_latency_s,
+             "energy_j": r.metrics.energy_j,
+             "reconfigurations": r.metrics.reconfigurations,
+             "trace": r.metrics.trace}
+            for r in result.servers
+        ],
+    }
+
+
+def _golden_payload(quick_library) -> dict:
+    config = FleetConfig(**GOLDEN_CONFIG)
+    tenants = make_tenants(GOLDEN_TENANTS["count"],
+                           cameras=GOLDEN_TENANTS["cameras"],
+                           ips_per_camera=GOLDEN_TENANTS["ips_per_camera"],
+                           slo_tiers=GOLDEN_TENANTS["slo_tiers"])
+    baseline = simulate_fleet(quick_library, tenants, config,
+                              seed=GOLDEN_SEED)
+    rack_loss = simulate_fleet(quick_library, tenants, config,
+                               seed=GOLDEN_SEED,
+                               faults=FleetFaultSpec.parse(GOLDEN_FAULTS),
+                               fault_seed=GOLDEN_FAULT_SEED)
+    return {
+        "baseline": _campaign_payload(baseline),
+        "rack_loss": _campaign_payload(rack_loss),
+    }
+
+
+class TestGoldenFleetTrace:
+    def test_fixture_exists(self):
+        if os.environ.get("REPRO_REGEN_GOLDEN"):
+            pytest.skip("regenerating")
+        assert FIXTURE.exists(), (
+            "golden fleet fixture missing; regenerate with "
+            "REPRO_REGEN_GOLDEN=1")
+
+    def test_campaigns_match_fixture(self, quick_library):
+        payload = _golden_payload(quick_library)
+        if os.environ.get("REPRO_REGEN_GOLDEN"):
+            FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+            FIXTURE.write_text(json.dumps(payload, indent=1,
+                                          sort_keys=True))
+            pytest.skip("golden fleet fixture regenerated")
+        expected = json.loads(FIXTURE.read_text())
+        _assert_matches(json.loads(json.dumps(payload)), expected)
+
+    def test_golden_baseline_is_fault_free(self):
+        expected = json.loads(FIXTURE.read_text())
+        base = expected["baseline"]
+        assert base["dead_servers"] == {}
+        assert base["reroutes"] == {}
+        assert base["fleet"]["failover_dropped"] == 0
+
+    def test_golden_rack_loss_actually_failed_over(self):
+        expected = json.loads(FIXTURE.read_text())
+        chaos = expected["rack_loss"]
+        assert len(chaos["dead_servers"]) == 2  # one rack of two
+        assert chaos["reroutes"]  # stranded tenants were re-homed

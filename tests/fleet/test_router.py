@@ -1,0 +1,140 @@
+"""Workload-router properties: conservation, stability, SLO awareness."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet import (ROUTER_POLICIES, ServerSlot, TenantSpec,
+                         WorkloadRouter, make_tenants)
+
+
+def slots(n, floors=None):
+    floors = floors or [0.0] * n
+    return [ServerSlot(i, floors[i]) for i in range(n)]
+
+
+class TestRoutingConservation:
+    """Every stream routed exactly once — the fleet's accounting axiom."""
+
+    @given(count=st.integers(1, 40), n=st.integers(1, 9),
+           policy=st.sampled_from(ROUTER_POLICIES),
+           vnodes=st.integers(1, 16))
+    @settings(max_examples=60, deadline=None)
+    def test_every_tenant_routed_exactly_once(self, count, n, policy,
+                                              vnodes):
+        tenants = make_tenants(count, slo_tiers=(0.0, 0.85))
+        router = WorkloadRouter(policy, vnodes=vnodes)
+        assignment = router.assign(tenants, slots(n))
+        assert sorted(assignment) == sorted(t.tenant_id for t in tenants)
+        assert set(assignment.values()) <= set(range(n))
+
+    @given(count=st.integers(1, 30), n=st.integers(2, 8),
+           policy=st.sampled_from(ROUTER_POLICIES),
+           data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_conservation_under_server_death(self, count, n, policy,
+                                             data):
+        tenants = make_tenants(count)
+        pool = slots(n)
+        router = WorkloadRouter(policy)
+        assignment = router.assign(tenants, pool)
+        dead = data.draw(st.sets(st.integers(0, n - 1), min_size=1,
+                                 max_size=n))
+        moved = router.reroute(tenants, assignment, pool, dead)
+        if len(dead) == n:
+            # Total loss: nothing to move to; the cluster counts the
+            # streams as failover-dropped instead.
+            assert moved == {}
+            return
+        stranded = {tid for tid, sid in assignment.items() if sid in dead}
+        assert set(moved) == stranded
+        assert all(sid not in dead for sid in moved.values())
+        # The merged map still routes every tenant exactly once, and
+        # never onto a dead server.
+        merged = {**assignment, **moved}
+        assert sorted(merged) == sorted(t.tenant_id for t in tenants)
+        assert all(sid not in dead for sid in merged.values())
+
+    @given(count=st.integers(1, 30), n=st.integers(2, 8),
+           dead=st.integers(0, 7))
+    @settings(max_examples=40, deadline=None)
+    def test_hash_reroute_is_minimal_movement(self, count, n, dead):
+        """Consistent hashing: killing one server re-homes only its own
+        tenants — the merged map equals a fresh assignment over the
+        survivors."""
+        dead = dead % n
+        tenants = make_tenants(count)
+        pool = slots(n)
+        router = WorkloadRouter("hash")
+        assignment = router.assign(tenants, pool)
+        moved = router.reroute(tenants, assignment, pool, {dead})
+        survivors = [s for s in pool if s.server_id != dead]
+        fresh = router.assign(tenants, survivors)
+        assert {**assignment, **moved} == fresh
+
+
+class TestSLOAwareness:
+    def test_slo_tenants_land_on_qualified_servers(self):
+        pool = [ServerSlot(0, 0.90), ServerSlot(1, 0.70)]
+        tenants = [TenantSpec("strict", slo_accuracy=0.85),
+                   TenantSpec("loose", slo_accuracy=0.0)]
+        for policy in ROUTER_POLICIES:
+            assignment = WorkloadRouter(policy).assign(tenants, pool)
+            assert assignment["strict"] == 0
+
+    def test_unsatisfiable_slo_degrades_instead_of_dropping(self):
+        pool = [ServerSlot(0, 0.70), ServerSlot(1, 0.72)]
+        tenants = [TenantSpec("impossible", slo_accuracy=0.99)]
+        for policy in ROUTER_POLICIES:
+            assignment = WorkloadRouter(policy).assign(tenants, pool)
+            assert "impossible" in assignment  # placed, not dropped
+
+    def test_least_loaded_balances_nominal_rate(self):
+        pool = slots(2)
+        tenants = make_tenants(8, cameras=1, ips_per_camera=10.0)
+        assignment = WorkloadRouter("least-loaded").assign(tenants, pool)
+        per_server = [sum(1 for s in assignment.values() if s == sid)
+                      for sid in (0, 1)]
+        assert per_server == [4, 4]
+
+
+class TestDeterminismAndValidation:
+    def test_assignment_is_deterministic(self):
+        tenants = make_tenants(20, slo_tiers=(0.0, 0.8))
+        pool = slots(5, floors=[0.9, 0.85, 0.8, 0.75, 0.9])
+        for policy in ROUTER_POLICIES:
+            router = WorkloadRouter(policy)
+            assert router.assign(tenants, pool) \
+                == router.assign(tenants, pool)
+
+    def test_bad_policy_and_vnodes_rejected(self):
+        with pytest.raises(ValueError, match="router policy"):
+            WorkloadRouter("random")
+        with pytest.raises(ValueError, match="vnodes"):
+            WorkloadRouter("hash", vnodes=0)
+
+    def test_empty_or_duplicate_servers_rejected(self):
+        router = WorkloadRouter()
+        tenants = make_tenants(2)
+        with pytest.raises(ValueError, match="no servers"):
+            router.assign(tenants, [])
+        with pytest.raises(ValueError, match="duplicate"):
+            router.assign(tenants, [ServerSlot(1), ServerSlot(1)])
+
+    def test_tenant_spec_validation(self):
+        with pytest.raises(ValueError):
+            TenantSpec("")
+        with pytest.raises(ValueError):
+            TenantSpec("t", cameras=0)
+        with pytest.raises(ValueError):
+            TenantSpec("t", slo_accuracy=1.5)
+        with pytest.raises(ValueError):
+            make_tenants(0)
+
+    def test_tenant_workload_roundtrip(self):
+        t = TenantSpec("t", cameras=3, ips_per_camera=5.0)
+        spec = t.workload(12.0)
+        assert spec.num_cameras == 3
+        assert spec.duration_s == 12.0
+        assert t.nominal_ips == pytest.approx(15.0)
+        assert spec.nominal_ips == pytest.approx(15.0)

@@ -7,7 +7,8 @@ import pytest
 
 from repro.core.errors import IntegrityError
 from repro.runtime import (AcceleratorId, Library, LibraryEntry,
-                           SCHEMA_VERSION)
+                           RuntimeManager, SCHEMA_VERSION,
+                           SelectionPolicy)
 from tests.conftest import make_entry
 
 
@@ -70,17 +71,35 @@ class TestLibrary:
         with pytest.raises(ValueError):
             Library().best_accuracy()
 
-    def test_feasible(self, toy_library):
+    def test_feasibility_through_the_indexed_path(self, toy_library):
+        """The semantics the deprecated ``Library.feasible`` used to
+        pin, expressed through the manager's indexed selection."""
+        mgr = RuntimeManager(
+            toy_library,
+            SelectionPolicy(accuracy_loss_threshold=0.10))
+        chosen = mgr.select(700.0)
+        assert chosen.accuracy >= mgr.min_accuracy
+        assert chosen.serving_ips >= 700.0
+
+    def test_infeasible_workload_degrades_through_the_index(self,
+                                                            toy_library):
+        # No entry covers 1e5 IPS: the manager degrades to the fastest
+        # accuracy-honouring entry instead of returning nothing.
+        mgr = RuntimeManager(toy_library)
+        chosen = mgr.select(1e5)
+        assert chosen.serving_ips == max(
+            e.serving_ips for e in toy_library
+            if e.accuracy >= mgr.min_accuracy)
+
+    def test_feasible_is_deprecated_but_correct(self, toy_library):
+        """The one sanctioned caller of the deprecated scan: pins both
+        the DeprecationWarning contract and the legacy semantics."""
         with pytest.warns(DeprecationWarning, match="feasible"):
             feasible = toy_library.feasible(min_accuracy=0.80,
                                             required_ips=700.0)
         assert feasible
         assert all(e.accuracy >= 0.80 and e.serving_ips >= 700.0
                    for e in feasible)
-
-    def test_feasible_empty(self, toy_library):
-        with pytest.warns(DeprecationWarning, match="feasible"):
-            assert toy_library.feasible(0.99, 1e5) == []
 
     def test_quarantine_removes_and_records(self, toy_library):
         n = len(toy_library)
