@@ -18,10 +18,18 @@ Runs an 8-server fleet campaign (64 tenants x 4 cameras at 40 IPS for
    campaign, offered + failover-dropped still equals generated, and a
    reseeded rerun is exact.
 
-Writes ``BENCH_fleet.json`` (default: this directory; ``--out`` to
-redirect) with timings and every check's verdict, and exits non-zero if
-any check fails — CI runs this as a perf-regression guard and archives
-the report.
+5. **Elastic scenario** — a ramped campaign (tenant starts staggered
+   over half the horizon, so offered load climbs ~4x) on a 2-server
+   fleet with an elastic envelope up to the full size: the autoscaler
+   must actually grow the fleet, every planned live migration must move
+   its stream with **zero** dropped frames, the campaign must stay
+   worker-invariant, and the elastic fleet must land near the static
+   full-fleet loss while spending strictly fewer server-seconds.
+
+Writes ``BENCH_fleet.json`` and ``BENCH_elastic.json`` (default: this
+directory; ``--out`` to redirect) with timings and every check's
+verdict, and exits non-zero if any check fails — CI runs this as a
+perf-regression guard and archives the reports.
 """
 
 from __future__ import annotations
@@ -39,6 +47,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.edge.cameras import CameraFleet                    # noqa: E402
 from repro.fleet import (                                     # noqa: E402
+    ElasticConfig,
     FleetConfig,
     FleetFaultSpec,
     make_tenants,
@@ -50,6 +59,8 @@ MIN_FLEET_USERS = int(
     os.environ.get("REPRO_BENCH_MIN_FLEET_USERS", "1000000"))
 MIN_FLEET_THROUGHPUT = float(
     os.environ.get("REPRO_BENCH_MIN_FLEET_THROUGHPUT", "200000"))
+MIN_ELASTIC_THROUGHPUT = float(
+    os.environ.get("REPRO_BENCH_MIN_ELASTIC_THROUGHPUT", "200000"))
 
 
 def _entry(rate, ct, acc, ips, variant="ee", energy=2e-3,
@@ -212,12 +223,110 @@ def main(argv=None) -> int:
           again.fleet == chaos.fleet and again.servers == chaos.servers,
           "faulted campaign reruns field-for-field identical")
 
+    # ------------------------------------------------------------------
+    # 3. elastic scenario: 4x load ramp against the autoscaler
+    # ------------------------------------------------------------------
+    print("elastic campaign (load ramp, autoscaling 2 -> "
+          f"{args.servers} servers)...")
+    elastic_report = {
+        "min_servers": 2,
+        "max_servers": args.servers,
+        "tenants": args.tenants,
+        "duration_s": args.duration,
+        "workers": args.workers,
+        "min_elastic_throughput": MIN_ELASTIC_THROUGHPUT,
+        "checks": {},
+    }
+
+    def echeck(name: str, ok: bool, detail: str = "") -> None:
+        elastic_report["checks"][name] = {"ok": bool(ok), "detail": detail}
+        print(f"  [{'ok' if ok else 'FAIL'}] {name}" +
+              (f" — {detail}" if detail else ""))
+        if not ok:
+            failures.append(name)
+
+    ramp_tenants = make_tenants(args.tenants, cameras=4,
+                                ips_per_camera=40.0,
+                                slo_tiers=(0.0, 0.80),
+                                ramp_s=args.duration / 2)
+    small_cfg = FleetConfig(num_servers=2, rack_size=2,
+                            duration_s=args.duration,
+                            slo_tiers=(0.05, 0.10))
+    ecfg = ElasticConfig(min_servers=2, max_servers=args.servers,
+                         cooldown_s=5.0)
+    elastic_s, elastic = best_of(
+        lambda: simulate_fleet(lib, ramp_tenants, small_cfg, seed=0,
+                               elastic=ecfg, workers=args.workers),
+        args.repeats)
+    elastic_serial = simulate_fleet(lib, ramp_tenants, small_cfg, seed=0,
+                                    elastic=ecfg, workers=1)
+    static_small = simulate_fleet(lib, ramp_tenants, small_cfg, seed=0,
+                                  workers=args.workers)
+    static_full = simulate_fleet(
+        lib, ramp_tenants,
+        FleetConfig(num_servers=args.servers, rack_size=2,
+                    duration_s=args.duration, slo_tiers=(0.05, 0.10)),
+        seed=0, workers=args.workers)
+
+    eusers = elastic.fleet.total_requests
+    ethroughput = eusers / elastic_s if elastic_s > 0 else float("inf")
+    elastic_report["elastic_s"] = elastic_s
+    elastic_report["elastic_users"] = eusers
+    elastic_report["elastic_users_per_s"] = ethroughput
+    elastic_report["fleet"] = elastic.fleet.as_row()
+    elastic_report["static_small"] = static_small.fleet.as_row()
+    elastic_report["static_full"] = static_full.fleet.as_row()
+    print(f"  {elastic_s * 1e3:.0f} ms, {eusers:,} users, "
+          f"{elastic.fleet.autoscale_ups} scale-up(s), "
+          f"{elastic.fleet.migrations} planned migration(s)")
+
+    planned = [m for m in elastic.migrations if m.reason != "failover"]
+    echeck("elastic_throughput", ethroughput >= MIN_ELASTIC_THROUGHPUT,
+           f"{ethroughput:,.0f} users/s (need >= "
+           f"{MIN_ELASTIC_THROUGHPUT:,.0f})")
+    echeck("elastic_scaled_up", elastic.fleet.autoscale_ups > 0,
+           f"{elastic.fleet.autoscale_ups} scale-up events under the ramp")
+    echeck("elastic_migrations_lossless",
+           len(planned) > 0 and all(m.dropped == 0 for m in planned),
+           f"{len(planned)} planned migrations, "
+           f"{sum(m.dropped for m in planned)} frames dropped")
+    echeck("elastic_conservation",
+           eusers + elastic.fleet.failover_dropped == sum(
+               len(t.arrival_times(args.duration, seed=(0, i)))
+               for i, t in enumerate(ramp_tenants))
+           and elastic.fleet.failover_dropped == 0,
+           "offered == generated; no fault, no failover drop")
+    echeck("elastic_worker_identical",
+           elastic.fleet == elastic_serial.fleet
+           and elastic.servers == elastic_serial.servers
+           and elastic.migrations == elastic_serial.migrations
+           and elastic.scale_events == elastic_serial.scale_events,
+           f"workers=1 vs workers={args.workers}, ledger included")
+    echeck("elastic_tracks_full_fleet_quality",
+           elastic.fleet.inference_loss
+           <= static_full.fleet.inference_loss + 0.05
+           and elastic.fleet.inference_loss
+           < static_small.fleet.inference_loss,
+           f"loss {elastic.fleet.inference_loss:.3f} vs static-full "
+           f"{static_full.fleet.inference_loss:.3f} / static-small "
+           f"{static_small.fleet.inference_loss:.3f}")
+    echeck("elastic_spends_fewer_server_seconds",
+           elastic.fleet.server_seconds
+           < 0.95 * static_full.fleet.server_seconds,
+           f"{elastic.fleet.server_seconds:.0f} vs static-full "
+           f"{static_full.fleet.server_seconds:.0f} server-seconds")
+
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
     out_path = out_dir / "BENCH_fleet.json"
     with open(out_path, "w") as f:
         json.dump(report, f, indent=1, sort_keys=True, default=float)
     print(f"report written to {out_path}")
+    elastic_path = out_dir / "BENCH_elastic.json"
+    with open(elastic_path, "w") as f:
+        json.dump(elastic_report, f, indent=1, sort_keys=True,
+                  default=float)
+    print(f"report written to {elastic_path}")
 
     if failures:
         print(f"FAILED checks: {failures}")

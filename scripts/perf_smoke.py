@@ -36,7 +36,8 @@ from repro.core import (AdaPExConfig, LibraryGenerator, PhaseTimer,
                         PointCache, fork_available)
 from repro.core import design_time
 from repro.edge import WorkloadSpec, simulate_policy
-from repro.fleet import FleetConfig, make_tenants, simulate_fleet
+from repro.fleet import (ElasticConfig, FleetConfig, make_tenants,
+                         simulate_fleet)
 from repro.runtime import RuntimeManager
 
 MIN_SPEEDUP = float(os.environ.get("REPRO_SMOKE_MIN_SPEEDUP", "2.0"))
@@ -225,6 +226,33 @@ def main(argv=None) -> int:
           and fleet_serial.offsets == fleet_sharded.offsets,
           f"{fleet_serial.fleet.total_requests} users, "
           "workers=1 vs workers=2 exact")
+
+    # ------------------------------------------------------------------
+    # 4d. elastic campaign: autoscaler + migration ledger deterministic
+    # ------------------------------------------------------------------
+    print("elastic campaign determinism (ramped load, serial vs "
+          "sharded)...")
+    ramp_tenants = make_tenants(12, cameras=2, ips_per_camera=15.0,
+                                slo_tiers=(0.0, 0.80), ramp_s=4.0)
+    ecfg = ElasticConfig(min_servers=1, max_servers=4, cooldown_s=2.0)
+    elastic_cfg = FleetConfig(num_servers=2, rack_size=2,
+                              duration_s=8.0, slo_tiers=(0.05, 0.10))
+    with sim_timer.phase("fleet"):
+        elastic_serial = simulate_fleet(serial_lib, ramp_tenants,
+                                        elastic_cfg, seed=3,
+                                        elastic=ecfg, workers=1)
+        elastic_sharded = simulate_fleet(serial_lib, ramp_tenants,
+                                         elastic_cfg, seed=3,
+                                         elastic=ecfg, workers=2)
+    report["simulate_phases"] = sim_timer.as_dict()
+    check("elastic_campaign_deterministic",
+          elastic_serial.fleet == elastic_sharded.fleet
+          and elastic_serial.servers == elastic_sharded.servers
+          and elastic_serial.migrations == elastic_sharded.migrations
+          and elastic_serial.scale_events == elastic_sharded.scale_events
+          and elastic_serial.lifetimes == elastic_sharded.lifetimes,
+          "workers=1 vs workers=2 exact, migration/scale ledgers "
+          "included")
 
     # ------------------------------------------------------------------
     # 5. compiled engine: bit-identity and not-slower vs interpreter

@@ -25,8 +25,9 @@ from .core.errors import IntegrityError
 from .core.instrument import PhaseTimer
 from .core.supervise import SuperviseConfig
 from .edge.server import ServerConfig, simulate_policy
-from .fleet import (CoordinationError, FleetConfig, FleetFaultSpec,
-                    ReconfigCoordinator, make_tenants, simulate_fleet)
+from .fleet import (CoordinationError, ElasticConfig, FleetConfig,
+                    FleetFaultSpec, ReconfigCoordinator, make_tenants,
+                    simulate_fleet)
 from .runtime.baselines import make_policy
 from .runtime.faults import FaultSpec
 from .runtime.library import Library
@@ -158,12 +159,27 @@ def _validate_args(parser: argparse.ArgumentParser, args) -> None:
                 FleetFaultSpec.parse(args.fleet_faults)
             except ValueError as exc:
                 parser.error(f"argument --fleet-faults: {exc}")
+        envelope = args.servers
+        if args.elastic is not None:
+            try:
+                ecfg = ElasticConfig.parse(args.elastic)
+            except ValueError as exc:
+                parser.error(f"argument --elastic: {exc}")
+            if args.servers > ecfg.max_servers \
+                    or args.servers < ecfg.min_servers:
+                parser.error(
+                    f"argument --elastic: --servers {args.servers} must "
+                    f"lie in [min_servers, max_servers] = "
+                    f"[{ecfg.min_servers}, {ecfg.max_servers}]")
+            # The stagger layout must hold for the whole capacity
+            # envelope: a scaled-up server still needs a feasible slot.
+            envelope = ecfg.max_servers
         if not args.no_coordinate:
             # Fail an infeasible stagger layout before loading anything.
             try:
                 ReconfigCoordinator(
                     capacity_fraction=args.capacity_fraction,
-                ).schedule(args.servers)
+                ).schedule(envelope)
             except CoordinationError as exc:
                 parser.error(str(exc))
 
@@ -330,6 +346,35 @@ def build_parser() -> argparse.ArgumentParser:
                          "(rack-loss/thundering-herd/fleet-chaos) and/or "
                          "key=value overrides, e.g. "
                          "'rack-loss,racks_lost=2'")
+    fl.add_argument("--elastic", metavar="SPEC", nargs="?", const="",
+                    help="arm the elastic control plane (autoscaler, "
+                         "health-checked live migration); optional "
+                         "key=value overrides, e.g. "
+                         "'max_servers=8,scale_up_utilization=0.8'")
+    fl.add_argument("--ramp", type=_nonnegative_float, default=0.0,
+                    metavar="SECONDS",
+                    help="stagger tenant starts into a load ramp over "
+                         "SECONDS (a 4x offered-load growth for the "
+                         "autoscaler to chase; 0 = everyone at t=0)")
+    fl.add_argument("--brownout", type=_fraction_list, default=[],
+                    metavar="D,D,...",
+                    help="degradation-ladder accuracy deltas, e.g. "
+                         "'0.02,0.05': under queue pressure a server "
+                         "steps its accuracy floor down by these rungs "
+                         "and sheds load only at the bottom one "
+                         "(default off = hard admission)")
+    fl.add_argument("--brownout-high", type=_positive_float, default=0.85,
+                    metavar="OCC",
+                    help="queue occupancy that steps the ladder down "
+                         "(default 0.85)")
+    fl.add_argument("--brownout-low", type=_positive_float, default=0.25,
+                    metavar="OCC",
+                    help="queue occupancy that steps the ladder back up "
+                         "(default 0.25)")
+    fl.add_argument("--brownout-shed", type=_positive_float, default=1.0,
+                    metavar="OCC",
+                    help="bottom-rung shed threshold as queue occupancy "
+                         "(default 1.0 = only when full)")
     fl.add_argument("--fault-seed", type=int, default=0)
     fl.add_argument("--seed", type=int, default=0)
     fl.add_argument("--workers", type=_nonnegative_int, default=0,
@@ -527,21 +572,28 @@ def _cmd_fleet(args) -> int:
     library = _load_library(args.library)
     faults = (FleetFaultSpec.parse(args.fleet_faults)
               if args.fleet_faults else None)
+    elastic = (ElasticConfig.parse(args.elastic)
+               if args.elastic is not None else None)
     config = FleetConfig(
         num_servers=args.servers, rack_size=args.rack_size,
         router=args.router, policy=args.policy,
         slo_tiers=tuple(args.slo_tiers),
         capacity_fraction=args.capacity_fraction,
         coordinate=not args.no_coordinate, duration_s=args.duration,
-        sim_mode=args.sim_mode)
+        sim_mode=args.sim_mode,
+        brownout_levels=tuple(args.brownout),
+        brownout_high=args.brownout_high,
+        brownout_low=args.brownout_low,
+        brownout_shed_occupancy=args.brownout_shed)
     tenants = make_tenants(args.tenants, cameras=args.cameras,
                            ips_per_camera=args.ips_per_camera,
-                           slo_tiers=tuple(args.tenant_slos))
+                           slo_tiers=tuple(args.tenant_slos),
+                           ramp_s=args.ramp)
     timer = PhaseTimer()
     with timer.phase("simulate_fleet"):
         result = simulate_fleet(library, tenants, config, seed=args.seed,
                                 faults=faults, fault_seed=args.fault_seed,
-                                workers=args.workers)
+                                elastic=elastic, workers=args.workers)
     rows = []
     for run in result.servers:
         m = run.metrics
@@ -560,8 +612,22 @@ def _cmd_fleet(args) -> int:
              f"{args.tenants} tenants, {args.duration:.0f}s")
     if faults is not None:
         title += f" under [{args.fleet_faults}]"
+    if elastic is not None:
+        title += (f" (elastic {elastic.min_servers}.."
+                  f"{elastic.max_servers})")
     print(format_table(rows, title=title))
     print(format_table([result.fleet.as_row()], title="\nfleet aggregate"))
+    if result.scale_events:
+        line = ", ".join(f"{e.action}@{e.at_s:.1f}s->s{e.server_id}"
+                         for e in result.scale_events[:8])
+        more = len(result.scale_events) - 8
+        print("autoscaler: " + line + (f" (+{more} more)"
+                                       if more > 0 else ""))
+    planned = [e for e in result.migrations if e.planned]
+    if planned:
+        print(f"live migrations: {len(planned)} planned, "
+              f"{sum(e.moved for e in planned)} frames moved, "
+              f"{sum(e.dropped for e in planned)} dropped")
     if result.slo_violations:
         shown = ", ".join(result.slo_violations[:8])
         more = len(result.slo_violations) - 8
@@ -574,6 +640,8 @@ def _cmd_fleet(args) -> int:
             "tenants": args.tenants, "workers": args.workers,
             "router": args.router, "policy": args.policy,
             "fleet_faults": args.fleet_faults,
+            "elastic": args.elastic, "ramp_s": args.ramp,
+            "brownout": list(args.brownout),
             "fault_seed": args.fault_seed, "seed": args.seed})
         print(f"timing report written to {args.timing_json}")
     return 0

@@ -152,6 +152,16 @@ def run_fast(sim):
                    "confidence_threshold": [], "accuracy": [],
                    "serving_ips": []}
 
+    # Brownout ladder (mirrors the event loop's on_arrival/on_decision
+    # additions with identical float comparisons and floor arithmetic).
+    brownout = cfg.brownout
+    brown_levels = cfg.brownout_levels
+    bottom_rung = len(brown_levels)
+    shed_len = cfg.shed_queue_len
+    select_at = getattr(policy, "select_at", None)
+    base_floor = getattr(policy, "min_accuracy", None)
+    ladder = brownout and select_at is not None and base_floor is not None
+
     # --- run state (plain Python floats/ints: the scalar kernel below
     # must use the exact float ops of the event loop) -----------------
     qlen = 0              # admitted frames waiting (excludes in-service)
@@ -160,6 +170,11 @@ def run_fast(sim):
     started = 0           # frames started == RNG pairs consumed
     processed = 0
     lost = 0
+    shed = 0
+    rung = 0
+    brownout_steps = 0
+    brownout_time_s = 0.0
+    brownout_since = 0.0
     correct = 0           # integer-exact accuracy_sum
     served_latencies: list[float] = []  # in completion (== start) order
     energy_j = 0.0
@@ -223,7 +238,7 @@ def run_fast(sim):
         makes the event ordering scheduling-dependent (caller falls
         back to the event loop).
         """
-        nonlocal qlen, lost, ai
+        nonlocal qlen, lost, shed, ai
         hi = int(np.searchsorted(arrivals, t_end, side="right"))
         build_tables(hi)
         while ai < hi:
@@ -240,7 +255,9 @@ def run_fast(sim):
                     break
                 qlen -= 1
                 start_frame(sigma)
-            if qlen >= capacity:
+            if brownout and rung == bottom_rung and qlen >= shed_len:
+                shed += 1  # bottom-rung admission control
+            elif qlen >= capacity:
                 lost += 1
             elif qlen == 0 and c_last < t_arr \
                     and reconfig_until <= t_arr:
@@ -279,7 +296,25 @@ def run_fast(sim):
         if dt > 0:
             energy_j += entry.power_at(ips) * dt
             last_power_t = tick
-        selected = policy.select(ips, current=entry)
+        if brownout:
+            occ = qlen / capacity
+            new_rung = rung
+            if occ >= cfg.brownout_high and new_rung < bottom_rung:
+                new_rung += 1
+            elif occ <= cfg.brownout_low and new_rung > 0:
+                new_rung -= 1
+            if new_rung != rung:
+                brownout_steps += 1
+                if rung == 0:
+                    brownout_since = tick
+                elif new_rung == 0:
+                    brownout_time_s += tick - brownout_since
+                rung = new_rung
+        if ladder and rung > 0:
+            selected = select_at(
+                base_floor - brown_levels[rung - 1], ips, current=entry)
+        else:
+            selected = policy.select(ips, current=entry)
         if controller.needs_switch(selected.accelerator):
             dead = controller.switch(selected.accelerator, now_s=tick)
             reconfig_until = tick + dead
@@ -297,6 +332,8 @@ def run_fast(sim):
     if not serve_segment(duration, is_tick=False):  # pragma: no cover
         return None
     lost += qlen  # still queued at the horizon: never served
+    if rung > 0:
+        brownout_time_s += duration - brownout_since
 
     # Arrival events past the horizon never fire in the event loop, so
     # the monitor must not see them either.
@@ -328,6 +365,9 @@ def run_fast(sim):
         energy_j=energy_j,
         reconfigurations=sum(1 for e in post if e.success),
         reconfig_dead_time_s=sum(e.duration_s for e in post if e.success),
+        shed=shed,
+        brownout_steps=brownout_steps,
+        brownout_time_s=brownout_time_s,
         trace=trace if record_trace else {},
     )
 
@@ -383,12 +423,25 @@ def _run_fast_batched(sim):
                    "confidence_threshold": [], "accuracy": [],
                    "serving_ips": []}
 
+    brownout = cfg.brownout
+    brown_levels = cfg.brownout_levels
+    bottom_rung = len(brown_levels)
+    shed_len = cfg.shed_queue_len
+    select_at = getattr(policy, "select_at", None)
+    base_floor = getattr(policy, "min_accuracy", None)
+    ladder = brownout and select_at is not None and base_floor is not None
+
     pend: deque = deque()  # arrival times of queued frames
     c_last = _NEG_INF     # completion time of the last *started* batch
     reconfig_until = 0.0
     p = 0                 # next unconsumed position in the draw stream
     processed = 0
     lost = 0
+    shed = 0
+    rung = 0
+    brownout_steps = 0
+    brownout_time_s = 0.0
+    brownout_since = 0.0
     correct = 0
     batches = 0
     served_latencies: list[float] = []
@@ -460,7 +513,7 @@ def _run_fast_batched(sim):
         # completion, frames neither processed nor lost.
 
     def serve_segment(t_end: float, is_tick: bool) -> bool:
-        nonlocal lost, ai
+        nonlocal lost, shed, ai
         hi = int(np.searchsorted(arrivals, t_end, side="right"))
         while ai < hi:
             t_arr = arr_list[ai]
@@ -471,7 +524,10 @@ def _run_fast_batched(sim):
                 if sigma >= t_arr:
                     break
                 start_batch(sigma)
-            if len(pend) >= capacity:
+            if brownout and rung == bottom_rung \
+                    and len(pend) >= shed_len:
+                shed += 1  # bottom-rung admission control
+            elif len(pend) >= capacity:
                 lost += 1
             elif not pend and c_last < t_arr \
                     and reconfig_until <= t_arr:
@@ -502,7 +558,25 @@ def _run_fast_batched(sim):
         if dt > 0:
             energy_j += entry.power_at(ips) * dt
             last_power_t = tick
-        selected = policy.select(ips, current=entry)
+        if brownout:
+            occ = len(pend) / capacity
+            new_rung = rung
+            if occ >= cfg.brownout_high and new_rung < bottom_rung:
+                new_rung += 1
+            elif occ <= cfg.brownout_low and new_rung > 0:
+                new_rung -= 1
+            if new_rung != rung:
+                brownout_steps += 1
+                if rung == 0:
+                    brownout_since = tick
+                elif new_rung == 0:
+                    brownout_time_s += tick - brownout_since
+                rung = new_rung
+        if ladder and rung > 0:
+            selected = select_at(
+                base_floor - brown_levels[rung - 1], ips, current=entry)
+        else:
+            selected = policy.select(ips, current=entry)
         if controller.needs_switch(selected.accelerator):
             dead = controller.switch(selected.accelerator, now_s=tick)
             reconfig_until = tick + dead
@@ -521,6 +595,8 @@ def _run_fast_batched(sim):
     if not serve_segment(duration, is_tick=False):  # pragma: no cover
         return None
     lost += len(pend)
+    if rung > 0:
+        brownout_time_s += duration - brownout_since
 
     hi_end = int(np.searchsorted(arrivals, duration, side="right"))
     if hi_end > fed:
@@ -548,5 +624,8 @@ def _run_fast_batched(sim):
         reconfigurations=sum(1 for e in post if e.success),
         reconfig_dead_time_s=sum(e.duration_s for e in post if e.success),
         batches=batches,
+        shed=shed,
+        brownout_steps=brownout_steps,
+        brownout_time_s=brownout_time_s,
         trace=trace if record_trace else {},
     )

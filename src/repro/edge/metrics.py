@@ -43,6 +43,13 @@ class RunMetrics:
     covers successful swaps). ``batches`` counts completed micro-batched
     plan invocations (0 when batching is off — each frame is then its
     own invocation and the count carries no extra information).
+
+    The brownout degradation ladder (``ServerConfig.brownout_levels``)
+    adds a fifth terminal state: ``shed`` — requests turned away by
+    admission control at the ladder's bottom rung (a deliberate
+    decision, unlike ``lost`` queue overflow). ``brownout_steps`` counts
+    rung transitions and ``brownout_time_s`` the total time spent below
+    rung 0 (serving under a lowered accuracy floor).
     """
 
     policy: str
@@ -62,22 +69,25 @@ class RunMetrics:
     reconfig_retries: int = 0
     fault_dead_time_s: float = 0.0
     batches: int = 0
+    shed: int = 0
+    brownout_steps: int = 0
+    brownout_time_s: float = 0.0
     trace: dict = field(default_factory=dict, repr=False)
 
     def __post_init__(self):
         if min(self.processed, self.lost, self.dropped, self.failed,
-               self.retries) < 0:
+               self.retries, self.shed, self.brownout_steps) < 0:
             raise ValueError("request counters must be >= 0")
         if self.processed + self.lost + self.dropped + self.failed \
-                > self.total_requests:
+                + self.shed > self.total_requests:
             raise ValueError(
-                "processed + lost + dropped + failed cannot exceed "
-                "total requests")
+                "processed + lost + dropped + failed + shed cannot "
+                "exceed total requests")
 
     @property
     def unserved(self) -> int:
         """Requests that never completed successfully."""
-        return self.lost + self.dropped + self.failed
+        return self.lost + self.dropped + self.failed + self.shed
 
     @property
     def inference_loss(self) -> float:

@@ -26,6 +26,7 @@ path.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass
 
@@ -77,6 +78,23 @@ class ServerConfig:
     reconfiguration windows never overlap beyond the fleet's capacity
     cap. The default 0.0 is bit-identical to the historical schedule in
     both simulation engines.
+
+    ``brownout_levels`` enables the degradation ladder: a tuple of
+    increasing accuracy-loss deltas, one per rung below normal
+    operation. At each decision tick the server inspects queue occupancy
+    (``len(queue) / queue_capacity``): at or above ``brownout_high`` it
+    steps one rung down, at or below ``brownout_low`` it steps one rung
+    back up (the hysteresis band between the two prevents flapping). At
+    rung ``r > 0`` selection runs against the lowered floor
+    ``policy.min_accuracy - brownout_levels[r - 1]`` via
+    :meth:`RuntimeManager.select_at
+    <repro.runtime.manager.RuntimeManager.select_at>` — trading accuracy
+    for throughput *before* any frame is turned away. Only at the bottom
+    rung does admission control shed: arrivals finding the queue at or
+    beyond ``brownout_shed_occupancy`` of capacity are refused
+    (``RunMetrics.shed``) instead of overflowing as ``lost``. The empty
+    default tuple keeps both engines bit-identical to the historical
+    path.
     """
 
     queue_capacity: int = 32
@@ -89,6 +107,10 @@ class ServerConfig:
     batch_window_s: float = 0.0
     dispatch_overhead_s: float = 0.0
     partial_reconfig: PartialReconfigModel | None = None
+    brownout_levels: tuple = ()
+    brownout_high: float = 0.85
+    brownout_low: float = 0.25
+    brownout_shed_occupancy: float = 1.0
 
     def __post_init__(self):
         if self.queue_capacity < 1:
@@ -106,11 +128,36 @@ class ServerConfig:
             raise ValueError(
                 f"sim_mode must be one of {SIM_MODES}, "
                 f"got {self.sim_mode!r}")
+        levels = tuple(self.brownout_levels)
+        object.__setattr__(self, "brownout_levels", levels)
+        if any(d <= 0 for d in levels):
+            raise ValueError("brownout_levels must be positive deltas")
+        if any(b >= a for a, b in zip(levels[1:], levels)):
+            raise ValueError("brownout_levels must be strictly increasing")
+        if not 0.0 < self.brownout_low < self.brownout_high <= 1.0:
+            raise ValueError(
+                "need 0 < brownout_low < brownout_high <= 1")
+        if not 0.0 < self.brownout_shed_occupancy <= 1.0:
+            raise ValueError(
+                "brownout_shed_occupancy must be in (0, 1]")
 
     @property
     def batching(self) -> bool:
         """Whether micro-batched admission is active."""
         return self.batch_window_s > 0.0 or self.dispatch_overhead_s > 0.0
+
+    @property
+    def brownout(self) -> bool:
+        """Whether the degradation ladder is active."""
+        return bool(self.brownout_levels)
+
+    @property
+    def shed_queue_len(self) -> int:
+        """Queue length at/above which bottom-rung admission sheds."""
+        if self.brownout_shed_occupancy >= 1.0:
+            return self.queue_capacity
+        return max(1, math.ceil(self.brownout_shed_occupancy
+                                * self.queue_capacity))
 
 
 class EdgeServerSimulator:
@@ -195,6 +242,11 @@ class EdgeServerSimulator:
             "reconfig_retries": 0,
             "fault_dead_time_s": 0.0,
             "batches": 0,
+            "shed": 0,
+            "rung": 0,
+            "brownout_steps": 0,
+            "brownout_time_s": 0.0,
+            "brownout_since": 0.0,
             "latency_sum": 0.0,
             "accuracy_sum": 0.0,
             "energy_j": 0.0,
@@ -220,6 +272,17 @@ class EdgeServerSimulator:
                 state["last_power_t"] = now
 
         batching = cfg.batching
+        brownout = cfg.brownout
+        brown_levels = cfg.brownout_levels
+        bottom_rung = len(brown_levels)
+        shed_len = cfg.shed_queue_len
+        # The ladder lowers the selection floor only for policies that
+        # expose one (RuntimeManager duck type); static baselines still
+        # shed at the bottom rung but have no floor to lower.
+        select_at = getattr(self.policy, "select_at", None)
+        base_floor = getattr(self.policy, "min_accuracy", None)
+        ladder = brownout and select_at is not None \
+            and base_floor is not None
 
         def start_batched(loop_: EventLoop) -> None:
             """Micro-batched admission: the head of the queue plus every
@@ -311,6 +374,13 @@ class EdgeServerSimulator:
                 state["dropped"] += 1
                 return
             monitor_backlog.append(loop_.now)
+            if brownout and state["rung"] == bottom_rung \
+                    and len(queue) >= shed_len:
+                # Bottom rung: admission control turns the frame away
+                # before it can overflow the queue (a deliberate shed,
+                # accounted separately from `lost`).
+                state["shed"] += 1
+                return
             if len(queue) >= cfg.queue_capacity:
                 state["lost"] += 1
                 return
@@ -364,7 +434,27 @@ class EdgeServerSimulator:
             flush_monitor()
             ips = monitor.sampled_ips(now)
             integrate_power(now, ips)
-            selected = self.policy.select(ips, current=state["entry"])
+            if brownout:
+                occ = len(queue) / cfg.queue_capacity
+                rung = state["rung"]
+                if occ >= cfg.brownout_high and rung < bottom_rung:
+                    rung += 1
+                elif occ <= cfg.brownout_low and rung > 0:
+                    rung -= 1
+                if rung != state["rung"]:
+                    state["brownout_steps"] += 1
+                    if state["rung"] == 0:
+                        state["brownout_since"] = now
+                    elif rung == 0:
+                        state["brownout_time_s"] += \
+                            now - state["brownout_since"]
+                    state["rung"] = rung
+            if ladder and state["rung"] > 0:
+                selected = select_at(
+                    base_floor - brown_levels[state["rung"] - 1], ips,
+                    current=state["entry"])
+            else:
+                selected = self.policy.select(ips, current=state["entry"])
             if controller.needs_switch(selected.accelerator):
                 if plan is None:
                     dead = controller.switch(selected.accelerator,
@@ -401,6 +491,9 @@ class EdgeServerSimulator:
 
         # Requests still queued at the end of the run were never served.
         state["lost"] += len(queue)
+        if state["rung"] > 0:
+            state["brownout_time_s"] += \
+                self.workload.duration_s - state["brownout_since"]
         flush_monitor()
         integrate_power(self.workload.duration_s,
                         monitor.sampled_ips(self.workload.duration_s))
@@ -426,6 +519,9 @@ class EdgeServerSimulator:
             reconfig_retries=state["reconfig_retries"],
             fault_dead_time_s=state["fault_dead_time_s"],
             batches=state["batches"],
+            shed=state["shed"],
+            brownout_steps=state["brownout_steps"],
+            brownout_time_s=state["brownout_time_s"],
             trace=trace if cfg.record_trace else {},
         )
 

@@ -9,28 +9,38 @@ reconfiguration windows under a capacity cap
 and model failover herds (:mod:`~repro.fleet.faults`), and the cluster
 simulator shards the per-server runs across processes with a
 deterministic, seed-exact merge (:mod:`~repro.fleet.cluster`,
-:mod:`~repro.fleet.metrics`).
+:mod:`~repro.fleet.metrics`). The elastic control plane
+(:mod:`~repro.fleet.elastic`) adds autoscaling, phi-accrual health
+checks and no-drop live migration on top.
 """
 
 from .cluster import (FleetConfig, FleetResult, ShardWorkload,
                       simulate_fleet)
 from .coordinator import (CoordinationError, ReconfigCoordinator,
                           StaggerSchedule, max_concurrent_swaps)
-from .faults import FLEET_FAULT_PRESETS, FleetFaultPlan, FleetFaultSpec
+from .elastic import (ElasticConfig, ElasticPlan, MigrationEvent,
+                      PhiAccrualDetector, ScaleEvent, plan_elastic)
+from .faults import (FLEET_FAULT_PRESETS, FleetFaultPlan, FleetFaultSpec,
+                     transfer_stream)
 from .metrics import FleetMetrics, ServerRun, merge_fleet
 from .router import (ROUTER_POLICIES, ServerSlot, TenantSpec,
                      WorkloadRouter, make_tenants)
 
 __all__ = [
     "CoordinationError",
+    "ElasticConfig",
+    "ElasticPlan",
     "FLEET_FAULT_PRESETS",
     "FleetConfig",
     "FleetFaultPlan",
     "FleetFaultSpec",
     "FleetMetrics",
     "FleetResult",
+    "MigrationEvent",
+    "PhiAccrualDetector",
     "ROUTER_POLICIES",
     "ReconfigCoordinator",
+    "ScaleEvent",
     "ServerRun",
     "ServerSlot",
     "ShardWorkload",
@@ -40,5 +50,7 @@ __all__ = [
     "make_tenants",
     "max_concurrent_swaps",
     "merge_fleet",
+    "plan_elastic",
     "simulate_fleet",
+    "transfer_stream",
 ]

@@ -34,12 +34,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.parallel import parallel_map
-from ..edge.cameras import CameraFleet
 from ..edge.server import EdgeServerSimulator, ServerConfig
 from ..runtime.baselines import make_policy
 from ..runtime.manager import SelectionPolicy
 from .coordinator import ReconfigCoordinator
-from .faults import FleetFaultPlan, FleetFaultSpec
+from .elastic import ElasticConfig, plan_elastic
+from .faults import FleetFaultPlan, FleetFaultSpec, transfer_stream
 from .metrics import FleetMetrics, ServerRun, merge_fleet
 from .router import (ROUTER_POLICIES, ServerSlot, TenantSpec,
                      WorkloadRouter, make_tenants)
@@ -83,6 +83,12 @@ class FleetConfig:
     ``capacity_fraction`` caps the fleet share that may be mid-
     reconfiguration at once; ``coordinate=False`` disables staggering
     (all offsets zero) for A/B experiments against the coordinator.
+
+    ``brownout_levels`` arms the per-server degradation ladder
+    (:class:`~repro.edge.server.ServerConfig`): under queue pressure a
+    server steps its accuracy floor down by those deltas tier by tier
+    and sheds load only at the bottom rung. Empty (the default) keeps
+    the historical hard-admission behaviour, byte for byte.
     """
 
     num_servers: int = 4
@@ -101,6 +107,10 @@ class FleetConfig:
     sim_mode: str = "auto"
     policy_table: bool = True
     record_trace: bool = False
+    brownout_levels: tuple = ()
+    brownout_high: float = 0.85
+    brownout_low: float = 0.25
+    brownout_shed_occupancy: float = 1.0
 
     def __post_init__(self):
         if self.num_servers < 1:
@@ -122,6 +132,10 @@ class FleetConfig:
             raise ValueError("capacity_fraction must be in (0, 1]")
         if self.duration_s <= 0:
             raise ValueError("duration_s must be positive")
+        # Brownout parameters are validated in depth by ServerConfig;
+        # normalize the tuple here so configs hash/compare cleanly.
+        object.__setattr__(self, "brownout_levels",
+                           tuple(self.brownout_levels))
 
     @property
     def num_racks(self) -> int:
@@ -145,11 +159,23 @@ class FleetResult:
     dead_servers: dict = field(default_factory=dict)  # server -> kill t
     slo_violations: list = field(default_factory=list)  # tenant ids
     offsets: list = field(default_factory=list)  # decision offsets
+    # Elastic-campaign ledgers (empty on fixed-fleet campaigns):
+    migrations: list = field(default_factory=list)  # of MigrationEvent
+    scale_events: list = field(default_factory=list)  # of ScaleEvent
+    utilization: list = field(default_factory=list)  # (t, active, ewma)
+    lifetimes: dict = field(default_factory=dict)  # sid -> (start, end)
 
 
 def _build_policies(library, cfg: FleetConfig) -> dict:
     """One shared policy instance per distinct SLO tier, tables
-    precompiled in the parent so forked workers inherit them."""
+    precompiled in the parent so forked workers inherit them.
+
+    With a brownout ladder configured, every rung's degraded floor is
+    precompiled as an extra policy-table accuracy level: the in-sim
+    ladder queries ``select_at(min_accuracy - delta, ...)`` with exactly
+    these floats, so the O(1) ``lookup_at`` path stays hot under
+    brownout too.
+    """
     out = {}
     for tier in sorted(set(cfg.slo_tiers)):
         policy = make_policy(cfg.policy, library,
@@ -157,9 +183,40 @@ def _build_policies(library, cfg: FleetConfig) -> dict:
         if cfg.policy_table:
             ensure = getattr(policy, "ensure_policy_table", None)
             if ensure is not None:
-                ensure()
+                extra = ()
+                floor = getattr(policy, "min_accuracy", None)
+                if cfg.brownout_levels and floor is not None:
+                    extra = tuple(floor - d for d in cfg.brownout_levels)
+                ensure(extra_accuracy_levels=extra)
         out[tier] = policy
     return out
+
+
+def _server_config(cfg: FleetConfig, offset: float) -> ServerConfig:
+    """The per-server simulator config for one decision offset."""
+    return ServerConfig(
+        queue_capacity=cfg.queue_capacity,
+        decision_interval_s=cfg.decision_interval_s,
+        decision_offset_s=offset,
+        monitor_window_s=cfg.monitor_window_s,
+        reconfig_time_s=cfg.reconfig_time_s,
+        record_trace=cfg.record_trace,
+        sim_mode=cfg.sim_mode,
+        brownout_levels=cfg.brownout_levels,
+        brownout_high=cfg.brownout_high,
+        brownout_low=cfg.brownout_low,
+        brownout_shed_occupancy=cfg.brownout_shed_occupancy)
+
+
+def _capacity_ips(library, floor: float) -> float:
+    """Serving capacity of a server pinned at accuracy ``floor``: the
+    fastest library entry still honouring the floor (the autoscaler's
+    utilization denominator)."""
+    qualified = [e.serving_ips for e in library.entries
+                 if e.accuracy >= floor]
+    if qualified:
+        return max(qualified)
+    return max((e.serving_ips for e in library.entries), default=0.0)
 
 
 def _accuracy_floor(policy) -> float:
@@ -199,8 +256,8 @@ def _fleet_task(server_id: int):
 
 def simulate_fleet(library, tenants, config: FleetConfig | None = None, *,
                    seed: int = 0, faults: FleetFaultSpec | None = None,
-                   fault_seed: int = 0, workers=0,
-                   progress=None) -> FleetResult:
+                   fault_seed: int = 0, elastic: ElasticConfig | None = None,
+                   workers=0, progress=None) -> FleetResult:
     """Simulate one fleet campaign; byte-identical for any ``workers``.
 
     ``tenants`` is a list of :class:`~repro.fleet.router.TenantSpec` (or
@@ -209,6 +266,15 @@ def simulate_fleet(library, tenants, config: FleetConfig | None = None, *,
     realization, the failover routing and the stream transformations all
     happen here in the parent, so the worker count can never change
     which servers die or where a stream lands.
+
+    ``elastic`` arms the elastic control plane
+    (:mod:`repro.fleet.elastic`): the fleet starts at ``num_servers``,
+    autoscales within ``[min_servers, max_servers]``, health-checks for
+    deaths with a phi-accrual detector and live-migrates tenants off
+    draining or overloaded servers. All of that planning also happens in
+    the parent at decision-tick granularity, so elastic campaigns keep
+    the same worker-count byte-identity guarantee. ``elastic=None``
+    (default) runs the historical fixed-fleet path unchanged.
     """
     cfg = config or FleetConfig()
     if isinstance(tenants, int):
@@ -219,6 +285,11 @@ def simulate_fleet(library, tenants, config: FleetConfig | None = None, *,
     ids = [t.tenant_id for t in tenants]
     if len(set(ids)) != len(ids):
         raise ValueError("duplicate tenant ids")
+    if elastic is not None:
+        return _simulate_elastic(library, tenants, cfg, elastic,
+                                 seed=seed, faults=faults,
+                                 fault_seed=fault_seed, workers=workers,
+                                 progress=progress)
     n = cfg.num_servers
 
     # 1. Stagger schedule: one decision-tick offset per server.
@@ -259,38 +330,23 @@ def simulate_fleet(library, tenants, config: FleetConfig | None = None, *,
     failover_dropped = 0
     herd_delayed = 0
     for i, tenant in enumerate(tenants):
-        arrivals = CameraFleet(tenant.workload(cfg.duration_s),
-                               seed=(seed, i)).arrival_times()
+        arrivals = tenant.arrival_times(cfg.duration_s, seed=(seed, i))
         sid = assignment[tenant.tenant_id]
         nominal[sid] += tenant.nominal_ips
         kill = dead.get(sid)
         if kill is None:
             chunks[sid].append(arrivals)
             continue
-        cut = int(np.searchsorted(arrivals, kill, side="left"))
-        chunks[sid].append(arrivals[:cut])  # served before the rack died
-        tail = arrivals[cut:]
-        if not len(tail):
-            continue
         new_sid = reroutes.get(tenant.tenant_id)
-        rejoin = kill + reroute_delay
-        if new_sid is None or rejoin >= cfg.duration_s:
-            # No survivor to take the stream (or the outage outlasts the
-            # campaign): the tail is lost at the fleet level.
-            failover_dropped += len(tail)
-            continue
-        late = int(np.searchsorted(tail, rejoin, side="left"))
-        if herd:
-            # Thundering herd: the outage backlog slams the new server
-            # as one burst at the rejoin instant.
-            moved = tail.copy()
-            moved[:late] = rejoin
-            herd_delayed += late
-        else:
-            # Clean failover: the backlog is lost, the live stream
-            # resumes on the survivor.
-            failover_dropped += late
-            moved = tail[late:]
+        # No survivor to take the stream: a rejoin at the horizon makes
+        # transfer_stream drop the whole tail at the fleet level.
+        rejoin = kill + reroute_delay if new_sid is not None \
+            else cfg.duration_s
+        head, moved, delayed, dropped = transfer_stream(
+            arrivals, kill, rejoin, cfg.duration_s, replay=herd)
+        chunks[sid].append(head)  # served before the rack died
+        herd_delayed += delayed
+        failover_dropped += dropped
         if len(moved):
             chunks[new_sid].append(moved)
 
@@ -306,14 +362,7 @@ def simulate_fleet(library, tenants, config: FleetConfig | None = None, *,
             arrivals=merged,
             duration_s=dead.get(sid, cfg.duration_s),
             nominal_ips=nominal[sid])
-        configs[sid] = ServerConfig(
-            queue_capacity=cfg.queue_capacity,
-            decision_interval_s=cfg.decision_interval_s,
-            decision_offset_s=offsets[sid],
-            monitor_window_s=cfg.monitor_window_s,
-            reconfig_time_s=cfg.reconfig_time_s,
-            record_trace=cfg.record_trace,
-            sim_mode=cfg.sim_mode)
+        configs[sid] = _server_config(cfg, offsets[sid])
         seeds[sid] = seed + _SERVER_SEED_STRIDE * (sid + 1)
         policies[sid] = policies_by_tier[cfg.tier_of(sid)]
 
@@ -351,3 +400,151 @@ def simulate_fleet(library, tenants, config: FleetConfig | None = None, *,
     return FleetResult(fleet=fleet, servers=runs, assignment=assignment,
                        reroutes=reroutes, dead_servers=dead,
                        slo_violations=violated, offsets=offsets)
+
+
+def _simulate_elastic(library, tenants, cfg: FleetConfig,
+                      ecfg: ElasticConfig, *, seed, faults, fault_seed,
+                      workers, progress) -> FleetResult:
+    """Elastic fleet campaign: same parent-side determinism discipline.
+
+    The server id space covers the whole capacity envelope
+    ``0..max_servers-1``; ids ``0..num_servers-1`` are on line at t=0
+    and the rest are standby capacity the autoscaler may activate. The
+    stagger schedule, fault realization, tier policies and routing slots
+    are therefore computed over ``max_servers`` up front — scaling a
+    server up never changes any other server's offsets, seeds or tier.
+    """
+    if cfg.num_servers > ecfg.max_servers:
+        raise ValueError(
+            f"num_servers ({cfg.num_servers}) exceeds the elastic "
+            f"capacity envelope max_servers ({ecfg.max_servers})")
+    if cfg.num_servers < ecfg.min_servers:
+        raise ValueError(
+            f"num_servers ({cfg.num_servers}) is below elastic "
+            f"min_servers ({ecfg.min_servers})")
+    m = ecfg.max_servers
+
+    # 1. Stagger schedule over the full envelope: activating a standby
+    # server must not rephase anyone, so its offset exists from t=0.
+    offsets = [0.0] * m
+    if cfg.coordinate:
+        coordinator = ReconfigCoordinator(
+            capacity_fraction=cfg.capacity_fraction,
+            decision_interval_s=cfg.decision_interval_s,
+            max_swap_s=cfg.reconfig_time_s)
+        offsets = list(coordinator.schedule(m).offsets)
+
+    # 2. Policies, routing slots and serving capacities over the
+    # envelope (capacity feeds the autoscaler's utilization signal).
+    policies_by_tier = _build_policies(library, cfg)
+    floors = {tier: _accuracy_floor(p)
+              for tier, p in policies_by_tier.items()}
+    slots = {sid: ServerSlot(sid, floors[cfg.tier_of(sid)])
+             for sid in range(m)}
+    capacity = {sid: _capacity_ips(library, floors[cfg.tier_of(sid)])
+                for sid in range(m)}
+
+    # 3. Fault realization over the envelope's racks: standby servers
+    # can die too (a scale-up onto a doomed rack is a legal outcome the
+    # detector must then catch).
+    kills: dict = {}
+    if faults is not None and faults.racks_lost > 0:
+        plan = FleetFaultPlan(faults, seed=(fault_seed, seed))
+        racks = math.ceil(m / cfg.rack_size)
+        killed_racks = plan.realize(racks, cfg.duration_s)
+        for sid in range(m):
+            if cfg.rack_of(sid) in killed_racks:
+                kills[sid] = killed_racks[cfg.rack_of(sid)]
+
+    # 4. Initial routing over the on-line servers only.
+    router = WorkloadRouter(cfg.router, vnodes=cfg.vnodes)
+    initial_slots = [slots[sid] for sid in range(cfg.num_servers)]
+    assignment = router.assign(tenants, initial_slots)
+
+    # 5. Realize every tenant stream, then resolve the whole campaign's
+    # scaling/migration/failover timeline in the parent.
+    arrivals = {t.tenant_id: t.arrival_times(cfg.duration_s,
+                                             seed=(seed, i))
+                for i, t in enumerate(tenants)}
+    reroute_delay = faults.reroute_delay_s if faults is not None else 0.5
+    herd = faults.herd if faults is not None else True
+    eplan = plan_elastic(
+        cfg, ecfg, tenants, arrivals, assignment, slots, capacity,
+        kills, herd=herd, reroute_delay_s=reroute_delay, router=router,
+        seed=(fault_seed, seed))
+
+    # 6. Shards for every server that was on line at some point. A late
+    # activation shifts its stream into server-local time, so standby
+    # and retired periods draw no idle power and make no decisions.
+    workloads = {}
+    configs = {}
+    seeds = {}
+    policies = {}
+    live = sorted(eplan.lifetimes)
+    for sid in live:
+        start, end = eplan.lifetimes[sid]
+        parts = [c for c in eplan.chunks[sid] if len(c)]
+        merged = np.sort(np.concatenate(parts)) if parts \
+            else np.empty(0, dtype=np.float64)
+        if start:
+            merged = merged - start
+        workloads[sid] = ShardWorkload(
+            arrivals=merged,
+            duration_s=end - start,
+            nominal_ips=eplan.nominal[sid])
+        configs[sid] = _server_config(cfg, offsets[sid])
+        seeds[sid] = seed + _SERVER_SEED_STRIDE * (sid + 1)
+        policies[sid] = policies_by_tier[cfg.tier_of(sid)]
+
+    server_faults = faults.server_faults if faults is not None else None
+    results = parallel_map(
+        _fleet_task, live, workers=workers, progress=progress,
+        label=lambda sid: f"server {sid}",
+        initializer=_fleet_worker_init,
+        initargs=(policies, workloads, configs, seeds, server_faults,
+                  fault_seed))
+
+    # 7. SLO audit over each tenant's full serving chain, then the
+    # permutation-invariant merge with the elastic ledgers folded in.
+    runs = [ServerRun(server_id=sid, rack=cfg.rack_of(sid),
+                      tier=cfg.tier_of(sid), killed_at_s=kills.get(sid),
+                      metrics=results[i])
+            for i, sid in enumerate(live)]
+    by_sid = {r.server_id: r for r in runs}
+    home = dict(assignment)
+    for ev in eplan.migrations:
+        home[ev.tenant_id] = ev.dst
+    violated = []
+    for tenant in tenants:
+        tid = tenant.tenant_id
+        chain = [s for s in eplan.serving.get(tid, []) if s in by_sid]
+        stranded = home.get(tid) is None
+        delivered = min((by_sid[s].metrics.accuracy for s in chain),
+                        default=0.0)
+        if (stranded and tenant.slo_accuracy > 0.0) \
+                or delivered + 1e-9 < tenant.slo_accuracy:
+            violated.append(tid)
+
+    rerouted = {ev.tenant_id for ev in eplan.migrations
+                if ev.reason == "failover" and ev.dst is not None}
+    planned = [ev for ev in eplan.migrations if ev.planned]
+    dead = {sid: kills[sid] for sid in live if sid in kills}
+    fleet = merge_fleet(
+        runs, tenants=len(tenants), rerouted=len(rerouted),
+        failover_dropped=eplan.failover_dropped,
+        herd_delayed=eplan.herd_delayed,
+        migrations=len(planned),
+        migration_delayed=eplan.migration_delayed,
+        autoscale_ups=eplan.autoscale_ups,
+        autoscale_downs=eplan.autoscale_downs,
+        slo_violations=len(violated), duration_s=cfg.duration_s)
+    reroutes = {ev.tenant_id: ev.dst for ev in eplan.migrations
+                if ev.reason == "failover" and ev.dst is not None}
+    return FleetResult(
+        fleet=fleet, servers=runs, assignment=assignment,
+        reroutes=reroutes, dead_servers=dead, slo_violations=violated,
+        offsets=[offsets[sid] for sid in live],
+        migrations=list(eplan.migrations),
+        scale_events=list(eplan.scale_events),
+        utilization=list(eplan.utilization),
+        lifetimes=dict(eplan.lifetimes))

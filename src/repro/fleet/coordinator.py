@@ -123,12 +123,20 @@ class ReconfigCoordinator:
         # ideal slot. A swap within 1 ns of the slot would ride that
         # noise across the next wave's tick, so it is refused too.
         if slot < self.max_swap_s + _GUARD_BAND_S:
+            # Name the offending layout precisely: which slot is too
+            # short, by how much, and how many servers each wave (and
+            # the fullest wave in particular) would have to squeeze in.
+            per_wave = math.ceil(num_servers / waves)
+            full_waves = num_servers % waves or waves
+            deficit = (self.max_swap_s + _GUARD_BAND_S) - slot
             raise CoordinationError(
                 f"cannot stagger {num_servers} servers at capacity "
-                f"fraction {self.capacity_fraction}: {waves} waves leave "
-                f"{slot:.4f}s per wave but a swap takes up to "
-                f"{self.max_swap_s:.4f}s; raise capacity_fraction or "
-                f"decision_interval_s")
+                f"fraction {self.capacity_fraction} (cap {mc} "
+                f"concurrent swap(s)): {waves} waves of up to "
+                f"{per_wave} server(s) ({full_waves} wave(s) full) "
+                f"leave a {slot:.4f}s slot per wave, {deficit:.4f}s "
+                f"short of the {self.max_swap_s:.4f}s swap window; "
+                f"raise capacity_fraction or decision_interval_s")
         offsets = tuple((i % waves) * slot for i in range(num_servers))
         return StaggerSchedule(
             offsets=offsets, slot_s=slot, waves=waves, max_concurrent=mc,

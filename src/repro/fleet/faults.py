@@ -27,9 +27,54 @@ from __future__ import annotations
 
 from dataclasses import dataclass, fields, replace
 
+import numpy as np
+
 from ..runtime.faults import FAULT_PRESETS, FaultSpec, _category_rng
 
-__all__ = ["FleetFaultSpec", "FleetFaultPlan", "FLEET_FAULT_PRESETS"]
+__all__ = ["FleetFaultSpec", "FleetFaultPlan", "FLEET_FAULT_PRESETS",
+           "transfer_stream"]
+
+
+def transfer_stream(arrivals, cut_s: float, rejoin_s: float,
+                    horizon_s: float, *, replay: bool = True):
+    """Split one arrival stream at ``cut_s`` and transfer the tail.
+
+    The single backlog transform behind every stream hand-off in the
+    fleet: unplanned failover (``cut`` = kill instant, ``rejoin`` = kill
+    + reroute delay) and planned live migration (``cut`` = migration
+    decision tick, ``rejoin`` = tick + handoff window) are the same
+    arithmetic with different parameters. Returns ``(head, moved,
+    delayed, dropped)``:
+
+    * ``head`` — frames before ``cut_s`` (stay with the source server);
+    * ``moved`` — the tail as it lands on the destination: with
+      ``replay=True`` the frames in ``[cut_s, rejoin_s)`` are clamped to
+      the rejoin instant (the herd-replay burst, ``delayed`` counts
+      them, nothing drops); with ``replay=False`` those frames are
+      ``dropped`` and only the post-rejoin stream moves;
+    * a ``rejoin_s`` at/past the horizon drops the whole tail (the
+      hand-off outlasts the campaign).
+
+    Planned migrations always use ``replay=True`` with a short hand-off
+    and a rejoin inside the horizon, so they conserve every request:
+    ``len(head) + len(moved) == len(arrivals)`` and ``dropped == 0``.
+    Float operations are exactly the PR 7 failover path's
+    (``searchsorted`` cuts, ``copy`` + clamp), so legacy campaigns stay
+    byte-identical through this refactor.
+    """
+    cut = int(np.searchsorted(arrivals, cut_s, side="left"))
+    head = arrivals[:cut]
+    tail = arrivals[cut:]
+    if not len(tail):
+        return head, tail, 0, 0
+    if rejoin_s >= horizon_s:
+        return head, tail[:0], 0, len(tail)
+    late = int(np.searchsorted(tail, rejoin_s, side="left"))
+    if replay:
+        moved = tail.copy()
+        moved[:late] = rejoin_s
+        return head, moved, late, 0
+    return head, tail[late:], 0, late
 
 
 @dataclass(frozen=True)

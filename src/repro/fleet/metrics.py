@@ -58,12 +58,24 @@ class FleetMetrics:
     reconfig_dead_time_s: float
     fault_dead_time_s: float
     slo_violations: int
+    # Degradation-ladder and elastic-control ledger (PR 8); defaulted so
+    # fixed-fleet call sites predating the elastic layer stay valid.
+    shed: int = 0
+    brownout_steps: int = 0
+    brownout_time_s: float = 0.0
+    migrations: int = 0
+    migration_delayed: int = 0
+    autoscale_ups: int = 0
+    autoscale_downs: int = 0
+    server_seconds: float = 0.0
 
     def __post_init__(self):
         if min(self.servers, self.tenants, self.total_requests,
                self.processed, self.lost, self.dropped, self.failed,
-               self.failover_dropped, self.herd_delayed,
-               self.slo_violations) < 0:
+               self.failover_dropped, self.herd_delayed, self.shed,
+               self.brownout_steps, self.migrations,
+               self.migration_delayed, self.autoscale_ups,
+               self.autoscale_downs, self.slo_violations) < 0:
             raise ValueError("fleet counters must be >= 0")
 
     @property
@@ -74,7 +86,7 @@ class FleetMetrics:
 
     @property
     def unserved(self) -> int:
-        return (self.lost + self.dropped + self.failed
+        return (self.lost + self.dropped + self.failed + self.shed
                 + self.failover_dropped)
 
     @property
@@ -119,11 +131,18 @@ class FleetMetrics:
             "edp": self.edp,
             "reconfigs": self.reconfigurations,
             "slo_violations": self.slo_violations,
+            "shed": self.shed,
+            "migrations": self.migrations,
+            "scale_ups": self.autoscale_ups,
+            "scale_downs": self.autoscale_downs,
+            "server_seconds": self.server_seconds,
         }
 
 
 def merge_fleet(runs, *, tenants: int, rerouted: int = 0,
                 failover_dropped: int = 0, herd_delayed: int = 0,
+                migrations: int = 0, migration_delayed: int = 0,
+                autoscale_ups: int = 0, autoscale_downs: int = 0,
                 slo_violations: int = 0,
                 duration_s: float) -> FleetMetrics:
     """Merge per-server :class:`ServerRun` results into fleet metrics.
@@ -143,7 +162,9 @@ def merge_fleet(runs, *, tenants: int, rerouted: int = 0,
     runs.sort(key=lambda r: r.server_id)
 
     total = processed = lost = dropped = failed = reconfigs = 0
+    shed = brownout_steps = 0
     latency_sum = accuracy_sum = energy = rdead = fdead = 0.0
+    brownout_time = server_seconds = 0.0
     dead = 0
     for run in runs:
         m = run.metrics
@@ -152,12 +173,16 @@ def merge_fleet(runs, *, tenants: int, rerouted: int = 0,
         lost += m.lost
         dropped += m.dropped
         failed += m.failed
+        shed += m.shed
+        brownout_steps += m.brownout_steps
         reconfigs += m.reconfigurations
         latency_sum += m.avg_latency_s * m.processed
         accuracy_sum += m.accuracy * m.processed
         energy += m.energy_j
         rdead += m.reconfig_dead_time_s
         fdead += m.fault_dead_time_s
+        brownout_time += m.brownout_time_s
+        server_seconds += m.duration_s
         if run.killed_at_s is not None:
             dead += 1
 
@@ -174,6 +199,14 @@ def merge_fleet(runs, *, tenants: int, rerouted: int = 0,
         failed=failed,
         failover_dropped=failover_dropped,
         herd_delayed=herd_delayed,
+        shed=shed,
+        brownout_steps=brownout_steps,
+        brownout_time_s=brownout_time,
+        migrations=migrations,
+        migration_delayed=migration_delayed,
+        autoscale_ups=autoscale_ups,
+        autoscale_downs=autoscale_downs,
+        server_seconds=server_seconds,
         accuracy=accuracy_sum / processed if processed else 0.0,
         avg_latency_s=latency_sum / processed if processed else 0.0,
         energy_j=energy,

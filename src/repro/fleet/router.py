@@ -28,7 +28,9 @@ import hashlib
 from bisect import bisect_left
 from dataclasses import dataclass
 
-from ..edge.cameras import WorkloadSpec
+import numpy as np
+
+from ..edge.cameras import CameraFleet, WorkloadSpec
 
 __all__ = ["ROUTER_POLICIES", "TenantSpec", "ServerSlot",
            "WorkloadRouter", "make_tenants"]
@@ -49,6 +51,9 @@ class TenantSpec:
     ``slo_accuracy`` is the minimum delivered accuracy the tenant
     accepts (0.0 = best effort). The camera parameters mirror
     :class:`~repro.edge.cameras.WorkloadSpec` per tenant.
+    ``start_s`` delays the tenant's first frame: a population with
+    staggered starts models the load ramp an autoscaler must track
+    (see ``make_tenants(ramp_s=...)``).
     """
 
     tenant_id: str
@@ -57,6 +62,7 @@ class TenantSpec:
     slo_accuracy: float = 0.0
     deviation: float = 0.30
     deviation_interval_s: float = 5.0
+    start_s: float = 0.0
 
     def __post_init__(self):
         if not self.tenant_id:
@@ -67,6 +73,8 @@ class TenantSpec:
             raise ValueError("ips_per_camera must be positive")
         if not 0.0 <= self.slo_accuracy <= 1.0:
             raise ValueError("slo_accuracy must be in [0, 1]")
+        if self.start_s < 0:
+            raise ValueError("start_s must be >= 0")
 
     @property
     def nominal_ips(self) -> float:
@@ -81,6 +89,23 @@ class TenantSpec:
             deviation=self.deviation,
             deviation_interval_s=self.deviation_interval_s)
 
+    def arrival_times(self, duration_s: float, seed=0) -> np.ndarray:
+        """The tenant's realized arrival stream over one campaign.
+
+        A tenant with ``start_s == 0`` produces exactly the historical
+        ``CameraFleet(workload(duration_s), seed).arrival_times()``
+        stream, byte for byte. A late joiner realizes its stream over
+        its live window and shifts it by ``start_s`` (empty when the
+        start falls past the horizon).
+        """
+        live = duration_s - self.start_s
+        if live <= 0:
+            return np.empty(0, dtype=np.float64)
+        arr = CameraFleet(self.workload(live), seed=seed).arrival_times()
+        if self.start_s:
+            arr = arr + self.start_s
+        return arr
+
 
 @dataclass(frozen=True)
 class ServerSlot:
@@ -93,16 +118,33 @@ class ServerSlot:
 def make_tenants(count: int, *, cameras: int = 4,
                  ips_per_camera: float = 2.0, slo_tiers=(0.0,),
                  deviation: float = 0.30,
-                 deviation_interval_s: float = 5.0) -> list:
-    """Deterministic tenant population with round-robin SLO tiers."""
+                 deviation_interval_s: float = 5.0,
+                 ramp_s: float = 0.0) -> list:
+    """Deterministic tenant population with round-robin SLO tiers.
+
+    ``ramp_s > 0`` staggers tenant starts into a load ramp: the first
+    quarter of the population streams from ``t=0`` and the rest join
+    linearly over ``ramp_s`` seconds — a 4x offered-load growth for the
+    autoscaler to chase. ``ramp_s=0`` (default) starts everyone at 0,
+    exactly the historical population.
+    """
     if count < 1:
         raise ValueError("count must be >= 1")
+    if ramp_s < 0:
+        raise ValueError("ramp_s must be >= 0")
     tiers = tuple(slo_tiers) or (0.0,)
+    starts = [0.0] * count
+    base = max(1, count // 4)
+    if ramp_s > 0 and count > base:
+        span = count - base
+        for i in range(base, count):
+            starts[i] = ramp_s * (i - base + 1) / span
     return [TenantSpec(tenant_id=f"tenant-{i:05d}", cameras=cameras,
                        ips_per_camera=ips_per_camera,
                        slo_accuracy=tiers[i % len(tiers)],
                        deviation=deviation,
-                       deviation_interval_s=deviation_interval_s)
+                       deviation_interval_s=deviation_interval_s,
+                       start_s=starts[i])
             for i in range(count)]
 
 
@@ -155,9 +197,75 @@ class WorkloadRouter:
             return self._assign_hash(stranded, survivors)
         loads = {s.server_id: 0.0 for s in survivors}
         for tid, sid in assignment.items():
-            if sid not in dead:
+            # ``servers`` may differ from the assignment's original pool
+            # (servers added by the autoscaler, or retired ones still in
+            # the assignment map): only live pool members carry load.
+            if sid in loads:
                 loads[sid] += by_id[tid].nominal_ips
         return self._assign_least_loaded(stranded, survivors, loads)
+
+    def rebalance_additions(self, tenants, assignment, servers,
+                            added) -> dict:
+        """Minimal-movement rebalance onto servers added mid-campaign.
+
+        ``reroute`` only re-homes tenants stranded by a *death* — a
+        server *added* to the pool (autoscaler scale-up) would never
+        receive a tenant without this. ``servers`` is the full live pool
+        (old and new), ``added`` the newly provisioned server ids.
+        Returns ``{tenant_id: new_server_id}`` for moved tenants only;
+        every move lands on an added server, so incumbents never shuffle
+        among themselves.
+
+        * ``hash`` — the ring is recomputed with the grown pool; the
+          consistent-hash property means exactly the tenants whose ring
+          point now maps to an added vnode move (≈ ``|added| / |pool|``
+          of them), everyone else keeps their server.
+        * ``least-loaded`` — greedy makespan relief: repeatedly move the
+          tenant with the largest strict improvement from a loaded
+          incumbent to the lightest qualified added server, until no
+          move strictly improves. Deterministic total order (gain, then
+          tenant weight, then ids).
+        """
+        self._check_servers(servers)
+        added = set(added)
+        if not added or not assignment:
+            return {}
+        by_id = {t.tenant_id: t for t in tenants}
+        if self.policy == "hash":
+            full = self._assign_hash(
+                [by_id[tid] for tid in sorted(assignment)], servers)
+            return {tid: sid for tid, sid in full.items()
+                    if sid in added and assignment[tid] != sid}
+        loads = {s.server_id: 0.0 for s in servers}
+        for tid, sid in assignment.items():
+            if sid in loads:
+                loads[sid] += by_id[tid].nominal_ips
+        current = dict(assignment)
+        moves: dict = {}
+        while True:
+            best = None
+            for tid in sorted(current):
+                sid = current[tid]
+                if sid in added or sid not in loads:
+                    continue
+                t = by_id[tid]
+                allowed = {s.server_id
+                           for s in self._qualified(t, servers)}
+                for dst in sorted(added & allowed):
+                    gain = loads[sid] - (loads[dst] + t.nominal_ips)
+                    if gain <= 1e-12:
+                        continue
+                    key = (gain, t.nominal_ips, tid, -dst)
+                    if best is None or key > best[0]:
+                        best = (key, tid, sid, dst)
+            if best is None:
+                return moves
+            _, tid, src, dst = best
+            w = by_id[tid].nominal_ips
+            loads[src] -= w
+            loads[dst] += w
+            current[tid] = dst
+            moves[tid] = dst
 
     # ------------------------------------------------------------------
     # disciplines

@@ -139,6 +139,7 @@ class RuntimeManager:
         self.reconfig_model = reconfig_model
         self._reference_accuracy = library.best_accuracy()
         self._selection_index: _SelectionIndex | None = None
+        self._floor_indexes: dict[float, _SelectionIndex] = {}
         self._policy_table = None  # set by compile_policy_table()
         self._table_spec = None  # (cells, extra_levels) once compiled
         self._no_reconfig_cache: dict[AcceleratorId, LibraryEntry | None] = {}
@@ -277,8 +278,14 @@ class RuntimeManager:
             if hit is not None:
                 return hit
             # off-grid / unsafe-cell query: answer from the index
+        return self._select_indexed(self._index(), workload_ips, current)
+
+    def _select_indexed(self, idx: _SelectionIndex, workload_ips: float,
+                        current: LibraryEntry | None) -> LibraryEntry:
+        """The searchsorted-plus-tie-group scan behind :meth:`select`,
+        parameterized over the index (and thus the accuracy floor) so
+        :meth:`select_at` shares the exact decision function."""
         required = workload_ips * self.policy.headroom
-        idx = self._index()
         pos = int(idx.ips.searchsorted(required, side="left"))
         cur_accel = current.accelerator if current is not None else None
         model = self.reconfig_model
@@ -333,6 +340,54 @@ class RuntimeManager:
                 if best_bonus is None or key > best_bonus[0]:
                     best_bonus = (key, e)
         return (best_bonus or best_plain)[1]
+
+    def _index_at(self, min_accuracy: float) -> _SelectionIndex:
+        """A selection index for an explicit accuracy floor, cached per
+        floor and invalidated on library mutation (same discipline as
+        :meth:`_index`)."""
+        if min_accuracy == self.min_accuracy:
+            return self._index()
+        lib = self.library
+        idx = self._floor_indexes.get(min_accuracy)
+        if idx is None or idx.version != lib._version \
+                or idx.size != len(lib.entries):
+            idx = _SelectionIndex(lib, min_accuracy)
+            self._floor_indexes[min_accuracy] = idx
+        return idx
+
+    def select_at(self, min_accuracy: float, workload_ips: float,
+                  current: LibraryEntry | None = None) -> LibraryEntry:
+        """:meth:`select` against an explicit accuracy floor.
+
+        The brownout degradation ladder (``ServerConfig.brownout_levels``)
+        steps a server's floor down under queue pressure without mutating
+        the shared policy — mutation would leak one server's pressure
+        into every other server of its SLO tier and break worker-count
+        invariance. A floor equal to :attr:`min_accuracy` answers through
+        :meth:`select` (including any installed fast-select closure);
+        other floors answer from the compiled table's extra accuracy
+        levels when present (:meth:`PolicyTable.lookup_at
+        <repro.runtime.policytable.PolicyTable.lookup_at>`), else from a
+        per-floor cached index — both exactly equivalent to rebuilding
+        the manager with the shifted policy.
+        """
+        if workload_ips < 0:
+            raise ValueError("workload must be >= 0")
+        if min_accuracy == self.min_accuracy:
+            return self.select(workload_ips, current)
+        spec = self._table_spec
+        if spec is not None:
+            table = self._policy_table
+            lib = self.library
+            if table is None or table.version != lib._version \
+                    or table.size != len(lib.entries) \
+                    or table.policy is not self.policy:
+                table = self.compile_policy_table(*spec)
+            hit = table.lookup_at(min_accuracy, workload_ips, current)
+            if hit is not None:
+                return hit
+        return self._select_indexed(self._index_at(min_accuracy),
+                                    workload_ips, current)
 
     def select_without_reconfig(self, current: LibraryEntry | None):
         """Best entry reachable without swapping the loaded bitstream.

@@ -1,5 +1,8 @@
-"""Correlated-fault chaos suite: rack loss, thundering herds, and the
-coordinator's capacity-cap invariant under hypothesis."""
+"""Correlated-fault chaos suite: rack loss, thundering herds, the
+request-conservation ledger under hypothesis, and the coordinator's
+capacity-cap invariant."""
+
+import functools
 
 import pytest
 from hypothesis import given, settings
@@ -7,9 +10,12 @@ from hypothesis import strategies as st
 
 from repro.edge.cameras import CameraFleet
 from repro.fleet import (FLEET_FAULT_PRESETS, CoordinationError,
-                         FleetConfig, FleetFaultPlan, FleetFaultSpec,
-                         ReconfigCoordinator, make_tenants,
-                         max_concurrent_swaps, simulate_fleet)
+                         ElasticConfig, FleetConfig, FleetFaultPlan,
+                         FleetFaultSpec, ReconfigCoordinator,
+                         make_tenants, max_concurrent_swaps,
+                         simulate_fleet)
+from repro.runtime import FaultPlan, Library
+from tests.conftest import make_entry
 
 
 def chaos_config(**kw):
@@ -135,6 +141,91 @@ class TestThunderingHerd:
         assert result.fleet.herd_delayed == 0
         assert result.fleet.total_requests + result.fleet.failover_dropped \
             == generated(tenants, cfg, 3)
+
+
+@functools.lru_cache(maxsize=1)
+def _chaos_library():
+    """Module-level twin of the ``fleet_library`` fixture: hypothesis
+    properties cannot take function-scoped fixtures, so the same
+    hand-built ladder is cached here once per process."""
+    lib = Library(metadata={"dataset": "fleet-toy"})
+    grid = [(0.0, 0.90, 400.0), (0.3, 0.86, 700.0), (0.6, 0.80, 1000.0)]
+    for rate, acc, ips in grid:
+        for ct, dacc, dips in [(0.2, -0.04, +200.0),
+                               (0.5, -0.02, +100.0),
+                               (0.8, 0.0, 0.0)]:
+            lib.add(make_entry(rate=rate, ct=ct, acc=acc + dacc,
+                               ips=ips + dips))
+        lib.add(make_entry(rate=rate, ct=1.0, acc=acc - 0.01,
+                           ips=ips - 50.0, variant="backbone"))
+    return lib
+
+
+class TestConservationProperty:
+    """Every generated request is accounted for — served by some server
+    or recorded ``failover_dropped`` — across the whole fault surface:
+    rack-loss count x herd/drop mode x kill time x seeds, in both the
+    fixed-fleet and the elastic control plane."""
+
+    @given(racks_lost=st.integers(0, 2),
+           herd=st.booleans(),
+           kill=st.floats(0.5, 3.5),
+           seed=st.integers(0, 3),
+           fault_seed=st.integers(0, 3),
+           elastic=st.booleans())
+    @settings(max_examples=25, deadline=None)
+    def test_ledger_conserves_requests(self, racks_lost, herd, kill,
+                                       seed, fault_seed, elastic):
+        cfg = chaos_config(duration_s=4.0)
+        tenants = chaos_tenants(8)
+        spec = FleetFaultSpec(racks_lost=racks_lost, kill_time_s=kill,
+                              herd=herd) if racks_lost else None
+        ecfg = ElasticConfig(min_servers=1, max_servers=6,
+                             cooldown_s=2.0) if elastic else None
+        result = simulate_fleet(_chaos_library(), tenants, cfg,
+                                seed=seed, faults=spec,
+                                fault_seed=fault_seed, elastic=ecfg)
+        total = sum(len(t.arrival_times(cfg.duration_s, seed=(seed, i)))
+                    for i, t in enumerate(tenants))
+        fleet = result.fleet
+        assert fleet.total_requests + fleet.failover_dropped == total
+        if spec is None:
+            assert fleet.failover_dropped == 0
+        if elastic:  # planned migrations never drop a frame
+            assert all(m.dropped == 0 for m in result.migrations
+                       if m.reason != "failover")
+
+    def test_conservation_holds_under_the_spike_overlay(self,
+                                                        fleet_library):
+        """``fleet-chaos`` adds per-server arrival spikes on top of the
+        tenant streams; the ledger must balance against generated plus
+        the recomputed spike injections, exactly."""
+        cfg = chaos_config(num_servers=6, rack_size=2)
+        tenants = chaos_tenants()
+        spec = FleetFaultSpec.parse("fleet-chaos,kill_time_s=2.0")
+        seed, fault_seed = 3, 1
+        result = simulate_fleet(fleet_library, tenants, cfg, seed=seed,
+                                faults=spec, fault_seed=fault_seed)
+        base = sum(len(t.arrival_times(cfg.duration_s, seed=(seed, i)))
+                   for i, t in enumerate(tenants))
+        # Re-derive each server's spike injections from first
+        # principles: the overlay draws from the shard's nominal load
+        # (initial assignment only) over the shard's lifetime.
+        nominal = {sid: 0.0 for sid in range(cfg.num_servers)}
+        for t in tenants:
+            nominal[result.assignment[t.tenant_id]] += t.nominal_ips
+        spikes = 0
+        for sid in range(cfg.num_servers):
+            plan = FaultPlan(
+                spec.server_faults,
+                seed=(fault_seed, seed + 1_000_003 * (sid + 1)))
+            spikes += len(plan.spike_arrivals(
+                result.dead_servers.get(sid, cfg.duration_s),
+                nominal[sid]))
+        assert spikes > 0
+        fleet = result.fleet
+        assert fleet.total_requests + fleet.failover_dropped \
+            == base + spikes
 
 
 class TestFleetChaosPreset:

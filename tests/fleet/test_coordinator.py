@@ -52,6 +52,22 @@ class TestSchedule:
         with pytest.raises(CoordinationError, match="cannot stagger"):
             coord.schedule(32)
 
+    def test_refusal_names_the_offending_layout(self):
+        """The error is actionable: it names the slot width, the
+        deficit, the wave layout and the remedy — not just 'infeasible'."""
+        coord = ReconfigCoordinator(1 / 8, 1.0, 0.145)
+        with pytest.raises(CoordinationError) as exc:
+            coord.schedule(8)
+        msg = str(exc.value)
+        assert "8 servers" in msg
+        assert "capacity fraction 0.125" in msg
+        assert "cap 1 concurrent" in msg
+        assert "8 waves" in msg
+        assert "0.1250s slot" in msg
+        assert "0.0200s short" in msg
+        assert "0.1450s swap window" in msg
+        assert "raise capacity_fraction or decision_interval_s" in msg
+
     def test_longer_interval_restores_feasibility(self):
         coord = ReconfigCoordinator(1 / 32, 8.0, 0.145)
         sched = coord.schedule(32)

@@ -1,0 +1,313 @@
+"""Elastic control plane: autoscaler, phi-accrual health checks, and
+no-drop live migration."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.fleet import (ElasticConfig, FleetConfig, FleetFaultSpec,
+                         PhiAccrualDetector, make_tenants, simulate_fleet)
+
+
+def elastic_config(**kw):
+    defaults = dict(min_servers=1, max_servers=6, cooldown_s=2.0,
+                    startup_delay_s=1.0, scale_up_utilization=0.7,
+                    scale_down_utilization=0.2, target_utilization=0.5)
+    defaults.update(kw)
+    return ElasticConfig(**defaults)
+
+
+def fleet_config(**kw):
+    defaults = dict(num_servers=2, rack_size=2, duration_s=12.0,
+                    router="least-loaded")
+    defaults.update(kw)
+    return FleetConfig(**defaults)
+
+
+def ramp_tenants(count=32, ips=10.0, ramp_s=6.0):
+    return make_tenants(count, cameras=4, ips_per_camera=ips,
+                        ramp_s=ramp_s)
+
+
+def generated(tenants, cfg, seed):
+    return sum(len(t.arrival_times(cfg.duration_s, seed=(seed, i)))
+               for i, t in enumerate(tenants))
+
+
+class TestElasticConfig:
+    def test_defaults_are_valid(self):
+        ElasticConfig()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="min_servers"):
+            ElasticConfig(min_servers=0)
+        with pytest.raises(ValueError, match="max_servers"):
+            ElasticConfig(min_servers=4, max_servers=2)
+        with pytest.raises(ValueError, match="scale_down"):
+            ElasticConfig(scale_down_utilization=0.9)
+        with pytest.raises(ValueError, match="ewma_alpha"):
+            ElasticConfig(ewma_alpha=0.0)
+        with pytest.raises(ValueError, match="delays"):
+            ElasticConfig(cooldown_s=-1.0)
+        with pytest.raises(ValueError, match="overload_utilization"):
+            ElasticConfig(overload_utilization=0.5)
+        with pytest.raises(ValueError, match="overload_ticks"):
+            ElasticConfig(overload_ticks=0)
+        with pytest.raises(ValueError, match="phi_threshold"):
+            ElasticConfig(phi_threshold=0.0)
+        with pytest.raises(ValueError, match="heartbeat_interval_s"):
+            ElasticConfig(heartbeat_interval_s=0.0)
+        with pytest.raises(ValueError, match="heartbeat_jitter"):
+            ElasticConfig(heartbeat_jitter=1.0)
+
+    def test_parse_roundtrip(self):
+        spec = ElasticConfig.parse(
+            "max_servers=12,scale_up_utilization=0.9,overload_ticks=5")
+        assert spec.max_servers == 12
+        assert spec.scale_up_utilization == 0.9
+        assert spec.overload_ticks == 5
+        assert ElasticConfig.parse("") == ElasticConfig()
+        with pytest.raises(ValueError, match="unknown elastic parameter"):
+            ElasticConfig.parse("turbo=1")
+        with pytest.raises(ValueError, match="unknown elastic parameter"):
+            ElasticConfig.parse("just-a-token")
+
+
+class TestPhiAccrualDetector:
+    def test_detection_delay_is_seeded_and_deterministic(self):
+        cfg = ElasticConfig(phi_threshold=8.0, heartbeat_interval_s=0.1)
+        a = PhiAccrualDetector(cfg, seed=(1, 2), num_servers=8)
+        b = PhiAccrualDetector(cfg, seed=(1, 2), num_servers=8)
+        c = PhiAccrualDetector(cfg, seed=(1, 3), num_servers=8)
+        assert np.array_equal(a.mean_interval_s, b.mean_interval_s)
+        assert not np.array_equal(a.mean_interval_s, c.mean_interval_s)
+
+    def test_phi_crosses_threshold_exactly_at_detection_delay(self):
+        cfg = ElasticConfig(phi_threshold=8.0)
+        det = PhiAccrualDetector(cfg, seed=0, num_servers=4)
+        for sid in range(4):
+            delay = det.detection_delay_s(sid)
+            assert det.phi(sid, delay) == pytest.approx(8.0)
+            assert det.phi(sid, delay / 2) < 8.0
+            assert det.phi(sid, 0.0) == 0.0
+
+    def test_jitter_spreads_detection_latencies(self):
+        cfg = ElasticConfig(heartbeat_jitter=0.2)
+        det = PhiAccrualDetector(cfg, seed=0, num_servers=16)
+        delays = [det.detection_delay_s(s) for s in range(16)]
+        assert len(set(delays)) > 1  # servers do not detect in lockstep
+        base = cfg.phi_threshold * cfg.heartbeat_interval_s * np.log(10)
+        assert all(0.8 * base <= d <= 1.2 * base + 1e-12 for d in delays)
+
+
+class TestAutoscaler:
+    def test_load_ramp_triggers_scale_up(self, fleet_library):
+        cfg = fleet_config(duration_s=16.0)
+        res = simulate_fleet(fleet_library, ramp_tenants(48, ramp_s=8.0),
+                             cfg, seed=0, elastic=elastic_config())
+        assert res.fleet.autoscale_ups >= 1
+        ups = [e for e in res.scale_events if e.action == "up"]
+        assert all(e.fleet_utilization >= 0.7 for e in ups)
+        # The scaled-up server actually served migrated streams.
+        added = {e.server_id for e in ups}
+        served = {r.server_id: r.metrics.total_requests
+                  for r in res.servers}
+        assert any(served.get(sid, 0) > 0 for sid in added)
+
+    def test_slack_triggers_scale_down_and_frees_server_seconds(
+            self, fleet_library):
+        cfg = fleet_config(num_servers=4, duration_s=12.0)
+        tenants = make_tenants(8, cameras=1, ips_per_camera=2.0)
+        res = simulate_fleet(fleet_library, tenants, cfg, seed=0,
+                             elastic=elastic_config(min_servers=1,
+                                                    max_servers=4))
+        assert res.fleet.autoscale_downs >= 1
+        static_seconds = 4 * cfg.duration_s
+        assert res.fleet.server_seconds < static_seconds
+        # Drains are planned migrations: nothing dropped.
+        assert res.fleet.failover_dropped == 0
+        assert res.fleet.total_requests == generated(tenants, cfg, 0)
+
+    def test_cooldown_spaces_scaling_actions(self, fleet_library):
+        cfg = fleet_config(duration_s=16.0)
+        ecfg = elastic_config(cooldown_s=3.0)
+        res = simulate_fleet(fleet_library, ramp_tenants(48, ramp_s=8.0),
+                             cfg, seed=0, elastic=ecfg)
+        times = [e.at_s for e in res.scale_events]
+        assert all(b - a >= ecfg.cooldown_s - 1e-9
+                   for a, b in zip(times, times[1:]))
+
+    def test_fleet_never_leaves_the_envelope(self, fleet_library):
+        cfg = fleet_config(duration_s=16.0)
+        ecfg = elastic_config(min_servers=1, max_servers=3)
+        res = simulate_fleet(fleet_library, ramp_tenants(48, ramp_s=8.0),
+                             cfg, seed=0, elastic=ecfg)
+        assert all(ecfg.min_servers <= n <= ecfg.max_servers
+                   for _, n, _ in res.utilization)
+
+    def test_envelope_validation(self, fleet_library):
+        with pytest.raises(ValueError, match="max_servers"):
+            simulate_fleet(fleet_library, ramp_tenants(4),
+                           fleet_config(num_servers=8),
+                           elastic=elastic_config(max_servers=4))
+        with pytest.raises(ValueError, match="min_servers"):
+            simulate_fleet(fleet_library, ramp_tenants(4),
+                           fleet_config(num_servers=2),
+                           elastic=elastic_config(min_servers=3))
+
+
+class TestLiveMigration:
+    def test_planned_migrations_drop_nothing(self, fleet_library):
+        cfg = fleet_config(duration_s=16.0)
+        tenants = ramp_tenants(48, ramp_s=8.0)
+        res = simulate_fleet(fleet_library, tenants, cfg, seed=0,
+                             elastic=elastic_config())
+        planned = [e for e in res.migrations if e.planned]
+        assert planned  # scale-ups rebalanced streams
+        assert all(e.dropped == 0 for e in planned)
+        assert res.fleet.failover_dropped == 0
+        assert res.fleet.total_requests == generated(tenants, cfg, 0)
+
+    def test_migration_ledger_matches_metrics(self, fleet_library):
+        cfg = fleet_config(duration_s=16.0)
+        res = simulate_fleet(fleet_library, ramp_tenants(48, ramp_s=8.0),
+                             cfg, seed=0, elastic=elastic_config())
+        planned = [e for e in res.migrations if e.planned]
+        assert res.fleet.migrations == len(planned)
+        assert res.fleet.migration_delayed \
+            == sum(e.delayed for e in planned)
+        assert res.fleet.autoscale_ups + res.fleet.autoscale_downs \
+            == len(res.scale_events)
+
+    def test_sustained_overload_migrates_tenants_away(self, fleet_library):
+        # Two fixed servers, hash placement skews the load (7/5 split):
+        # after overload_ticks consecutive hot ticks the hot server's
+        # tenants spread to the cold one.
+        cfg = fleet_config(num_servers=2, duration_s=12.0, router="hash")
+        ecfg = ElasticConfig(min_servers=2, max_servers=2,
+                             cooldown_s=2.0,
+                             scale_up_utilization=0.95,
+                             scale_down_utilization=0.2,
+                             target_utilization=0.8,
+                             overload_utilization=1.0,
+                             overload_ticks=2)
+        tenants = make_tenants(12, cameras=4, ips_per_camera=50.0)
+        res = simulate_fleet(fleet_library, tenants, cfg, seed=0,
+                             elastic=ecfg)
+        moved = [e for e in res.migrations if e.reason == "overload"]
+        assert moved
+        assert all(e.dropped == 0 for e in moved)
+        srcs = {e.src for e in moved}
+        loads = {sid: sum(1 for v in res.assignment.values() if v == sid)
+                 for sid in (0, 1)}
+        assert srcs == {max(loads, key=loads.get)}  # off the hot server
+
+    def test_failover_under_elastic_conserves(self, fleet_library):
+        # Pin the envelope to the initial fleet: no scale-down can
+        # drain the doomed rack first, so the phi detector must do the
+        # rescue itself.
+        cfg = fleet_config(num_servers=4, rack_size=2, duration_s=12.0)
+        tenants = ramp_tenants(24, ramp_s=4.0)
+        for herd in (True, False):
+            spec = FleetFaultSpec(racks_lost=1, kill_time_s=5.0,
+                                  herd=herd)
+            res = simulate_fleet(fleet_library, tenants, cfg, seed=0,
+                                 faults=spec, fault_seed=2,
+                                 elastic=elastic_config(min_servers=4,
+                                                        max_servers=4))
+            assert res.fleet.total_requests + res.fleet.failover_dropped \
+                == generated(tenants, cfg, 0)
+            fails = [e for e in res.migrations if e.reason == "failover"]
+            assert fails  # the detector caught the rack loss
+            if herd:
+                assert res.fleet.herd_delayed >= 0
+            else:
+                assert all(e.delayed == 0 for e in fails)
+
+    def test_detection_lag_delays_failover_past_the_kill(self,
+                                                         fleet_library):
+        cfg = fleet_config(num_servers=4, rack_size=2, duration_s=12.0)
+        spec = FleetFaultSpec(racks_lost=1, kill_time_s=5.0)
+        res = simulate_fleet(fleet_library, ramp_tenants(24), cfg,
+                             seed=0, faults=spec, fault_seed=2,
+                             elastic=elastic_config(min_servers=4,
+                                                    max_servers=4))
+        fails = [e for e in res.migrations if e.reason == "failover"]
+        assert fails
+        # Failover happens at a decision tick at or after detection,
+        # which is strictly after the kill instant.
+        assert all(e.at_s > 5.0 for e in fails)
+
+
+class TestElasticDeterminism:
+    def test_worker_invariance(self, fleet_library):
+        cfg = fleet_config(duration_s=16.0)
+        tenants = ramp_tenants(48, ramp_s=8.0)
+        runs = [simulate_fleet(fleet_library, tenants, cfg, seed=0,
+                               elastic=elastic_config(), workers=w)
+                for w in (1, 2, 4)]
+        assert runs[0].fleet == runs[1].fleet == runs[2].fleet
+        assert runs[0].servers == runs[1].servers == runs[2].servers
+        assert runs[0].migrations == runs[1].migrations \
+            == runs[2].migrations
+        assert runs[0].scale_events == runs[1].scale_events \
+            == runs[2].scale_events
+
+    def test_worker_invariance_under_faults(self, fleet_library):
+        cfg = fleet_config(num_servers=4, rack_size=2, duration_s=12.0)
+        spec = FleetFaultSpec.parse("thundering-herd,kill_time_s=5.0")
+        tenants = ramp_tenants(24, ramp_s=4.0)
+        runs = [simulate_fleet(fleet_library, tenants, cfg, seed=0,
+                               faults=spec, fault_seed=2,
+                               elastic=elastic_config(min_servers=2),
+                               workers=w) for w in (1, 3)]
+        assert runs[0].fleet == runs[1].fleet
+        assert runs[0].migrations == runs[1].migrations
+
+    def test_seed_sensitivity(self, fleet_library):
+        cfg = fleet_config(duration_s=16.0)
+        tenants = ramp_tenants(48, ramp_s=8.0)
+        a = simulate_fleet(fleet_library, tenants, cfg, seed=0,
+                           elastic=elastic_config())
+        b = simulate_fleet(fleet_library, tenants, cfg, seed=1,
+                           elastic=elastic_config())
+        assert a.fleet != b.fleet
+
+    def test_migration_events_serialize(self, fleet_library):
+        cfg = fleet_config(duration_s=16.0)
+        res = simulate_fleet(fleet_library, ramp_tenants(48, ramp_s=8.0),
+                             cfg, seed=0, elastic=elastic_config())
+        for ev in res.migrations + res.scale_events:
+            d = dataclasses.asdict(ev)
+            assert d  # asdict-able for the golden fixture
+
+
+class TestElasticEconomy:
+    """The acceptance floor: the autoscaler meets the static-max fleet's
+    SLO-violation rate with measurably fewer server-seconds."""
+
+    def test_elastic_matches_static_max_slo_with_fewer_server_seconds(
+            self, fleet_library):
+        cfg = fleet_config(duration_s=16.0)
+        ecfg = elastic_config(min_servers=2, max_servers=6)
+        tenants = ramp_tenants(48, ramp_s=8.0)
+        elastic = simulate_fleet(fleet_library, tenants, cfg, seed=0,
+                                 elastic=ecfg)
+        static_max = simulate_fleet(
+            fleet_library, tenants,
+            fleet_config(num_servers=ecfg.max_servers, duration_s=16.0),
+            seed=0)
+        assert elastic.fleet.slo_violations \
+            <= static_max.fleet.slo_violations
+        assert elastic.fleet.server_seconds \
+            < 0.8 * static_max.fleet.server_seconds
+
+    def test_elastic_beats_static_min_on_loss(self, fleet_library):
+        cfg = fleet_config(duration_s=16.0)
+        tenants = ramp_tenants(48, ramp_s=8.0)
+        elastic = simulate_fleet(fleet_library, tenants, cfg, seed=0,
+                                 elastic=elastic_config(min_servers=2))
+        static_min = simulate_fleet(fleet_library, tenants, cfg, seed=0)
+        assert elastic.fleet.inference_loss \
+            < static_min.fleet.inference_loss

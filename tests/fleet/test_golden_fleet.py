@@ -23,12 +23,14 @@ from pathlib import Path
 
 import pytest
 
-from repro.fleet import FleetConfig, FleetFaultSpec, make_tenants, \
-    simulate_fleet
+from repro.fleet import ElasticConfig, FleetConfig, FleetFaultSpec, \
+    make_tenants, simulate_fleet
 from tests.test_golden_trace import _assert_matches
 
 FIXTURE = Path(__file__).parent.parent / "fixtures" \
     / "golden_fleet_trace.json"
+ELASTIC_FIXTURE = Path(__file__).parent.parent / "fixtures" \
+    / "golden_fleet_elastic.json"
 
 #: Campaign conditions pinned by the fixture.
 GOLDEN_SEED = 0
@@ -38,6 +40,18 @@ GOLDEN_CONFIG = dict(num_servers=4, rack_size=2, duration_s=6.0,
 GOLDEN_TENANTS = dict(count=8, cameras=2, ips_per_camera=15.0,
                       slo_tiers=(0.0, 0.80))
 GOLDEN_FAULTS = "rack-loss,kill_time_s=3.0"
+
+#: Canonical elastic campaign pinned by the second fixture: a load ramp
+#: the autoscaler must chase, brownout armed, scale-down slack at the
+#: start — the whole control plane exercised in one small trace.
+GOLDEN_ELASTIC_CONFIG = dict(num_servers=2, rack_size=2, duration_s=10.0,
+                             router="least-loaded",
+                             brownout_levels=(0.02, 0.05))
+GOLDEN_ELASTIC_TENANTS = dict(count=16, cameras=2, ips_per_camera=12.0,
+                              ramp_s=5.0)
+GOLDEN_ELASTIC = dict(min_servers=1, max_servers=6, cooldown_s=2.0,
+                      startup_delay_s=1.0, scale_up_utilization=0.7,
+                      scale_down_utilization=0.2, target_utilization=0.5)
 
 
 def _campaign_payload(result) -> dict:
@@ -113,3 +127,54 @@ class TestGoldenFleetTrace:
         chaos = expected["rack_loss"]
         assert len(chaos["dead_servers"]) == 2  # one rack of two
         assert chaos["reroutes"]  # stranded tenants were re-homed
+
+
+def _elastic_payload(quick_library) -> dict:
+    config = FleetConfig(**GOLDEN_ELASTIC_CONFIG)
+    tenants = make_tenants(GOLDEN_ELASTIC_TENANTS["count"],
+                           cameras=GOLDEN_ELASTIC_TENANTS["cameras"],
+                           ips_per_camera=GOLDEN_ELASTIC_TENANTS[
+                               "ips_per_camera"],
+                           ramp_s=GOLDEN_ELASTIC_TENANTS["ramp_s"])
+    result = simulate_fleet(quick_library, tenants, config,
+                            seed=GOLDEN_SEED,
+                            elastic=ElasticConfig(**GOLDEN_ELASTIC))
+    payload = _campaign_payload(result)
+    payload["migrations"] = [dataclasses.asdict(e)
+                             for e in result.migrations]
+    payload["scale_events"] = [dataclasses.asdict(e)
+                               for e in result.scale_events]
+    payload["utilization"] = [list(u) for u in result.utilization]
+    payload["lifetimes"] = {str(k): list(v)
+                            for k, v in sorted(result.lifetimes.items())}
+    return payload
+
+
+class TestGoldenElasticTrace:
+    """The canonical elastic campaign, frozen field by field."""
+
+    def test_fixture_exists(self):
+        if os.environ.get("REPRO_REGEN_GOLDEN"):
+            pytest.skip("regenerating")
+        assert ELASTIC_FIXTURE.exists(), (
+            "golden elastic fixture missing; regenerate with "
+            "REPRO_REGEN_GOLDEN=1")
+
+    def test_campaign_matches_fixture(self, quick_library):
+        payload = _elastic_payload(quick_library)
+        if os.environ.get("REPRO_REGEN_GOLDEN"):
+            ELASTIC_FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+            ELASTIC_FIXTURE.write_text(json.dumps(payload, indent=1,
+                                                  sort_keys=True))
+            pytest.skip("golden elastic fixture regenerated")
+        expected = json.loads(ELASTIC_FIXTURE.read_text())
+        _assert_matches(json.loads(json.dumps(payload)), expected)
+
+    def test_golden_elastic_actually_scaled(self):
+        expected = json.loads(ELASTIC_FIXTURE.read_text())
+        actions = {e["action"] for e in expected["scale_events"]}
+        assert actions, "elastic golden campaign never scaled"
+        planned = [m for m in expected["migrations"]
+                   if m["reason"] != "failover"]
+        assert planned, "elastic golden campaign never migrated"
+        assert all(m["dropped"] == 0 for m in planned)

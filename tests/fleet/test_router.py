@@ -138,3 +138,96 @@ class TestDeterminismAndValidation:
         assert spec.duration_s == 12.0
         assert t.nominal_ips == pytest.approx(15.0)
         assert spec.nominal_ips == pytest.approx(15.0)
+
+
+class TestRebalanceAdditions:
+    """Scale-up rebalancing: moves land only on added servers, never
+    shuffle incumbents among themselves, and respect SLO floors."""
+
+    @given(count=st.integers(1, 30), n=st.integers(1, 6),
+           grow=st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_hash_growth_is_minimal_movement(self, count, n, grow):
+        """Consistent hashing over the grown pool: the merged map equals
+        a fresh assignment, and every move targets an added server."""
+        tenants = make_tenants(count)
+        router = WorkloadRouter("hash")
+        assignment = router.assign(tenants, slots(n))
+        pool = slots(n + grow)
+        added = set(range(n, n + grow))
+        moves = router.rebalance_additions(tenants, assignment, pool,
+                                           added)
+        assert set(moves.values()) <= added
+        fresh = router.assign(tenants, pool)
+        assert {**assignment, **moves} == fresh
+
+    @given(count=st.integers(2, 24), n=st.integers(1, 4),
+           grow=st.integers(1, 3), seed=st.integers(0, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_least_loaded_growth_never_raises_the_peak(self, count, n,
+                                                       grow, seed):
+        tenants = make_tenants(count, cameras=1 + seed % 3,
+                               ips_per_camera=5.0 + seed)
+        router = WorkloadRouter("least-loaded")
+        assignment = router.assign(tenants, slots(n))
+        pool = slots(n + grow)
+        added = set(range(n, n + grow))
+        moves = router.rebalance_additions(tenants, assignment, pool,
+                                           added)
+        assert set(moves.values()) <= added
+
+        def peak(mapping):
+            loads = {s.server_id: 0.0 for s in pool}
+            for t in tenants:
+                loads[mapping[t.tenant_id]] += t.nominal_ips
+            return max(loads.values())
+
+        # The greedy only ever relieves a loaded incumbent, so the
+        # makespan can never get worse (though a tied second server may
+        # keep it flat).
+        merged = {**assignment, **moves}
+        assert peak(merged) <= peak(assignment) + 1e-9
+
+    def test_no_additions_or_empty_assignment_is_a_noop(self):
+        tenants = make_tenants(4)
+        router = WorkloadRouter("least-loaded")
+        assignment = router.assign(tenants, slots(2))
+        assert router.rebalance_additions(tenants, assignment,
+                                          slots(2), set()) == {}
+        assert router.rebalance_additions(tenants, {}, slots(3),
+                                          {2}) == {}
+
+    def test_added_server_must_qualify_for_the_slo(self):
+        """A strict-SLO tenant never migrates onto an added server whose
+        accuracy floor is below its requirement."""
+        tenants = [TenantSpec("strict", cameras=4, ips_per_camera=30.0,
+                              slo_accuracy=0.85),
+                   TenantSpec("loose", cameras=4, ips_per_camera=30.0)]
+        router = WorkloadRouter("least-loaded")
+        pool0 = [ServerSlot(0, 0.90)]
+        assignment = router.assign(tenants, pool0)
+        grown = [ServerSlot(0, 0.90), ServerSlot(1, 0.70)]
+        moves = router.rebalance_additions(tenants, assignment, grown,
+                                           {1})
+        assert moves == {"loose": 1}  # strict stays on the 0.90 floor
+
+    def test_stale_assignment_entries_are_tolerated(self):
+        """Retired servers linger in the assignment map mid-campaign;
+        reroute and rebalance must ignore them rather than crash."""
+        tenants = make_tenants(6)
+        router = WorkloadRouter("least-loaded")
+        pool = slots(3)
+        assignment = router.assign(tenants, pool)
+        # Server 2 retired: its slot is gone but the map still points
+        # there. A later death of server 0 must still re-home cleanly.
+        live = [s for s in pool if s.server_id != 2]
+        moved = router.reroute(tenants, assignment, live, {0})
+        stranded = {tid for tid, sid in assignment.items() if sid == 0}
+        assert set(moved) == stranded
+        assert set(moved.values()) <= {1}
+        grown = live + [ServerSlot(3)]
+        moves = router.rebalance_additions(tenants, assignment, grown,
+                                           {3})
+        assert set(moves.values()) <= {3}
+        # Tenants homed on the stale server are not eligible movers.
+        assert all(assignment[tid] != 2 for tid in moves)
