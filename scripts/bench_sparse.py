@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""Sparse compiled-engine benchmark: pruned-channel GEMM compaction.
+
+Measures, on a channel-masked CNV smoke model (width-scale 0.25 with the
+paper's two early exits, 50 % of channels pruned in ``mode="mask"``):
+
+1. **Correctness** — the sparse plan
+   (:func:`repro.ir.engine.compile_graph` with ``sparse=True``) on the
+   masked graph must be *bit-identical* to the dense plan of the
+   channel-sliced graph (:func:`repro.ir.passes.slice_channels` driven
+   by the :class:`~repro.pruning.pruner.PruneReport` keep sets) **and**
+   to the interpreted execution of that sliced graph — the
+   ``repro.ir.executors`` oracle. Against the dense plan of the *masked*
+   (unsliced) graph only ``allclose`` is required: compaction shrinks
+   the GEMM K dimension, which legally reorders the BLAS reduction.
+2. **Speedup** — the sparse plan's forward pass must be at least
+   ``REPRO_BENCH_MIN_SPARSE_SPEEDUP`` (default 1.3) times faster than
+   the dense plan on the same masked graph.
+3. **Zero-skip cycle model** — :func:`repro.finn.hls.zero_skip_factor`
+   must be monotone non-increasing in density and floored at
+   ``ZERO_SKIP_OVERHEAD``; a zero-skipping accelerator compiled from the
+   masked graph must need no more cycles per exit than the dense
+   datapath, and strictly fewer on the pruned layers.
+
+Writes ``BENCH_sparse.json`` (default: this directory; ``--out`` to
+redirect) with timings, compaction statistics and every check's verdict,
+and exits non-zero if any check fails — CI runs this as a
+perf-regression guard and archives the report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.finn import compile_accelerator                   # noqa: E402
+from repro.finn.hls import (                                 # noqa: E402
+    ZERO_SKIP_OVERHEAD, zero_skip_factor)
+from repro.ir import export_model, slice_channels, streamline  # noqa: E402
+from repro.models import CNVConfig, ExitsConfiguration, build_cnv  # noqa: E402
+from repro.pruning import prune_model                        # noqa: E402
+
+MIN_SPARSE_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPARSE_SPEEDUP",
+                                          "1.3"))
+PRUNE_RATE = 0.5
+
+
+def best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=str(Path(__file__).parent),
+                        help="directory for BENCH_sparse.json")
+    parser.add_argument("--batch", type=int, default=64,
+                        help="forward-pass batch size")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="repetitions per measurement (best-of)")
+    args = parser.parse_args(argv)
+
+    print(f"building CNV smoke model, masking {PRUNE_RATE:.0%} of "
+          "channels...")
+    model = build_cnv(CNVConfig(width_scale=0.25, seed=0),
+                      ExitsConfiguration.paper_default(pruned=True))
+    masked, prune_report = prune_model(model, PRUNE_RATE, mode="mask")
+
+    graph = export_model(masked)
+    streamline(graph)
+    keeps = {d.layer_name: list(d.keep) for d in prune_report.decisions}
+    sliced = slice_channels(graph, keeps)
+
+    dense_plan = graph.compile()
+    sparse_plan = graph.compile(sparse=True)
+    sliced_plan = sliced.compile()
+    stats = sparse_plan.stats()
+
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((args.batch, 3, 32, 32))
+
+    report = {
+        "batch": args.batch,
+        "repeats": args.repeats,
+        "prune_rate": PRUNE_RATE,
+        "achieved_channel_sparsity": prune_report.achieved_rate,
+        "min_sparse_speedup": MIN_SPARSE_SPEEDUP,
+        "plan_stats": stats,
+        "checks": {},
+    }
+    failures = []
+
+    def check(name: str, ok: bool, detail: str = "") -> None:
+        report["checks"][name] = {"ok": bool(ok), "detail": detail}
+        print(f"  [{'ok' if ok else 'FAIL'}] {name}" +
+              (f" — {detail}" if detail else ""))
+        if not ok:
+            failures.append(name)
+
+    # ------------------------------------------------------------------
+    # 1. correctness: sparse plan vs sliced-graph oracle
+    # ------------------------------------------------------------------
+    print("correctness (sparse plan vs slice_channels oracle)...")
+    check("channel_sparsity_at_least_half",
+          prune_report.achieved_rate >= 0.5,
+          f"achieved {prune_report.achieved_rate:.1%}")
+    check("plan_compacted",
+          stats.get("compacted_nodes", 0) > 0
+          and stats.get("dropped_channels", 0) > 0,
+          f"{stats.get('compacted_nodes')} nodes, "
+          f"{stats.get('dropped_channels')} channels dropped")
+
+    got = sparse_plan.run(x)
+    ref_sliced_plan = sliced_plan.run(x)
+    ref_sliced_interp = sliced.execute(x)
+    ref_dense = dense_plan.run(x)
+
+    check("bit_identical_to_sliced_plan",
+          len(got) == len(ref_sliced_plan) and
+          all(np.array_equal(a, b)
+              for a, b in zip(got, ref_sliced_plan)))
+    check("bit_identical_to_sliced_interpreter",
+          len(got) == len(ref_sliced_interp) and
+          all(np.array_equal(a, b)
+              for a, b in zip(got, ref_sliced_interp)))
+    max_delta = max(float(np.max(np.abs(a - b)))
+                    for a, b in zip(got, ref_dense))
+    report["dense_vs_sparse_max_delta"] = max_delta
+    check("allclose_to_dense_plan",
+          len(got) == len(ref_dense) and
+          all(np.allclose(a, b) for a, b in zip(got, ref_dense)),
+          f"max |delta| {max_delta:.3g}")
+
+    # ------------------------------------------------------------------
+    # 2. speedup: sparse vs dense plan on the same masked graph
+    # ------------------------------------------------------------------
+    print(f"forward-pass timing (batch {args.batch})...")
+    dense_s = best_of(lambda: dense_plan.run(x), args.repeats)
+    sparse_s = best_of(lambda: sparse_plan.run(x), args.repeats)
+    speedup = dense_s / sparse_s if sparse_s > 0 else float("inf")
+    report["dense_forward_s"] = dense_s
+    report["sparse_forward_s"] = sparse_s
+    report["sparse_speedup"] = speedup
+    print(f"  dense {dense_s * 1e3:.1f} ms, sparse {sparse_s * 1e3:.1f} ms")
+    check("sparse_speedup", speedup >= MIN_SPARSE_SPEEDUP,
+          f"{speedup:.2f}x (need >= {MIN_SPARSE_SPEEDUP}x)")
+
+    # ------------------------------------------------------------------
+    # 3. zero-skip cycle model: monotone in density, floored
+    # ------------------------------------------------------------------
+    print("zero-skip cycle model...")
+    densities = [round(0.05 * i, 2) for i in range(21)]
+    factors = [zero_skip_factor(d) for d in densities]
+    report["zero_skip_factors"] = dict(zip(map(str, densities), factors))
+    check("zero_skip_monotone",
+          all(a <= b for a, b in zip(factors, factors[1:])))
+    check("zero_skip_floor",
+          min(factors) == ZERO_SKIP_OVERHEAD
+          and zero_skip_factor(0.0) == ZERO_SKIP_OVERHEAD,
+          f"floor {min(factors)} (overhead {ZERO_SKIP_OVERHEAD})")
+    check("zero_skip_dense_is_free", zero_skip_factor(1.0) == 1.0)
+
+    accel_dense = compile_accelerator(graph, clock_mhz=100.0)
+    accel_skip = compile_accelerator(graph, clock_mhz=100.0, zero_skip=True)
+    exit_cycles_dense = [accel_dense.exit_cycles(i)
+                         for i in range(accel_dense.num_exits)]
+    exit_cycles_skip = [accel_skip.exit_cycles(i)
+                        for i in range(accel_skip.num_exits)]
+    report["exit_cycles_dense"] = exit_cycles_dense
+    report["exit_cycles_zero_skip"] = exit_cycles_skip
+    check("zero_skip_no_slower",
+          all(s <= d for s, d in zip(exit_cycles_skip, exit_cycles_dense)),
+          f"dense {exit_cycles_dense} vs zero-skip {exit_cycles_skip}")
+    check("zero_skip_strictly_faster_when_pruned",
+          all(s < d for s, d in zip(exit_cycles_skip, exit_cycles_dense)))
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out_path = out_dir / "BENCH_sparse.json"
+    with open(out_path, "w") as f:
+        json.dump(report, f, indent=1, sort_keys=True, default=float)
+    print(f"report written to {out_path}")
+
+    if failures:
+        print(f"FAILED checks: {failures}")
+        return 1
+    print("sparse benchmark passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

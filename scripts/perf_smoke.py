@@ -12,7 +12,11 @@ then checks the engine's contracts:
   (default 2x) faster than serial (skipped when fewer than 4 CPUs are
   available — there is nothing to speed up with);
 * the compiled inference engine produces **bit-identical** outputs to
-  the interpreted IR executors on the smoke model, and is not slower.
+  the interpreted IR executors on the smoke model, and is not slower;
+* the sparse compiled plan on a channel-masked smoke model compacts
+  pruned channels and stays **bit-identical** to the
+  :func:`~repro.ir.passes.slice_channels` oracle, and the zero-skip
+  cycle factor is monotone in density with its control-overhead floor.
 
 Writes a ``BENCH_perf_smoke.json`` timing report (next to this script by
 default; ``--out DIR`` to redirect) so CI can archive the trajectory.
@@ -283,6 +287,41 @@ def main(argv=None) -> int:
     report["engine_speedup"] = engine_speedup
     check("engine_not_slower", engine_speedup >= 1.0,
           f"{engine_speedup:.2f}x vs interpreted (need >= 1.0x)")
+
+    # ------------------------------------------------------------------
+    # 5b. sparse engine: bit-identical to the slice_channels oracle
+    # ------------------------------------------------------------------
+    print("sparse compiled engine vs slice_channels oracle...")
+    from repro.finn.hls import ZERO_SKIP_OVERHEAD, zero_skip_factor
+    from repro.ir import slice_channels
+    from repro.pruning import prune_model
+
+    masked, prune_report = prune_model(model, 0.5, mode="mask")
+    mgraph = export_model(masked)
+    streamline(mgraph)
+    sliced = slice_channels(
+        mgraph, {d.layer_name: list(d.keep) for d in prune_report.decisions})
+    sparse_plan = mgraph.compile(sparse=True)
+    sparse_stats = sparse_plan.stats()
+    got_sparse = sparse_plan.run(x)
+    ref_sliced = sliced.execute(x)
+    report["sparse_stats"] = {k: sparse_stats[k] for k in
+                              ("compacted_nodes", "dropped_channels")}
+    check("sparse_engine_compacts",
+          sparse_stats["compacted_nodes"] > 0
+          and sparse_stats["dropped_channels"] > 0,
+          f"{sparse_stats['compacted_nodes']} nodes, "
+          f"{sparse_stats['dropped_channels']} channels")
+    check("sparse_engine_bit_identical_to_oracle",
+          len(got_sparse) == len(ref_sliced) and
+          all(np.array_equal(a, b)
+              for a, b in zip(got_sparse, ref_sliced)))
+    factors = [zero_skip_factor(0.05 * i) for i in range(21)]
+    check("zero_skip_monotone_with_floor",
+          all(a <= b for a, b in zip(factors, factors[1:]))
+          and min(factors) == ZERO_SKIP_OVERHEAD
+          and zero_skip_factor(1.0) == 1.0,
+          f"floor {min(factors)}")
 
     # ------------------------------------------------------------------
     # report

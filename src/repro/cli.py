@@ -225,6 +225,18 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="N",
                      help="retries per design point on transient failures "
                           "(crash/timeout/divergence) before quarantine")
+    gen.add_argument("--precision", dest="precisions", metavar="P,P,...",
+                     help="comma-separated precision sweep, e.g. "
+                          "'base,int8': 'base' is the trained W2A2 model, "
+                          "'int8' adds a W8A8 post-training-quantized "
+                          "variant of every design point (DSP-packed in "
+                          "the resource model)")
+    gen.add_argument("--zero-skip", action="store_true",
+                     help="model zero-skipping MVTUs: stage cycles scale "
+                          "with weight non-zero density (floored by "
+                          "control overhead), so pruned/sparse layers "
+                          "get faster. Changes every cycle figure and "
+                          "the cache key")
     gen.add_argument("--compute-dtype", default="float64",
                      choices=["float64", "float32"],
                      help="NumPy compute precision: float64 (default, "
@@ -411,6 +423,12 @@ def _cmd_generate(args) -> int:
     config.compute_dtype = args.compute_dtype
     if args.rates:
         config.pruning_rates = args.rates
+    if args.precisions:
+        config.precisions = [p.strip() for p in args.precisions.split(",")
+                             if p.strip()]
+    if args.zero_skip:
+        config.zero_skip = True
+    config.__post_init__()  # re-validate after the overrides
     if args.resume:
         manifest = SweepManifest.open(
             Path(args.point_cache) / "manifest.json",

@@ -101,13 +101,16 @@ class SweepManifest:
     # mutation
     # ------------------------------------------------------------------
     def ensure(self, key: str, variant: str, pruned_exits: bool,
-               rate: float) -> None:
+               rate: float, precision: str = "base") -> None:
         """Register a point as ``pending`` if it has no record yet."""
         if key not in self.points:
-            self.points[key] = {"variant": variant,
-                                "pruned_exits": bool(pruned_exits),
-                                "rate": rate, "status": "pending",
-                                "failure": None}
+            rec = {"variant": variant,
+                   "pruned_exits": bool(pruned_exits),
+                   "rate": rate, "status": "pending",
+                   "failure": None}
+            if precision != "base":  # keep old manifests byte-compatible
+                rec["precision"] = precision
+            self.points[key] = rec
 
     def mark(self, key: str, status: str,
              failure: FailedPoint | None = None) -> None:

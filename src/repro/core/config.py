@@ -52,6 +52,15 @@ class AdaPExConfig:
     confidence_thresholds: list = field(default_factory=paper_threshold_sweep)
     include_not_pruned_exits: bool = True
     include_backbone_variant: bool = True  # no-exit models (FINN / PR-Only)
+    # Precision axis: each named precision multiplies the design space
+    # (pruning rate x precision x threshold). "base" is the trained
+    # QuantSpec (the paper's W2A2); any other name must appear in
+    # :data:`repro.nn.quant.PRECISION_SPECS` and is applied to the trained
+    # model by post-training quantization before characterization.
+    precisions: list = field(default_factory=lambda: ["base"])
+    # Model zero-skipping MVTUs (cycle counts scale with weight density,
+    # floored by control overhead) when compiling accelerators.
+    zero_skip: bool = False
 
     # -- training --------------------------------------------------------
     initial_training: TrainConfig = field(default_factory=lambda: TrainConfig(
@@ -98,6 +107,16 @@ class AdaPExConfig:
             raise ValueError(
                 f"sim_mode must be one of 'auto', 'event', 'vector', "
                 f"got {self.sim_mode!r}")
+        if not self.precisions:
+            raise ValueError("need at least one precision")
+        from ..nn.quant import PRECISION_SPECS
+        for p in self.precisions:
+            if p != "base" and p not in PRECISION_SPECS:
+                raise ValueError(
+                    f"unknown precision {p!r}: expected 'base' or one of "
+                    f"{sorted(PRECISION_SPECS)}")
+        if len(set(self.precisions)) != len(self.precisions):
+            raise ValueError("duplicate precisions")
 
     @property
     def np_dtype(self):
@@ -143,9 +162,32 @@ class AdaPExConfig:
         # policy existed.
         if self.compute_dtype != "float64":
             parts.append(self.compute_dtype)
+        # Same back-compat rule for the zero-skip axis: the default
+        # leaves keys untouched.
+        if self.zero_skip:
+            parts.append("zero_skip")
         if include_rate_sweep:
             parts.append(tuple(self.pruning_rates))
+            # Like the rate sweep, the precision sweep identifies the
+            # *library*, not a point: each point's own precision salts its
+            # PointCache key, so extending the sweep keeps old hits.
+            if list(self.precisions) != ["base"]:
+                parts.append(tuple(self.precisions))
         return parts
+
+    def precision_spec(self, precision: str) -> "QuantSpec | None":
+        """The :class:`QuantSpec` to PTQ-apply for a named precision.
+
+        ``None`` for ``"base"``: the trained model is used as-is.
+        """
+        if precision == "base":
+            return None
+        from ..nn.quant import PRECISION_SPECS
+
+        try:
+            return PRECISION_SPECS[precision]
+        except KeyError:
+            raise ValueError(f"unknown precision {precision!r}") from None
 
     @staticmethod
     def _digest(parts: list) -> str:

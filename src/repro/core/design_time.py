@@ -21,7 +21,8 @@ architecture) characterized through the FINN-like flow.
 Execution model
 ---------------
 The sweep is a flat list of independent design points ``(variant,
-pruned_exits, rate)``. With ``config.parallel_workers > 1`` the points
+pruned_exits, rate, precision)`` — the precision axis applies
+post-training quantization (e.g. INT8) on top of each pruned model. With ``config.parallel_workers > 1`` the points
 run on a process pool (:mod:`repro.core.parallel` — the work is NumPy
 Python loops that hold the GIL, so threads cannot help): the base models
 are trained once in the parent, their weights shipped to each worker via
@@ -47,6 +48,7 @@ from ..ir.export import export_model
 from ..ir.passes import streamline
 from ..models.cnv import CNVConfig, build_cnv
 from ..models.exits import ExitsConfiguration
+from ..nn.quant import post_training_quantize
 from ..nn.serialize import load_state_arrays, state_arrays
 from ..nn.shmstate import publish_state_arrays, receive_state_arrays
 from ..nn.trainer import Trainer, cascade_sweep, evaluate_exits
@@ -173,6 +175,7 @@ class LibraryGenerator:
     # characterization of one design point
     # ------------------------------------------------------------------
     def _characterize(self, ctx: _VariantContext, rate: float,
+                      precision: str = "base",
                       timer: PhaseTimer | None = None) -> list[LibraryEntry]:
         cfg = self.config
         timer = timer or PhaseTimer()
@@ -187,6 +190,12 @@ class LibraryGenerator:
             with timer.phase("retrain"):
                 Trainer(scaled, cfg.retraining).fit(train.images,
                                                     train.labels)
+        # Precision axis: re-quantize both twins after prune/retrain
+        # (PTQ — the latent weights are final by now).
+        spec = cfg.precision_spec(precision)
+        if spec is not None:
+            scaled = post_training_quantize(scaled, spec.weight_bits,
+                                            spec.act_bits)
         scaled.eval()
 
         # Hardware twin: prune (no training needed) + compile.
@@ -194,11 +203,14 @@ class LibraryGenerator:
             hw, hw_report = prune_model(ctx.hw_base, rate,
                                         constraints=ctx.hw_constraints,
                                         prune_exits=ctx.pruned_exits)
+        if spec is not None:
+            hw = post_training_quantize(hw, spec.weight_bits, spec.act_bits)
         with timer.phase("compile"):
             graph = export_model(hw)
             streamline(graph)
             accel = compile_accelerator(graph, ctx.folding,
-                                        clock_mhz=cfg.clock_mhz)
+                                        clock_mhz=cfg.clock_mhz,
+                                        zero_skip=cfg.zero_skip)
             resources = accel.resources()
             cfg.device.check(resources)
             perf = PerformanceModel(accel)
@@ -206,7 +218,8 @@ class LibraryGenerator:
 
         accel_id = AcceleratorId(pruning_rate=rate,
                                  pruned_exits=ctx.pruned_exits,
-                                 variant=ctx.variant)
+                                 variant=ctx.variant,
+                                 precision=precision)
 
         with timer.phase("characterize"):
             # Accuracy measurement runs on the compiled engine: export
@@ -247,11 +260,15 @@ class LibraryGenerator:
                     exit_latencies_s=tuple(latencies),
                     resources={"lut": resources.lut, "ff": resources.ff,
                                "bram18": resources.bram18},
-                    extra={
-                        "requested_rate": rate,
-                        "hw_achieved_rate": hw_report.achieved_rate,
-                        "params": scaled.param_count(),
-                    },
+                    extra=dict(
+                        {"requested_rate": rate,
+                         "hw_achieved_rate": hw_report.achieved_rate,
+                         "params": scaled.param_count()},
+                        # Only non-base precisions annotate extra, keeping
+                        # pre-axis entry dicts (and golden traces) stable.
+                        **({"precision": precision}
+                           if precision != "base" else {}),
+                    ),
                 ))
         return entries
 
@@ -310,50 +327,63 @@ class LibraryGenerator:
             "resource_width_scale": cfg.resource_width_scale,
             "quant": cfg.quant.name,
             "cache_key": cfg.cache_key(),
+            # Conditional so pre-precision-axis metadata (pinned by the
+            # golden trace) is unchanged at the defaults.
+            **({"precisions": list(cfg.precisions)}
+               if list(cfg.precisions) != ["base"] else {}),
+            **({"zero_skip": True} if cfg.zero_skip else {}),
         })
 
         variants = {(variant, pruned_exits): exits_cfg
                     for variant, exits_cfg, pruned_exits in self._variants()}
 
-        # The sweep as a flat, deterministically ordered point list.
-        points = [(key, rate) for key in variants
-                  for rate in cfg.pruning_rates]
+        # The sweep as a flat, deterministically ordered point list:
+        # (variant key, pruning rate, precision).
+        points = [(key, rate, prec) for key in variants
+                  for rate in cfg.pruning_rates
+                  for prec in cfg.precisions]
+
+        def _describe(point):
+            key, rate, prec = point
+            tag = f" [{prec}]" if prec != "base" else ""
+            return (f"[{cfg.dataset}] {accel_label(*key)}: pruning "
+                    f"rate {rate:.0%}{tag}")
 
         manifest = None
         point_keys: dict = {}
         if point_cache is not None:
             config_key = cfg.point_cache_key()
             point_keys = {
-                (key, rate): PointCache.point_key(config_key, key[0],
-                                                  key[1], rate)
-                for key, rate in points}
+                point: PointCache.point_key(config_key, point[0][0],
+                                            point[0][1], point[1],
+                                            point[2])
+                for point in points}
             manifest = SweepManifest.open(
                 point_cache.root / "manifest.json", config_key)
 
         results: dict = {}
         failures: dict = {}  # point -> FailedPoint (this run or resumed)
         pending = []
-        for key, rate in points:
-            pkey = point_keys.get((key, rate))
+        for point in points:
+            key, rate, prec = point
+            pkey = point_keys.get(point)
             if manifest is not None:
-                manifest.ensure(pkey, key[0], key[1], rate)
+                manifest.ensure(pkey, key[0], key[1], rate, prec)
             cached = point_cache.get(pkey) if point_cache is not None \
                 else None
             if cached is not None:
-                results[(key, rate)] = cached
+                results[point] = cached
                 if manifest.status(pkey) != "done":
                     manifest.mark(pkey, "done")
-                log(f"[{cfg.dataset}] {accel_label(*key)}: pruning "
-                    f"rate {rate:.0%} (cached)")
+                log(f"{_describe(point)} (cached)")
             elif manifest is not None \
                     and manifest.status(pkey) == "quarantined":
                 failed = manifest.failure(pkey)
-                failures[(key, rate)] = failed
-                log(f"[{cfg.dataset}] {accel_label(*key)}: pruning "
-                    f"rate {rate:.0%} skipped "
+                failures[point] = failed
+                log(f"{_describe(point)} skipped "
                     f"(quarantined: {failed.reason()})")
             else:
-                pending.append((key, rate))
+                pending.append(point)
         if manifest is not None:
             manifest.save()
 
@@ -362,7 +392,7 @@ class LibraryGenerator:
         # rerun trains nothing at all.
         contexts: dict[tuple, _VariantContext] = {}
         for key in variants:
-            if any(p_key == key for p_key, _ in pending):
+            if any(p[0] == key for p in pending):
                 log(f"[{cfg.dataset}] training base model "
                     f"({accel_label(*key)})")
                 with timer.phase("train"):
@@ -371,9 +401,7 @@ class LibraryGenerator:
                     key[0], variants[key], key[1], scaled_base)
 
         def point_label(point):
-            (variant, pruned), rate = point
-            return (f"[{cfg.dataset}] {accel_label(variant, pruned)}: "
-                    f"pruning rate {rate:.0%}")
+            return _describe(point)
 
         # Checkpoint every completion immediately: a sweep killed at any
         # instant loses at most the points that were in flight.
@@ -422,8 +450,9 @@ class LibraryGenerator:
                                   progress=log, label=point_label)
 
             def characterize_point(point):
-                key, rate = point
-                return self._characterize(contexts[key], rate, timer=timer)
+                key, rate, prec = point
+                return self._characterize(contexts[key], rate,
+                                          precision=prec, timer=timer)
 
             pool.run(characterize_point, pending,
                      on_result=on_point_done,
@@ -435,8 +464,10 @@ class LibraryGenerator:
         if failures:
             library.metadata["quarantined"] = [
                 {"variant": key[0], "pruned_exits": key[1], "rate": rate,
-                 **failures[(key, rate)].to_dict()}
-                for key, rate in points if (key, rate) in failures]
+                 **({"precision": prec} if prec != "base" else {}),
+                 **failures[(key, rate, prec)].to_dict()}
+                for key, rate, prec in points
+                if (key, rate, prec) in failures]
             log(f"[{cfg.dataset}] library partial: {len(library)} entries,"
                 f" {len(failures)} design point(s) quarantined")
         else:
@@ -497,11 +528,13 @@ def _parallel_worker_init(config: AdaPExConfig, base_states: dict) -> None:
 
 
 def _characterize_task(point):
-    """Characterize one ``((variant, pruned_exits), rate)`` work unit."""
-    variant_key, rate = point
+    """Characterize one ``((variant, pruned_exits), rate, precision)``
+    work unit."""
+    variant_key, rate, precision = point
     gen, contexts = _WORKER_STATE
     timer = PhaseTimer()
-    entries = gen._characterize(contexts[variant_key], rate, timer=timer)
+    entries = gen._characterize(contexts[variant_key], rate,
+                                precision=precision, timer=timer)
     return entries, timer.as_dict()
 
 

@@ -47,10 +47,17 @@ class PointCache:
     # ------------------------------------------------------------------
     @staticmethod
     def point_key(config_key: str, variant: str, pruned_exits: bool,
-                  rate: float) -> str:
-        """Stable fingerprint of one design point."""
+                  rate: float, precision: str = "base") -> str:
+        """Stable fingerprint of one design point.
+
+        ``precision`` salts the key only when it is not the trained-base
+        precision, so every pre-precision-axis cache file keeps hitting —
+        and an INT8 point can never collide with a base point.
+        """
         blob = f"{_POINT_FORMAT}:{config_key}:{variant}:" \
                f"{int(bool(pruned_exits))}:{rate!r}"
+        if precision != "base":
+            blob += f":{precision}"
         return hashlib.sha256(blob.encode()).hexdigest()[:20]
 
     def path_for(self, key: str) -> Path:

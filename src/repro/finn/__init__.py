@@ -15,6 +15,7 @@ from .folding import (
     auto_fold,
     cnv_reference_fold,
     fold_constraints,
+    largest_divisor_leq,
 )
 from .hls import (
     DuplicateStreamsUnit,
@@ -23,14 +24,25 @@ from .hls import (
     PoolUnit,
     SlidingWindowUnit,
     ThresholdUnit,
+    ZERO_SKIP_OVERHEAD,
+    zero_skip_factor,
 )
 from .performance import PerformanceModel, StageLoad
 from .power import PowerModel, PowerReport
 from .resources import (
     BRAM18_BITS,
+    DSP_OPERAND_BITS,
+    DSP_PACK_FACTOR,
     ResourceEstimate,
     bram18_for_bits,
+    dsp_for_macs,
     memory_resources,
+)
+from .sparse import (
+    SparseLayerExport,
+    SparseModelExport,
+    SparseTensor,
+    export_sparse_weights,
 )
 
 __all__ = [
@@ -38,10 +50,15 @@ __all__ = [
     "CompileError", "DataflowAccelerator", "compile_accelerator",
     "PYNQ_Z1", "ZCU104", "FPGADevice", "UtilizationError",
     "FoldingConfig", "LayerFolding", "auto_fold", "cnv_reference_fold",
-    "fold_constraints",
+    "fold_constraints", "largest_divisor_leq",
     "DuplicateStreamsUnit", "HLSModule", "MVTU", "PoolUnit",
     "SlidingWindowUnit", "ThresholdUnit",
+    "ZERO_SKIP_OVERHEAD", "zero_skip_factor",
     "PerformanceModel", "StageLoad",
     "PowerModel", "PowerReport",
-    "BRAM18_BITS", "ResourceEstimate", "bram18_for_bits", "memory_resources",
+    "BRAM18_BITS", "DSP_OPERAND_BITS", "DSP_PACK_FACTOR",
+    "ResourceEstimate", "bram18_for_bits", "dsp_for_macs",
+    "memory_resources",
+    "SparseTensor", "SparseLayerExport", "SparseModelExport",
+    "export_sparse_weights",
 ]

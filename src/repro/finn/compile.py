@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..ir.graph import IRGraph, IRNode
-from .folding import FoldingConfig
+from .folding import FoldingConfig, largest_divisor_leq as _largest_divisor_leq
 from .hls import (
     DuplicateStreamsUnit,
     HLSModule,
@@ -26,6 +26,7 @@ from .hls import (
     PoolUnit,
     SlidingWindowUnit,
     ThresholdUnit,
+    ZERO_SKIP_OVERHEAD,
 )
 from .resources import ResourceEstimate
 from ..core.errors import PermanentError
@@ -45,13 +46,6 @@ class CompileError(PermanentError, ValueError):
 def _bare_name(node_name: str) -> str:
     """IR node names carry a scope prefix (``seg0/b0_conv0``)."""
     return node_name.split("/")[-1]
-
-
-def _largest_divisor_leq(n: int, bound: int) -> int:
-    for d in range(min(n, max(bound, 1)), 0, -1):
-        if n % d == 0:
-            return d
-    return 1
 
 
 @dataclass
@@ -129,10 +123,28 @@ def compile_accelerator(
     folding: FoldingConfig | None = None,
     clock_mhz: float = 100.0,
     name: str | None = None,
+    zero_skip: bool = False,
+    zero_skip_overhead: float = ZERO_SKIP_OVERHEAD,
 ) -> DataflowAccelerator:
-    """Map a streamlined IR graph onto HLS module models."""
+    """Map a streamlined IR graph onto HLS module models.
+
+    With ``zero_skip=True`` every MVTU becomes a zero-skipping unit: its
+    cycle count scales with the non-zero density of the layer's actual
+    weight initializer, floored at ``zero_skip_overhead`` (see
+    :func:`repro.finn.hls.zero_skip_factor`). Opt-in because it changes
+    every cycle/throughput figure — quantized W2A2 weights are already
+    ~half zeros before any pruning.
+    """
     folding = folding or FoldingConfig()
     accel = DataflowAccelerator(name=name or graph.name, clock_mhz=clock_mhz)
+
+    def _density(node: IRNode) -> float:
+        if not zero_skip:
+            return 1.0
+        weight = node.initializers["weight"]
+        if weight.size == 0:
+            return 1.0
+        return float(np.count_nonzero(weight)) / weight.size
 
     order = graph.topological_order()
     absorbed: set[str] = set()  # MultiThreshold nodes folded into MVTUs
@@ -190,6 +202,8 @@ def compile_accelerator(
                 weight_bits=wbits,
                 act_bits=abits_out if levels else 8,
                 thresholds=levels,
+                density=_density(node),
+                zero_skip_overhead=zero_skip_overhead,
             )
             accel.modules.append(swu)
             accel.modules.append(mvtu)
@@ -210,6 +224,8 @@ def compile_accelerator(
                 weight_bits=node.attrs.get("weight_bits", 32),
                 act_bits=abits_out if levels else 8,
                 thresholds=levels,
+                density=_density(node),
+                zero_skip_overhead=zero_skip_overhead,
             )
             accel.modules.append(mvtu)
             idx = len(accel.modules) - 1
@@ -280,4 +296,5 @@ def compile_accelerator(
 
     accel.metadata["num_exits"] = graph.metadata.get("num_exits",
                                                      len(accel.exit_paths))
+    accel.metadata["zero_skip"] = zero_skip
     return accel

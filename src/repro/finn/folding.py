@@ -16,7 +16,22 @@ from dataclasses import dataclass, field
 from ..pruning.dataflow import LayerFoldConstraint
 
 __all__ = ["LayerFolding", "FoldingConfig", "auto_fold",
-           "cnv_reference_fold", "fold_constraints"]
+           "cnv_reference_fold", "fold_constraints", "largest_divisor_leq"]
+
+
+def largest_divisor_leq(n: int, bound: int) -> int:
+    """Largest divisor of ``n`` that is <= ``bound`` (at least 1).
+
+    The folding workhorse: PE/SIMD factors must divide their dimension,
+    so requested parallelism is rounded down to the nearest divisor.
+    Bounds below 1 clamp to 1 (serial folding) rather than erroring.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    for d in range(min(n, max(bound, 1)), 0, -1):
+        if n % d == 0:
+            return d
+    return 1
 
 
 @dataclass(frozen=True)
@@ -75,14 +90,6 @@ class FoldingConfig:
     def load(cls, path) -> "FoldingConfig":
         with open(path) as f:
             return cls.from_json(f.read())
-
-
-def _largest_divisor_leq(n: int, bound: int) -> int:
-    """Largest divisor of ``n`` that is <= ``bound``."""
-    for d in range(min(n, bound), 0, -1):
-        if n % d == 0:
-            return d
-    return 1
 
 
 def _layer_work(layer, out_hw: tuple) -> tuple:
@@ -217,7 +224,7 @@ def _fit_fraction(dim: int, fraction: float | None, minimum: int = 1) -> int:
     if fraction is None:
         return dim
     want = max(int(round(dim * fraction)), minimum)
-    return _largest_divisor_leq(dim, want)
+    return largest_divisor_leq(dim, want)
 
 
 def cnv_reference_fold(model) -> FoldingConfig:

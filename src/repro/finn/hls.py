@@ -14,10 +14,41 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from .resources import ResourceEstimate, bram18_for_bits, memory_resources
+from .resources import (
+    ResourceEstimate,
+    bram18_for_bits,
+    dsp_for_macs,
+    memory_resources,
+)
 
 __all__ = ["HLSModule", "MVTU", "SlidingWindowUnit", "PoolUnit",
-           "DuplicateStreamsUnit", "ThresholdUnit"]
+           "DuplicateStreamsUnit", "ThresholdUnit",
+           "ZERO_SKIP_OVERHEAD", "zero_skip_factor"]
+
+# Fraction of the dense cycle count a zero-skipping MVTU cannot go
+# below: the skip logic still spends control cycles fetching indices and
+# realigning the accumulator pipeline. Snippet 1's measurements show MAC
+# savings flattening out past ~70% sparsity — exactly the behaviour of a
+# ~0.3 control floor.
+ZERO_SKIP_OVERHEAD = 0.3
+
+
+def zero_skip_factor(density: float,
+                     overhead: float = ZERO_SKIP_OVERHEAD) -> float:
+    """Cycle multiplier of a zero-skipping MAC array at a weight density.
+
+    Skipped zero weights save their MAC issue slots, so cycles scale
+    with the non-zero ``density`` — but never below the ``overhead``
+    control floor. With the default floor of 0.3, pruning past ~70%
+    sparsity yields no further speedup (diminishing returns, Snippet 1).
+    Monotone non-decreasing in ``density``; exactly 1.0 for dense
+    weights.
+    """
+    if not 0.0 <= density <= 1.0:
+        raise ValueError(f"density must be in [0, 1], got {density}")
+    if not 0.0 <= overhead <= 1.0:
+        raise ValueError(f"overhead must be in [0, 1], got {overhead}")
+    return min(1.0, max(overhead, density))
 
 
 class HLSModule:
@@ -57,6 +88,15 @@ class MVTU(HLSModule):
     thresholds:
         Number of threshold levels folded into the unit (0 = raw
         accumulator output, e.g. final logits).
+    density:
+        Non-zero fraction of the weight matrix. Below 1.0 the unit is a
+        *zero-skipping* MVTU: cycles scale by
+        :func:`zero_skip_factor(density, zero_skip_overhead)
+        <zero_skip_factor>`. The default 1.0 models the classic dense
+        FINN datapath.
+    zero_skip_overhead:
+        Control-cycle floor of the zero-skip datapath (see
+        :data:`ZERO_SKIP_OVERHEAD`).
     """
 
     name: str
@@ -68,6 +108,8 @@ class MVTU(HLSModule):
     weight_bits: int = 2
     act_bits: int = 2
     thresholds: int = 0
+    density: float = 1.0
+    zero_skip_overhead: float = ZERO_SKIP_OVERHEAD
 
     def __post_init__(self):
         if self.rows < 1 or self.cols < 1 or self.vectors < 1:
@@ -78,15 +120,22 @@ class MVTU(HLSModule):
         if self.cols % self.simd:
             raise ValueError(
                 f"{self.name}: SIMD={self.simd} must divide cols={self.cols}")
+        if not 0.0 <= self.density <= 1.0:
+            raise ValueError(
+                f"{self.name}: density={self.density} out of [0, 1]")
 
     # -- performance -----------------------------------------------------
     @property
     def fold(self) -> int:
-        """Cycles per matrix-vector product."""
+        """Cycles per matrix-vector product (dense datapath)."""
         return (self.rows // self.pe) * (self.cols // self.simd)
 
     def cycles(self) -> int:
-        return self.vectors * self.fold
+        dense = self.vectors * self.fold
+        if self.density >= 1.0:
+            return dense
+        factor = zero_skip_factor(self.density, self.zero_skip_overhead)
+        return max(int(math.ceil(dense * factor)), 1)
 
     def macs_per_frame(self) -> int:
         return self.vectors * self.rows * self.cols
@@ -98,7 +147,16 @@ class MVTU(HLSModule):
     def resources(self) -> ResourceEstimate:
         # Compute fabric: low-precision MACs synthesize to LUTs
         # (FINN-R: ~1 LUT per bit-product plus accumulate/control per PE).
-        mac_lut = self.pe * self.simd * max(self.weight_bits * self.act_bits, 1)
+        # At 8-bit operands the multiplies move to DSP slices, two 8x8
+        # products packed per slice (dsp_for_macs); the fabric then only
+        # carries operand routing glue.
+        dsp = dsp_for_macs(self.pe, self.simd, self.weight_bits,
+                           self.act_bits)
+        if dsp:
+            mac_lut = 4 * self.pe * self.simd
+        else:
+            mac_lut = self.pe * self.simd \
+                * max(self.weight_bits * self.act_bits, 1)
         acc_lut = self.pe * 24
         control_lut = 120
         lut = mac_lut + acc_lut + control_lut
@@ -111,7 +169,7 @@ class MVTU(HLSModule):
         )
         # Threshold memory: rows * levels entries of ~24-bit accumulators.
         tmem = memory_resources(self.rows * self.thresholds * 24)
-        return ResourceEstimate(lut=lut, ff=ff) + wmem + tmem
+        return ResourceEstimate(lut=lut, ff=ff, dsp=dsp) + wmem + tmem
 
 
 @dataclass

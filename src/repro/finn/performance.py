@@ -16,6 +16,13 @@ Serving model (documented in DESIGN.md):
 This is how early exit buys throughput and energy on an otherwise
 hard-wired dataflow design, and the mechanism behind the paper's CT-Only
 and AdaPEx capacity gains.
+
+Zero-skip sparsity composes transparently: when the accelerator was
+compiled with ``zero_skip=True`` each MVTU's ``cycles()`` already
+reflects its weight density (:func:`repro.finn.hls.zero_skip_factor`),
+so :class:`StageLoad.effective_cycles`, ``exit_cycles``,
+``capacity_ips`` and everything downstream in the serving stack pick up
+the sparsity speedup without further changes here.
 """
 
 from __future__ import annotations

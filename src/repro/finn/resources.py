@@ -14,11 +14,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 __all__ = ["ResourceEstimate", "BRAM18_BITS", "LUTRAM_THRESHOLD_BITS",
-           "bram18_for_bits", "memory_resources"]
+           "DSP_OPERAND_BITS", "DSP_PACK_FACTOR",
+           "bram18_for_bits", "dsp_for_macs", "memory_resources"]
 
 BRAM18_BITS = 18 * 1024
 # Below this, a memory is mapped to LUTRAM instead of BRAM.
 LUTRAM_THRESHOLD_BITS = 4096
+# MACs whose operands reach this width synthesize to DSP slices instead
+# of LUTs (FINN-R keeps <8-bit arithmetic in fabric).
+DSP_OPERAND_BITS = 8
+# Two 8x8 multiplies share one DSP48 via SIMD packing (one operand in
+# the high half of the 27-bit port) — the INT8 trick Snippet 1 and
+# Xilinx WP487 describe.
+DSP_PACK_FACTOR = 2
 
 
 @dataclass(frozen=True)
@@ -64,7 +72,30 @@ def bram18_for_bits(bits: float, packing_efficiency: float = 0.8) -> float:
         return 0.0
     if packing_efficiency <= 0 or packing_efficiency > 1:
         raise ValueError("packing_efficiency must be in (0, 1]")
-    return math.ceil(bits / (BRAM18_BITS * packing_efficiency))
+    # max() guards float underflow: any positive size costs >= 1 block.
+    return max(1, math.ceil(bits / (BRAM18_BITS * packing_efficiency)))
+
+
+def dsp_for_macs(pe: int, simd: int, weight_bits: int,
+                 act_bits: int) -> float:
+    """DSP slices consumed by a ``pe * simd`` MAC array.
+
+    Sub-8-bit operands stay in LUT fabric (0 DSPs, the FINN-R default).
+    At 8-bit operands each multiply maps to a DSP slice, and two 8x8
+    products share one slice via SIMD packing as long as *both* operands
+    fit 8 bits; wider operands forfeit the packing and cost one DSP per
+    MAC lane.
+    """
+    import math
+
+    if pe < 1 or simd < 1:
+        raise ValueError("pe and simd must be >= 1")
+    if weight_bits < DSP_OPERAND_BITS:
+        return 0.0
+    lanes = pe * simd
+    if weight_bits <= DSP_OPERAND_BITS and act_bits <= DSP_OPERAND_BITS:
+        return float(math.ceil(lanes / DSP_PACK_FACTOR))
+    return float(lanes)
 
 
 def memory_resources(bits: float) -> ResourceEstimate:

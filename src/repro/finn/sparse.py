@@ -1,0 +1,206 @@
+"""Compressed (idx, val) weight export for pruned accelerators.
+
+A zero-skipping MVTU does not stream the dense weight matrix: it stores
+only the non-zero weights plus their column indices, the format Snippet
+1's accelerator uses on-chip. This module produces that export straight
+from an IR graph — one :class:`SparseTensor` per Conv/MatMul weight —
+annotated with per-layer non-zero density and, when a
+:class:`~repro.pruning.pruner.PruneReport` is supplied, the channel
+decisions that produced the sparsity (which output channels survived,
+out of how many).
+
+The export is **exact**: ``to_dense()`` reconstructs the original weight
+array bit-for-bit for any NumPy numeric dtype (the round-trip property
+tests sweep dtypes, fully-dense, and fully-pruned layers), and the
+JSON-able dict form keeps exactness by encoding the raw value bytes.
+"""
+
+from __future__ import annotations
+
+import base64
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..ir.graph import IRGraph
+
+__all__ = ["SparseTensor", "SparseLayerExport", "SparseModelExport",
+           "export_sparse_weights"]
+
+
+@dataclass(frozen=True)
+class SparseTensor:
+    """A dense array stored as flat (idx, val) pairs of its non-zeros."""
+
+    shape: tuple
+    dtype: str
+    indices: np.ndarray  # int64, flat indices into the dense array, sorted
+    values: np.ndarray   # same dtype as the dense array
+
+    def __post_init__(self):
+        if self.indices.shape != self.values.shape:
+            raise ValueError("indices and values must pair up 1:1")
+
+    @classmethod
+    def from_dense(cls, arr: np.ndarray) -> "SparseTensor":
+        arr = np.asarray(arr)
+        flat = arr.reshape(-1)
+        idx = np.flatnonzero(flat).astype(np.int64)
+        return cls(shape=tuple(arr.shape), dtype=str(arr.dtype),
+                   indices=idx, values=flat[idx].copy())
+
+    def to_dense(self) -> np.ndarray:
+        flat = np.zeros(int(np.prod(self.shape, dtype=np.int64)),
+                        dtype=np.dtype(self.dtype))
+        flat[self.indices] = self.values
+        return flat.reshape(self.shape)
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64))
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.size)
+
+    @property
+    def density(self) -> float:
+        """Non-zero fraction (1.0 for an empty tensor: nothing to skip)."""
+        return self.nnz / self.size if self.size else 1.0
+
+    # -- serialization (exact: raw little-endian bytes, base64) ---------
+    def to_dict(self) -> dict:
+        return {
+            "shape": list(self.shape),
+            "dtype": self.dtype,
+            "indices": base64.b64encode(
+                np.ascontiguousarray(self.indices).tobytes()).decode(),
+            "values": base64.b64encode(
+                np.ascontiguousarray(self.values).tobytes()).decode(),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SparseTensor":
+        dtype = np.dtype(d["dtype"])
+        indices = np.frombuffer(base64.b64decode(d["indices"]),
+                                dtype=np.int64).copy()
+        values = np.frombuffer(base64.b64decode(d["values"]),
+                               dtype=dtype).copy()
+        return cls(shape=tuple(d["shape"]), dtype=str(dtype),
+                   indices=indices, values=values)
+
+
+@dataclass(frozen=True)
+class SparseLayerExport:
+    """One compute layer's compressed weights plus channel metadata."""
+
+    name: str                      # IR node name (scope-prefixed)
+    op_type: str                   # "Conv" | "MatMul"
+    weight: SparseTensor
+    weight_bits: int
+    # Channel decisions from the PruneReport, when available: which
+    # output channels survived pruning (None = layer was not pruned).
+    channels_total: int | None = None
+    channels_kept: tuple | None = None
+
+    @property
+    def density(self) -> float:
+        return self.weight.density
+
+    @property
+    def channel_sparsity(self) -> float:
+        """Fraction of output channels removed by pruning (0 if unknown)."""
+        if self.channels_total is None or self.channels_kept is None \
+                or not self.channels_total:
+            return 0.0
+        return 1.0 - len(self.channels_kept) / self.channels_total
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "op_type": self.op_type,
+            "weight": self.weight.to_dict(),
+            "weight_bits": self.weight_bits,
+            "channels_total": self.channels_total,
+            "channels_kept": list(self.channels_kept)
+            if self.channels_kept is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SparseLayerExport":
+        kept = d.get("channels_kept")
+        return cls(
+            name=d["name"], op_type=d["op_type"],
+            weight=SparseTensor.from_dict(d["weight"]),
+            weight_bits=int(d["weight_bits"]),
+            channels_total=d.get("channels_total"),
+            channels_kept=tuple(kept) if kept is not None else None,
+        )
+
+
+@dataclass
+class SparseModelExport:
+    """Every compute layer of one graph in compressed form."""
+
+    graph_name: str
+    layers: list = field(default_factory=list)  # [SparseLayerExport]
+
+    def layer(self, name: str) -> SparseLayerExport:
+        for entry in self.layers:
+            if entry.name == name:
+                return entry
+        raise KeyError(name)
+
+    def to_dense(self) -> dict:
+        """Exact dense reconstruction, ``{node name: weight array}``."""
+        return {entry.name: entry.weight.to_dense() for entry in self.layers}
+
+    def density(self) -> float:
+        """Element-weighted non-zero density across all layers."""
+        total = sum(entry.weight.size for entry in self.layers)
+        nnz = sum(entry.weight.nnz for entry in self.layers)
+        return nnz / total if total else 1.0
+
+    def nnz(self) -> int:
+        return sum(entry.weight.nnz for entry in self.layers)
+
+    def to_dict(self) -> dict:
+        return {"graph_name": self.graph_name,
+                "layers": [entry.to_dict() for entry in self.layers]}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SparseModelExport":
+        return cls(graph_name=d["graph_name"],
+                   layers=[SparseLayerExport.from_dict(e)
+                           for e in d["layers"]])
+
+
+def export_sparse_weights(graph: IRGraph,
+                          report=None) -> SparseModelExport:
+    """Compress every Conv/MatMul weight of ``graph`` to (idx, val) form.
+
+    ``report`` is an optional :class:`~repro.pruning.pruner.PruneReport`;
+    its per-layer decisions (matched on the bare layer name, IR node
+    names carry a ``seg0/`` scope prefix) become the channel metadata a
+    sparse accelerator needs to address the surviving filters.
+    """
+    decisions = {}
+    if report is not None:
+        decisions = {d.layer_name: d for d in report.decisions}
+    export = SparseModelExport(graph_name=graph.name)
+    for node in graph.topological_order():
+        if node.op_type not in ("Conv", "MatMul"):
+            continue
+        weight = node.initializers["weight"]
+        bare = node.name.split("/")[-1]
+        decision = decisions.get(bare)
+        export.layers.append(SparseLayerExport(
+            name=node.name,
+            op_type=node.op_type,
+            weight=SparseTensor.from_dense(weight),
+            weight_bits=int(node.attrs.get("weight_bits", 32)),
+            channels_total=decision.channels_before
+            if decision is not None else None,
+            channels_kept=decision.keep if decision is not None else None,
+        ))
+    return export

@@ -11,7 +11,12 @@ from .analysis import (
 from .engine import ExecutionPlan, compile_graph
 from .export import export_model
 from .graph import IRGraph, IRNode, TensorInfo
-from .passes import absorb_batchnorm, count_unabsorbed_batchnorms, streamline
+from .passes import (
+    absorb_batchnorm,
+    count_unabsorbed_batchnorms,
+    slice_channels,
+    streamline,
+)
 from .serialize import load_graph, save_graph
 
 __all__ = [
@@ -20,6 +25,7 @@ __all__ = [
     "ExecutionPlan", "compile_graph",
     "export_model",
     "IRGraph", "IRNode", "TensorInfo",
-    "absorb_batchnorm", "count_unabsorbed_batchnorms", "streamline",
+    "absorb_batchnorm", "count_unabsorbed_batchnorms", "slice_channels",
+    "streamline",
     "load_graph", "save_graph",
 ]

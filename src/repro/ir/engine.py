@@ -270,13 +270,17 @@ class _ThresholdStep(_Step):
 class _BatchNormStep(_Step):
     """Unfoldable BatchNorm, executed with the reference arithmetic."""
 
-    def __init__(self, node: IRNode, src: str, out: str, slot: int, dtype):
+    def __init__(self, node: IRNode, src: str, out: str, slot: int, dtype,
+                 keep=None):
         self.name = node.name
         self.src = src
         self.out = out
         self.slot = slot
         self.scale = node.initializers["scale"].astype(dtype, copy=False)
         self.shift = node.initializers["shift"].astype(dtype, copy=False)
+        if keep is not None:  # sparse mode: channel-compacted input
+            self.scale = self.scale[keep]
+            self.shift = self.shift[keep]
 
     def run(self, env, arena, plan):
         x = env[self.src]
@@ -332,6 +336,27 @@ class _FlattenStep(_Step):
 # compilation
 # ----------------------------------------------------------------------
 
+def _compact(node: IRNode, weight: np.ndarray, bias: np.ndarray | None,
+             threshold, in_keep: np.ndarray | None, out_keep: dict):
+    """Apply sparse-mode channel compaction to one GEMM's operands.
+
+    ``in_keep`` slices the K dimension (input columns: Conv in-channels,
+    MatMul columns); ``out_keep[node.name]`` slices the N dimension (own
+    output rows, plus bias and fused-threshold rows).
+    """
+    if in_keep is not None:
+        weight = weight[:, in_keep]
+    keep = out_keep.get(node.name)
+    if keep is not None:
+        weight = weight[keep]
+        if bias is not None:
+            bias = bias[keep]
+        if threshold is not None:
+            v, signs, step = threshold
+            threshold = (np.ascontiguousarray(v[keep]), signs[keep], step)
+    return weight, bias, threshold
+
+
 def _fold_batchnorm(node: IRNode, weight: np.ndarray,
                     bias: np.ndarray | None, dtype):
     """Fold a BatchNorm affine into Conv/MatMul weight+bias."""
@@ -382,7 +407,7 @@ class _SlotAllocator:
 
 
 def compile_graph(graph: IRGraph, dtype=np.float64,
-                  timer=None) -> "ExecutionPlan":
+                  timer=None, sparse: bool = False) -> "ExecutionPlan":
     """Compile an :class:`IRGraph` into a fused :class:`ExecutionPlan`.
 
     ``dtype`` selects the compute precision (``float64`` default keeps
@@ -390,6 +415,27 @@ def compile_graph(graph: IRGraph, dtype=np.float64,
     graphs). ``timer`` is an optional
     :class:`repro.core.instrument.PhaseTimer`; compilation is recorded
     under ``engine_compile`` and attached to the plan for runtime phases.
+
+    ``sparse=True`` enables compile-time **dead-channel elimination** for
+    channel-pruned (masked) graphs: an output channel of a Conv/MatMul is
+    removed from the fused GEMM when (a) its weight row and bias are
+    exactly zero and (b) it provably influences nothing downstream —
+    every consumer either reads it through all-zero weight columns or
+    passes it through per-channel ops (MaxPool/MultiThreshold/BatchNorm/
+    Flatten) into consumers that do, and it never reaches a graph output.
+    Both the GEMM's N dimension (its own rows) and every downstream
+    GEMM's K dimension (input columns) shrink; all compaction happens
+    here at compile time — the runtime steps are the ordinary dense
+    steps over smaller matrices, with no gather/scatter.
+
+    Numerical contract of sparse mode: the sparse plan of a masked graph
+    is **bit-identical** to the dense plan (and the reference executors)
+    of the same graph with the dropped channels explicitly sliced out via
+    :func:`repro.ir.passes.slice_channels` — both execute literally the
+    same BLAS calls on the same operands. Against the dense plan of the
+    *unsliced* masked graph it is numerically equivalent but not bitwise:
+    shrinking the K dimension changes BLAS reduction order, perturbing
+    the surviving terms' rounding at the ulp level.
     """
     t0 = time.perf_counter()
     dtype = np.dtype(dtype)
@@ -460,6 +506,101 @@ def compile_graph(graph: IRGraph, dtype=np.float64,
     # Liveness: reads per resolved tensor (graph outputs pinned so their
     # slots survive until the end of the run).
     pinned = {_r(t) for t in graph.output_names}
+
+    # Pass 3 (sparse mode): dead-channel elimination. ``out_keep`` maps a
+    # Conv/MatMul node name to the output channels it keeps; ``in_keep_of``
+    # maps a resolved tensor to the original channel (or flat feature)
+    # indices still flowing through it, used to slice consumers.
+    out_keep: dict[str, np.ndarray] = {}
+    in_keep_of: dict[str, np.ndarray] = {}
+    dropped_channels = 0
+    if sparse:
+        eff_nodes = [n for n in order if n.name not in removed
+                     and n.op_type != "DuplicateStreams"]
+        consumers_eff: dict[str, list[IRNode]] = {}
+        for n in eff_nodes:
+            for t in n.inputs:
+                consumers_eff.setdefault(_r(t), []).append(n)
+
+        drop_cache: dict[str, np.ndarray] = {}
+
+        def _droppable(tensor: str) -> np.ndarray:
+            """Bool per channel of ``tensor``: True iff zeroing it out
+            cannot change any graph output (all consumer weight columns
+            are zero, transitively through per-channel ops)."""
+            if tensor in drop_cache:
+                return drop_cache[tensor]
+            n_ch = graph.tensors[tensor].shape[0]
+            mask = np.ones(n_ch, dtype=bool)
+            if tensor in pinned:
+                mask[:] = False
+            else:
+                consumers = consumers_eff.get(tensor, [])
+                if not consumers:
+                    mask[:] = False  # dangling: leave untouched
+                for c in consumers:
+                    if c.op_type == "Conv":
+                        w = c.initializers["weight"]
+                        if w.shape[1] != n_ch:
+                            mask[:] = False
+                        else:
+                            mask &= ~(w != 0).any(axis=(0, 2, 3))
+                    elif c.op_type == "MatMul":
+                        w = c.initializers["weight"]
+                        if w.shape[1] != n_ch:
+                            mask[:] = False
+                        else:
+                            mask &= ~(w != 0).any(axis=0)
+                    elif c.op_type in ("MaxPool", "MultiThreshold",
+                                       "BatchNorm"):
+                        mask &= _droppable(_r(c.outputs[0]))
+                    elif c.op_type == "Flatten":
+                        flat = _droppable(_r(c.outputs[0]))
+                        shape = graph.tensors[c.inputs[0]].shape
+                        hw = int(np.prod(shape[1:])) if len(shape) > 1 else 1
+                        mask &= flat.reshape(n_ch, hw).all(axis=1)
+                    else:
+                        mask[:] = False
+            drop_cache[tensor] = mask
+            return mask
+
+        for node in eff_nodes:
+            if node.op_type not in ("Conv", "MatMul"):
+                continue
+            w = node.initializers["weight"]
+            rows = w.shape[0]
+            row_zero = ~(w.reshape(rows, -1) != 0).any(axis=1)
+            bias = node.initializers.get("bias")
+            if bias is not None:
+                row_zero &= bias == 0
+            if node.name in folded:
+                # Folding a BatchNorm adds its shift to the bias; a dead
+                # row must stay dead after folding.
+                row_zero &= folded[node.name].initializers["shift"] == 0
+            if not row_zero.any():
+                continue
+            dead = row_zero & _droppable(_r(node.outputs[0]))
+            keep_idx = np.flatnonzero(~dead)
+            if 0 < keep_idx.size < rows:
+                out_keep[node.name] = keep_idx
+                in_keep_of[_r(node.outputs[0])] = keep_idx
+                dropped_channels += rows - keep_idx.size
+
+        # Propagate kept-channel sets forward through per-channel ops so
+        # downstream GEMMs and threshold/BN params can be sliced.
+        for node in eff_nodes:
+            src_keep = in_keep_of.get(_r(node.inputs[0])) if node.inputs \
+                else None
+            if src_keep is None:
+                continue
+            if node.op_type in ("MaxPool", "MultiThreshold", "BatchNorm"):
+                in_keep_of[_r(node.outputs[0])] = src_keep
+            elif node.op_type == "Flatten":
+                shape = graph.tensors[node.inputs[0]].shape
+                hw = int(np.prod(shape[1:])) if len(shape) > 1 else 1
+                in_keep_of[_r(node.outputs[0])] = \
+                    (src_keep[:, None] * hw + np.arange(hw)).ravel()
+
     reads: dict[str, int] = {}
     for node in order:
         if node.name in removed or node.op_type == "DuplicateStreams":
@@ -471,7 +612,12 @@ def compile_graph(graph: IRGraph, dtype=np.float64,
 
     steps: list[_Step] = []
     stats = {"nodes": 0, "folded_batchnorm": len(folded),
-             "fused_thresholds": len(fused)}
+             "fused_thresholds": len(fused), "sparse": bool(sparse)}
+    if sparse:
+        stats["compacted_nodes"] = len(out_keep)
+        stats["dropped_channels"] = dropped_channels
+        stats["channel_keep"] = {name: [int(i) for i in idx]
+                                 for name, idx in out_keep.items()}
     aliases: list[tuple[str, str]] = []  # DuplicateStreams rewires
     for node in order:
         if node.name in removed:
@@ -481,6 +627,7 @@ def compile_graph(graph: IRGraph, dtype=np.float64,
         stats["nodes"] += 1
         src = _r(node.inputs[0])
         out = node.outputs[0]
+        in_k = in_keep_of.get(src)
         if node.op_type == "Conv":
             weight = node.initializers["weight"].astype(dtype, copy=False)
             bias = node.initializers.get("bias")
@@ -492,6 +639,8 @@ def compile_graph(graph: IRGraph, dtype=np.float64,
             threshold = None
             if node.name in fused:
                 threshold = _prepare_thresholds(fused[node.name], dtype)
+            weight, bias, threshold = _compact(node, weight, bias, threshold,
+                                               in_k, out_keep)
             # Acquire the output slot before the scratch slot: scratch
             # re-frees itself immediately, and the GEMM must never write
             # into the im2col matrix it is reading.
@@ -512,6 +661,8 @@ def compile_graph(graph: IRGraph, dtype=np.float64,
             scratch_slot = None
             if node.name in fused:
                 threshold = _prepare_thresholds(fused[node.name], dtype)
+            weight, bias, threshold = _compact(node, weight, bias, threshold,
+                                               in_k, out_keep)
             slot = alloc.acquire(out)
             if threshold is not None:
                 scratch_slot = alloc.scratch()
@@ -520,11 +671,15 @@ def compile_graph(graph: IRGraph, dtype=np.float64,
                                      threshold))
         elif node.op_type == "MultiThreshold":
             slot = alloc.acquire(out)
-            steps.append(_ThresholdStep(node, src, out, slot,
-                                        _prepare_thresholds(node, dtype)))
+            threshold = _prepare_thresholds(node, dtype)
+            if in_k is not None:
+                v, signs, step = threshold
+                threshold = (np.ascontiguousarray(v[in_k]), signs[in_k], step)
+            steps.append(_ThresholdStep(node, src, out, slot, threshold))
         elif node.op_type == "BatchNorm":
             slot = alloc.acquire(out)
-            steps.append(_BatchNormStep(node, src, out, slot, dtype))
+            steps.append(_BatchNormStep(node, src, out, slot, dtype,
+                                        keep=in_k))
         elif node.op_type == "MaxPool":
             steps.append(_MaxPoolStep(node, src, out))
         elif node.op_type == "Flatten":

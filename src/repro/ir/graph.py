@@ -180,15 +180,16 @@ class IRGraph:
                 values[t] = v
         return [values[t] for t in self.output_names]
 
-    def compile(self, dtype=np.float64, timer=None):
+    def compile(self, dtype=np.float64, timer=None, sparse: bool = False):
         """Compile into a fused :class:`~repro.ir.engine.ExecutionPlan`.
 
         Convenience wrapper around :func:`repro.ir.engine.compile_graph`;
-        see there for the numerical contract.
+        see there for the numerical contract. ``sparse=True`` enables
+        compile-time dead-channel elimination for masked/pruned graphs.
         """
         from .engine import compile_graph
 
-        return compile_graph(self, dtype=dtype, timer=timer)
+        return compile_graph(self, dtype=dtype, timer=timer, sparse=sparse)
 
     # ------------------------------------------------------------------
     # mutation helpers for passes

@@ -21,7 +21,13 @@ from .layers import (
 )
 from .loss import CrossEntropyLoss, JointLoss, cross_entropy
 from .optim import SGD, Adam, ConstantLR, StepDecay
-from .quant import QuantSpec, quantize_activations, quantize_weights
+from .quant import (
+    PRECISION_SPECS,
+    QuantSpec,
+    post_training_quantize,
+    quantize_activations,
+    quantize_weights,
+)
 from .serialize import load_model, load_state_arrays, save_model, state_arrays
 from .trainer import (
     TrainConfig,
@@ -40,7 +46,8 @@ __all__ = [
     "QuantConv2D", "QuantLinear", "QuantReLU", "ReLU",
     "CrossEntropyLoss", "JointLoss", "cross_entropy",
     "SGD", "Adam", "ConstantLR", "StepDecay",
-    "QuantSpec", "quantize_activations", "quantize_weights",
+    "PRECISION_SPECS", "QuantSpec", "post_training_quantize",
+    "quantize_activations", "quantize_weights",
     "load_model", "save_model", "state_arrays", "load_state_arrays",
     "TrainConfig", "TrainHistory", "Trainer", "cascade_sweep",
     "evaluate_cascade", "evaluate_exits", "exit_scores",

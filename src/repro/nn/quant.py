@@ -18,17 +18,19 @@ weight memories.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 __all__ = [
     "QuantSpec",
+    "PRECISION_SPECS",
     "auto_weight_scale",
     "quantize_weights",
     "weight_quant_levels",
     "quantize_activations",
     "activation_thresholds",
+    "post_training_quantize",
     "ste_mask",
 ]
 
@@ -63,6 +65,43 @@ class QuantSpec:
     def act_levels(self) -> int:
         """Number of representable activation values (unsigned)."""
         return 2 ** self.act_bits
+
+
+# Named precision variants of the design space's precision axis. ``"base"``
+# keeps whatever the model was trained with (the paper's W2A2) and is not
+# listed here: only genuine re-quantizations need a spec.
+PRECISION_SPECS: dict[str, QuantSpec] = {
+    "int8": QuantSpec(weight_bits=8, act_bits=8),
+}
+
+
+def post_training_quantize(model, weight_bits: int = 8,
+                           act_bits: int = 8):
+    """Re-quantize a trained model to new bit widths (PTQ, no retraining).
+
+    Every quantized layer (Conv/Linear weights, QuantReLU activations)
+    keeps its full-precision shadow parameters and clip range but swaps
+    its :class:`QuantSpec` for the new widths; the next forward pass
+    fake-quantizes against the new grid. Going W2A2 -> W8A8 this is
+    classic post-training quantization: the latent weights were trained
+    with 2-bit STE, so INT8 inference is strictly more faithful to them
+    and typically recovers a little accuracy at higher DSP/BRAM cost
+    (see :func:`repro.finn.resources.dsp_for_macs`).
+
+    Returns a clone; ``model`` is not modified.
+    """
+    new = model.clone()
+    changed = 0
+    for layer in new.all_layers():
+        quant = getattr(layer, "quant", None)
+        if quant is None:
+            continue
+        layer.quant = replace(quant, weight_bits=weight_bits,
+                              act_bits=act_bits)
+        changed += 1
+    if not changed:
+        raise ValueError(f"model {model.name!r} has no quantized layers")
+    return new
 
 
 def weight_quant_levels(bits: int, scale: float) -> np.ndarray:

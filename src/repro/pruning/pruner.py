@@ -14,6 +14,19 @@ corresponding output channel everywhere it is consumed:
 Exit CONV layers are pruned at the same rate when the exit's ``pruned``
 flag is set ("Pruned Exits") and left untouched otherwise ("Not Pruned
 Exits").
+
+Two application modes share the identical ranking and decisions:
+
+* ``mode="slice"`` (default) — pruned channels are physically removed;
+  layer widths shrink. This is what the hardware twin synthesizes.
+* ``mode="mask"`` — pruned channels are zeroed in place everywhere a
+  slice would have removed them (weights, bias, BatchNorm affine,
+  consumer input columns); shapes are unchanged. This is what the sparse
+  compiled engine (:func:`repro.ir.engine.compile_graph` with
+  ``sparse=True``) compacts back out at compile time. Masked and sliced
+  models agree only approximately at the network level — quantizer
+  scales see the masked zeros — but exactly at the IR level via
+  :func:`repro.ir.passes.slice_channels`.
 """
 
 from __future__ import annotations
@@ -89,6 +102,50 @@ def _layer_input_shapes(seq: Sequential, input_shape: tuple) -> list[tuple]:
     return shapes
 
 
+def _dropped(total: int, keep: np.ndarray) -> np.ndarray:
+    """Boolean mask of the channels a keep-set removes."""
+    drop = np.ones(total, dtype=bool)
+    drop[keep] = False
+    return drop
+
+
+def _mask_bn(bn: BatchNorm, keep: np.ndarray) -> None:
+    drop = _dropped(bn.num_features, keep)
+    bn.params["gamma"][drop] = 0.0
+    bn.params["beta"][drop] = 0.0
+    bn.grads["gamma"] = np.zeros_like(bn.params["gamma"])
+    bn.grads["beta"] = np.zeros_like(bn.params["beta"])
+
+
+def _mask_conv_out(conv: Conv2D, keep: np.ndarray) -> None:
+    drop = _dropped(conv.out_channels, keep)
+    conv.params["weight"][drop] = 0.0
+    if conv.has_bias:
+        conv.params["bias"][drop] = 0.0
+    conv.zero_grad()
+
+
+def _mask_conv_in(conv: Conv2D, keep: np.ndarray) -> None:
+    drop = _dropped(conv.in_channels, keep)
+    conv.params["weight"][:, drop] = 0.0
+    conv.zero_grad()
+
+
+def _mask_linear_in_channels(linear: Linear, keep: np.ndarray,
+                             spatial: tuple) -> None:
+    h, w = spatial
+    out_f, in_f = linear.params["weight"].shape
+    c = in_f // (h * w)
+    if c * h * w != in_f:
+        raise PruningError(
+            f"{linear.name}: in_features={in_f} not divisible by "
+            f"spatial {h}x{w}"
+        )
+    drop = _dropped(c, keep)
+    linear.params["weight"].reshape(out_f, c, h, w)[:, drop] = 0.0
+    linear.zero_grad()
+
+
 def _slice_bn(bn: BatchNorm, keep: np.ndarray) -> None:
     bn.params["gamma"] = bn.params["gamma"][keep]
     bn.params["beta"] = bn.params["beta"][keep]
@@ -130,6 +187,15 @@ def _slice_linear_in_channels(linear: Linear, keep: np.ndarray,
     linear.zero_grad()
 
 
+# mode -> (conv_out, conv_in, bn, linear_in) channel-removal appliers.
+_APPLY = {
+    "slice": (_slice_conv_out, _slice_conv_in, _slice_bn,
+              _slice_linear_in_channels),
+    "mask": (_mask_conv_out, _mask_conv_in, _mask_bn,
+             _mask_linear_in_channels),
+}
+
+
 def _find_next(layers: list, start: int, cls) -> int | None:
     for j in range(start, len(layers)):
         if isinstance(layers[j], cls):
@@ -160,21 +226,22 @@ def _spatial_upto(layers: list, stop: int, hw: tuple) -> tuple:
 
 
 def _apply_downstream(seq: Sequential, conv_pos: int, keep: np.ndarray,
-                      shapes: list[tuple]) -> bool:
-    """Propagate an out-channel slice to consumers inside one Sequential.
+                      shapes: list[tuple], mode: str = "slice") -> bool:
+    """Propagate an out-channel removal to consumers inside one Sequential.
 
     Returns True if a consumer was found inside this Sequential; False if
-    the sliced channels flow out of the Sequential (i.e., the caller must
+    the pruned channels flow out of the Sequential (i.e., the caller must
     handle cross-segment consumers).
     """
+    _, conv_in, bn_apply, linear_in = _APPLY[mode]
     layers = seq.layers
     j = conv_pos + 1
     while j < len(layers):
         layer = layers[j]
         if isinstance(layer, BatchNorm):
-            _slice_bn(layer, keep)
+            bn_apply(layer, keep)
         elif isinstance(layer, Conv2D):
-            _slice_conv_in(layer, keep)
+            conv_in(layer, keep)
             return True
         elif isinstance(layer, Flatten):
             lin_pos = _find_next(layers, j + 1, Linear)
@@ -183,7 +250,7 @@ def _apply_downstream(seq: Sequential, conv_pos: int, keep: np.ndarray,
                     f"{seq.name}: Flatten without a following Linear"
                 )
             _, h, w = shapes[j]
-            _slice_linear_in_channels(layers[lin_pos], keep, (h, w))
+            linear_in(layers[lin_pos], keep, (h, w))
             return True
         j += 1
     return False
@@ -195,12 +262,14 @@ def _prune_sequential_convs(
     rate: float,
     constraints,
     report: PruneReport,
+    mode: str = "slice",
 ) -> np.ndarray | None:
     """Prune every CONV inside one Sequential.
 
     Returns the keep-set of the last conv if its channels escape the
     Sequential (no internal consumer), else None.
     """
+    conv_out = _APPLY[mode][0]
     escaping = None
     for pos, layer in enumerate(seq.layers):
         if not isinstance(layer, Conv2D):
@@ -211,8 +280,8 @@ def _prune_sequential_convs(
         requested = requested_removal(ch_out, rate)
         achieved = adjust_removal(ch_out, requested, constraint)
         keep = select_keep_filters(layer.params["weight"], achieved)
-        _slice_conv_out(layer, keep)
-        consumed = _apply_downstream(seq, pos, keep, shapes)
+        conv_out(layer, keep)
+        consumed = _apply_downstream(seq, pos, keep, shapes, mode)
         report.decisions.append(PruneDecision(
             layer.name, ch_out, requested, achieved, tuple(int(k) for k in keep)
         ))
@@ -226,6 +295,7 @@ def prune_model(
     rate: float,
     constraints: dict[str, LayerFoldConstraint] | None = None,
     prune_exits: bool = True,
+    mode: str = "slice",
 ) -> tuple[BranchedModel, PruneReport]:
     """Prune a (possibly branched) model at one pruning rate.
 
@@ -243,11 +313,26 @@ def prune_model(
     prune_exits:
         Prune exit CONV layers at the same rate (the "Pruned Exits"
         variant). Ignored for models without exits.
+    mode:
+        ``"slice"`` removes pruned channels physically; ``"mask"`` zeroes
+        them in place (shapes unchanged). Both modes make the *same*
+        decisions — masked channels contribute zero to the l1 ranking of
+        downstream layers, exactly like removed ones — and their reports
+        carry identical keep sets. The resulting *networks* agree only
+        approximately: quantized layers derive their weight scale from
+        the whole tensor (``auto_weight_scale``), so the masked zeros
+        shift the scale the surviving weights quantize against. Exact
+        equivalence is recovered at the IR level, where
+        :func:`repro.ir.passes.slice_channels` compacts a masked export
+        without requantizing.
 
     Returns
     -------
     ``(pruned_model, report)``
     """
+    if mode not in _APPLY:
+        raise ValueError(f"mode must be one of {sorted(_APPLY)}, got {mode!r}")
+    _, conv_in, _, linear_in = _APPLY[mode]
     constraints = constraints or {}
     new = model.clone()
     report = PruneReport(rate=rate, prune_exits=prune_exits)
@@ -263,20 +348,21 @@ def prune_model(
             handled = False
             for pos, layer in enumerate(seg.layers):
                 if isinstance(layer, Conv2D):
-                    _slice_conv_in(layer, pending)
+                    conv_in(layer, pending)
                     handled = True
                     break
                 if isinstance(layer, Flatten):
                     lin_pos = _find_next(seg.layers, pos + 1, Linear)
                     h, w = _spatial_upto(seg.layers, pos, shape[1:])
-                    _slice_linear_in_channels(seg.layers[lin_pos], pending, (h, w))
+                    linear_in(seg.layers[lin_pos], pending, (h, w))
                     handled = True
                     break
             if not handled:
                 raise PruningError(f"segment {si}: no consumer for pruned channels")
             pending = None
 
-        escaping = _prune_sequential_convs(seg, shape, rate, constraints, report)
+        escaping = _prune_sequential_convs(seg, shape, rate, constraints,
+                                           report, mode)
 
         # Exit branches see the segment output. Their input channels must
         # follow the backbone pruning regardless of the pruned flag.
@@ -284,7 +370,7 @@ def prune_model(
             first = new.exits[si].layers[0]
             if not isinstance(first, Conv2D):
                 raise PruningError("exit branches must start with a CONV layer")
-            _slice_conv_in(first, escaping)
+            conv_in(first, escaping)
         if si + 1 < len(new.segments):
             pending = escaping
         elif escaping is not None:
@@ -296,7 +382,7 @@ def prune_model(
         for si, branch in new.exits.items():
             branch_input = new.segments[si].output_shape(seg_input_shapes[si])
             _prune_sequential_convs(branch, branch_input, rate, constraints,
-                                    report)
+                                    report, mode)
 
     # Sanity check: a forward pass on a dummy input must work.
     probe = np.zeros((1,) + new.input_shape, dtype=np.float32)

@@ -47,10 +47,18 @@ class AcceleratorId:
     pruning_rate: float
     pruned_exits: bool = True
     variant: str = "ee"  # "ee" = early-exit model, "backbone" = no exits
+    # Precision axis: "base" = the trained QuantSpec (paper W2A2); other
+    # names (e.g. "int8") are post-training-quantized variants — a
+    # different bitstream, hence part of the identity.
+    precision: str = "base"
 
     def label(self) -> str:
         mode = "px" if self.pruned_exits else "npx"
-        return f"{self.variant}-pr{int(round(self.pruning_rate * 100)):02d}-{mode}"
+        label = (f"{self.variant}-pr"
+                 f"{int(round(self.pruning_rate * 100)):02d}-{mode}")
+        if self.precision != "base":
+            label += f"-{self.precision}"
+        return label
 
 
 @dataclass(frozen=True)
@@ -87,6 +95,11 @@ class LibraryEntry:
     def to_dict(self) -> dict:
         d = asdict(self)
         d["accelerator"] = asdict(self.accelerator)
+        # Keep the serialized form (and everything pinned to it: golden
+        # traces, point caches, library JSON) unchanged for base-precision
+        # entries from before the precision axis existed.
+        if d["accelerator"].get("precision") == "base":
+            del d["accelerator"]["precision"]
         return d
 
     @classmethod
@@ -126,7 +139,8 @@ _ENTRY_OPTIONAL = {
     "extra": "object",
 }
 _ACCEL_REQUIRED = {"pruning_rate": "number"}
-_ACCEL_OPTIONAL = {"pruned_exits": "bool", "variant": "str"}
+_ACCEL_OPTIONAL = {"pruned_exits": "bool", "variant": "str",
+                   "precision": "str"}
 
 
 def _is_number(v) -> bool:

@@ -91,3 +91,52 @@ class TestComputeDtype:
         b = AdaPExConfig.quick()
         b.compute_dtype = "float32"
         assert a.cache_key() != b.cache_key()
+
+
+class TestPrecisionAxis:
+    def test_default_is_base_only(self):
+        config = AdaPExConfig.quick()
+        assert config.precisions == ["base"]
+        assert config.zero_skip is False
+
+    def test_unknown_precision_rejected(self):
+        with pytest.raises(ValueError, match="unknown precision"):
+            AdaPExConfig.quick(seed=0).__class__(precisions=["int4"])
+
+    def test_empty_and_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            AdaPExConfig(precisions=[])
+        with pytest.raises(ValueError):
+            AdaPExConfig(precisions=["base", "base"])
+
+    def test_precision_spec_lookup(self):
+        config = AdaPExConfig.quick()
+        assert config.precision_spec("base") is None
+        spec = config.precision_spec("int8")
+        assert spec.weight_bits == 8 and spec.act_bits == 8
+        with pytest.raises(ValueError):
+            config.precision_spec("bf16")
+
+    def test_cache_key_unchanged_for_default(self):
+        """Pre-precision-axis keys must survive: golden traces pin them."""
+        a = AdaPExConfig.quick()
+        b = AdaPExConfig.quick()
+        b.precisions = ["base"]
+        b.zero_skip = False
+        assert a.cache_key() == b.cache_key()
+        assert a.point_cache_key() == b.point_cache_key()
+
+    def test_library_key_sees_precisions_point_key_does_not(self):
+        base = AdaPExConfig.quick()
+        wide = AdaPExConfig.quick()
+        wide.precisions = ["base", "int8"]
+        assert wide.cache_key() != base.cache_key()
+        # the per-point key ignores the sweep: old points keep hitting
+        assert wide.point_cache_key() == base.point_cache_key()
+
+    def test_zero_skip_salts_both_keys(self):
+        base = AdaPExConfig.quick()
+        zs = AdaPExConfig.quick()
+        zs.zero_skip = True
+        assert zs.cache_key() != base.cache_key()
+        assert zs.point_cache_key() != base.point_cache_key()

@@ -104,3 +104,57 @@ class TestGeneratorInternals:
         messages = []
         LibraryGenerator(cfg).generate(progress=messages.append)
         assert any("training base model" in m for m in messages)
+
+
+class TestPrecisionSweep:
+    """The precision axis multiplies the design space and serves INT8
+    variants through the standard runtime stack."""
+
+    @pytest.fixture(scope="class")
+    def int8_library(self):
+        from repro.nn.trainer import TrainConfig
+
+        cfg = AdaPExConfig.quick(seed=5)
+        cfg.train_samples = 96
+        cfg.test_samples = 48
+        cfg.pruning_rates = [0.5]
+        cfg.confidence_thresholds = [0.5]
+        cfg.initial_training = TrainConfig(epochs=1, batch_size=48,
+                                           lr=0.002)
+        cfg.precisions = ["base", "int8"]
+        cfg.zero_skip = True
+        # The full-width W8A8 twin does not fit ZCU104 (that is the
+        # pruning-enables-precision story); shrink the hardware twin.
+        cfg.resource_width_scale = 0.25
+        cfg.include_not_pruned_exits = False
+        cfg.include_backbone_variant = False
+        return LibraryGenerator(cfg).generate()
+
+    def test_both_precisions_present(self, int8_library):
+        precisions = {e.accelerator.precision for e in int8_library}
+        assert precisions == {"base", "int8"}
+        labels = {e.accelerator.label() for e in int8_library}
+        assert "ee-pr50-px" in labels
+        assert "ee-pr50-px-int8" in labels
+
+    def test_metadata_records_axis(self, int8_library):
+        assert int8_library.metadata["precisions"] == ["base", "int8"]
+        assert int8_library.metadata["zero_skip"] is True
+
+    def test_int8_costs_more_serves_less(self, int8_library):
+        base = next(e for e in int8_library
+                    if e.accelerator.precision == "base")
+        int8 = next(e for e in int8_library
+                    if e.accelerator.precision == "int8")
+        assert int8.resources["bram18"] > base.resources["bram18"]
+        assert int8.serving_ips < base.serving_ips
+
+    def test_serves_through_runtime_manager(self, int8_library):
+        from repro.runtime import RuntimeManager
+
+        manager = RuntimeManager(int8_library)
+        slow = manager.select(1.0)
+        assert slow is not None
+        # Every entry, including INT8 ones, is individually selectable.
+        for entry in int8_library:
+            assert manager.select(entry.serving_ips * 0.9) is not None

@@ -187,3 +187,22 @@ class TestGenerateWithPointCache:
             point_cache=str(tmp_path))
         assert len(lib) == 2
         assert len(list(tmp_path.glob("point_*.json"))) == 2
+
+
+class TestPrecisionSalt:
+    def test_base_precision_key_unchanged(self):
+        """precision='base' must hash like the pre-axis 4-arg key."""
+        legacy = PointCache.point_key("cfg", "ee", True, 0.5)
+        assert PointCache.point_key("cfg", "ee", True, 0.5,
+                                    precision="base") == legacy
+
+    def test_non_base_precision_salts(self):
+        base = PointCache.point_key("cfg", "ee", True, 0.5)
+        int8 = PointCache.point_key("cfg", "ee", True, 0.5,
+                                    precision="int8")
+        assert int8 != base
+
+    def test_distinct_precisions_distinct_keys(self):
+        keys = {PointCache.point_key("cfg", "ee", True, 0.5, precision=p)
+                for p in ("base", "int8", "int4")}
+        assert len(keys) == 3

@@ -4,12 +4,16 @@ import math
 
 import pytest
 
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.finn import (
     FoldingConfig,
     LayerFolding,
     auto_fold,
     cnv_reference_fold,
     fold_constraints,
+    largest_divisor_leq,
 )
 from repro.models import CNVConfig, ExitsConfiguration, build_cnv
 from repro.nn.layers import QuantConv2D, QuantLinear
@@ -139,3 +143,42 @@ class TestFoldConstraints:
     def test_exit_convs_present(self, model):
         cons = fold_constraints(model, cnv_reference_fold(model))
         assert "exit0_conv" in cons and "exit1_conv" in cons
+
+
+class TestLargestDivisorLeq:
+    """The shared folding workhorse (also used by the compiler backend)."""
+
+    def test_exact_divisor_returned(self):
+        assert largest_divisor_leq(64, 16) == 16
+        assert largest_divisor_leq(12, 6) == 6
+
+    def test_rounds_down_to_divisor(self):
+        assert largest_divisor_leq(12, 5) == 4
+        assert largest_divisor_leq(100, 33) == 25
+
+    def test_bound_at_or_above_n(self):
+        assert largest_divisor_leq(18, 18) == 18
+        assert largest_divisor_leq(18, 1000) == 18
+
+    def test_prime_rounds_to_one(self):
+        assert largest_divisor_leq(13, 12) == 1
+
+    def test_bound_below_one_clamps_serial(self):
+        assert largest_divisor_leq(8, 0) == 1
+        assert largest_divisor_leq(8, -3) == 1
+
+    def test_n_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            largest_divisor_leq(0, 4)
+
+    @given(n=st.integers(1, 4096), bound=st.integers(-8, 5000))
+    @settings(max_examples=120, deadline=None)
+    def test_result_is_largest_valid_divisor(self, n, bound):
+        d = largest_divisor_leq(n, bound)
+        assert 1 <= d <= n
+        assert n % d == 0
+        assert d <= max(bound, 1)
+        # nothing larger qualifies
+        for cand in range(d + 1, min(n, max(bound, 1)) + 1):
+            if n % cand == 0:
+                pytest.fail(f"{cand} divides {n} and fits bound {bound}")

@@ -8,6 +8,8 @@ from repro.finn import (
     PoolUnit,
     SlidingWindowUnit,
     ThresholdUnit,
+    ZERO_SKIP_OVERHEAD,
+    zero_skip_factor,
 )
 from repro.finn.resources import BRAM18_BITS
 
@@ -113,3 +115,79 @@ class TestThresholdUnit:
     def test_resources_positive(self):
         t = ThresholdUnit("t", channels=64, pixels=196, levels=3)
         assert t.resources().lut > 0
+
+
+class TestZeroSkip:
+    """Zero-skipping MVTU: cycles scale with density, floored by the
+    control overhead of the sparse datapath."""
+
+    def _mvtu(self, density):
+        return MVTU("m", rows=64, cols=64, pe=4, simd=4, vectors=100,
+                    density=density)
+
+    def test_dense_default_unchanged(self):
+        dense = self._mvtu(1.0)
+        assert dense.cycles() == 100 * dense.fold
+
+    def test_cycles_scale_with_density(self):
+        dense = self._mvtu(1.0).cycles()
+        assert self._mvtu(0.5).cycles() == pytest.approx(dense * 0.5)
+
+    def test_floor_at_control_overhead(self):
+        dense = self._mvtu(1.0).cycles()
+        floored = self._mvtu(0.05).cycles()
+        assert floored == pytest.approx(dense * ZERO_SKIP_OVERHEAD)
+        assert self._mvtu(0.0).cycles() == floored
+
+    def test_monotone_in_density(self):
+        cycles = [self._mvtu(round(0.05 * i, 2)).cycles()
+                  for i in range(21)]
+        assert all(a <= b for a, b in zip(cycles, cycles[1:]))
+
+    def test_at_least_one_cycle(self):
+        tiny = MVTU("t", rows=1, cols=1, vectors=1, density=0.0)
+        assert tiny.cycles() == 1
+
+    def test_density_validated(self):
+        with pytest.raises(ValueError):
+            self._mvtu(1.5)
+        with pytest.raises(ValueError):
+            self._mvtu(-0.1)
+
+    def test_factor_function(self):
+        assert zero_skip_factor(1.0) == 1.0
+        assert zero_skip_factor(0.0) == ZERO_SKIP_OVERHEAD
+        assert zero_skip_factor(0.6) == 0.6
+        # custom overhead floors win
+        assert zero_skip_factor(0.1, overhead=0.5) == 0.5
+
+    def test_resources_unaffected_by_density(self):
+        # Zero-skip changes the schedule, not the datapath size: the
+        # weight memory still stores the dense matrix (idx+val fits the
+        # same footprint at these widths) and the MAC array is unchanged.
+        assert self._mvtu(0.3).resources() == self._mvtu(1.0).resources()
+
+
+class TestDspPacking:
+    """DSP SIMD packing in the MVTU resource model."""
+
+    def _mvtu(self, wb, ab):
+        return MVTU("m", rows=32, cols=32, pe=4, simd=8, vectors=10,
+                    weight_bits=wb, act_bits=ab, thresholds=0)
+
+    def test_low_precision_uses_no_dsp(self):
+        assert self._mvtu(2, 2).resources().dsp == 0.0
+
+    def test_int8_packs_two_per_dsp(self):
+        res = self._mvtu(8, 8).resources()
+        assert res.dsp == 16.0  # 32 lanes / 2-per-slice
+
+    def test_wide_weights_forfeit_packing(self):
+        assert self._mvtu(16, 8).resources().dsp == 32.0
+
+    def test_dsp_offloads_fabric(self):
+        lut8 = self._mvtu(8, 8).resources().lut
+        lut2 = self._mvtu(2, 2).resources().lut
+        # The 8-bit unit routes through DSPs, so its fabric LUTs stay
+        # well below a hypothetical 64-bit-product LUT array.
+        assert lut8 < 4 * lut2

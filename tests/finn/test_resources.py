@@ -1,0 +1,147 @@
+"""Resource-model properties: ResourceEstimate arithmetic,
+bram18_for_bits edge cases, and DSP SIMD-packing laws."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.finn.resources import (
+    BRAM18_BITS,
+    DSP_OPERAND_BITS,
+    DSP_PACK_FACTOR,
+    ResourceEstimate,
+    bram18_for_bits,
+    dsp_for_macs,
+    memory_resources,
+)
+
+_counts = st.floats(0.0, 1e6, allow_nan=False, allow_infinity=False)
+
+
+def _estimates():
+    return st.builds(ResourceEstimate, lut=_counts, ff=_counts,
+                     bram18=_counts, dsp=_counts)
+
+
+class TestResourceEstimateProperties:
+    @given(a=_estimates(), b=_estimates())
+    @settings(max_examples=60, deadline=None)
+    def test_addition_commutes(self, a, b):
+        assert a + b == b + a
+
+    @given(a=_estimates(), b=_estimates(), c=_estimates())
+    @settings(max_examples=60, deadline=None)
+    def test_addition_componentwise(self, a, b, c):
+        total = a + b + c
+        for field in ("lut", "ff", "bram18", "dsp"):
+            assert getattr(total, field) == pytest.approx(
+                getattr(a, field) + getattr(b, field) + getattr(c, field))
+
+    @given(items=st.lists(_estimates(), max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_sum_with_zero_start(self, items):
+        total = sum(items, ResourceEstimate())
+        bare = sum(items)  # exercises __radd__ against int 0
+        if items:
+            assert total == bare
+        else:
+            assert bare == 0
+        assert total.lut == pytest.approx(sum(i.lut for i in items))
+
+    @given(a=_estimates(), f=st.floats(0.0, 100.0))
+    @settings(max_examples=60, deadline=None)
+    def test_scaled_is_linear(self, a, f):
+        scaled = a.scaled(f)
+        for field in ("lut", "ff", "bram18", "dsp"):
+            assert getattr(scaled, field) == pytest.approx(
+                getattr(a, field) * f)
+
+    @given(a=_estimates())
+    @settings(max_examples=40, deadline=None)
+    def test_as_dict_round_trip(self, a):
+        d = a.as_dict()
+        assert set(d) == {"lut", "ff", "bram18", "dsp"}
+        assert ResourceEstimate(**d) == a
+
+
+class TestBram18ForBits:
+    def test_zero_and_negative_bits_are_free(self):
+        assert bram18_for_bits(0) == 0.0
+        assert bram18_for_bits(-5) == 0.0
+
+    def test_sub_one_bram(self):
+        # Any positive size, however small, rounds up to a whole block.
+        assert bram18_for_bits(1) == 1.0
+        assert bram18_for_bits(BRAM18_BITS * 0.8) == 1.0
+
+    def test_packing_efficiency_bounds(self):
+        with pytest.raises(ValueError):
+            bram18_for_bits(100, packing_efficiency=0.0)
+        with pytest.raises(ValueError):
+            bram18_for_bits(100, packing_efficiency=1.5)
+        assert bram18_for_bits(BRAM18_BITS, packing_efficiency=1.0) == 1.0
+
+    @given(bits=st.floats(0.0, 1e9), eff=st.sampled_from([0.5, 0.8, 1.0]))
+    @settings(max_examples=80, deadline=None)
+    def test_ceil_of_effective_capacity(self, bits, eff):
+        got = bram18_for_bits(bits, packing_efficiency=eff)
+        if bits <= 0:
+            assert got == 0.0
+        else:
+            assert got == max(1, math.ceil(bits / (BRAM18_BITS * eff)))
+            assert got * BRAM18_BITS * eff >= bits
+
+    @given(lo=st.floats(1.0, 1e8), extra=st.floats(0.0, 1e8))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_bits(self, lo, extra):
+        assert bram18_for_bits(lo + extra) >= bram18_for_bits(lo)
+
+
+class TestDspForMacs:
+    def test_sub_8bit_stays_in_fabric(self):
+        assert dsp_for_macs(16, 8, weight_bits=2, act_bits=2) == 0.0
+        assert dsp_for_macs(16, 8, weight_bits=7, act_bits=8) == 0.0
+
+    def test_8bit_packs_two_per_dsp(self):
+        assert dsp_for_macs(4, 4, weight_bits=8, act_bits=8) == 8.0
+        assert dsp_for_macs(1, 1, weight_bits=8, act_bits=8) == 1.0
+
+    def test_wide_operands_forfeit_packing(self):
+        assert dsp_for_macs(4, 4, weight_bits=16, act_bits=8) == 16.0
+        assert dsp_for_macs(4, 4, weight_bits=8, act_bits=16) == 16.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dsp_for_macs(0, 4, 8, 8)
+        with pytest.raises(ValueError):
+            dsp_for_macs(4, 0, 8, 8)
+
+    @given(pe=st.integers(1, 64), simd=st.integers(1, 64),
+           wb=st.integers(1, 16), ab=st.integers(1, 16))
+    @settings(max_examples=100, deadline=None)
+    def test_packing_law(self, pe, simd, wb, ab):
+        got = dsp_for_macs(pe, simd, wb, ab)
+        lanes = pe * simd
+        if wb < DSP_OPERAND_BITS:
+            assert got == 0.0
+        elif wb <= DSP_OPERAND_BITS and ab <= DSP_OPERAND_BITS:
+            assert got == math.ceil(lanes / DSP_PACK_FACTOR)
+        else:
+            assert got == lanes
+        assert 0.0 <= got <= lanes
+
+
+class TestMemoryResources:
+    def test_empty_memory_is_free(self):
+        assert memory_resources(0) == ResourceEstimate()
+
+    @given(bits=st.floats(1.0, 1e8))
+    @settings(max_examples=60, deadline=None)
+    def test_lutram_below_threshold(self, bits):
+        est = memory_resources(bits)
+        if bits < 4096:
+            assert est.bram18 == 0.0 and est.lut > 0.0
+        else:
+            assert est.lut == 0.0 and est.bram18 >= 1.0

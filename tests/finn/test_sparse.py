@@ -1,0 +1,184 @@
+"""Compressed (idx, val) weight export: exactness, channel metadata,
+serialization, and the hypothesis round-trip sweep over dtypes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.finn import (
+    SparseModelExport,
+    SparseTensor,
+    export_sparse_weights,
+)
+from repro.ir import export_model, streamline
+from repro.models import CNVConfig, ExitsConfiguration, build_cnv
+from repro.pruning import prune_model
+
+
+@pytest.fixture(scope="module")
+def masked_setup():
+    model = build_cnv(CNVConfig(width_scale=0.25, seed=0),
+                      ExitsConfiguration.paper_default(pruned=True))
+    masked, report = prune_model(model, 0.5, mode="mask")
+    graph = export_model(masked)
+    streamline(graph)
+    return graph, report
+
+
+class TestSparseTensor:
+    def test_round_trip_exact(self):
+        rng = np.random.default_rng(0)
+        arr = rng.standard_normal((8, 6))
+        arr[arr < 0.3] = 0.0
+        st_arr = SparseTensor.from_dense(arr)
+        np.testing.assert_array_equal(st_arr.to_dense(), arr)
+        assert st_arr.to_dense().dtype == arr.dtype
+
+    def test_nnz_density(self):
+        arr = np.array([[0.0, 1.0], [2.0, 0.0]])
+        t = SparseTensor.from_dense(arr)
+        assert t.nnz == 2
+        assert t.size == 4
+        assert t.density == 0.5
+
+    def test_all_zero(self):
+        t = SparseTensor.from_dense(np.zeros((3, 3)))
+        assert t.nnz == 0
+        assert t.density == 0.0
+        np.testing.assert_array_equal(t.to_dense(), np.zeros((3, 3)))
+
+    def test_empty_tensor_density_is_one(self):
+        t = SparseTensor.from_dense(np.zeros((0, 4)))
+        assert t.size == 0
+        assert t.density == 1.0
+
+    def test_dict_round_trip_byte_exact(self):
+        rng = np.random.default_rng(1)
+        arr = rng.standard_normal((5, 7)).astype(np.float32)
+        arr[arr > 0] = 0.0
+        t = SparseTensor.from_dense(arr)
+        back = SparseTensor.from_dict(t.to_dict())
+        assert back.dtype == t.dtype
+        np.testing.assert_array_equal(back.to_dense(), arr)
+        assert back.to_dense().tobytes() == arr.tobytes()
+
+    def test_mismatched_pairs_rejected(self):
+        with pytest.raises(ValueError):
+            SparseTensor(shape=(2,), dtype="float64",
+                         indices=np.array([0], dtype=np.int64),
+                         values=np.array([1.0, 2.0]))
+
+
+class TestExportSparseWeights:
+    def test_every_compute_layer_exported(self, masked_setup):
+        graph, _ = masked_setup
+        export = export_sparse_weights(graph)
+        compute = [n for n in graph.topological_order()
+                   if n.op_type in ("Conv", "MatMul")]
+        assert len(export.layers) == len(compute)
+        assert {e.name for e in export.layers} == {n.name for n in compute}
+
+    def test_dense_reconstruction_exact(self, masked_setup):
+        graph, _ = masked_setup
+        export = export_sparse_weights(graph)
+        dense = export.to_dense()
+        for node in graph.topological_order():
+            if node.op_type in ("Conv", "MatMul"):
+                np.testing.assert_array_equal(
+                    dense[node.name], node.initializers["weight"])
+
+    def test_masked_layers_are_sparse(self, masked_setup):
+        graph, report = masked_setup
+        export = export_sparse_weights(graph, report)
+        pruned_names = {d.layer_name for d in report.decisions
+                        if d.achieved_removal}
+        for entry in export.layers:
+            if entry.name.split("/")[-1] in pruned_names:
+                assert entry.density < 1.0
+        assert export.density() < 1.0
+        assert export.nnz() > 0
+
+    def test_channel_metadata_from_report(self, masked_setup):
+        graph, report = masked_setup
+        export = export_sparse_weights(graph, report)
+        for decision in report.decisions:
+            entry = next(e for e in export.layers
+                         if e.name.split("/")[-1] == decision.layer_name)
+            assert entry.channels_total == decision.channels_before
+            assert entry.channels_kept == tuple(decision.keep)
+            assert entry.channel_sparsity == pytest.approx(
+                decision.achieved_rate)
+
+    def test_no_report_no_metadata(self, masked_setup):
+        graph, _ = masked_setup
+        export = export_sparse_weights(graph)
+        for entry in export.layers:
+            assert entry.channels_total is None
+            assert entry.channels_kept is None
+            assert entry.channel_sparsity == 0.0
+
+    def test_weight_bits_recorded(self, masked_setup):
+        graph, _ = masked_setup
+        export = export_sparse_weights(graph)
+        assert all(e.weight_bits >= 1 for e in export.layers)
+
+    def test_model_dict_round_trip(self, masked_setup):
+        graph, report = masked_setup
+        export = export_sparse_weights(graph, report)
+        back = SparseModelExport.from_dict(export.to_dict())
+        assert back.graph_name == export.graph_name
+        assert len(back.layers) == len(export.layers)
+        for a, b in zip(export.layers, back.layers):
+            assert a.name == b.name
+            assert a.channels_kept == b.channels_kept
+            np.testing.assert_array_equal(a.weight.to_dense(),
+                                          b.weight.to_dense())
+
+    def test_layer_lookup(self, masked_setup):
+        graph, _ = masked_setup
+        export = export_sparse_weights(graph)
+        name = export.layers[0].name
+        assert export.layer(name) is export.layers[0]
+        with pytest.raises(KeyError):
+            export.layer("no-such-layer")
+
+
+_DTYPES = ["int8", "uint8", "int16", "int32", "int64",
+           "float16", "float32", "float64"]
+
+
+class TestRoundTripProperties:
+    """Hypothesis sweep: exact (idx, val) round-trip for any dtype and
+    any sparsity, including fully-dense and fully-pruned layers."""
+
+    @given(dtype=st.sampled_from(_DTYPES),
+           rows=st.integers(1, 8), cols=st.integers(1, 8),
+           zero_prob=st.sampled_from([0.0, 0.3, 0.7, 1.0]),
+           seed=st.integers(0, 2**16))
+    @settings(max_examples=80, deadline=None)
+    def test_dense_round_trip(self, dtype, rows, cols, zero_prob, seed):
+        rng = np.random.default_rng(seed)
+        arr = (rng.standard_normal((rows, cols)) * 8).astype(dtype)
+        arr[rng.random((rows, cols)) < zero_prob] = 0
+        t = SparseTensor.from_dense(arr)
+        assert t.nnz == int(np.count_nonzero(arr))
+        back = t.to_dense()
+        assert back.dtype == arr.dtype
+        np.testing.assert_array_equal(back, arr)
+
+    @given(dtype=st.sampled_from(_DTYPES),
+           rows=st.integers(1, 6), cols=st.integers(1, 6),
+           zero_prob=st.sampled_from([0.0, 0.5, 1.0]),
+           seed=st.integers(0, 2**16))
+    @settings(max_examples=60, deadline=None)
+    def test_serialized_round_trip(self, dtype, rows, cols, zero_prob,
+                                   seed):
+        rng = np.random.default_rng(seed)
+        arr = (rng.standard_normal((rows, cols)) * 8).astype(dtype)
+        arr[rng.random((rows, cols)) < zero_prob] = 0
+        back = SparseTensor.from_dict(
+            SparseTensor.from_dense(arr).to_dict())
+        restored = back.to_dense()
+        assert restored.dtype == arr.dtype
+        assert restored.tobytes() == arr.tobytes()

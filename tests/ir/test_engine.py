@@ -311,3 +311,121 @@ class TestRunMany:
         plan.run(_batch(n=5, seed=11))  # stomp the arena
         for outs, snap in zip(many, snapshots):
             assert_outputs_equal(snap, outs)
+
+
+class TestSparseCompaction:
+    """sparse=True compile: pruned-channel GEMM column/row compaction,
+    bit-identical to the slice_channels oracle."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        from repro.ir import slice_channels
+
+        masked, report = prune_model(_cnv(), 0.5, mode="mask")
+        graph = export_model(masked)
+        streamline(graph)
+        keeps = {d.layer_name: list(d.keep) for d in report.decisions}
+        sliced = slice_channels(graph, keeps)
+        return graph, sliced, report
+
+    def test_stats_report_compaction(self, setup):
+        graph, _, report = setup
+        plan = graph.compile(sparse=True)
+        stats = plan.stats()
+        assert stats["sparse"] is True
+        assert stats["compacted_nodes"] > 0
+        dropped = sum(d.achieved_removal for d in report.decisions)
+        assert stats["dropped_channels"] == dropped
+
+    def test_channel_keep_matches_prune_report(self, setup):
+        graph, _, report = setup
+        plan = graph.compile(sparse=True)
+        keep = plan.stats()["channel_keep"]
+        by_bare = {name.split("/")[-1]: idx for name, idx in keep.items()}
+        for d in report.decisions:
+            if d.achieved_removal:
+                assert by_bare[d.layer_name] == sorted(d.keep)
+
+    def test_bit_identical_to_sliced_oracle(self, setup):
+        graph, sliced, _ = setup
+        x = _batch(6, seed=5)
+        got = graph.compile(sparse=True).run(x)
+        assert_outputs_equal(sliced.execute(x), got)
+        assert_outputs_equal(sliced.compile().run(x), got)
+
+    def test_allclose_to_dense_plan(self, setup):
+        graph, _, _ = setup
+        x = _batch(6, seed=5)
+        dense = graph.compile().run(x)
+        sparse = graph.compile(sparse=True).run(x)
+        assert_outputs_equal(dense, sparse, exact=False)
+
+    def test_dense_graph_not_compacted(self):
+        graph = export_model(_cnv())
+        streamline(graph)
+        plan = graph.compile(sparse=True)
+        stats = plan.stats()
+        assert stats["compacted_nodes"] == 0
+        assert stats["dropped_channels"] == 0
+        x = _batch(4)
+        assert_outputs_equal(graph.compile().run(x), plan.run(x))
+
+    def test_default_compile_is_dense(self, setup):
+        graph, _, _ = setup
+        stats = graph.compile().stats()
+        assert stats["sparse"] is False
+        assert "compacted_nodes" not in stats
+
+    def test_sparse_float32(self, setup):
+        graph, sliced, _ = setup
+        x = _batch(4, seed=7)
+        got = graph.compile(dtype=np.float32, sparse=True).run(x)
+        ref = sliced.compile(dtype=np.float32).run(x)
+        assert_outputs_equal(ref, got)
+
+    def test_outputs_never_dropped(self, setup):
+        graph, _, _ = setup
+        plan = graph.compile(sparse=True)
+        keep = plan.stats()["channel_keep"]
+        # No compacted node writes a graph output: logits stay 10-wide.
+        x = _batch(2)
+        for out in plan.run(x):
+            assert out.shape[-1] == 10
+        assert all(len(idx) > 0 for idx in keep.values())
+
+
+class TestSparseTFC:
+    """MatMul-only models: the FC compaction path of sparse mode."""
+
+    def test_dense_tfc_is_a_noop(self):
+        from repro.models.tfc import TFCConfig, build_tfc
+
+        graph = export_model(build_tfc(TFCConfig(seed=0)))
+        streamline(graph)
+        plan = graph.compile(sparse=True)
+        assert plan.stats()["compacted_nodes"] == 0
+        x = np.random.default_rng(0).standard_normal((4, 1, 28, 28))
+        assert_outputs_equal(graph.compile().run(x), plan.run(x))
+
+    def test_masked_hidden_units_compact(self):
+        from repro.ir import slice_channels
+        from repro.models.tfc import TFCConfig, build_tfc
+
+        graph = export_model(build_tfc(TFCConfig(seed=0)))
+        streamline(graph)
+        mms = [n for n in graph.topological_order()
+               if n.op_type == "MatMul"]
+        host, nxt = mms[0], mms[1]
+        rows = host.initializers["weight"].shape[0]
+        drop = np.arange(3, 11)
+        host.initializers["weight"][drop] = 0.0
+        if "bias" in host.initializers:
+            host.initializers["bias"][drop] = 0.0
+        nxt.initializers["weight"][:, drop] = 0.0
+
+        plan = graph.compile(sparse=True)
+        assert plan.stats()["dropped_channels"] == len(drop)
+        keep = sorted(set(range(rows)) - set(drop.tolist()))
+        sliced = slice_channels(graph, {host.name: keep})
+        x = np.random.default_rng(1).standard_normal((6, 1, 28, 28))
+        assert_outputs_equal(sliced.execute(x), plan.run(x))

@@ -151,3 +151,73 @@ class TestWeightQuantLevels:
         levels = weight_quant_levels(3, 3.0)
         assert len(levels) == 7
         np.testing.assert_allclose(levels, [-3, -2, -1, 0, 1, 2, 3])
+
+
+class TestPostTrainingQuantize:
+    def _model(self):
+        from repro.models import CNVConfig, ExitsConfiguration, build_cnv
+
+        return build_cnv(CNVConfig(width_scale=0.125, seed=0),
+                         ExitsConfiguration.paper_default(pruned=True))
+
+    def test_widths_swapped_everywhere(self):
+        from repro.nn import post_training_quantize
+
+        model = self._model()
+        ptq = post_training_quantize(model, weight_bits=8, act_bits=8)
+        for layer in ptq.all_layers():
+            quant = getattr(layer, "quant", None)
+            if quant is not None:
+                assert quant.weight_bits == 8
+                assert quant.act_bits == 8
+
+    def test_original_untouched(self):
+        from repro.nn import post_training_quantize
+
+        model = self._model()
+        post_training_quantize(model, 8, 8)
+        for layer in model.all_layers():
+            quant = getattr(layer, "quant", None)
+            if quant is not None:
+                assert quant.weight_bits == 2
+
+    def test_int8_uses_finer_grid(self):
+        """W8 fake-quantization realises many more distinct weight
+        values than the ternary W2 grid."""
+        from repro.nn import post_training_quantize
+        from repro.nn.layers import QuantConv2D
+
+        model = self._model()
+        ptq = post_training_quantize(model, 8, 8)
+        model.eval(), ptq.eval()
+        x = np.random.default_rng(0).normal(size=(2, 3, 32, 32))
+        model.forward(x), ptq.forward(x)
+        conv2 = next(l for l in model.all_layers()
+                     if isinstance(l, QuantConv2D) and l.in_channels > 3)
+        conv8 = next(l for l in ptq.all_layers()
+                     if isinstance(l, QuantConv2D) and l.in_channels > 3)
+        w2 = quantize_weights(conv2.params["weight"], 2)
+        w8 = quantize_weights(conv8.params["weight"], 8)
+        assert len(np.unique(w8)) > 3 * len(np.unique(w2))
+
+    def test_layerless_model_rejected(self):
+        from repro.nn import post_training_quantize
+
+        class Bare:
+            name = "bare"
+
+            def clone(self):
+                return self
+
+            def all_layers(self):
+                return []
+
+        with pytest.raises(ValueError, match="no quantized layers"):
+            post_training_quantize(Bare(), 8, 8)
+
+    def test_precision_specs_registry(self):
+        from repro.nn import PRECISION_SPECS
+
+        assert PRECISION_SPECS["int8"].name == "W8A8"
+        for spec in PRECISION_SPECS.values():
+            assert isinstance(spec, QuantSpec)

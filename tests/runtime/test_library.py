@@ -299,3 +299,43 @@ class TestTruncationAndSalvage:
         toy_library.save(path)
         toy_library.save(path)
         assert [p.name for p in tmp_path.iterdir()] == ["lib.json"]
+
+
+class TestPrecisionField:
+    def test_default_base(self):
+        aid = AcceleratorId(variant="ee", pruning_rate=0.4,
+                            pruned_exits=True)
+        assert aid.precision == "base"
+        assert aid.label() == "ee-pr40-px"
+
+    def test_label_carries_non_base_precision(self):
+        aid = AcceleratorId(variant="ee", pruning_rate=0.4,
+                            pruned_exits=True, precision="int8")
+        assert aid.label() == "ee-pr40-px-int8"
+
+    def test_base_serialization_byte_compatible(self):
+        entry = make_entry(rate=0.4, ct=0.5, acc=0.8, ips=100.0)
+        d = entry.to_dict()
+        assert "precision" not in d["accelerator"]
+        back = LibraryEntry.from_dict(d)
+        assert back.accelerator.precision == "base"
+        assert back.to_dict() == d
+
+    def test_int8_round_trip(self):
+        import dataclasses
+
+        entry = dataclasses.replace(
+            make_entry(rate=0.4, ct=0.5, acc=0.8, ips=100.0),
+            accelerator=AcceleratorId(variant="ee", pruning_rate=0.4,
+                                      pruned_exits=True,
+                                      precision="int8"))
+        d = entry.to_dict()
+        assert d["accelerator"]["precision"] == "int8"
+        back = LibraryEntry.from_dict(d)
+        assert back.accelerator.precision == "int8"
+        assert back.accelerator == entry.accelerator
+
+    def test_precision_distinguishes_ids(self):
+        a = AcceleratorId("ee", 0.4, True)
+        b = AcceleratorId("ee", 0.4, True, precision="int8")
+        assert a != b
