@@ -22,6 +22,7 @@ from .core.adapex import AdaPExFramework
 from .core.checkpoint import SweepManifest
 from .core.config import AdaPExConfig
 from .core.errors import IntegrityError
+from .core.halving import HalvingConfig, HalvingSearch
 from .core.instrument import PhaseTimer
 from .core.supervise import SuperviseConfig
 from .edge.server import ServerConfig, simulate_policy
@@ -136,6 +137,15 @@ def _validate_args(parser: argparse.ArgumentParser, args) -> None:
         if args.resume and not args.point_cache:
             parser.error("--resume needs --point-cache: the checkpoint "
                          "manifest lives in the point-cache directory")
+        if args.halving is not None:
+            if not args.point_cache:
+                parser.error("--halving needs --point-cache: rung "
+                             "checkpoints and scores live in the "
+                             "point-cache directory")
+            try:
+                HalvingConfig.parse(args.halving)
+            except ValueError as exc:
+                parser.error(f"argument --halving: {exc}")
         if args.resume:
             manifest = Path(args.point_cache) / "manifest.json"
             if not manifest.exists():
@@ -231,6 +241,23 @@ def build_parser() -> argparse.ArgumentParser:
                           "'int8' adds a W8A8 post-training-quantized "
                           "variant of every design point (DSP-packed in "
                           "the resource model)")
+    gen.add_argument("--criterion", dest="criteria", metavar="C,C,...",
+                     help="comma-separated pruning-criterion sweep, e.g. "
+                          "'l1,fpgm,hapm': l1 = magnitude ranking (paper "
+                          "default), fpgm = geometric-median redundancy, "
+                          "hapm = hardware-aware allocation weighted by "
+                          "per-layer cycle cost from the FINN model")
+    gen.add_argument("--schedule", dest="schedules", metavar="S,S,...",
+                     help="comma-separated retraining-schedule sweep, "
+                          "e.g. 'hard,psfp': hard = prune once then "
+                          "retrain (paper default), psfp = progressive "
+                          "soft filter pruning over the retraining budget")
+    gen.add_argument("--halving", metavar="SPEC", nargs="?", const="",
+                     help="search the design space with multi-fidelity "
+                          "successive halving instead of exhaustively "
+                          "training every point (needs --point-cache); "
+                          "optional key=value overrides, e.g. "
+                          "'min_epochs=1,eta=2,extra_keep=3'")
     gen.add_argument("--zero-skip", action="store_true",
                      help="model zero-skipping MVTUs: stage cycles scale "
                           "with weight non-zero density (floored by "
@@ -426,6 +453,12 @@ def _cmd_generate(args) -> int:
     if args.precisions:
         config.precisions = [p.strip() for p in args.precisions.split(",")
                              if p.strip()]
+    if args.criteria:
+        config.criteria = [c.strip() for c in args.criteria.split(",")
+                           if c.strip()]
+    if args.schedules:
+        config.schedules = [s.strip() for s in args.schedules.split(",")
+                            if s.strip()]
     if args.zero_skip:
         config.zero_skip = True
     config.__post_init__()  # re-validate after the overrides
@@ -440,11 +473,22 @@ def _cmd_generate(args) -> int:
             print(f"resuming sweep: {manifest.summary()}")
     supervise = SuperviseConfig(timeout_s=args.point_timeout,
                                 retries=args.point_retries)
-    framework = AdaPExFramework(config)
     timer = PhaseTimer()
-    library = framework.build_library(progress=print, timer=timer,
-                                      point_cache=args.point_cache,
-                                      supervise=supervise)
+    if args.halving is not None:
+        search = HalvingSearch(config,
+                               halving=HalvingConfig.parse(args.halving))
+        library = search.run(args.point_cache, progress=print,
+                             timer=timer, supervise=supervise)
+        rep = search.last_report
+        print(f"halving: {rep.epochs_total} training epochs "
+              f"({rep.epochs_this_run} this run, exhaustive would be "
+              f"{rep.exhaustive_epochs}; "
+              f"{rep.epoch_reduction:.1f}x reduction)")
+    else:
+        framework = AdaPExFramework(config)
+        library = framework.build_library(progress=print, timer=timer,
+                                          point_cache=args.point_cache,
+                                          supervise=supervise)
     library.save(args.output)
     quarantined = library.metadata.get("quarantined") or []
     if quarantined:

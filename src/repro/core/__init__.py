@@ -15,6 +15,13 @@ from .checkpoint import SweepManifest
 from .config import AdaPExConfig, paper_threshold_sweep
 from .design_time import LibraryGenerator
 from .explore import explore_exit_placements
+from .halving import (
+    HalvingConfig,
+    HalvingReport,
+    HalvingSearch,
+    pareto_front,
+    pareto_ranks,
+)
 from .instrument import PhaseTimer
 from .parallel import fork_available, parallel_map, resolve_workers
 from .pointcache import PointCache
@@ -27,6 +34,8 @@ from .supervise import (
 
 __all__ = ["AdaPExFramework", "AdaPExConfig", "paper_threshold_sweep",
            "LibraryGenerator", "explore_exit_placements",
+           "HalvingConfig", "HalvingReport", "HalvingSearch",
+           "pareto_front", "pareto_ranks",
            "PhaseTimer", "PointCache",
            "fork_available", "parallel_map", "resolve_workers",
            "ReproError", "TransientError", "PermanentError",

@@ -101,15 +101,24 @@ class SweepManifest:
     # mutation
     # ------------------------------------------------------------------
     def ensure(self, key: str, variant: str, pruned_exits: bool,
-               rate: float, precision: str = "base") -> None:
+               rate: float, precision: str = "base",
+               criterion: str = "l1", schedule: str = "hard",
+               fidelity: str = "full") -> None:
         """Register a point as ``pending`` if it has no record yet."""
         if key not in self.points:
             rec = {"variant": variant,
                    "pruned_exits": bool(pruned_exits),
                    "rate": rate, "status": "pending",
                    "failure": None}
-            if precision != "base":  # keep old manifests byte-compatible
+            # Non-default axes only: keeps old manifests byte-compatible.
+            if precision != "base":
                 rec["precision"] = precision
+            if criterion != "l1":
+                rec["criterion"] = criterion
+            if schedule != "hard":
+                rec["schedule"] = schedule
+            if fidelity != "full":
+                rec["fidelity"] = fidelity
             self.points[key] = rec
 
     def mark(self, key: str, status: str,

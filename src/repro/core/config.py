@@ -58,6 +58,16 @@ class AdaPExConfig:
     # :data:`repro.nn.quant.PRECISION_SPECS` and is applied to the trained
     # model by post-training quantization before characterization.
     precisions: list = field(default_factory=lambda: ["base"])
+    # Pruning-criterion axis: each named criterion from
+    # :data:`repro.pruning.ranking.CRITERIA` multiplies the design space.
+    # "l1" is the paper's magnitude ranking; "fpgm" ranks by geometric-
+    # median redundancy; "hapm" reallocates the removal budget toward
+    # layers with high per-frame cycle cost in the FINN model.
+    criteria: list = field(default_factory=lambda: ["l1"])
+    # Retraining-schedule axis: "hard" (prune once, then retrain) and/or
+    # "psfp" (progressive soft filter pruning — see
+    # :mod:`repro.pruning.schedule`).
+    schedules: list = field(default_factory=lambda: ["hard"])
     # Model zero-skipping MVTUs (cycle counts scale with weight density,
     # floored by control overhead) when compiling accelerators.
     zero_skip: bool = False
@@ -117,6 +127,26 @@ class AdaPExConfig:
                     f"{sorted(PRECISION_SPECS)}")
         if len(set(self.precisions)) != len(self.precisions):
             raise ValueError("duplicate precisions")
+        from ..pruning.ranking import CRITERIA
+        from ..pruning.schedule import SCHEDULES
+        if not self.criteria:
+            raise ValueError("need at least one pruning criterion")
+        for c in self.criteria:
+            if c not in CRITERIA:
+                raise ValueError(
+                    f"unknown pruning criterion {c!r}: expected one of "
+                    f"{sorted(CRITERIA)}")
+        if len(set(self.criteria)) != len(self.criteria):
+            raise ValueError("duplicate criteria")
+        if not self.schedules:
+            raise ValueError("need at least one retraining schedule")
+        for s in self.schedules:
+            if s not in SCHEDULES:
+                raise ValueError(
+                    f"unknown retraining schedule {s!r}: expected one of "
+                    f"{sorted(SCHEDULES)}")
+        if len(set(self.schedules)) != len(self.schedules):
+            raise ValueError("duplicate schedules")
 
     @property
     def np_dtype(self):
@@ -173,6 +203,12 @@ class AdaPExConfig:
             # PointCache key, so extending the sweep keeps old hits.
             if list(self.precisions) != ["base"]:
                 parts.append(tuple(self.precisions))
+            # Criterion and schedule axes follow the same rule: the sweep
+            # lists identify the library, each point salts its own key.
+            if list(self.criteria) != ["l1"]:
+                parts.append(("criteria", tuple(self.criteria)))
+            if list(self.schedules) != ["hard"]:
+                parts.append(("schedules", tuple(self.schedules)))
         return parts
 
     def precision_spec(self, precision: str) -> "QuantSpec | None":

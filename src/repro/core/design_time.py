@@ -53,6 +53,8 @@ from ..nn.serialize import load_state_arrays, state_arrays
 from ..nn.shmstate import publish_state_arrays, receive_state_arrays
 from ..nn.trainer import Trainer, cascade_sweep, evaluate_exits
 from ..pruning.pruner import prune_model
+from ..pruning.ranking import HAPMCriterion, get_criterion
+from ..pruning.schedule import psfp_prune_retrain
 from ..runtime.library import AcceleratorId, Library, LibraryEntry
 from .checkpoint import SweepManifest
 from .config import AdaPExConfig
@@ -75,6 +77,10 @@ class _VariantContext:
     scaled_constraints: dict
     hw_constraints: dict
     folding: object
+    # CONV layer name -> per-frame cycle cost of its MVTU in the compiled
+    # *unpruned* accelerator. Only populated when the sweep uses the
+    # hardware-aware criterion; empty otherwise.
+    layer_costs: dict = None
 
     @property
     def key(self) -> tuple:
@@ -83,6 +89,39 @@ class _VariantContext:
     @property
     def label(self) -> str:
         return accel_label(self.variant, self.pruned_exits)
+
+
+def sweep_points(cfg: AdaPExConfig, variants) -> list:
+    """The sweep as a flat, deterministically ordered point list.
+
+    Each point is ``(variant_key, rate, precision, criterion, schedule)``.
+    At rate 0 neither the criterion nor the schedule can matter (nothing
+    is pruned or retrained), so those points are canonicalized to
+    ``("l1", "hard")`` — one point instead of ``criteria x schedules``
+    duplicates, and old single-axis caches keep hitting.
+    """
+    points = []
+    for key in variants:
+        for rate in cfg.pruning_rates:
+            for prec in cfg.precisions:
+                if rate == 0:
+                    points.append((key, rate, prec, "l1", "hard"))
+                    continue
+                for crit in cfg.criteria:
+                    for sched in cfg.schedules:
+                        points.append((key, rate, prec, crit, sched))
+    return points
+
+
+def describe_point(cfg: AdaPExConfig, point) -> str:
+    """Human-readable log label of one sweep point."""
+    key, rate, prec, crit, sched = point
+    tags = [t for t in (prec if prec != "base" else "",
+                        crit if crit != "l1" else "",
+                        sched if sched != "hard" else "") if t]
+    tag = f" [{', '.join(tags)}]" if tags else ""
+    return (f"[{cfg.dataset}] {accel_label(*key)}: pruning "
+            f"rate {rate:.0%}{tag}")
 
 
 class LibraryGenerator:
@@ -160,6 +199,18 @@ class LibraryGenerator:
         cfg = self.config
         hw_base = self._build(exits_cfg, cfg.resource_width_scale)
         folding = cnv_reference_fold(hw_base)
+        layer_costs = {}
+        if "hapm" in cfg.criteria:
+            # The hardware-aware criterion weights each filter by its
+            # layer's per-frame cycle cost in the FINN model. Compile the
+            # unpruned hardware twin once per variant and read the MVTU
+            # cycle counts off the compiled modules.
+            graph = export_model(hw_base)
+            streamline(graph)
+            accel = compile_accelerator(graph, folding,
+                                        clock_mhz=cfg.clock_mhz,
+                                        zero_skip=cfg.zero_skip)
+            layer_costs = _mvtu_layer_costs(accel)
         return _VariantContext(
             variant=variant,
             pruned_exits=pruned_exits,
@@ -169,27 +220,54 @@ class LibraryGenerator:
                 scaled_base, cnv_reference_fold(scaled_base)),
             hw_constraints=fold_constraints(hw_base, folding),
             folding=folding,
+            layer_costs=layer_costs,
         )
+
+    def _resolve_criterion(self, ctx: _VariantContext, criterion: str):
+        """Registry lookup, binding HAPM to this variant's layer costs."""
+        if criterion == "hapm":
+            return HAPMCriterion(ctx.layer_costs or {})
+        return get_criterion(criterion)
 
     # ------------------------------------------------------------------
     # characterization of one design point
     # ------------------------------------------------------------------
     def _characterize(self, ctx: _VariantContext, rate: float,
                       precision: str = "base",
-                      timer: PhaseTimer | None = None) -> list[LibraryEntry]:
+                      timer: PhaseTimer | None = None,
+                      criterion: str = "l1", schedule: str = "hard",
+                      scaled_override=None) -> list[LibraryEntry]:
         cfg = self.config
         timer = timer or PhaseTimer()
         train, test = self.datasets()
+        crit = self._resolve_criterion(ctx, criterion)
 
-        # Accuracy twin: prune + retrain.
-        with timer.phase("prune"):
-            scaled, report = prune_model(ctx.scaled_base, rate,
-                                         constraints=ctx.scaled_constraints,
-                                         prune_exits=ctx.pruned_exits)
-        if rate > 0 and cfg.retraining.epochs > 0:
+        if scaled_override is not None:
+            # The successive-halving engine hands in an already trained
+            # (and pruned) accuracy twin plus its prune report; nothing
+            # is retrained here.
+            scaled, report = scaled_override
+        elif schedule == "psfp" and rate > 0 and cfg.retraining.epochs > 0:
             with timer.phase("retrain"):
-                Trainer(scaled, cfg.retraining).fit(train.images,
-                                                    train.labels)
+                result = psfp_prune_retrain(
+                    ctx.scaled_base, rate, train.images, train.labels,
+                    retrain=cfg.retraining,
+                    constraints=ctx.scaled_constraints,
+                    prune_exits=ctx.pruned_exits, criterion=crit)
+                timer.add("epochs", 0.0, cfg.retraining.epochs)
+            scaled, report = result.model, result.report
+        else:
+            # Hard schedule: prune once, then retrain the narrow model.
+            with timer.phase("prune"):
+                scaled, report = prune_model(
+                    ctx.scaled_base, rate,
+                    constraints=ctx.scaled_constraints,
+                    prune_exits=ctx.pruned_exits, criterion=crit)
+            if rate > 0 and cfg.retraining.epochs > 0:
+                with timer.phase("retrain"):
+                    Trainer(scaled, cfg.retraining).fit(train.images,
+                                                        train.labels)
+                    timer.add("epochs", 0.0, cfg.retraining.epochs)
         # Precision axis: re-quantize both twins after prune/retrain
         # (PTQ — the latent weights are final by now).
         spec = cfg.precision_spec(precision)
@@ -202,7 +280,8 @@ class LibraryGenerator:
         with timer.phase("prune"):
             hw, hw_report = prune_model(ctx.hw_base, rate,
                                         constraints=ctx.hw_constraints,
-                                        prune_exits=ctx.pruned_exits)
+                                        prune_exits=ctx.pruned_exits,
+                                        criterion=crit)
         if spec is not None:
             hw = post_training_quantize(hw, spec.weight_bits, spec.act_bits)
         with timer.phase("compile"):
@@ -219,7 +298,9 @@ class LibraryGenerator:
         accel_id = AcceleratorId(pruning_rate=rate,
                                  pruned_exits=ctx.pruned_exits,
                                  variant=ctx.variant,
-                                 precision=precision)
+                                 precision=precision,
+                                 criterion=criterion,
+                                 schedule=schedule)
 
         with timer.phase("characterize"):
             # Accuracy measurement runs on the compiled engine: export
@@ -264,10 +345,14 @@ class LibraryGenerator:
                         {"requested_rate": rate,
                          "hw_achieved_rate": hw_report.achieved_rate,
                          "params": scaled.param_count()},
-                        # Only non-base precisions annotate extra, keeping
+                        # Only non-default axes annotate extra, keeping
                         # pre-axis entry dicts (and golden traces) stable.
                         **({"precision": precision}
                            if precision != "base" else {}),
+                        **({"criterion": criterion}
+                           if criterion != "l1" else {}),
+                        **({"schedule": schedule}
+                           if schedule != "hard" else {}),
                     ),
                 ))
         return entries
@@ -331,6 +416,10 @@ class LibraryGenerator:
             # golden trace) is unchanged at the defaults.
             **({"precisions": list(cfg.precisions)}
                if list(cfg.precisions) != ["base"] else {}),
+            **({"criteria": list(cfg.criteria)}
+               if list(cfg.criteria) != ["l1"] else {}),
+            **({"schedules": list(cfg.schedules)}
+               if list(cfg.schedules) != ["hard"] else {}),
             **({"zero_skip": True} if cfg.zero_skip else {}),
         })
 
@@ -338,16 +427,11 @@ class LibraryGenerator:
                     for variant, exits_cfg, pruned_exits in self._variants()}
 
         # The sweep as a flat, deterministically ordered point list:
-        # (variant key, pruning rate, precision).
-        points = [(key, rate, prec) for key in variants
-                  for rate in cfg.pruning_rates
-                  for prec in cfg.precisions]
+        # (variant key, pruning rate, precision, criterion, schedule).
+        points = sweep_points(cfg, variants)
 
         def _describe(point):
-            key, rate, prec = point
-            tag = f" [{prec}]" if prec != "base" else ""
-            return (f"[{cfg.dataset}] {accel_label(*key)}: pruning "
-                    f"rate {rate:.0%}{tag}")
+            return describe_point(cfg, point)
 
         manifest = None
         point_keys: dict = {}
@@ -356,7 +440,7 @@ class LibraryGenerator:
             point_keys = {
                 point: PointCache.point_key(config_key, point[0][0],
                                             point[0][1], point[1],
-                                            point[2])
+                                            point[2], point[3], point[4])
                 for point in points}
             manifest = SweepManifest.open(
                 point_cache.root / "manifest.json", config_key)
@@ -365,10 +449,11 @@ class LibraryGenerator:
         failures: dict = {}  # point -> FailedPoint (this run or resumed)
         pending = []
         for point in points:
-            key, rate, prec = point
+            key, rate, prec, crit, sched = point
             pkey = point_keys.get(point)
             if manifest is not None:
-                manifest.ensure(pkey, key[0], key[1], rate, prec)
+                manifest.ensure(pkey, key[0], key[1], rate, prec,
+                                crit, sched)
             cached = point_cache.get(pkey) if point_cache is not None \
                 else None
             if cached is not None:
@@ -450,9 +535,10 @@ class LibraryGenerator:
                                   progress=log, label=point_label)
 
             def characterize_point(point):
-                key, rate, prec = point
+                key, rate, prec, crit, sched = point
                 return self._characterize(contexts[key], rate,
-                                          precision=prec, timer=timer)
+                                          precision=prec, timer=timer,
+                                          criterion=crit, schedule=sched)
 
             pool.run(characterize_point, pending,
                      on_result=on_point_done,
@@ -463,11 +549,13 @@ class LibraryGenerator:
                 library.add(entry)
         if failures:
             library.metadata["quarantined"] = [
-                {"variant": key[0], "pruned_exits": key[1], "rate": rate,
-                 **({"precision": prec} if prec != "base" else {}),
-                 **failures[(key, rate, prec)].to_dict()}
-                for key, rate, prec in points
-                if (key, rate, prec) in failures]
+                {"variant": point[0][0], "pruned_exits": point[0][1],
+                 "rate": point[1],
+                 **({"precision": point[2]} if point[2] != "base" else {}),
+                 **({"criterion": point[3]} if point[3] != "l1" else {}),
+                 **({"schedule": point[4]} if point[4] != "hard" else {}),
+                 **failures[point].to_dict()}
+                for point in points if point in failures]
             log(f"[{cfg.dataset}] library partial: {len(library)} entries,"
                 f" {len(failures)} design point(s) quarantined")
         else:
@@ -528,14 +616,31 @@ def _parallel_worker_init(config: AdaPExConfig, base_states: dict) -> None:
 
 
 def _characterize_task(point):
-    """Characterize one ``((variant, pruned_exits), rate, precision)``
-    work unit."""
-    variant_key, rate, precision = point
+    """Characterize one ``((variant, pruned_exits), rate, precision,
+    criterion, schedule)`` work unit."""
+    variant_key, rate, precision, criterion, schedule = point
     gen, contexts = _WORKER_STATE
     timer = PhaseTimer()
     entries = gen._characterize(contexts[variant_key], rate,
-                                precision=precision, timer=timer)
+                                precision=precision, timer=timer,
+                                criterion=criterion, schedule=schedule)
     return entries, timer.as_dict()
+
+
+def _mvtu_layer_costs(accel) -> dict:
+    """Per-frame cycle cost of every MVTU, keyed by bare layer name.
+
+    Module names carry the IR scope prefix (``seg0/b0_conv0.mvtu``);
+    pruning ranks layers by their bare names (``b0_conv0``), so the
+    prefix and the ``.mvtu`` suffix are stripped. FC layers come along
+    harmlessly — the pruner only looks up CONV names.
+    """
+    costs = {}
+    for module in accel.modules:
+        if module.name.endswith(".mvtu"):
+            bare = module.name[:-len(".mvtu")].split("/")[-1]
+            costs[bare] = float(module.cycles())
+    return costs
 
 
 def accel_label(variant: str, pruned_exits: bool) -> str:

@@ -47,21 +47,44 @@ class PointCache:
     # ------------------------------------------------------------------
     @staticmethod
     def point_key(config_key: str, variant: str, pruned_exits: bool,
-                  rate: float, precision: str = "base") -> str:
+                  rate: float, precision: str = "base",
+                  criterion: str = "l1", schedule: str = "hard",
+                  fidelity: str = "full") -> str:
         """Stable fingerprint of one design point.
 
-        ``precision`` salts the key only when it is not the trained-base
-        precision, so every pre-precision-axis cache file keeps hitting —
-        and an INT8 point can never collide with a base point.
+        ``precision``, ``criterion``, ``schedule`` and ``fidelity`` salt
+        the key only when they differ from their historical defaults
+        (trained-base precision, l1 ranking, hard prune-then-retrain,
+        full training budget), so every pre-axis cache file keeps
+        hitting — and an INT8/FPGM/PSFP/partial-fidelity point can never
+        collide with a default one. ``fidelity`` is the successive-
+        halving rung tag (e.g. ``"e4"`` for a 4-epoch checkpoint): rung
+        artifacts live beside full-budget points without ever aliasing
+        them.
         """
         blob = f"{_POINT_FORMAT}:{config_key}:{variant}:" \
                f"{int(bool(pruned_exits))}:{rate!r}"
         if precision != "base":
             blob += f":{precision}"
+        if criterion != "l1":
+            blob += f":c={criterion}"
+        if schedule != "hard":
+            blob += f":s={schedule}"
+        if fidelity != "full":
+            blob += f":f={fidelity}"
         return hashlib.sha256(blob.encode()).hexdigest()[:20]
 
     def path_for(self, key: str) -> Path:
         return self.root / f"point_{key}.json"
+
+    def aux_path_for(self, key: str) -> Path:
+        return self.root / f"aux_{key}.json"
+
+    def state_path_for(self, key: str) -> Path:
+        """Weight-checkpoint sidecar (.npz) for a partial-fidelity point."""
+        states = self.root / "states"
+        states.mkdir(exist_ok=True)
+        return states / f"state_{key}.npz"
 
     # ------------------------------------------------------------------
     # access
@@ -100,6 +123,29 @@ class PointCache:
             json.dump({"entries": [e.to_dict() for e in entries]}, f)
         os.replace(tmp, path)
 
+    def get_aux(self, key: str):
+        """Auxiliary JSON payload for ``key`` (halving rung scores), or
+        ``None`` on a miss or corruption (logged, like :meth:`get`)."""
+        path = self.aux_path_for(key)
+        try:
+            with open(path) as f:
+                return json.load(f)["payload"]
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            log.warning("aux cache entry %s (%s) is corrupt — %s: %s — "
+                        "treating as a miss", key, path,
+                        type(exc).__name__, exc)
+            return None
+
+    def put_aux(self, key: str, payload) -> None:
+        """Atomically store a JSON-serializable payload for ``key``."""
+        path = self.aux_path_for(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w") as f:
+            json.dump({"payload": payload}, f)
+        os.replace(tmp, path)
+
     def __contains__(self, key: str) -> bool:
         return self.path_for(key).exists()
 
@@ -110,11 +156,16 @@ class PointCache:
     # maintenance
     # ------------------------------------------------------------------
     def clear(self) -> int:
-        """Delete every cached point; returns how many were removed."""
+        """Delete every cached point (plus aux/state sidecars); returns
+        how many point files were removed."""
         removed = 0
         for path in self.root.glob("point_*.json"):
             path.unlink(missing_ok=True)
             removed += 1
+        for path in self.root.glob("aux_*.json"):
+            path.unlink(missing_ok=True)
+        for path in self.root.glob("states/state_*.npz"):
+            path.unlink(missing_ok=True)
         return removed
 
     def purge_corrupt(self) -> int:

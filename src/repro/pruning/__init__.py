@@ -7,11 +7,27 @@ from .dataflow import (
     requested_removal,
 )
 from .pruner import PruneDecision, PruneReport, PruningError, prune_model
-from .ranking import filter_l1_norms, select_keep_filters
+from .ranking import (
+    CRITERIA,
+    FPGMCriterion,
+    HAPMCriterion,
+    L1Criterion,
+    PruningCriterion,
+    filter_fpgm_distances,
+    filter_l1_norms,
+    get_criterion,
+    register_criterion,
+    select_keep_filters,
+)
 from .schedule import (
+    SCHEDULES,
     PruneRetrainResult,
     paper_rate_sweep,
     prune_and_retrain,
+    psfp_prune_retrain,
+    psfp_removal_fraction,
+    psfp_retrain_epochs,
+    soft_prune_epoch,
     sweep_prune_retrain,
 )
 
@@ -19,7 +35,11 @@ __all__ = [
     "LayerFoldConstraint", "achievable_rates", "adjust_removal",
     "requested_removal",
     "PruneDecision", "PruneReport", "PruningError", "prune_model",
-    "filter_l1_norms", "select_keep_filters",
+    "filter_l1_norms", "filter_fpgm_distances", "select_keep_filters",
+    "PruningCriterion", "L1Criterion", "FPGMCriterion", "HAPMCriterion",
+    "CRITERIA", "get_criterion", "register_criterion",
     "PruneRetrainResult", "paper_rate_sweep", "prune_and_retrain",
     "sweep_prune_retrain",
+    "SCHEDULES", "psfp_removal_fraction", "soft_prune_epoch",
+    "psfp_retrain_epochs", "psfp_prune_retrain",
 ]

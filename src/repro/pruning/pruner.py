@@ -39,7 +39,7 @@ from ..core.errors import PermanentError
 from ..nn.graph import BranchedModel, Sequential
 from ..nn.layers import BatchNorm, Conv2D, Flatten, Linear
 from .dataflow import LayerFoldConstraint, adjust_removal, requested_removal
-from .ranking import select_keep_filters
+from .ranking import get_criterion, select_keep_filters
 
 __all__ = ["PruneDecision", "PruneReport", "PruningError", "prune_model"]
 
@@ -263,11 +263,15 @@ def _prune_sequential_convs(
     constraints,
     report: PruneReport,
     mode: str = "slice",
+    criterion="l1",
+    removal_map: dict[str, int] | None = None,
 ) -> np.ndarray | None:
     """Prune every CONV inside one Sequential.
 
-    Returns the keep-set of the last conv if its channels escape the
-    Sequential (no internal consumer), else None.
+    ``removal_map`` overrides the uniform per-layer removal request with
+    a criterion-allocated count (HAPM). Returns the keep-set of the last
+    conv if its channels escape the Sequential (no internal consumer),
+    else None.
     """
     conv_out = _APPLY[mode][0]
     escaping = None
@@ -277,9 +281,13 @@ def _prune_sequential_convs(
         shapes = _layer_input_shapes(seq, input_shape)
         ch_out = layer.out_channels
         constraint = constraints.get(layer.name, LayerFoldConstraint())
-        requested = requested_removal(ch_out, rate)
+        if removal_map is not None and layer.name in removal_map:
+            requested = min(removal_map[layer.name], ch_out - 1)
+        else:
+            requested = requested_removal(ch_out, rate)
         achieved = adjust_removal(ch_out, requested, constraint)
-        keep = select_keep_filters(layer.params["weight"], achieved)
+        keep = select_keep_filters(layer.params["weight"], achieved,
+                                   criterion=criterion)
         conv_out(layer, keep)
         consumed = _apply_downstream(seq, pos, keep, shapes, mode)
         report.decisions.append(PruneDecision(
@@ -290,12 +298,29 @@ def _prune_sequential_convs(
     return escaping
 
 
+def _prunable_conv_weights(model: BranchedModel,
+                           prune_exits: bool) -> list[tuple[str, np.ndarray]]:
+    """Ordered ``(name, weight)`` pairs of every CONV a pass will prune."""
+    pairs = []
+    for seg in model.segments:
+        for layer in seg.layers:
+            if isinstance(layer, Conv2D):
+                pairs.append((layer.name, layer.params["weight"]))
+    if prune_exits:
+        for si in sorted(model.exits):
+            for layer in model.exits[si].layers:
+                if isinstance(layer, Conv2D):
+                    pairs.append((layer.name, layer.params["weight"]))
+    return pairs
+
+
 def prune_model(
     model: BranchedModel,
     rate: float,
     constraints: dict[str, LayerFoldConstraint] | None = None,
     prune_exits: bool = True,
     mode: str = "slice",
+    criterion="l1",
 ) -> tuple[BranchedModel, PruneReport]:
     """Prune a (possibly branched) model at one pruning rate.
 
@@ -325,6 +350,13 @@ def prune_model(
         equivalence is recovered at the IR level, where
         :func:`repro.ir.passes.slice_channels` compacts a masked export
         without requantizing.
+    criterion:
+        Ranking criterion — a registry name (``"l1"``, ``"fpgm"``,
+        ``"hapm"``) or a :class:`repro.pruning.ranking.PruningCriterion`
+        instance. Criteria with a cross-layer :meth:`allocate` (HAPM)
+        redistribute the removal budget over the prunable CONVs before
+        per-layer fold-constraint adjustment; all criteria share the
+        same stable index tie-break.
 
     Returns
     -------
@@ -334,7 +366,13 @@ def prune_model(
         raise ValueError(f"mode must be one of {sorted(_APPLY)}, got {mode!r}")
     _, conv_in, _, linear_in = _APPLY[mode]
     constraints = constraints or {}
+    criterion = get_criterion(criterion)
     new = model.clone()
+    # Cross-layer allocation sees the unpruned weights; per-layer
+    # rankings later run on the progressively pruned tensors, which is
+    # deterministic because layers are visited in a fixed order.
+    removal_map = criterion.allocate(
+        _prunable_conv_weights(new, prune_exits), rate)
     report = PruneReport(rate=rate, prune_exits=prune_exits)
 
     shape = new.input_shape
@@ -362,7 +400,8 @@ def prune_model(
             pending = None
 
         escaping = _prune_sequential_convs(seg, shape, rate, constraints,
-                                           report, mode)
+                                           report, mode, criterion,
+                                           removal_map)
 
         # Exit branches see the segment output. Their input channels must
         # follow the backbone pruning regardless of the pruned flag.
@@ -382,7 +421,7 @@ def prune_model(
         for si, branch in new.exits.items():
             branch_input = new.segments[si].output_shape(seg_input_shapes[si])
             _prune_sequential_convs(branch, branch_input, rate, constraints,
-                                    report, mode)
+                                    report, mode, criterion, removal_map)
 
     # Sanity check: a forward pass on a dummy input must work.
     probe = np.zeros((1,) + new.input_shape, dtype=np.float32)

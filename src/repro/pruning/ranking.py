@@ -5,13 +5,47 @@ floating-point representation [Li et al., ICLR 2017] and removes the
 lowest-ranked ones. Ranking always happens on the full-precision shadow
 weights, not the quantized values, exactly as the paper specifies
 ("from the floating-point representation").
+
+Beyond the paper's l1 baseline this module hosts a small **criterion
+registry** so that ranking functions are injectable rather than
+hard-wired:
+
+* ``"l1"`` — per-filter l1 norm (the paper's criterion, default).
+* ``"fpgm"`` — geometric-median redundancy [He et al., CVPR 2019]: a
+  filter's importance is the sum of its Euclidean distances to every
+  other filter in the layer, so filters closest to the layer's geometric
+  median (i.e. most replaceable) are removed first — even when their
+  norms are large.
+* ``"hapm"`` — hardware-aware pruning: within a layer the l1 ranking is
+  kept (scaling every score by a layer-constant is a ranking no-op), but
+  the criterion reallocates the *removal budget across layers* so that
+  layers with a high per-filter cycle cost in the FINN performance model
+  shed proportionally more filters per unit of weight magnitude lost.
+
+Every criterion is deterministic and uses the identical stable
+tie-break: equal scores are removed lowest-original-index first, and the
+returned keep-set is always sorted so the dataflow accelerator's stream
+ordering is never permuted.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["filter_l1_norms", "select_keep_filters"]
+from .dataflow import requested_removal
+
+__all__ = [
+    "filter_l1_norms",
+    "filter_fpgm_distances",
+    "PruningCriterion",
+    "L1Criterion",
+    "FPGMCriterion",
+    "HAPMCriterion",
+    "CRITERIA",
+    "register_criterion",
+    "get_criterion",
+    "select_keep_filters",
+]
 
 
 def filter_l1_norms(weight: np.ndarray) -> np.ndarray:
@@ -21,9 +55,166 @@ def filter_l1_norms(weight: np.ndarray) -> np.ndarray:
     return np.abs(weight).sum(axis=(1, 2, 3))
 
 
-def select_keep_filters(weight: np.ndarray, num_remove: int) -> np.ndarray:
+def filter_fpgm_distances(weight: np.ndarray) -> np.ndarray:
+    """Sum of pairwise Euclidean distances from each filter to all others.
+
+    This is the Filter Pruning via Geometric Median score [He et al.,
+    CVPR 2019]: the filter minimising the sum of distances is (by
+    definition) the layer's geometric median among its own filters, and
+    filters near it contribute the least non-redundant information. A
+    low score therefore marks a *replaceable* filter, regardless of its
+    norm.
+    """
+    if weight.ndim != 4:
+        raise ValueError(f"expected 4-D conv weight, got {weight.ndim}-D")
+    flat = weight.reshape(weight.shape[0], -1).astype(np.float64)
+    sq = (flat * flat).sum(axis=1)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * (flat @ flat.T)
+    np.maximum(d2, 0.0, out=d2)
+    return np.sqrt(d2).sum(axis=1)
+
+
+class PruningCriterion:
+    """Base class: per-layer filter scores (higher = more important).
+
+    Subclasses override :meth:`scores`; criteria that also redistribute
+    the removal budget across layers override :meth:`allocate` (the base
+    implementation returns ``None``, meaning "use the uniform per-layer
+    rate").
+    """
+
+    name = "base"
+
+    def scores(self, weight: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def allocate(self, layer_weights, rate: float):
+        """Optional cross-layer removal allocation.
+
+        ``layer_weights`` is an ordered list of ``(layer_name, weight)``
+        pairs covering every prunable CONV. Returns ``None`` (no
+        reallocation) or a dict ``{layer_name: removal_count}`` whose
+        values replace the uniform ``requested_removal(ch, rate)``.
+        """
+        return None
+
+
+class L1Criterion(PruningCriterion):
+    """The paper's l1-magnitude ranking."""
+
+    name = "l1"
+
+    def scores(self, weight: np.ndarray) -> np.ndarray:
+        return filter_l1_norms(weight)
+
+
+class FPGMCriterion(PruningCriterion):
+    """Geometric-median redundancy ranking."""
+
+    name = "fpgm"
+
+    def scores(self, weight: np.ndarray) -> np.ndarray:
+        return filter_fpgm_distances(weight)
+
+
+class HAPMCriterion(PruningCriterion):
+    """Hardware-aware magnitude ranking.
+
+    ``layer_costs`` maps CONV layer names to their per-frame cycle cost
+    in the compiled (unpruned) dataflow accelerator. Within a layer the
+    plain l1 ranking applies — dividing every filter of a layer by the
+    same cycle cost cannot change the layer-local order — so the
+    hardware awareness acts where it can matter: the removal budget is
+    pooled across layers and spent on the globally cheapest filters,
+    where a filter's cost-adjusted score is its layer-normalised l1 norm
+    divided by the layer's relative cycle cost. Expensive layers thus
+    shed more filters per unit of magnitude than cheap ones. With an
+    empty cost map every layer weighs the same and the allocation
+    degenerates to a global relative-magnitude criterion.
+    """
+
+    name = "hapm"
+
+    def __init__(self, layer_costs: dict[str, float] | None = None):
+        self.layer_costs = dict(layer_costs or {})
+
+    def scores(self, weight: np.ndarray) -> np.ndarray:
+        return filter_l1_norms(weight)
+
+    def allocate(self, layer_weights, rate: float):
+        layer_weights = list(layer_weights)
+        if not layer_weights or rate <= 0.0:
+            return None
+        budget = sum(requested_removal(w.shape[0], rate)
+                     for _, w in layer_weights)
+        if budget == 0:
+            return None
+        costs = np.array(
+            [float(self.layer_costs.get(name, 1.0))
+             for name, _ in layer_weights], dtype=np.float64)
+        if costs.min() <= 0.0:
+            raise ValueError("layer cycle costs must be positive")
+        rel_cost = costs / costs.mean()
+        # Global pool of (score, layer_idx, filter_idx): the layer-mean-
+        # normalised norm makes magnitudes comparable across layers of
+        # different fan-in, the relative cycle cost then discounts
+        # filters living in expensive layers.
+        pool = []
+        for li, (name, w) in enumerate(layer_weights):
+            norms = filter_l1_norms(w)
+            mean = norms.mean()
+            rel = norms / mean if mean > 0 else np.ones_like(norms)
+            score = rel / rel_cost[li]
+            for fi in range(w.shape[0]):
+                pool.append((float(score[fi]), li, fi))
+        pool.sort()
+        removals = {name: 0 for name, _ in layer_weights}
+        caps = {name: w.shape[0] - 1 for name, w in layer_weights}
+        spent = 0
+        for _, li, _ in pool:
+            if spent >= budget:
+                break
+            name = layer_weights[li][0]
+            if removals[name] < caps[name]:
+                removals[name] += 1
+                spent += 1
+        return removals
+
+
+CRITERIA: dict[str, PruningCriterion] = {
+    "l1": L1Criterion(),
+    "fpgm": FPGMCriterion(),
+    "hapm": HAPMCriterion(),
+}
+
+
+def register_criterion(criterion: PruningCriterion) -> PruningCriterion:
+    """Add (or replace) a criterion in the registry, keyed by its name."""
+    if not criterion.name or not isinstance(criterion.name, str):
+        raise ValueError("criterion must carry a non-empty string name")
+    CRITERIA[criterion.name] = criterion
+    return criterion
+
+
+def get_criterion(criterion) -> PruningCriterion:
+    """Resolve a criterion name (or pass an instance through)."""
+    if isinstance(criterion, PruningCriterion):
+        return criterion
+    try:
+        return CRITERIA[criterion]
+    except KeyError:
+        raise ValueError(
+            f"unknown pruning criterion {criterion!r}; "
+            f"registered: {sorted(CRITERIA)}"
+        ) from None
+
+
+def select_keep_filters(weight: np.ndarray, num_remove: int,
+                        criterion="l1") -> np.ndarray:
     """Indices of filters to keep after removing the ``num_remove`` weakest.
 
+    ``criterion`` is a registry name or a :class:`PruningCriterion`
+    instance; it supplies the per-filter scores (default: l1 norms).
     Returns a sorted index array so that channel order is preserved (the
     dataflow accelerator's stream ordering must not be permuted).
     """
@@ -35,8 +226,8 @@ def select_keep_filters(weight: np.ndarray, num_remove: int) -> np.ndarray:
         )
     if num_remove == 0:
         return np.arange(out_channels)
-    norms = filter_l1_norms(weight)
+    scores = get_criterion(criterion).scores(weight)
     # Stable selection: ties broken by original index, weakest removed first.
-    order = np.lexsort((np.arange(out_channels), norms))
+    order = np.lexsort((np.arange(out_channels), scores))
     keep = np.sort(order[num_remove:])
     return keep

@@ -51,6 +51,14 @@ class AcceleratorId:
     # names (e.g. "int8") are post-training-quantized variants — a
     # different bitstream, hence part of the identity.
     precision: str = "base"
+    # Pruning-criterion axis: which filter ranking selected the surviving
+    # channels ("l1" = the paper's magnitude ranking). Different criteria
+    # keep different filters, hence different bitstreams.
+    criterion: str = "l1"
+    # Retraining-schedule axis: "hard" = prune-then-retrain, "psfp" =
+    # progressive soft filter pruning. Same widths, different weights —
+    # still a different bitstream.
+    schedule: str = "hard"
 
     def label(self) -> str:
         mode = "px" if self.pruned_exits else "npx"
@@ -58,6 +66,10 @@ class AcceleratorId:
                  f"{int(round(self.pruning_rate * 100)):02d}-{mode}")
         if self.precision != "base":
             label += f"-{self.precision}"
+        if self.criterion != "l1":
+            label += f"-{self.criterion}"
+        if self.schedule != "hard":
+            label += f"-{self.schedule}"
         return label
 
 
@@ -96,10 +108,15 @@ class LibraryEntry:
         d = asdict(self)
         d["accelerator"] = asdict(self.accelerator)
         # Keep the serialized form (and everything pinned to it: golden
-        # traces, point caches, library JSON) unchanged for base-precision
-        # entries from before the precision axis existed.
+        # traces, point caches, library JSON) unchanged for entries on the
+        # historical defaults of each axis (base precision, l1 criterion,
+        # hard schedule).
         if d["accelerator"].get("precision") == "base":
             del d["accelerator"]["precision"]
+        if d["accelerator"].get("criterion") == "l1":
+            del d["accelerator"]["criterion"]
+        if d["accelerator"].get("schedule") == "hard":
+            del d["accelerator"]["schedule"]
         return d
 
     @classmethod
@@ -140,7 +157,8 @@ _ENTRY_OPTIONAL = {
 }
 _ACCEL_REQUIRED = {"pruning_rate": "number"}
 _ACCEL_OPTIONAL = {"pruned_exits": "bool", "variant": "str",
-                   "precision": "str"}
+                   "precision": "str", "criterion": "str",
+                   "schedule": "str"}
 
 
 def _is_number(v) -> bool:

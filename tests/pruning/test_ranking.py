@@ -61,3 +61,174 @@ class TestSelectKeepFilters:
         removed = np.setdiff1d(np.arange(channels), keep)
         if remove and len(keep):
             assert norms[keep].min() >= norms[removed].max() - 1e-12
+
+
+# ----------------------------------------------------------------------
+# criterion registry and the widened criterion axis
+# ----------------------------------------------------------------------
+from repro.pruning import (  # noqa: E402  (grouped with their tests)
+    CRITERIA,
+    FPGMCriterion,
+    HAPMCriterion,
+    L1Criterion,
+    PruningCriterion,
+    filter_fpgm_distances,
+    get_criterion,
+    register_criterion,
+)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert {"l1", "fpgm", "hapm"} <= set(CRITERIA)
+        assert isinstance(get_criterion("l1"), L1Criterion)
+        assert isinstance(get_criterion("fpgm"), FPGMCriterion)
+        assert isinstance(get_criterion("hapm"), HAPMCriterion)
+
+    def test_instance_passthrough(self):
+        crit = HAPMCriterion({"c0": 2.0})
+        assert get_criterion(crit) is crit
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(ValueError, match="fpgm"):
+            get_criterion("nope")
+
+    def test_register_and_replace(self):
+        class Custom(PruningCriterion):
+            name = "custom-test"
+
+            def scores(self, weight):
+                return -filter_l1_norms(weight)
+
+        try:
+            register_criterion(Custom())
+            w = np.zeros((4, 1, 1, 1))
+            w[:, 0, 0, 0] = [3.0, 0.1, 2.0, 0.5]
+            # Inverted scores: the *strongest* filters are removed first.
+            keep = select_keep_filters(w, 2, criterion="custom-test")
+            np.testing.assert_array_equal(keep, [1, 3])
+        finally:
+            CRITERIA.pop("custom-test", None)
+
+    def test_register_rejects_anonymous(self):
+        class NoName(PruningCriterion):
+            name = ""
+
+        with pytest.raises(ValueError):
+            register_criterion(NoName())
+
+
+class TestFPGM:
+    def test_rejects_non_4d(self):
+        with pytest.raises(ValueError):
+            filter_fpgm_distances(np.zeros((2, 3)))
+
+    def test_duplicate_cluster_is_most_redundant(self):
+        """A cluster of identical filters is mutually redundant: despite
+        carrying the largest norms of the layer, its members are removed
+        first under FPGM (zero distance to each other keeps their
+        distance sums minimal), while l1 would remove the small
+        outliers instead."""
+        w = np.zeros((5, 1, 2, 2))
+        w[0] = w[1] = w[2] = 10.0       # identical huge-norm triplet
+        w[3, 0, 0, 0] = 0.5             # two tiny, distinct outliers
+        w[4, 0, 1, 1] = -0.5
+        np.testing.assert_array_equal(
+            select_keep_filters(w, 2, criterion="fpgm"), [2, 3, 4])
+        np.testing.assert_array_equal(
+            select_keep_filters(w, 2, criterion="l1"), [0, 1, 2])
+
+    def test_pairwise_distance_values(self):
+        w = np.zeros((3, 1, 1, 1))
+        w[:, 0, 0, 0] = [0.0, 3.0, 4.0]
+        d = filter_fpgm_distances(w)
+        np.testing.assert_allclose(d, [7.0, 3.0 + 1.0, 4.0 + 1.0])
+
+
+class TestHAPM:
+    def _weights(self, channels, seed=0):
+        rng = np.random.default_rng(seed)
+        return [(f"c{i}", rng.normal(size=(ch, 2, 3, 3)))
+                for i, ch in enumerate(channels)]
+
+    def test_budget_is_conserved(self):
+        layers = self._weights([8, 8, 8])
+        crit = HAPMCriterion({"c0": 1.0, "c1": 1.0, "c2": 1.0})
+        removals = crit.allocate(layers, 0.5)
+        from repro.pruning.dataflow import requested_removal
+        budget = sum(requested_removal(8, 0.5) for _ in layers)
+        assert sum(removals.values()) == budget
+
+    def test_expensive_layers_shed_more(self):
+        # Identical weight statistics, wildly different cycle costs: the
+        # expensive layer must absorb more of the removal budget.
+        rng = np.random.default_rng(3)
+        w = rng.normal(size=(16, 2, 3, 3))
+        layers = [("cheap", w.copy()), ("dear", w.copy())]
+        crit = HAPMCriterion({"cheap": 1.0, "dear": 100.0})
+        removals = crit.allocate(layers, 0.5)
+        assert removals["dear"] > removals["cheap"]
+        assert removals["dear"] <= 15  # never below one surviving filter
+
+    def test_uniform_costs_match_global_magnitude(self):
+        layers = self._weights([8, 8], seed=5)
+        assert (HAPMCriterion({}).allocate(layers, 0.25)
+                == HAPMCriterion({"c0": 7.0, "c1": 7.0}).allocate(
+                    layers, 0.25))
+
+    def test_no_allocation_cases(self):
+        crit = HAPMCriterion()
+        assert crit.allocate([], 0.5) is None
+        assert crit.allocate(self._weights([8]), 0.0) is None
+        assert crit.allocate(self._weights([8]), 0.01) is None  # budget 0
+
+    def test_rejects_nonpositive_costs(self):
+        crit = HAPMCriterion({"c0": 0.0})
+        with pytest.raises(ValueError):
+            crit.allocate(self._weights([8, 8]), 0.5)
+
+
+class TestCrossCriterionProperties:
+    """Hypothesis invariants shared by every registered criterion."""
+
+    @given(st.sampled_from(["l1", "fpgm", "hapm"]),
+           st.integers(2, 24), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_deterministic_sorted_and_sized(self, criterion, channels,
+                                            data):
+        remove = data.draw(st.integers(0, channels - 1))
+        rng = np.random.default_rng(channels * 977 + remove)
+        w = rng.normal(size=(channels, 2, 3, 3))
+        keep = select_keep_filters(w, remove, criterion=criterion)
+        again = select_keep_filters(w.copy(), remove, criterion=criterion)
+        np.testing.assert_array_equal(keep, again)  # deterministic
+        assert len(keep) == channels - remove
+        if len(keep) > 1:
+            assert np.all(np.diff(keep) > 0)  # sorted, no duplicates
+
+    @given(st.sampled_from(["l1", "fpgm", "hapm"]), st.integers(2, 16))
+    @settings(max_examples=30, deadline=None)
+    def test_ties_break_lowest_index_first(self, criterion, channels):
+        w = np.ones((channels, 1, 2, 2))  # all filters identical
+        keep = select_keep_filters(w, channels // 2, criterion=criterion)
+        np.testing.assert_array_equal(
+            keep, np.arange(channels // 2, channels))
+
+    @given(st.integers(3, 12), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_l1_equals_fpgm_on_orthogonal_filters(self, channels, data):
+        """Mutually orthogonal single-coefficient filters with distinct
+        magnitudes: for three or more filters the FPGM distance sum is
+        strictly monotone in the magnitude, so both criteria must choose
+        identical keep-sets. (With exactly two filters FPGM is blind —
+        each score is the same single pairwise distance.)"""
+        mags = [float(m) for m in data.draw(st.lists(
+            st.integers(1, 60), min_size=channels, max_size=channels,
+            unique=True))]
+        remove = data.draw(st.integers(0, channels - 1))
+        w = np.zeros((channels, 1, channels, 1))
+        for i, m in enumerate(mags):
+            w[i, 0, i, 0] = m  # one distinct support position each
+        np.testing.assert_array_equal(
+            select_keep_filters(w, remove, criterion="l1"),
+            select_keep_filters(w, remove, criterion="fpgm"))
